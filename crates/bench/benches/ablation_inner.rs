@@ -1,0 +1,77 @@
+//! Ablation: inner-index structures over the *same* segmentation.
+//!
+//! The paper's tuning guide argues the inner index (how a lookup finds its
+//! segment) matters far less than the position boundary. This bench isolates
+//! segment location: identical greedy segments behind a sorted array (PLR),
+//! a B+-tree (FITing-Tree), and — on the spline side — a radix table (RS)
+//! vs a hist-tree (PLEX), all predicting against the same key set.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use learned_index::bptree::BPlusTree;
+use learned_index::cone::segment_keys;
+use learned_index::histtree::HistTree;
+use learned_index::spline::build_spline;
+use lsm_workloads::Dataset;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_inner_structures(c: &mut Criterion) {
+    let keys = Dataset::Longitude.generate(200_000, 3);
+    let eps = 16;
+
+    // Cone side: PLR's sorted array vs FITing-Tree's B+-tree.
+    let segments = segment_keys(&keys, eps);
+    let first_keys: Vec<u64> = segments.iter().map(|s| s.first_key).collect();
+    let bptree = BPlusTree::build(&first_keys, 16);
+
+    // Spline side: RS-style binary search vs PLEX's hist-tree.
+    let knots = build_spline(&keys, eps);
+    let knot_keys: Vec<u64> = knots.iter().map(|k| k.key).collect();
+    let hist = HistTree::build(&knot_keys, 6, 16);
+
+    let mut rng = StdRng::seed_from_u64(9);
+    let probes: Vec<u64> = (0..1024).map(|_| keys[rng.gen_range(0..keys.len())]).collect();
+
+    let mut g = c.benchmark_group("inner_index_locate");
+    g.sample_size(20);
+    g.bench_function("sorted_array_binary_search", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) & 1023;
+            std::hint::black_box(
+                first_keys
+                    .partition_point(|&k| k <= probes[i])
+                    .saturating_sub(1),
+            )
+        });
+    });
+    g.bench_function("bptree", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) & 1023;
+            std::hint::black_box(bptree.rank(probes[i]))
+        });
+    });
+    g.bench_function("spline_binary_search", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) & 1023;
+            std::hint::black_box(
+                knot_keys
+                    .partition_point(|&k| k <= probes[i])
+                    .saturating_sub(1),
+            )
+        });
+    });
+    g.bench_function("hist_tree", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) & 1023;
+            std::hint::black_box(hist.lookup(probes[i]))
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_inner_structures);
+criterion_main!(benches);

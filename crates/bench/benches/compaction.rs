@@ -1,0 +1,34 @@
+//! Criterion micro-bench: write path incl. flush + compaction + index
+//! training per family (Figure 9's total compaction cost, isolated).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use learned_index::IndexKind;
+use lsm_tree::{Db, IndexChoice, Options};
+
+fn write_heavy(kind: IndexKind, n: u64) {
+    let mut opts = Options::small_for_tests();
+    opts.index = IndexChoice::with_boundary(kind, 64);
+    opts.write_buffer_bytes = 64 << 10;
+    opts.sstable_target_bytes = 32 << 10;
+    let db = Db::open_memory(opts).expect("open");
+    for k in 0..n {
+        db.put((k * 2_654_435_761) % (1 << 40), &[7u8; 32]).expect("put");
+    }
+    db.flush().expect("flush");
+}
+
+fn bench_compaction(c: &mut Criterion) {
+    const N: u64 = 20_000;
+    let mut g = c.benchmark_group("write_20k_with_compactions");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(N));
+    for kind in IndexKind::ALL {
+        g.bench_with_input(BenchmarkId::from_parameter(kind.abbrev()), &kind, |b, &k| {
+            b.iter(|| write_heavy(k, N));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_compaction);
+criterion_main!(benches);

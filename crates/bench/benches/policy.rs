@@ -1,0 +1,75 @@
+//! Future direction #2 (paper §6.2): learned indexes across the LSM design
+//! space. Compares leveling vs tiering under write and read workloads, with
+//! fence pointers and PGM — the interaction the paper says current design-
+//! space studies overlook.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use learned_index::IndexKind;
+use lsm_tree::{CompactionPolicy, Db, IndexChoice, Options};
+use lsm_workloads::Dataset;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn opts(policy: CompactionPolicy, kind: IndexKind) -> Options {
+    let mut o = Options::small_for_tests();
+    o.index = IndexChoice::with_boundary(kind, 64);
+    o.write_buffer_bytes = 64 << 10;
+    o.sstable_target_bytes = 64 << 10;
+    o.compaction = policy;
+    o.wal = false;
+    o
+}
+
+fn bench_policies(c: &mut Criterion) {
+    const N: u64 = 15_000;
+    let policies = [
+        ("leveling", CompactionPolicy::Leveling),
+        ("tiering", CompactionPolicy::Tiering { runs_per_level: 4 }),
+    ];
+
+    let mut g = c.benchmark_group("policy_write_path");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(N));
+    for (pname, policy) in policies {
+        for kind in [IndexKind::FencePointers, IndexKind::Pgm] {
+            let label = format!("{pname}/{}", kind.abbrev());
+            g.bench_with_input(BenchmarkId::from_parameter(label), &(policy, kind), |b, &(p, k)| {
+                b.iter(|| {
+                    let db = Db::open_memory(opts(p, k)).expect("open");
+                    for i in 0..N {
+                        db.put((i * 2_654_435_761) % (1 << 30), &[7u8; 24]).expect("put");
+                    }
+                    db.flush().expect("flush");
+                });
+            });
+        }
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("policy_point_lookup");
+    g.sample_size(20);
+    for (pname, policy) in policies {
+        for kind in [IndexKind::FencePointers, IndexKind::Pgm] {
+            let db = Db::open_memory(opts(policy, kind)).expect("open");
+            let keys = Dataset::Random.generate(30_000, 8);
+            for &k in &keys {
+                db.put(k, &[1u8; 24]).expect("put");
+            }
+            db.flush().expect("flush");
+            let mut rng = StdRng::seed_from_u64(3);
+            let probes: Vec<u64> = (0..1024).map(|_| keys[rng.gen_range(0..keys.len())]).collect();
+            let label = format!("{pname}/{}", kind.abbrev());
+            g.bench_with_input(BenchmarkId::from_parameter(label), &db, |b, db| {
+                let mut i = 0usize;
+                b.iter(|| {
+                    i = (i + 1) & 1023;
+                    std::hint::black_box(db.get(probes[i]).expect("get"))
+                });
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_policies);
+criterion_main!(benches);

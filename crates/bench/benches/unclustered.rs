@@ -1,0 +1,76 @@
+//! Criterion bench: data-unclustered structures vs the packed sorted array
+//! on the two operations Section 3.3 says LSM-trees care about — point
+//! lookups and sequential scans.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use learned_unclustered::{AlexMap, LippMap, UnclusteredMap};
+use lsm_workloads::Dataset;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_unclustered(c: &mut Criterion) {
+    let n = 100_000usize;
+    let keys = Dataset::Random.generate(n, 21);
+    let pairs: Vec<(u64, u64)> = keys.iter().enumerate().map(|(i, &k)| (k, i as u64)).collect();
+    let alex = AlexMap::build(&pairs);
+    let lipp = LippMap::build(&pairs);
+    let packed: Vec<(u64, u64)> = pairs.clone();
+
+    let mut rng = StdRng::seed_from_u64(4);
+    let probes: Vec<u64> = (0..1024).map(|_| keys[rng.gen_range(0..n)]).collect();
+
+    let mut g = c.benchmark_group("unclustered_point_lookup");
+    g.sample_size(20);
+    g.bench_function("sorted_array", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) & 1023;
+            std::hint::black_box(packed.binary_search_by_key(&probes[i], |p| p.0).ok())
+        });
+    });
+    g.bench_function("alex_like", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) & 1023;
+            std::hint::black_box(alex.get(probes[i]))
+        });
+    });
+    g.bench_function("lipp_like", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) & 1023;
+            std::hint::black_box(lipp.get(probes[i]))
+        });
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("unclustered_scan_100");
+    g.sample_size(20);
+    g.bench_function("sorted_array", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) & 1023;
+            let start = packed.partition_point(|p| p.0 < probes[i]);
+            let end = (start + 100).min(packed.len());
+            std::hint::black_box(packed[start..end].to_vec())
+        });
+    });
+    g.bench_function("alex_like", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) & 1023;
+            std::hint::black_box(alex.scan(probes[i], 100))
+        });
+    });
+    g.bench_function("lipp_like", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) & 1023;
+            std::hint::black_box(lipp.scan(probes[i], 100))
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_unclustered);
+criterion_main!(benches);

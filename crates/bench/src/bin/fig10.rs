@@ -1,0 +1,24 @@
+//! Figure 10: per-level read overhead vs index memory vs level size, under
+//! uniform and read-latest request distributions.
+
+use lsm_bench::{runner, Cli};
+
+fn main() {
+    let cli = Cli::parse();
+    let records = runner::fig10(&cli.scale, cli.dataset).expect("fig10 experiment");
+
+    println!("# Figure 10 — per-level shares (read overhead / index size / level size)");
+    let mut last = String::new();
+    println!("{:12} {:>5} {:>12} {:>12} {:>12}", "dist", "level", "reads", "index", "entries");
+    for r in &records {
+        if r.distribution != last {
+            println!("--- {} ---", r.distribution);
+            last = r.distribution.clone();
+        }
+        println!(
+            "{:12} {:5} {:12.3} {:12.3} {:12.3}",
+            r.distribution, r.level, r.read_share, r.index_share, r.entry_share
+        );
+    }
+    cli.maybe_write(&learned_lsm::report::to_json(&records));
+}

@@ -1,0 +1,23 @@
+//! Figure 11: range-lookup latency and memory across range lengths
+//! (2 / 128 / 512) and position boundaries.
+
+use lsm_bench::{runner, Cli};
+
+fn main() {
+    let cli = Cli::parse();
+    let boundaries = [128usize, 64, 32];
+    let range_lens = [2usize, 128, 512];
+    let records =
+        runner::fig11(&cli.scale, cli.dataset, &boundaries, &range_lens).expect("fig11 experiment");
+
+    println!("# Figure 11 — range lookups");
+    let mut last = usize::MAX;
+    for r in &records {
+        if r.range_len != last {
+            println!("\n[range length {}]", r.range_len);
+            last = r.range_len;
+        }
+        println!("{}", r.row());
+    }
+    cli.maybe_write(&learned_lsm::report::to_json(&records));
+}

@@ -1,0 +1,19 @@
+//! Figure 5: CDFs of the seven datasets.
+//!
+//! Prints 25 normalized (key, fraction) points per dataset — plot them to
+//! recreate the figure.
+
+use lsm_bench::{runner, Cli};
+
+fn main() {
+    let cli = Cli::parse();
+    let records = runner::fig5(cli.scale.keys, 25, 0xEDB7_2026);
+    println!("# Figure 5 — dataset CDFs ({} keys each)", cli.scale.keys);
+    for r in &records {
+        println!("\n{}", r.dataset);
+        for (x, y) in &r.points {
+            println!("  {x:.4}\t{y:.4}");
+        }
+    }
+    cli.maybe_write(&learned_lsm::report::to_json(&records));
+}

@@ -1,0 +1,34 @@
+//! Figure 7: query time breakdown — (A) per index type at boundary 64;
+//! (B) prediction time as the boundary shrinks.
+
+use lsm_bench::{runner, Cli};
+
+fn main() {
+    let cli = Cli::parse();
+    let (by_kind, by_boundary) = runner::fig7(&cli.scale, cli.dataset).expect("fig7 experiment");
+
+    println!("# Figure 7(A) — stage breakdown by index type (boundary 64, µs/op)");
+    println!("{:8} {:>10} {:>10} {:>10} {:>10}", "index", "locate", "predict", "disk I/O", "search");
+    for r in &by_kind {
+        println!(
+            "{:8} {:10.3} {:10.3} {:10.3} {:10.3}",
+            r.index,
+            r.breakdown.table_locate,
+            r.breakdown.prediction,
+            r.breakdown.disk_io,
+            r.breakdown.binary_search
+        );
+    }
+
+    println!("\n# Figure 7(B) — prediction time vs position boundary (µs/op)");
+    println!("{:8} {:>8} {:>12}", "index", "boundary", "prediction");
+    for r in &by_boundary {
+        println!(
+            "{:8} {:8} {:12.4}",
+            r.index, r.position_boundary, r.breakdown.prediction
+        );
+    }
+
+    let all: Vec<_> = by_kind.iter().chain(by_boundary.iter()).collect();
+    cli.maybe_write(&learned_lsm::report::to_json(&all));
+}

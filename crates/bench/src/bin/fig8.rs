@@ -1,0 +1,21 @@
+//! Figure 8: impact of index granularity — SSTable size sweep plus the
+//! level-grained model ("L"), for each learned index, across boundaries.
+
+use lsm_bench::{runner, Cli};
+
+fn main() {
+    let cli = Cli::parse();
+    let boundaries = [128usize, 64, 32, 16];
+    let records = runner::fig8(&cli.scale, cli.dataset, &boundaries).expect("fig8 experiment");
+
+    println!("# Figure 8 — granularity sweep (SST size label is relative; L = level model)");
+    let mut last = usize::MAX;
+    for r in &records {
+        if r.position_boundary != last {
+            println!("\n[position boundary {}]", r.position_boundary);
+            last = r.position_boundary;
+        }
+        println!("{}", r.row());
+    }
+    cli.maybe_write(&learned_lsm::report::to_json(&records));
+}

@@ -1,0 +1,21 @@
+//! Figure 9: compaction time and its learn / write-model breakdown under a
+//! write-only workload.
+
+use lsm_bench::{runner, Cli};
+
+fn main() {
+    let cli = Cli::parse();
+    let boundaries = [256usize, 128, 64, 32];
+    let records = runner::fig9(&cli.scale, cli.dataset, &boundaries).expect("fig9 experiment");
+
+    println!("# Figure 9 — compaction time and breakdown (write-only workload)");
+    let mut last = usize::MAX;
+    for r in &records {
+        if r.position_boundary != last {
+            println!("\n[position boundary {}]", r.position_boundary);
+            last = r.position_boundary;
+        }
+        println!("{}", r.row());
+    }
+    cli.maybe_write(&learned_lsm::report::to_json(&records));
+}

@@ -1,0 +1,132 @@
+//! ASCII scatter/line plots from the experiment JSON — eyeball the paper's
+//! figures straight in the terminal.
+//!
+//! ```sh
+//! cargo run --release -p lsm-bench --bin plot -- results/fig6.json latency
+//! cargo run --release -p lsm-bench --bin plot -- results/fig6.json memory
+//! ```
+//!
+//! Reads the `LookupReport` arrays the fig binaries emit with `--out` and
+//! draws one series per index: x = position boundary (log2), y = the chosen
+//! metric (log10 for memory).
+
+use std::collections::BTreeMap;
+
+/// Plot canvas dimensions.
+const WIDTH: usize = 72;
+const HEIGHT: usize = 20;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let path = args.next().unwrap_or_else(|| {
+        eprintln!("usage: plot <results.json> [latency|memory|blocks]");
+        std::process::exit(2);
+    });
+    let metric = args.next().unwrap_or_else(|| "latency".into());
+
+    let raw = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    let records: Vec<serde_json::Value> = serde_json::from_str(&raw).unwrap_or_else(|e| {
+        eprintln!("cannot parse {path}: {e}");
+        std::process::exit(2);
+    });
+
+    // series[index] = [(boundary, value)]
+    let mut series: BTreeMap<String, Vec<(f64, f64)>> = BTreeMap::new();
+    for r in &records {
+        let (Some(index), Some(boundary)) = (
+            r.get("index").and_then(|v| v.as_str()),
+            r.get("position_boundary").and_then(|v| v.as_u64()),
+        ) else {
+            continue;
+        };
+        let value = match metric.as_str() {
+            "latency" => r.get("avg_latency_us").and_then(|v| v.as_f64()),
+            "memory" => r
+                .get("index_memory_bytes")
+                .and_then(|v| v.as_u64())
+                .map(|b| b as f64),
+            "blocks" => r.get("blocks_per_op").and_then(|v| v.as_f64()),
+            other => {
+                eprintln!("unknown metric {other}");
+                std::process::exit(2);
+            }
+        };
+        if let Some(v) = value {
+            series
+                .entry(index.to_string())
+                .or_default()
+                .push((boundary as f64, v));
+        }
+    }
+    if series.is_empty() {
+        eprintln!("no plottable records in {path} (need index/position_boundary fields)");
+        std::process::exit(1);
+    }
+
+    let log_y = metric == "memory";
+    let ty = |v: f64| if log_y { v.max(1.0).log10() } else { v };
+    let tx = |b: f64| b.max(1.0).log2();
+
+    let (mut xmin, mut xmax) = (f64::MAX, f64::MIN);
+    let (mut ymin, mut ymax) = (f64::MAX, f64::MIN);
+    for pts in series.values() {
+        for &(b, v) in pts {
+            xmin = xmin.min(tx(b));
+            xmax = xmax.max(tx(b));
+            ymin = ymin.min(ty(v));
+            ymax = ymax.max(ty(v));
+        }
+    }
+    if (xmax - xmin).abs() < 1e-9 {
+        xmax = xmin + 1.0;
+    }
+    if (ymax - ymin).abs() < 1e-9 {
+        ymax = ymin + 1.0;
+    }
+
+    let mut grid = vec![vec![' '; WIDTH]; HEIGHT];
+    let marks = ['F', 'T', 'P', 'X', 'R', 'M', 'G', '*'];
+    let mut legend = Vec::new();
+    for (si, (name, pts)) in series.iter().enumerate() {
+        let mark = marks[si % marks.len()];
+        legend.push(format!("{mark}={name}"));
+        for &(b, v) in pts {
+            let x = ((tx(b) - xmin) / (xmax - xmin) * (WIDTH - 1) as f64) as usize;
+            let y = ((ty(v) - ymin) / (ymax - ymin) * (HEIGHT - 1) as f64) as usize;
+            let row = HEIGHT - 1 - y.min(HEIGHT - 1);
+            let col = x.min(WIDTH - 1);
+            grid[row][col] = if grid[row][col] == ' ' { mark } else { '#' };
+        }
+    }
+
+    println!(
+        "{path} — {metric}{} vs position boundary (log2 x{})",
+        if log_y { " (log10)" } else { "" },
+        if log_y { ", '#' = overlap" } else { "" }
+    );
+    let label = |v: f64| {
+        if log_y {
+            format!("{:>9.0}", 10f64.powf(v))
+        } else {
+            format!("{v:>9.2}")
+        }
+    };
+    for (i, row) in grid.iter().enumerate() {
+        let frac = 1.0 - i as f64 / (HEIGHT - 1) as f64;
+        let yv = ymin + frac * (ymax - ymin);
+        let tick = if i % 4 == 0 { label(yv) } else { " ".repeat(9) };
+        println!("{tick} |{}", row.iter().collect::<String>());
+    }
+    println!("{} +{}", " ".repeat(9), "-".repeat(WIDTH));
+    println!(
+        "{}  {:<10}{:>width$}",
+        " ".repeat(9),
+        format!("{}", 2f64.powf(xmin)),
+        format!("{}", 2f64.powf(xmax)),
+        width = WIDTH - 10
+    );
+    println!("\nlegend: {}", legend.join("  "));
+}

@@ -1,0 +1,27 @@
+//! Table 1: point-lookup stage times for PLR with position boundary 10
+//! across SSTable sizes (paper: 4 / 32 / 128 MB).
+
+use lsm_bench::{runner, Cli};
+
+fn main() {
+    let cli = Cli::parse();
+    let records = runner::table1(&cli.scale, cli.dataset).expect("table1 experiment");
+
+    println!("# Table 1 — PLR stage times, boundary 10 (µs/op)");
+    println!(
+        "{:>16} {:>12} {:>12} {:>12}",
+        "process", "SST small", "SST medium", "SST large"
+    );
+    let row = |name: &str, f: &dyn Fn(&learned_lsm::LookupReport) -> f64| {
+        print!("{name:>16}");
+        for r in &records {
+            print!(" {:12.3}", f(r));
+        }
+        println!();
+    };
+    row("table lookup", &|r| r.breakdown.table_locate);
+    row("prediction", &|r| r.breakdown.prediction);
+    row("disk I/O", &|r| r.breakdown.disk_io);
+    row("binary search", &|r| r.breakdown.binary_search);
+    cli.maybe_write(&learned_lsm::report::to_json(&records));
+}

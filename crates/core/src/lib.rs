@@ -1,0 +1,27 @@
+//! The paper's unified testbed (Figure 4): one system where **index type**,
+//! **position boundary**, and **index granularity** — the three-dimensional
+//! configuration space of Section 4 — can each be varied independently, with
+//! measurement plumbing that reproduces every table and figure of the
+//! evaluation.
+//!
+//! Layering:
+//!
+//! * [`config`] — the configuration space and the paper's sweep grids;
+//! * [`level_model`] — level-grained learned indexes (Bourbon's
+//!   `LevelModel`): one model per sorted run instead of one per SSTable;
+//! * [`testbed`] — [`Testbed`]: an engine instance wired to a configuration,
+//!   with dataset loading and workload runners;
+//! * [`report`] — measurement records that serialize to JSON and print as
+//!   the rows/series the paper reports.
+
+pub mod allocator;
+pub mod config;
+pub mod level_model;
+pub mod report;
+pub mod testbed;
+
+pub use allocator::{AllocationPlan, BoundaryAllocator, LevelWorkload};
+pub use config::{Granularity, TestbedConfig, PAPER_BOUNDARIES, PAPER_SST_MIB};
+pub use level_model::LevelModel;
+pub use report::{CompactionReport, LookupReport, RangeReport};
+pub use testbed::Testbed;

@@ -1,0 +1,178 @@
+//! Shared atomic I/O counters.
+//!
+//! Every [`crate::Storage`] carries an [`IoStats`]; files created from it
+//! record their traffic there. Experiments snapshot the counters around a
+//! measured region and diff the snapshots, which keeps the counters cheap
+//! (relaxed atomics) and the harness allocation-free on the hot path.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Atomic I/O counters shared by all files of one storage instance.
+#[derive(Debug, Default)]
+pub struct IoStats {
+    inner: Arc<Counters>,
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    read_calls: AtomicU64,
+    read_bytes: AtomicU64,
+    read_blocks: AtomicU64,
+    write_calls: AtomicU64,
+    write_bytes: AtomicU64,
+    write_blocks: AtomicU64,
+    /// Virtual nanoseconds charged by the cost model for reads.
+    sim_read_ns: AtomicU64,
+    /// Virtual nanoseconds charged by the cost model for writes.
+    sim_write_ns: AtomicU64,
+}
+
+impl Clone for IoStats {
+    fn clone(&self) -> Self {
+        Self {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl IoStats {
+    /// New zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a read call of `bytes` bytes spanning `blocks` blocks with
+    /// `sim_ns` modeled nanoseconds.
+    pub fn record_read(&self, bytes: u64, blocks: u64, sim_ns: u64) {
+        let c = &*self.inner;
+        c.read_calls.fetch_add(1, Ordering::Relaxed);
+        c.read_bytes.fetch_add(bytes, Ordering::Relaxed);
+        c.read_blocks.fetch_add(blocks, Ordering::Relaxed);
+        c.sim_read_ns.fetch_add(sim_ns, Ordering::Relaxed);
+    }
+
+    /// Record a write call.
+    pub fn record_write(&self, bytes: u64, blocks: u64, sim_ns: u64) {
+        let c = &*self.inner;
+        c.write_calls.fetch_add(1, Ordering::Relaxed);
+        c.write_bytes.fetch_add(bytes, Ordering::Relaxed);
+        c.write_blocks.fetch_add(blocks, Ordering::Relaxed);
+        c.sim_write_ns.fetch_add(sim_ns, Ordering::Relaxed);
+    }
+
+    /// Capture the current counter values.
+    pub fn snapshot(&self) -> IoStatsSnapshot {
+        let c = &*self.inner;
+        IoStatsSnapshot {
+            read_calls: c.read_calls.load(Ordering::Relaxed),
+            read_bytes: c.read_bytes.load(Ordering::Relaxed),
+            read_blocks: c.read_blocks.load(Ordering::Relaxed),
+            write_calls: c.write_calls.load(Ordering::Relaxed),
+            write_bytes: c.write_bytes.load(Ordering::Relaxed),
+            write_blocks: c.write_blocks.load(Ordering::Relaxed),
+            sim_read_ns: c.sim_read_ns.load(Ordering::Relaxed),
+            sim_write_ns: c.sim_write_ns.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Reset all counters to zero.
+    pub fn reset(&self) {
+        let c = &*self.inner;
+        c.read_calls.store(0, Ordering::Relaxed);
+        c.read_bytes.store(0, Ordering::Relaxed);
+        c.read_blocks.store(0, Ordering::Relaxed);
+        c.write_calls.store(0, Ordering::Relaxed);
+        c.write_bytes.store(0, Ordering::Relaxed);
+        c.write_blocks.store(0, Ordering::Relaxed);
+        c.sim_read_ns.store(0, Ordering::Relaxed);
+        c.sim_write_ns.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A point-in-time copy of [`IoStats`] counters; subtract two to get the
+/// traffic of a measured region.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct IoStatsSnapshot {
+    pub read_calls: u64,
+    pub read_bytes: u64,
+    pub read_blocks: u64,
+    pub write_calls: u64,
+    pub write_bytes: u64,
+    pub write_blocks: u64,
+    pub sim_read_ns: u64,
+    pub sim_write_ns: u64,
+}
+
+impl IoStatsSnapshot {
+    /// Counter deltas since `earlier` (saturating, so a reset in between
+    /// yields zeros rather than wrapping).
+    pub fn since(&self, earlier: &IoStatsSnapshot) -> IoStatsSnapshot {
+        IoStatsSnapshot {
+            read_calls: self.read_calls.saturating_sub(earlier.read_calls),
+            read_bytes: self.read_bytes.saturating_sub(earlier.read_bytes),
+            read_blocks: self.read_blocks.saturating_sub(earlier.read_blocks),
+            write_calls: self.write_calls.saturating_sub(earlier.write_calls),
+            write_bytes: self.write_bytes.saturating_sub(earlier.write_bytes),
+            write_blocks: self.write_blocks.saturating_sub(earlier.write_blocks),
+            sim_read_ns: self.sim_read_ns.saturating_sub(earlier.sim_read_ns),
+            sim_write_ns: self.sim_write_ns.saturating_sub(earlier.sim_write_ns),
+        }
+    }
+
+    /// Total modeled I/O nanoseconds (reads + writes).
+    pub fn sim_total_ns(&self) -> u64 {
+        self.sim_read_ns + self.sim_write_ns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_snapshot() {
+        let s = IoStats::new();
+        s.record_read(100, 1, 2000);
+        s.record_read(8192, 2, 2600);
+        s.record_write(50, 1, 650);
+        let snap = s.snapshot();
+        assert_eq!(snap.read_calls, 2);
+        assert_eq!(snap.read_bytes, 8292);
+        assert_eq!(snap.read_blocks, 3);
+        assert_eq!(snap.write_calls, 1);
+        assert_eq!(snap.sim_read_ns, 4600);
+        assert_eq!(snap.sim_write_ns, 650);
+        assert_eq!(snap.sim_total_ns(), 5250);
+    }
+
+    #[test]
+    fn clones_share_counters() {
+        let a = IoStats::new();
+        let b = a.clone();
+        b.record_read(1, 1, 1);
+        assert_eq!(a.snapshot().read_calls, 1);
+    }
+
+    #[test]
+    fn since_diffs() {
+        let s = IoStats::new();
+        s.record_read(10, 1, 100);
+        let before = s.snapshot();
+        s.record_read(20, 2, 200);
+        let after = s.snapshot();
+        let d = after.since(&before);
+        assert_eq!(d.read_calls, 1);
+        assert_eq!(d.read_bytes, 20);
+        assert_eq!(d.read_blocks, 2);
+        assert_eq!(d.sim_read_ns, 200);
+    }
+
+    #[test]
+    fn reset_zeroes() {
+        let s = IoStats::new();
+        s.record_write(10, 1, 10);
+        s.reset();
+        assert_eq!(s.snapshot(), IoStatsSnapshot::default());
+    }
+}

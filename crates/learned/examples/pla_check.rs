@@ -1,0 +1,32 @@
+//! Sanity harness: brute-force verifies the optimal-PLA error bound on every
+//! dataset (run with --release; the library property tests cover this too).
+use learned_index::pgm::optimal_pla;
+use lsm_workloads::Dataset;
+
+fn main() {
+    let mut all_ok = true;
+    for d in Dataset::ALL {
+        let keys = d.generate(20_000, 0xbeef);
+        for eps in [1usize, 4, 16] {
+            let segs = optimal_pla(&keys, eps);
+            let mut worst = 0f64;
+            for (si, s) in segs.iter().enumerate() {
+                let end = segs.get(si + 1).map_or(keys.len(), |x| x.start_pos as usize);
+                for pos in s.start_pos as usize..end {
+                    let k = keys[pos];
+                    let dx = (k - s.first_key) as f64; // integer-exact delta
+                    let pred = s.slope * dx + s.intercept;
+                    worst = worst.max((pred - pos as f64).abs());
+                }
+            }
+            let ok = worst <= eps as f64 + 1.0;
+            all_ok &= ok;
+            println!(
+                "{d:10} eps={eps:3}: segs={:6} max_err={worst:8.2} {}",
+                segs.len(),
+                if ok { "OK" } else { "VIOLATION" }
+            );
+        }
+    }
+    assert!(all_ok, "optimal PLA violated its error bound");
+}

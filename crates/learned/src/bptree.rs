@@ -1,0 +1,181 @@
+//! Static B+-tree substrate: FITing-Tree's inner index over segment keys
+//! (paper Figure 2(B)).
+//!
+//! Built once per table (LSM SSTables are immutable), so the tree is
+//! bulk-loaded into implicit, cache-friendly level arrays: level 0 holds all
+//! indexed keys; level `k+1` holds every `fanout`-th key of level `k`. A
+//! lookup descends from the top level, narrowing to one `fanout`-wide window
+//! per level, and returns the *rank* of the query (index of the last key ≤
+//! query). Ranks are exactly segment ids because segments are key-sorted.
+//!
+//! Memory accounting deliberately charges the full node footprint (keys +
+//! child pointers), mirroring a pointer-based B+-tree: this is the extra
+//! memory the paper calls out when comparing FITing-Tree against PLR's plain
+//! sorted array.
+
+use crate::codec::{self, DecodeError, Reader};
+
+/// Minimum supported fanout (a binary tree would defeat the point).
+pub const MIN_FANOUT: usize = 4;
+
+/// Immutable bulk-loaded B+-tree over sorted distinct keys.
+#[derive(Debug, Clone)]
+pub struct BPlusTree {
+    /// `levels[0]` = all keys; `levels.last()` = root level (≤ fanout keys).
+    levels: Vec<Vec<u64>>,
+    fanout: usize,
+}
+
+impl BPlusTree {
+    /// Bulk-load from `keys` (sorted, distinct).
+    pub fn build(keys: &[u64], fanout: usize) -> Self {
+        let fanout = fanout.max(MIN_FANOUT);
+        debug_assert!(keys.windows(2).all(|w| w[0] < w[1]));
+        let mut levels = vec![keys.to_vec()];
+        while levels.last().expect("non-empty levels").len() > fanout {
+            let below = levels.last().expect("non-empty levels");
+            let up: Vec<u64> = below.iter().step_by(fanout).copied().collect();
+            levels.push(up);
+        }
+        Self { levels, fanout }
+    }
+
+    /// Rank of `key`: index (in the indexed key array) of the last key
+    /// ≤ `key`, or 0 if `key` precedes every indexed key.
+    pub fn rank(&self, key: u64) -> usize {
+        if self.levels[0].is_empty() {
+            return 0;
+        }
+        // Root: search the whole (small) top level.
+        let top = self.levels.last().expect("non-empty levels");
+        let mut slot = top.partition_point(|&k| k <= key).saturating_sub(1);
+        // Descend: each level narrows to a fanout-wide window.
+        for level in self.levels.iter().rev().skip(1) {
+            let start = slot * self.fanout;
+            let end = (start + self.fanout).min(level.len());
+            let window = &level[start..end];
+            let inner = window.partition_point(|&k| k <= key).saturating_sub(1);
+            slot = start + inner;
+        }
+        slot
+    }
+
+    /// Number of indexed keys.
+    pub fn len(&self) -> usize {
+        self.levels[0].len()
+    }
+
+    /// Whether the tree indexes no keys.
+    pub fn is_empty(&self) -> bool {
+        self.levels[0].is_empty()
+    }
+
+    /// Height including the leaf level.
+    pub fn height(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Configured fanout.
+    pub fn fanout(&self) -> usize {
+        self.fanout
+    }
+
+    /// Full B+-tree footprint: every node charged `fanout` key slots plus
+    /// `fanout` child pointers (8 B each), as a dynamic implementation would
+    /// allocate.
+    pub fn size_bytes(&self) -> usize {
+        let node_bytes = self.fanout * 16;
+        self.levels
+            .iter()
+            .map(|lvl| lvl.len().div_ceil(self.fanout) * node_bytes)
+            .sum()
+    }
+
+    /// Serialize: fanout + leaf keys (upper levels are rebuilt on decode).
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        codec::put_u32(out, self.fanout as u32);
+        codec::put_u64_slice(out, &self.levels[0]);
+    }
+
+    /// Decode what [`BPlusTree::encode_into`] wrote.
+    pub fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let fanout = r.u32("bptree.fanout")? as usize;
+        if fanout < MIN_FANOUT {
+            return Err(DecodeError::Corrupt("bptree.fanout"));
+        }
+        let keys = r.u64_vec("bptree.keys")?;
+        Ok(Self::build(&keys, fanout))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reference_rank(keys: &[u64], q: u64) -> usize {
+        keys.partition_point(|&k| k <= q).saturating_sub(1)
+    }
+
+    #[test]
+    fn rank_matches_binary_search() {
+        let keys: Vec<u64> = (0..10_000u64).map(|i| i * 7 + 3).collect();
+        let t = BPlusTree::build(&keys, 16);
+        for q in [0u64, 3, 4, 10, 6_999 * 7 + 3, 70_000, u64::MAX] {
+            assert_eq!(t.rank(q), reference_rank(&keys, q), "q={q}");
+        }
+        for q in (0..70_500u64).step_by(97) {
+            assert_eq!(t.rank(q), reference_rank(&keys, q), "q={q}");
+        }
+    }
+
+    #[test]
+    fn height_grows_logarithmically() {
+        let keys: Vec<u64> = (0..4_096u64).collect();
+        let t = BPlusTree::build(&keys, 16);
+        // 4096 keys / fanout 16 → 256 → 16 (root fits in one node): 3 levels.
+        assert_eq!(t.height(), 3);
+        let t64 = BPlusTree::build(&keys, 64);
+        assert!(t64.height() < t.height());
+    }
+
+    #[test]
+    fn tiny_trees() {
+        let t = BPlusTree::build(&[], 16);
+        assert!(t.is_empty());
+        assert_eq!(t.rank(5), 0);
+        let t = BPlusTree::build(&[9], 16);
+        assert_eq!(t.rank(0), 0);
+        assert_eq!(t.rank(9), 0);
+        assert_eq!(t.rank(100), 0);
+    }
+
+    #[test]
+    fn fanout_clamped_to_minimum() {
+        let keys: Vec<u64> = (0..100).collect();
+        let t = BPlusTree::build(&keys, 1);
+        assert_eq!(t.fanout(), MIN_FANOUT);
+        assert_eq!(t.rank(57), 57);
+    }
+
+    #[test]
+    fn size_exceeds_plain_array() {
+        let keys: Vec<u64> = (0..10_000u64).collect();
+        let t = BPlusTree::build(&keys, 16);
+        assert!(t.size_bytes() > keys.len() * 8, "pointers must be charged");
+    }
+
+    #[test]
+    fn encode_roundtrip() {
+        let keys: Vec<u64> = (0..1_000u64).map(|i| i * 11).collect();
+        let t = BPlusTree::build(&keys, 32);
+        let mut buf = Vec::new();
+        t.encode_into(&mut buf);
+        let mut r = Reader::new(&buf);
+        let back = BPlusTree::decode(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(back.fanout(), 32);
+        for q in (0..11_100u64).step_by(7) {
+            assert_eq!(back.rank(q), t.rank(q));
+        }
+    }
+}

@@ -1,0 +1,231 @@
+//! Greedy "shrinking cone" segmentation (FITing-Tree's algorithm, also used
+//! by Bourbon's PLR).
+//!
+//! A segment is anchored at its first point `(k0, p0)`. While scanning, we
+//! maintain the interval of slopes that keep *every* seen point within ±ε of
+//! the line through the anchor. When a point empties the interval, the
+//! segment is closed and a new one starts at that point. One pass, O(n).
+
+use crate::codec::{self, DecodeError, Reader};
+use crate::linear::LinearModel;
+
+/// One ε-bounded linear segment: the paper's `(Key, Slope, Intercept)` triple
+/// (Figure 2), 24 bytes on disk and in memory.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Segment {
+    /// First (smallest) key covered by the segment.
+    pub first_key: u64,
+    /// Position of `first_key` in the indexed array.
+    pub start_pos: u32,
+    /// Slope of the fitted line (positions per key unit).
+    pub slope: f64,
+}
+
+impl Segment {
+    /// The linear model this segment represents.
+    #[inline]
+    pub fn model(&self) -> LinearModel {
+        LinearModel {
+            anchor: self.first_key,
+            slope: self.slope,
+            intercept: self.start_pos as f64,
+        }
+    }
+
+    /// Predict the position of `key`, clamped to `[start_pos, end_pos)`.
+    #[inline]
+    pub fn predict(&self, key: u64, end_pos: usize) -> usize {
+        let p = self.model().predict_f64(key);
+        let lo = self.start_pos as usize;
+        let hi = end_pos.max(lo + 1);
+        if p <= lo as f64 {
+            lo
+        } else {
+            (p as usize).min(hi - 1)
+        }
+    }
+
+    /// Serialized footprint: key + slope + intercept (as in Figure 2).
+    pub const ENCODED_LEN: usize = 20;
+
+    /// Serialize this segment.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        codec::put_u64(out, self.first_key);
+        codec::put_u32(out, self.start_pos);
+        codec::put_f64(out, self.slope);
+    }
+
+    /// Decode what [`Segment::encode_into`] wrote.
+    pub fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(Self {
+            first_key: r.u64("segment.first_key")?,
+            start_pos: r.u32("segment.start_pos")?,
+            slope: r.f64("segment.slope")?,
+        })
+    }
+}
+
+/// Segment `keys` (sorted, distinct) with error bound `eps` using the greedy
+/// shrinking cone. Every key's true position is within ±`eps` of its
+/// segment's prediction.
+pub fn segment_keys(keys: &[u64], eps: usize) -> Vec<Segment> {
+    assert!(eps >= 1, "epsilon must be at least 1");
+    let mut segments = Vec::new();
+    if keys.is_empty() {
+        return segments;
+    }
+    let epsf = eps as f64;
+
+    let mut anchor_key = keys[0];
+    let mut anchor_pos = 0usize;
+    let mut slope_lo = f64::NEG_INFINITY;
+    let mut slope_hi = f64::INFINITY;
+
+    let close = |segments: &mut Vec<Segment>, key: u64, pos: usize, lo: f64, hi: f64| {
+        let slope = match (lo.is_finite(), hi.is_finite()) {
+            (true, true) => (lo + hi) / 2.0,
+            (true, false) => lo.max(0.0),
+            (false, true) => hi.min(0.0).max(0.0),
+            (false, false) => 0.0,
+        };
+        segments.push(Segment {
+            first_key: key,
+            start_pos: pos as u32,
+            slope: slope.max(0.0),
+        });
+    };
+
+    for (i, &k) in keys.iter().enumerate().skip(1) {
+        let dx = (k - anchor_key) as f64;
+        debug_assert!(dx > 0.0, "keys must be strictly increasing");
+        let dy = i as f64 - anchor_pos as f64;
+        let lo_req = (dy - epsf) / dx;
+        let hi_req = (dy + epsf) / dx;
+        let new_lo = slope_lo.max(lo_req);
+        let new_hi = slope_hi.min(hi_req);
+        if new_lo > new_hi {
+            // Cone emptied: close the running segment, restart here.
+            close(&mut segments, anchor_key, anchor_pos, slope_lo, slope_hi);
+            anchor_key = k;
+            anchor_pos = i;
+            slope_lo = f64::NEG_INFINITY;
+            slope_hi = f64::INFINITY;
+        } else {
+            slope_lo = new_lo;
+            slope_hi = new_hi;
+        }
+    }
+    close(&mut segments, anchor_key, anchor_pos, slope_lo, slope_hi);
+    segments
+}
+
+/// Verify the ε guarantee of a segmentation over its source keys (test/debug
+/// helper; O(n)).
+pub fn max_error(segments: &[Segment], keys: &[u64]) -> usize {
+    let mut worst = 0usize;
+    for (si, seg) in segments.iter().enumerate() {
+        let end = segments
+            .get(si + 1)
+            .map_or(keys.len(), |s| s.start_pos as usize);
+        for (pos, &k) in keys[seg.start_pos as usize..end]
+            .iter()
+            .enumerate()
+            .map(|(o, k)| (seg.start_pos as usize + o, k))
+        {
+            let pred = seg.model().predict_f64(k);
+            let err = (pred - pos as f64).abs().ceil() as usize;
+            worst = worst.max(err);
+        }
+    }
+    worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn arithmetic(n: u64, stride: u64) -> Vec<u64> {
+        (0..n).map(|i| 10 + i * stride).collect()
+    }
+
+    #[test]
+    fn linear_data_needs_one_segment() {
+        let keys = arithmetic(10_000, 7);
+        let segs = segment_keys(&keys, 4);
+        assert_eq!(segs.len(), 1);
+        assert_eq!(max_error(&segs, &keys), 0);
+    }
+
+    #[test]
+    fn error_bound_respected_on_quadratic_data() {
+        let keys: Vec<u64> = (0..5_000u64).map(|i| i * i).collect();
+        for eps in [1usize, 4, 16, 64] {
+            let segs = segment_keys(&keys, eps);
+            assert!(
+                max_error(&segs, &keys) <= eps,
+                "eps={eps} violated: {}",
+                max_error(&segs, &keys)
+            );
+        }
+    }
+
+    #[test]
+    fn smaller_eps_means_more_segments() {
+        let keys: Vec<u64> = (0..20_000u64).map(|i| i * i / 7 + i).collect();
+        let s1 = segment_keys(&keys, 2).len();
+        let s2 = segment_keys(&keys, 32).len();
+        assert!(s1 > s2, "eps=2 gives {s1}, eps=32 gives {s2}");
+    }
+
+    #[test]
+    fn segments_cover_all_positions() {
+        let keys: Vec<u64> = (0..1_000u64).map(|i| i * 3 + (i % 13) * 100).collect();
+        let mut keys = keys;
+        keys.sort_unstable();
+        keys.dedup();
+        let segs = segment_keys(&keys, 2);
+        assert_eq!(segs[0].start_pos, 0);
+        assert!(segs.windows(2).all(|w| w[0].start_pos < w[1].start_pos));
+        assert!(segs.windows(2).all(|w| w[0].first_key < w[1].first_key));
+        assert!((segs.last().unwrap().start_pos as usize) < keys.len());
+    }
+
+    #[test]
+    fn single_key() {
+        let segs = segment_keys(&[42], 1);
+        assert_eq!(segs.len(), 1);
+        assert_eq!(segs[0].first_key, 42);
+        assert_eq!(segs[0].predict(42, 1), 0);
+    }
+
+    #[test]
+    fn empty_keys() {
+        assert!(segment_keys(&[], 1).is_empty());
+    }
+
+    #[test]
+    fn predict_clamps_to_segment() {
+        let seg = Segment {
+            first_key: 100,
+            start_pos: 10,
+            slope: 1.0,
+        };
+        assert_eq!(seg.predict(50, 20), 10); // below anchor
+        assert_eq!(seg.predict(1_000, 20), 19); // overshoot clamps to end-1
+        assert_eq!(seg.predict(105, 20), 15);
+    }
+
+    #[test]
+    fn encode_roundtrip() {
+        let seg = Segment {
+            first_key: 7,
+            start_pos: 3,
+            slope: 0.5,
+        };
+        let mut out = Vec::new();
+        seg.encode_into(&mut out);
+        assert_eq!(out.len(), Segment::ENCODED_LEN);
+        let mut r = Reader::new(&out);
+        assert_eq!(Segment::decode(&mut r).unwrap(), seg);
+    }
+}

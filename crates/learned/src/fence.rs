@@ -1,0 +1,178 @@
+//! Classical fence pointers (paper Figure 1(B)): the baseline every learned
+//! index is compared against.
+//!
+//! One pointer per fixed-width block of `2ε` entries, storing the block's
+//! first key (full 24-byte key, as LevelDB materialises it) plus a block
+//! handle. Lookup = binary search over pointers → exact block. The paper's
+//! Figure 6 shows this is the *worst* memory-latency tradeoff: pointer count
+//! is forced to `n / 2ε` regardless of how regular the data is, whereas
+//! learned segments exploit regularity.
+
+use crate::codec::{self, DecodeError, Reader};
+use crate::{IndexKind, SearchBound, SegmentIndex};
+
+/// Bytes charged per fence pointer: the paper's 24-byte key plus an 8-byte
+/// block handle, as stored by LevelDB's index block.
+pub const POINTER_BYTES: usize = 32;
+
+/// Fence-pointer index over fixed-width entry blocks.
+#[derive(Debug, Clone)]
+pub struct FencePointerIndex {
+    /// First key of each block.
+    firsts: Vec<u64>,
+    /// Entries per block (= position boundary = 2ε).
+    block_len: u32,
+    n: u32,
+}
+
+impl FencePointerIndex {
+    /// Build over `keys` (sorted, distinct) with error bound `eps` — block
+    /// width is the position boundary `2ε`.
+    pub fn build(keys: &[u64], eps: usize) -> Self {
+        let block_len = (2 * eps.max(1)) as u32;
+        let firsts = keys
+            .iter()
+            .step_by(block_len as usize)
+            .copied()
+            .collect();
+        Self {
+            firsts,
+            block_len,
+            n: keys.len() as u32,
+        }
+    }
+
+    /// Entries per block.
+    pub fn block_len(&self) -> usize {
+        self.block_len as usize
+    }
+
+    pub(crate) fn decode_body(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let n = r.u32("fp.n")?;
+        let block_len = r.u32("fp.block_len")?;
+        if block_len == 0 {
+            return Err(DecodeError::Corrupt("fp.block_len"));
+        }
+        let firsts = r.u64_vec("fp.firsts")?;
+        if !firsts.windows(2).all(|w| w[0] < w[1]) {
+            return Err(DecodeError::Corrupt("fp.firsts_unsorted"));
+        }
+        Ok(Self {
+            firsts,
+            block_len,
+            n,
+        })
+    }
+}
+
+impl SegmentIndex for FencePointerIndex {
+    fn kind(&self) -> IndexKind {
+        IndexKind::FencePointers
+    }
+
+    fn predict(&self, key: u64) -> SearchBound {
+        let n = self.n as usize;
+        if n == 0 || self.firsts.is_empty() {
+            return SearchBound { lo: 0, hi: 0 };
+        }
+        let block = self
+            .firsts
+            .partition_point(|&k| k <= key)
+            .saturating_sub(1);
+        // Clamp into [0, n] so even corrupt block_len/n fields deserialized
+        // from a damaged file cannot produce an out-of-range bound.
+        let lo = (block * self.block_len as usize).min(n);
+        let hi = (lo + self.block_len as usize).min(n);
+        SearchBound { lo, hi: hi.max(lo) }
+    }
+
+    fn size_bytes(&self) -> usize {
+        self.firsts.len() * POINTER_BYTES + std::mem::size_of::<Self>()
+    }
+
+    fn segment_count(&self) -> usize {
+        self.firsts.len()
+    }
+
+    fn key_count(&self) -> usize {
+        self.n as usize
+    }
+
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        codec::put_u8(out, self.kind().tag());
+        codec::put_u32(out, self.n);
+        codec::put_u32(out, self.block_len);
+        codec::put_u64_slice(out, &self.firsts);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_block_containment() {
+        let keys: Vec<u64> = (0..10_000u64).map(|i| i * 3 + 1).collect();
+        for eps in [1usize, 8, 128] {
+            let idx = FencePointerIndex::build(&keys, eps);
+            for (pos, &k) in keys.iter().enumerate() {
+                let b = idx.predict(k);
+                assert!(b.contains(pos), "eps={eps} pos={pos} b={b:?}");
+                assert!(b.len() <= 2 * eps);
+            }
+        }
+    }
+
+    #[test]
+    fn absent_keys_land_in_enclosing_block() {
+        let keys: Vec<u64> = (0..1_000u64).map(|i| i * 10).collect();
+        let idx = FencePointerIndex::build(&keys, 4);
+        for probe in [5u64, 3_333, 9_995] {
+            let ip = keys.partition_point(|&k| k < probe);
+            let b = idx.predict(probe);
+            assert!(b.lo <= ip && ip <= b.hi, "probe={probe} ip={ip} b={b:?}");
+        }
+    }
+
+    #[test]
+    fn pointer_count_is_forced_by_boundary() {
+        let keys: Vec<u64> = (0..10_000u64).map(|i| i * 7).collect(); // perfectly linear
+        let idx = FencePointerIndex::build(&keys, 8);
+        // Even on trivially learnable data: n / 2ε pointers.
+        assert_eq!(idx.segment_count(), 10_000usize.div_ceil(16));
+    }
+
+    #[test]
+    fn memory_grows_inversely_with_boundary() {
+        let keys: Vec<u64> = (0..100_000u64).collect();
+        let small = FencePointerIndex::build(&keys, 4);
+        let large = FencePointerIndex::build(&keys, 128);
+        assert!(small.size_bytes() > 20 * large.size_bytes() / 2);
+    }
+
+    #[test]
+    fn key_below_first_block() {
+        let keys: Vec<u64> = (100..200u64).collect();
+        let idx = FencePointerIndex::build(&keys, 4);
+        let b = idx.predict(0);
+        assert_eq!(b.lo, 0);
+        assert!(b.contains(0));
+    }
+
+    #[test]
+    fn empty_index() {
+        let idx = FencePointerIndex::build(&[], 4);
+        assert_eq!(idx.predict(9), SearchBound { lo: 0, hi: 0 });
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let keys: Vec<u64> = (0..5_000u64).map(|i| i * 13).collect();
+        let idx = FencePointerIndex::build(&keys, 16);
+        let back = IndexKind::decode(&idx.encode()).unwrap();
+        assert_eq!(back.kind(), IndexKind::FencePointers);
+        for &k in keys.iter().step_by(29) {
+            assert_eq!(back.predict(k), idx.predict(k));
+        }
+    }
+}

@@ -1,0 +1,276 @@
+//! Compact Hist-Tree substrate: PLEX's inner index over spline knots
+//! (paper Figure 2(E)).
+//!
+//! Each node splits its key range into `2^bits` equal-width bins; a bin
+//! either points at a child node (dense bins) or is a leaf delimiting a small
+//! run of knots. Because bins are equal-width, descending costs one shift and
+//! one array access per level — no comparisons until the final short run.
+
+use crate::codec::{self, DecodeError, Reader};
+
+/// Bin entry: leaf (`child == NONE`) or internal pointer.
+const NONE: u32 = u32::MAX;
+
+#[derive(Debug, Clone)]
+struct Node {
+    /// Smallest key covered by this node.
+    base: u64,
+    /// log2 of the bin width (keys per bin = `1 << shift`).
+    shift: u32,
+    /// For bin `b`: index of the first knot with key ≥ `base + b * width`.
+    firsts: Vec<u32>,
+    /// Child node id per bin, or `NONE` for leaf bins.
+    children: Vec<u32>,
+}
+
+/// A compact hist-tree over a sorted key array (spline knot keys).
+#[derive(Debug, Clone)]
+pub struct HistTree {
+    nodes: Vec<Node>,
+    bits: u32,
+    leaf_threshold: usize,
+    n: usize,
+}
+
+impl HistTree {
+    /// Build over sorted distinct `keys`, splitting bins with more than
+    /// `leaf_threshold` keys.
+    pub fn build(keys: &[u64], bits: u32, leaf_threshold: usize) -> Self {
+        let bits = bits.clamp(1, 16);
+        let leaf_threshold = leaf_threshold.max(2);
+        let mut tree = Self {
+            nodes: Vec::new(),
+            bits,
+            leaf_threshold,
+            n: keys.len(),
+        };
+        if keys.len() > 1 {
+            tree.build_node(keys, 0, keys.len(), keys[0], *keys.last().expect("non-empty"), 0);
+        }
+        tree
+    }
+
+    /// Recursively build the node covering `keys[lo..hi]` spanning
+    /// `[min_key, max_key]`. Returns the node id.
+    fn build_node(
+        &mut self,
+        keys: &[u64],
+        lo: usize,
+        hi: usize,
+        min_key: u64,
+        max_key: u64,
+        depth: u32,
+    ) -> u32 {
+        let fanout = 1usize << self.bits;
+        let span = (max_key - min_key).max(1);
+        // Bin width = 2^shift, smallest power of two with span/width < fanout.
+        let needed = 64 - span.leading_zeros();
+        let shift = needed.saturating_sub(self.bits);
+
+        let id = self.nodes.len() as u32;
+        self.nodes.push(Node {
+            base: min_key,
+            shift,
+            firsts: vec![0; fanout + 1],
+            children: vec![NONE; fanout],
+        });
+
+        // Partition keys[lo..hi] into bins.
+        let mut bin_start = vec![hi; fanout + 1];
+        {
+            let mut b = 0usize;
+            for (i, &k) in keys[lo..hi].iter().enumerate() {
+                let kb = (((k - min_key) >> shift) as usize).min(fanout - 1);
+                while b <= kb {
+                    bin_start[b] = lo + i;
+                    b += 1;
+                }
+            }
+            while b <= fanout {
+                bin_start[b] = hi;
+                b += 1;
+            }
+        }
+        for (slot, &s) in bin_start.iter().enumerate() {
+            self.nodes[id as usize].firsts[slot] = s as u32;
+        }
+
+        // Recurse into dense bins (depth-capped so adversarial keys cannot
+        // blow up the tree).
+        if depth < 12 {
+            for b in 0..fanout {
+                let s = bin_start[b];
+                let e = bin_start[b + 1];
+                if e - s > self.leaf_threshold {
+                    let bin_min = min_key + ((b as u64) << shift);
+                    let bin_max = (min_key + (((b + 1) as u64) << shift)).saturating_sub(1);
+                    let child = self.build_node(keys, s, e, bin_min.max(keys[s]), bin_max.min(keys[e - 1]).max(bin_min), depth + 1);
+                    self.nodes[id as usize].children[b] = child;
+                }
+            }
+        }
+        id
+    }
+
+    /// Range `[lo, hi]` (inclusive) of key indices that may contain the last
+    /// key ≤ `query`.
+    pub fn lookup(&self, query: u64) -> (usize, usize) {
+        if self.n <= 1 {
+            return (0, 0);
+        }
+        let last = self.n - 1;
+        let mut node = &self.nodes[0];
+        loop {
+            let fanout = node.children.len();
+            // Queries below a node's base (possible at child nodes whose base
+            // was clamped to the bin's first key) fall into bin 0.
+            let b = ((query.saturating_sub(node.base) >> node.shift) as usize).min(fanout - 1);
+            let child = node.children[b];
+            if child == NONE {
+                let lo = (node.firsts[b] as usize).saturating_sub(1).min(last);
+                let hi = (node.firsts[b + 1] as usize).min(last);
+                return (lo, hi);
+            }
+            node = &self.nodes[child as usize];
+        }
+    }
+
+    /// Node count.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Full footprint: per node, `fanout` first-indices + child pointers.
+    pub fn size_bytes(&self) -> usize {
+        self.nodes
+            .iter()
+            .map(|n| n.firsts.len() * 4 + n.children.len() * 4 + 16)
+            .sum()
+    }
+
+    /// Configured bits per node.
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// Leaf run threshold.
+    pub fn leaf_threshold(&self) -> usize {
+        self.leaf_threshold
+    }
+
+    /// Worst-case leaf run length over all reachable leaf bins.
+    pub fn max_leaf_run(&self) -> usize {
+        let mut worst = 0usize;
+        for node in &self.nodes {
+            for b in 0..node.children.len() {
+                if node.children[b] == NONE {
+                    let run = node.firsts[b + 1].saturating_sub(node.firsts[b]) as usize;
+                    worst = worst.max(run);
+                }
+            }
+        }
+        worst.max(1)
+    }
+
+    /// Serialize parameters only (`bits`, `leaf_threshold`); the tree is
+    /// rebuilt from the knot keys on decode.
+    pub fn encode_params(&self, out: &mut Vec<u8>) {
+        codec::put_u32(out, self.bits);
+        codec::put_u32(out, self.leaf_threshold as u32);
+    }
+
+    /// Decode parameters written by [`HistTree::encode_params`] and rebuild.
+    pub fn decode_and_build(r: &mut Reader<'_>, keys: &[u64]) -> Result<Self, DecodeError> {
+        let bits = r.u32("hist.bits")?;
+        let threshold = r.u32("hist.threshold")? as usize;
+        if bits == 0 || bits > 16 {
+            return Err(DecodeError::Corrupt("hist.bits"));
+        }
+        Ok(Self::build(keys, bits, threshold))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reference(keys: &[u64], q: u64) -> usize {
+        keys.partition_point(|&k| k <= q).saturating_sub(1)
+    }
+
+    fn check_lookup(keys: &[u64], tree: &HistTree, q: u64) {
+        let (lo, hi) = tree.lookup(q);
+        let want = reference(keys, q);
+        assert!(
+            lo <= want && want <= hi,
+            "q={q} want={want} got=({lo},{hi})"
+        );
+    }
+
+    #[test]
+    fn covers_reference_rank_uniform() {
+        let keys: Vec<u64> = (0..10_000u64).map(|i| i * 97 + 13).collect();
+        let t = HistTree::build(&keys, 6, 8);
+        for q in (0..1_000_000u64).step_by(1009) {
+            check_lookup(&keys, &t, q);
+        }
+        check_lookup(&keys, &t, 0);
+        check_lookup(&keys, &t, u64::MAX);
+    }
+
+    #[test]
+    fn covers_reference_rank_clustered() {
+        let mut keys = Vec::new();
+        for c in 0..50u64 {
+            keys.extend((0..200).map(|i| c * 10_000_000 + i));
+        }
+        let t = HistTree::build(&keys, 4, 16);
+        for &k in keys.iter().step_by(37) {
+            check_lookup(&keys, &t, k);
+            check_lookup(&keys, &t, k + 1);
+        }
+    }
+
+    #[test]
+    fn leaf_runs_bounded_for_uniformish_keys() {
+        let keys: Vec<u64> = (0..50_000u64).map(|i| i * 1000 + (i % 7)).collect();
+        let t = HistTree::build(&keys, 8, 16);
+        // +1 because leaf range includes one predecessor slot.
+        assert!(t.max_leaf_run() <= 16 + 1, "got {}", t.max_leaf_run());
+    }
+
+    #[test]
+    fn more_bits_fewer_levels_more_memory() {
+        let keys: Vec<u64> = (0..100_000u64).map(|i| i * 31).collect();
+        let narrow = HistTree::build(&keys, 2, 8);
+        let wide = HistTree::build(&keys, 10, 8);
+        assert!(wide.node_count() <= narrow.node_count());
+    }
+
+    #[test]
+    fn tiny_inputs() {
+        let t = HistTree::build(&[], 4, 8);
+        assert_eq!(t.lookup(5), (0, 0));
+        let t = HistTree::build(&[9], 4, 8);
+        assert_eq!(t.lookup(9), (0, 0));
+        let t = HistTree::build(&[3, 8], 4, 8);
+        check_lookup(&[3, 8], &t, 0);
+        check_lookup(&[3, 8], &t, 5);
+        check_lookup(&[3, 8], &t, 100);
+    }
+
+    #[test]
+    fn params_roundtrip() {
+        let keys: Vec<u64> = (0..1000u64).map(|i| i * 3).collect();
+        let t = HistTree::build(&keys, 5, 12);
+        let mut buf = Vec::new();
+        t.encode_params(&mut buf);
+        let mut r = Reader::new(&buf);
+        let back = HistTree::decode_and_build(&mut r, &keys).unwrap();
+        assert_eq!(back.bits(), 5);
+        assert_eq!(back.leaf_threshold(), 12);
+        for q in (0..3100u64).step_by(17) {
+            assert_eq!(back.lookup(q), t.lookup(q));
+        }
+    }
+}

@@ -1,0 +1,191 @@
+//! Linear models: the building block of every index in this crate.
+//!
+//! All models predict a *position* from a key: `pos ≈ slope * key + intercept`
+//! (anchored variants subtract a base key first to preserve f64 precision for
+//! large key magnitudes).
+
+use crate::codec::{self, DecodeError, Reader};
+
+/// `pos ≈ slope * (key - anchor) + intercept`, with the anchor folded in by
+/// the constructor so evaluation is one fma.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinearModel {
+    /// Key the model is anchored at (typically the segment's first key).
+    pub anchor: u64,
+    pub slope: f64,
+    pub intercept: f64,
+}
+
+impl LinearModel {
+    /// Model predicting a constant position.
+    pub fn constant(anchor: u64, pos: f64) -> Self {
+        Self {
+            anchor,
+            slope: 0.0,
+            intercept: pos,
+        }
+    }
+
+    /// Predict a (possibly negative / overshooting) floating position.
+    #[inline]
+    pub fn predict_f64(&self, key: u64) -> f64 {
+        // Signed delta so keys below the anchor extrapolate correctly.
+        let dx = if key >= self.anchor {
+            (key - self.anchor) as f64
+        } else {
+            -((self.anchor - key) as f64)
+        };
+        self.slope * dx + self.intercept
+    }
+
+    /// Predict a position clamped to `[0, n)`.
+    #[inline]
+    pub fn predict_clamped(&self, key: u64, n: usize) -> usize {
+        if n == 0 {
+            return 0;
+        }
+        let p = self.predict_f64(key);
+        if p <= 0.0 {
+            0
+        } else {
+            (p as usize).min(n - 1)
+        }
+    }
+
+    /// Least-squares fit over `(key, position)` points with positions
+    /// `offset..offset+keys.len()`. Falls back to a constant model for
+    /// degenerate inputs (0/1 points or all-equal keys).
+    pub fn fit(keys: &[u64], offset: usize) -> Self {
+        let n = keys.len();
+        if n == 0 {
+            return Self::constant(0, offset as f64);
+        }
+        let anchor = keys[0];
+        if n == 1 {
+            return Self::constant(anchor, offset as f64);
+        }
+        // Work in (key - anchor) space to keep sums in f64 range.
+        let mut sx = 0.0f64;
+        let mut sy = 0.0f64;
+        let mut sxx = 0.0f64;
+        let mut sxy = 0.0f64;
+        for (i, &k) in keys.iter().enumerate() {
+            let x = (k - anchor) as f64;
+            let y = (offset + i) as f64;
+            sx += x;
+            sy += y;
+            sxx += x * x;
+            sxy += x * y;
+        }
+        let nf = n as f64;
+        let denom = nf * sxx - sx * sx;
+        if denom.abs() < f64::EPSILON {
+            return Self::constant(anchor, offset as f64 + (n - 1) as f64 / 2.0);
+        }
+        let slope = (nf * sxy - sx * sy) / denom;
+        let intercept = (sy - slope * sx) / nf;
+        Self {
+            anchor,
+            slope,
+            intercept,
+        }
+    }
+
+    /// Maximum absolute error of this model over `(keys, offset..)`, rounded
+    /// up to an integer number of positions.
+    pub fn max_error(&self, keys: &[u64], offset: usize) -> usize {
+        let mut worst = 0.0f64;
+        for (i, &k) in keys.iter().enumerate() {
+            let err = (self.predict_f64(k) - (offset + i) as f64).abs();
+            if err > worst {
+                worst = err;
+            }
+        }
+        worst.ceil() as usize
+    }
+
+    /// Serialize (anchor, slope, intercept).
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        codec::put_u64(out, self.anchor);
+        codec::put_f64(out, self.slope);
+        codec::put_f64(out, self.intercept);
+    }
+
+    /// Decode what [`LinearModel::encode_into`] wrote.
+    pub fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(Self {
+            anchor: r.u64("linear.anchor")?,
+            slope: r.f64("linear.slope")?,
+            intercept: r.f64("linear.intercept")?,
+        })
+    }
+
+    /// Serialized / in-memory footprint.
+    pub const ENCODED_LEN: usize = 24;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_fit_on_arithmetic_keys() {
+        let keys: Vec<u64> = (0..100).map(|i| 1_000 + i * 10).collect();
+        let m = LinearModel::fit(&keys, 50);
+        assert_eq!(m.max_error(&keys, 50), 0);
+        assert_eq!(m.predict_clamped(1_000, 1 << 20), 50);
+        assert_eq!(m.predict_clamped(1_990, 1 << 20), 149);
+    }
+
+    #[test]
+    fn clamping() {
+        let m = LinearModel {
+            anchor: 100,
+            slope: 1.0,
+            intercept: 0.0,
+        };
+        assert_eq!(m.predict_clamped(0, 10), 0); // negative prediction
+        assert_eq!(m.predict_clamped(1_000, 10), 9); // overshoot
+        assert_eq!(m.predict_clamped(50, 0), 0); // empty array
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(LinearModel::fit(&[], 3).predict_clamped(5, 10), 3);
+        assert_eq!(LinearModel::fit(&[42], 7).predict_clamped(42, 10), 7);
+    }
+
+    #[test]
+    fn below_anchor_extrapolates_negative() {
+        let m = LinearModel {
+            anchor: 1000,
+            slope: 1.0,
+            intercept: 100.0,
+        };
+        assert_eq!(m.predict_f64(900), 0.0);
+        assert!(m.predict_f64(800) < 0.0);
+    }
+
+    #[test]
+    fn fit_large_keys_precise() {
+        // Keys near 2^62: anchoring must keep precision.
+        let base = 1u64 << 61;
+        let keys: Vec<u64> = (0..1000).map(|i| base + i * 7).collect();
+        let m = LinearModel::fit(&keys, 0);
+        assert!(m.max_error(&keys, 0) <= 1);
+    }
+
+    #[test]
+    fn encode_roundtrip() {
+        let m = LinearModel {
+            anchor: 12345,
+            slope: 0.25,
+            intercept: -3.5,
+        };
+        let mut out = Vec::new();
+        m.encode_into(&mut out);
+        assert_eq!(out.len(), LinearModel::ENCODED_LEN);
+        let mut r = Reader::new(&out);
+        assert_eq!(LinearModel::decode(&mut r).unwrap(), m);
+    }
+}

@@ -1,0 +1,440 @@
+//! Leveled partial compaction (paper Section 2.1 / Figure 9).
+//!
+//! * L0→L1 when L0 accumulates `l0_compaction_trigger` flushed buffers
+//!   (all of L0 merges, because L0 tables overlap).
+//! * Ln→Ln+1 (n ≥ 1) when the level exceeds its `T`-exponential target;
+//!   one input table is picked round-robin (cursor per level) plus the
+//!   next-level tables it overlaps — LevelDB's partial compaction.
+//!
+//! The merge deduplicates versions (one survivor per user key) and drops
+//! tombstones when the output is the bottom-most populated level. Outputs
+//! rotate at the SSTable granularity target. Index training and model
+//! serialization inside [`TableBuilder::finish`] are timed separately so
+//! Figure 9's breakdown falls out directly.
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Instant;
+
+use crate::cache::BlockCache;
+use crate::iter::{MergeIter, MergeSource};
+use crate::options::{CompactionPolicy, Options};
+use crate::sstable::{TableBuilder, TableReader};
+use crate::stats::DbStats;
+use crate::types::EntryKind;
+use crate::version::{TableHandle, Version};
+use crate::Result;
+use lsm_io::Storage;
+
+/// A planned compaction.
+#[derive(Debug)]
+pub struct CompactionTask {
+    /// Source level (0 for L0→L1).
+    pub level: usize,
+    /// Input tables from `level`.
+    pub inputs: Vec<Arc<TableHandle>>,
+    /// Overlapping tables from `level + 1`.
+    pub next_inputs: Vec<Arc<TableHandle>>,
+    /// Whether tombstones can be dropped (output is the bottom level).
+    pub is_bottom: bool,
+}
+
+impl CompactionTask {
+    /// All input file names (to delete after the edit is applied).
+    pub fn input_names(&self) -> Vec<String> {
+        self.inputs
+            .iter()
+            .chain(self.next_inputs.iter())
+            .map(|t| t.meta.name.clone())
+            .collect()
+    }
+
+    /// Total input bytes.
+    pub fn input_bytes(&self) -> u64 {
+        self.inputs
+            .iter()
+            .chain(self.next_inputs.iter())
+            .map(|t| t.meta.file_bytes)
+            .sum()
+    }
+}
+
+/// Decide whether any level needs compacting. `cursors` is the per-level
+/// round-robin key cursor (updated by the caller after the compaction runs).
+pub fn pick_compaction(
+    version: &Version,
+    opts: &Options,
+    cursors: &[u64],
+) -> Option<CompactionTask> {
+    if let CompactionPolicy::Tiering { runs_per_level } = opts.compaction {
+        return pick_tiering(version, runs_per_level.max(2));
+    }
+    // L0 first: file-count pressure stalls writes soonest.
+    if version.levels[0].len() >= opts.l0_compaction_trigger {
+        let inputs = version.levels[0].clone();
+        let min = inputs.iter().map(|t| t.meta.min_key).min()?;
+        let max = inputs.iter().map(|t| t.meta.max_key).max()?;
+        let next_inputs = version.overlapping(1, min, max);
+        return Some(CompactionTask {
+            level: 0,
+            inputs,
+            next_inputs,
+            is_bottom: is_bottom_output(version, 1),
+        });
+    }
+    // Size-triggered levels.
+    for level in 1..version.levels.len() - 1 {
+        if version.level_bytes(level) > opts.level_target_bytes(level) {
+            let tables = &version.levels[level];
+            if tables.is_empty() {
+                continue;
+            }
+            // Round-robin: first table whose max key is past the cursor.
+            let cursor = cursors.get(level).copied().unwrap_or(0);
+            let idx = tables
+                .iter()
+                .position(|t| t.meta.max_key > cursor)
+                .unwrap_or(0);
+            let input = tables[idx].clone();
+            let next_inputs = version.overlapping(level + 1, input.meta.min_key, input.meta.max_key);
+            return Some(CompactionTask {
+                level,
+                inputs: vec![input],
+                next_inputs,
+                is_bottom: is_bottom_output(version, level + 1),
+            });
+        }
+    }
+    None
+}
+
+/// Tiering trigger: any level holding `runs_per_level` runs merges *all*
+/// of them into one new run stacked on the next level (next-level runs are
+/// not touched — that is the write-amplification saving).
+fn pick_tiering(version: &Version, runs_per_level: usize) -> Option<CompactionTask> {
+    for level in 0..version.levels.len() - 1 {
+        let trigger = if level == 0 { runs_per_level } else { runs_per_level };
+        if version.levels[level].len() >= trigger {
+            let inputs = version.levels[level].clone();
+            // Tombstones drop only when nothing deeper can hold older
+            // versions (the output level itself must be empty too, since we
+            // do not merge with it).
+            let is_bottom = version.levels[level + 1].is_empty()
+                && is_bottom_output(version, level + 1);
+            return Some(CompactionTask {
+                level,
+                inputs,
+                next_inputs: Vec::new(),
+                is_bottom,
+            });
+        }
+    }
+    None
+}
+
+/// True when `output_level` is (or will be) the deepest populated level, so
+/// tombstones have nothing left to mask.
+fn is_bottom_output(version: &Version, output_level: usize) -> bool {
+    version
+        .levels
+        .iter()
+        .skip(output_level + 1)
+        .all(Vec::is_empty)
+}
+
+/// Outcome of a compaction run.
+#[derive(Debug)]
+pub struct CompactionResult {
+    /// Newly written tables (for `task.level + 1`).
+    pub outputs: Vec<Arc<TableHandle>>,
+    /// Bytes read from inputs.
+    pub bytes_read: u64,
+    /// Bytes written to outputs.
+    pub bytes_written: u64,
+}
+
+/// Execute `task`: merge inputs, write ≤-target-size output tables, record
+/// the stage breakdown into `stats`. `next_file_no` supplies output names.
+pub fn run_compaction(
+    storage: &dyn Storage,
+    task: &CompactionTask,
+    opts: &Options,
+    stats: &DbStats,
+    next_file_no: &mut u64,
+    cache: Option<Arc<BlockCache>>,
+) -> Result<CompactionResult> {
+    let total_start = Instant::now();
+
+    let sources: Vec<MergeSource> = task
+        .inputs
+        .iter()
+        .chain(task.next_inputs.iter())
+        .map(|t| MergeSource::table(Arc::clone(&t.reader)))
+        .collect();
+    let mut merge = MergeIter::new(sources);
+    merge.seek_to_first();
+
+    let mut outputs = Vec::new();
+    let mut builder: Option<TableBuilder> = None;
+    let mut last_user_key: Option<u64> = None;
+    let mut bytes_written = 0u64;
+    let mut train_ns = 0u64;
+    let mut model_write_ns = 0u64;
+
+    let finish_builder = |b: TableBuilder,
+                              outputs: &mut Vec<Arc<TableHandle>>,
+                              bytes_written: &mut u64,
+                              train_ns: &mut u64,
+                              model_write_ns: &mut u64|
+     -> Result<()> {
+        if b.is_empty() {
+            return Ok(());
+        }
+        let meta = b.finish()?;
+        *bytes_written += meta.file_bytes;
+        *train_ns += meta.train_ns;
+        *model_write_ns += meta.model_write_ns;
+        let reader = Arc::new(
+            TableReader::open_with(storage, &meta.name, cache.clone())?
+                .with_search_strategy(opts.search),
+        );
+        outputs.push(Arc::new(TableHandle { meta, reader }));
+        Ok(())
+    };
+
+    while let Some(entry) = merge.next_entry()? {
+        // Dedup: internal-key order puts the newest version of a user key
+        // first; all later versions of the same key are obsolete (the engine
+        // holds no snapshots across compactions).
+        if last_user_key == Some(entry.key.user_key) {
+            continue;
+        }
+        last_user_key = Some(entry.key.user_key);
+        // Bottom level: tombstones have nothing to mask.
+        if task.is_bottom && entry.key.kind == EntryKind::Delete {
+            continue;
+        }
+
+        if builder.is_none() {
+            let name = format!("{:06}.sst", *next_file_no);
+            *next_file_no += 1;
+            let file = storage.create(&name)?;
+            builder = Some(TableBuilder::new(
+                file,
+                name,
+                opts.index_for_level(task.level + 1),
+                opts.value_width,
+                opts.bloom_bits_for_level(task.level + 1),
+            ));
+        }
+        let b = builder.as_mut().expect("builder just created");
+        b.add(&entry)?;
+        // Tiering keeps one table per run; leveling rotates at the
+        // granularity target.
+        let rotate = matches!(opts.compaction, CompactionPolicy::Leveling)
+            && b.data_bytes() >= opts.sstable_target_bytes;
+        if rotate {
+            let full = builder.take().expect("non-empty builder");
+            finish_builder(
+                full,
+                &mut outputs,
+                &mut bytes_written,
+                &mut train_ns,
+                &mut model_write_ns,
+            )?;
+        }
+    }
+    if let Some(b) = builder.take() {
+        finish_builder(
+            b,
+            &mut outputs,
+            &mut bytes_written,
+            &mut train_ns,
+            &mut model_write_ns,
+        )?;
+    }
+
+    let total_ns = total_start.elapsed().as_nanos() as u64;
+    let bytes_read = task.input_bytes();
+    stats.compactions.fetch_add(1, Ordering::Relaxed);
+    stats.compact_total_ns.fetch_add(total_ns, Ordering::Relaxed);
+    stats.compact_train_ns.fetch_add(train_ns, Ordering::Relaxed);
+    stats
+        .compact_model_write_ns
+        .fetch_add(model_write_ns, Ordering::Relaxed);
+    stats.compact_kv_io_ns.fetch_add(
+        total_ns.saturating_sub(train_ns + model_write_ns),
+        Ordering::Relaxed,
+    );
+    stats.compact_bytes_read.fetch_add(bytes_read, Ordering::Relaxed);
+    stats
+        .compact_bytes_written
+        .fetch_add(bytes_written, Ordering::Relaxed);
+
+    Ok(CompactionResult {
+        outputs,
+        bytes_read,
+        bytes_written,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::options::IndexChoice;
+    use crate::types::Entry;
+    use learned_index::IndexKind;
+    use lsm_io::MemStorage;
+
+    fn handle_with(
+        storage: &MemStorage,
+        name: &str,
+        entries: Vec<Entry>,
+    ) -> Arc<TableHandle> {
+        let file = storage.create(name).unwrap();
+        let mut b = TableBuilder::new(
+            file,
+            name.into(),
+            IndexChoice::new(IndexKind::Pgm, 4),
+            32,
+            10,
+        );
+        for e in &entries {
+            b.add(e).unwrap();
+        }
+        let meta = b.finish().unwrap();
+        let reader = Arc::new(TableReader::open(storage, name).unwrap());
+        Arc::new(TableHandle { meta, reader })
+    }
+
+    fn puts(range: std::ops::Range<u64>, seq: u64) -> Vec<Entry> {
+        range.map(|k| Entry::put(k, seq, vec![k as u8; 4])).collect()
+    }
+
+    #[test]
+    fn l0_pressure_triggers_compaction() {
+        let storage = MemStorage::new();
+        let mut opts = Options::small_for_tests();
+        opts.l0_compaction_trigger = 2;
+        let mut v = Version::new(4);
+        v.levels[0].push(handle_with(&storage, "a", puts(0..10, 5)));
+        v.levels[0].push(handle_with(&storage, "b", puts(5..15, 3)));
+        let task = pick_compaction(&v, &opts, &[0; 4]).expect("L0 compaction due");
+        assert_eq!(task.level, 0);
+        assert_eq!(task.inputs.len(), 2);
+        assert!(task.is_bottom);
+    }
+
+    #[test]
+    fn merge_keeps_newest_version() {
+        let storage = MemStorage::new();
+        let opts = Options::small_for_tests();
+        let stats = DbStats::new();
+        let newer = handle_with(&storage, "new", puts(0..10, 9));
+        let older = handle_with(&storage, "old", puts(0..10, 1));
+        let task = CompactionTask {
+            level: 0,
+            inputs: vec![newer, older],
+            next_inputs: vec![],
+            is_bottom: true,
+        };
+        let mut fno = 100;
+        let result = run_compaction(&storage, &task, &opts, &stats, &mut fno, None).unwrap();
+        assert_eq!(result.outputs.len(), 1);
+        let out = &result.outputs[0];
+        assert_eq!(out.meta.n, 10, "one survivor per key");
+        assert_eq!(out.meta.max_seq, 9, "newest versions kept");
+    }
+
+    #[test]
+    fn bottom_compaction_drops_tombstones() {
+        let storage = MemStorage::new();
+        let opts = Options::small_for_tests();
+        let stats = DbStats::new();
+        let entries = vec![
+            Entry::put(0, 2, vec![0; 4]),
+            Entry::put(1, 2, vec![1; 4]),
+            Entry::tombstone(2, 8),
+            Entry::put(3, 2, vec![3; 4]),
+            Entry::put(4, 2, vec![4; 4]),
+        ];
+        let t = handle_with(&storage, "in", entries);
+        let task = CompactionTask {
+            level: 0,
+            inputs: vec![t],
+            next_inputs: vec![],
+            is_bottom: true,
+        };
+        let mut fno = 200;
+        let result = run_compaction(&storage, &task, &opts, &stats, &mut fno, None).unwrap();
+        let out = &result.outputs[0];
+        assert_eq!(out.meta.n, 4, "tombstone dropped at bottom");
+        let got = out.reader.get(2, u64::MAX >> 8, &stats).unwrap();
+        assert_eq!(got, None);
+    }
+
+    #[test]
+    fn non_bottom_compaction_keeps_tombstones() {
+        let storage = MemStorage::new();
+        let opts = Options::small_for_tests();
+        let stats = DbStats::new();
+        let t = handle_with(&storage, "in", vec![Entry::tombstone(7, 3)]);
+        let task = CompactionTask {
+            level: 0,
+            inputs: vec![t],
+            next_inputs: vec![],
+            is_bottom: false,
+        };
+        let mut fno = 300;
+        let result = run_compaction(&storage, &task, &opts, &stats, &mut fno, None).unwrap();
+        assert_eq!(result.outputs[0].meta.n, 1, "tombstone must survive");
+    }
+
+    #[test]
+    fn outputs_rotate_at_target_size() {
+        let storage = MemStorage::new();
+        let mut opts = Options::small_for_tests();
+        opts.sstable_target_bytes = 2048;
+        opts.value_width = 32;
+        let stats = DbStats::new();
+        let t = handle_with(&storage, "in", puts(0..200, 1));
+        let task = CompactionTask {
+            level: 0,
+            inputs: vec![t],
+            next_inputs: vec![],
+            is_bottom: true,
+        };
+        let mut fno = 400;
+        let result = run_compaction(&storage, &task, &opts, &stats, &mut fno, None).unwrap();
+        assert!(result.outputs.len() > 1, "must split into multiple tables");
+        let total: u64 = result.outputs.iter().map(|t| t.meta.n).sum();
+        assert_eq!(total, 200);
+        // Outputs are disjoint and ordered.
+        for w in result.outputs.windows(2) {
+            assert!(w[0].meta.max_key < w[1].meta.min_key);
+        }
+    }
+
+    #[test]
+    fn stats_record_breakdown() {
+        let storage = MemStorage::new();
+        let opts = Options::small_for_tests();
+        let stats = DbStats::new();
+        let t = handle_with(&storage, "in", puts(0..500, 1));
+        let task = CompactionTask {
+            level: 0,
+            inputs: vec![t],
+            next_inputs: vec![],
+            is_bottom: true,
+        };
+        let mut fno = 500;
+        run_compaction(&storage, &task, &opts, &stats, &mut fno, None).unwrap();
+        let snap = stats.snapshot();
+        assert_eq!(snap.compactions, 1);
+        assert!(snap.compact_total_ns > 0);
+        assert!(snap.compact_train_ns > 0);
+        assert!(snap.compact_total_ns >= snap.compact_train_ns + snap.compact_model_write_ns);
+        assert!(snap.compact_bytes_read > 0);
+        assert!(snap.compact_bytes_written > 0);
+    }
+}

@@ -1,0 +1,651 @@
+//! The database facade: `Put` / `Get` / `NewIter` over the whole tree
+//! (paper Figure 4's query interface).
+//!
+//! Writes land in the memtable; when it fills, it is flushed to an L0
+//! SSTable and compactions run *synchronously* until the tree satisfies its
+//! shape invariants. Synchronous maintenance keeps every experiment
+//! deterministic — compaction work is measured, never raced against.
+//!
+//! A minimal `MANIFEST` file (rewritten on every version edit) records the
+//! level structure, so a database directory can be reopened.
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::cache::BlockCache;
+use crate::compaction::{pick_compaction, run_compaction};
+use crate::iter::{DbIterator, MergeIter, MergeSource};
+use crate::memtable::MemTable;
+use crate::options::{CompactionPolicy, Options};
+use crate::sstable::{TableBuilder, TableReader};
+use crate::stats::DbStats;
+use crate::types::{Entry, InternalKey, SeqNo, MAX_SEQ};
+use crate::version::{TableHandle, Version};
+use crate::wal::{self, WalWriter};
+use crate::{Error, Result};
+use lsm_io::{CostModel, MemStorage, SimStorage, Storage};
+
+/// Manifest file name.
+const MANIFEST: &str = "MANIFEST";
+
+struct Inner {
+    mem: MemTable,
+    version: Arc<Version>,
+    seq: SeqNo,
+    next_file_no: u64,
+    /// Per-level round-robin compaction cursors (last compacted max key).
+    cursors: Vec<u64>,
+    /// Active write-ahead log (None when `Options::wal` is off).
+    wal: Option<WalWriter>,
+}
+
+/// An open LSM-tree database.
+pub struct Db {
+    opts: Options,
+    storage: Arc<dyn Storage>,
+    inner: RwLock<Inner>,
+    stats: Arc<DbStats>,
+    cache: Option<Arc<BlockCache>>,
+}
+
+impl Db {
+    /// Open (or create) a database on `storage`.
+    pub fn open(storage: Arc<dyn Storage>, opts: Options) -> Result<Db> {
+        let cache = (opts.block_cache_bytes > 0)
+            .then(|| Arc::new(BlockCache::new(opts.block_cache_bytes)));
+        let sorted_levels = matches!(opts.compaction, CompactionPolicy::Leveling);
+        let mut inner = Inner {
+            mem: MemTable::new(),
+            version: Arc::new(Version::with_layout(opts.max_levels, sorted_levels)),
+            seq: 0,
+            next_file_no: 1,
+            cursors: vec![0; opts.max_levels],
+            wal: None,
+        };
+        if storage.exists(MANIFEST) {
+            let (version, next_file_no, seq, wal_name) =
+                Self::recover(storage.as_ref(), &opts, cache.as_ref())?;
+            inner.version = Arc::new(version);
+            inner.next_file_no = next_file_no;
+            inner.seq = seq;
+            // Replay unflushed writes from the previous generation's log.
+            if let Some(name) = &wal_name {
+                for e in wal::replay(storage.as_ref(), name)? {
+                    inner.seq = inner.seq.max(e.key.seq);
+                    match e.key.kind {
+                        crate::types::EntryKind::Put => {
+                            inner.mem.put(e.key.user_key, e.key.seq, &e.value)
+                        }
+                        crate::types::EntryKind::Delete => {
+                            inner.mem.delete(e.key.user_key, e.key.seq)
+                        }
+                    }
+                }
+            }
+        }
+        if opts.wal {
+            let name = format!("{:06}.wal", inner.next_file_no);
+            inner.next_file_no += 1;
+            inner.wal = Some(WalWriter::create(storage.as_ref(), &name)?);
+        }
+        let db = Db {
+            opts,
+            storage,
+            inner: RwLock::new(inner),
+            stats: Arc::new(DbStats::new()),
+            cache,
+        };
+        {
+            // Persist the fresh log's name so a reopen knows where to look.
+            let inner = db.inner.read();
+            db.write_manifest(&inner)?;
+        }
+        Ok(db)
+    }
+
+    /// Open on a fresh in-memory storage (tests, examples).
+    pub fn open_memory(opts: Options) -> Result<Db> {
+        Self::open(Arc::new(MemStorage::new()), opts)
+    }
+
+    /// Open on a fresh simulated-NVMe storage (benchmarks).
+    pub fn open_sim(opts: Options, model: CostModel) -> Result<Db> {
+        Self::open(Arc::new(SimStorage::new(model)), opts)
+    }
+
+    fn recover(
+        storage: &dyn Storage,
+        opts: &Options,
+        cache: Option<&Arc<BlockCache>>,
+    ) -> Result<(Version, u64, SeqNo, Option<String>)> {
+        let raw = lsm_io::read_all(storage, MANIFEST)?;
+        let text = String::from_utf8(raw)
+            .map_err(|_| Error::Corruption("manifest is not UTF-8".into()))?;
+        let sorted_levels = matches!(opts.compaction, CompactionPolicy::Leveling);
+        let mut version = Version::with_layout(opts.max_levels, sorted_levels);
+        let mut next_file_no = 1u64;
+        let mut seq = 0u64;
+        let mut wal_name = None;
+        for (lineno, line) in text.lines().enumerate() {
+            let mut parts = line.split_whitespace();
+            match parts.next() {
+                Some("next") => {
+                    next_file_no = parts
+                        .next()
+                        .and_then(|s| s.parse().ok())
+                        .ok_or_else(|| Error::Corruption(format!("manifest line {lineno}")))?;
+                    seq = parts
+                        .next()
+                        .and_then(|s| s.parse().ok())
+                        .ok_or_else(|| Error::Corruption(format!("manifest line {lineno}")))?;
+                }
+                Some("wal") => {
+                    wal_name = parts.next().map(|s| s.to_string());
+                }
+                Some("table") => {
+                    let level: usize = parts
+                        .next()
+                        .and_then(|s| s.parse().ok())
+                        .ok_or_else(|| Error::Corruption(format!("manifest line {lineno}")))?;
+                    let name = parts
+                        .next()
+                        .ok_or_else(|| Error::Corruption(format!("manifest line {lineno}")))?;
+                    let reader = Arc::new(
+                        TableReader::open_with(storage, name, cache.cloned())?
+                            .with_search_strategy(opts.search),
+                    );
+                    let meta = crate::sstable::TableMeta {
+                        name: name.to_string(),
+                        n: reader.len() as u64,
+                        min_key: reader.min_key(),
+                        max_key: reader.max_key(),
+                        max_seq: 0,
+                        file_bytes: storage.size_of(name)?,
+                        index_bytes: reader.index_bytes(),
+                        index_payload_bytes: 0,
+                        bloom_bytes: reader.bloom_bytes(),
+                        index_kind: reader.index_kind(),
+                        train_ns: 0,
+                        model_write_ns: 0,
+                    };
+                    if level < version.levels.len() {
+                        version.levels[level].push(Arc::new(TableHandle { meta, reader }));
+                    }
+                }
+                _ => {}
+            }
+        }
+        if sorted_levels {
+            for level in version.levels.iter_mut().skip(1) {
+                level.sort_by_key(|t| t.meta.min_key);
+            }
+        }
+        Ok((version, next_file_no, seq, wal_name))
+    }
+
+    fn write_manifest(&self, inner: &Inner) -> Result<()> {
+        let mut text = format!("next {} {}\n", inner.next_file_no, inner.seq);
+        if let Some(w) = &inner.wal {
+            text.push_str(&format!("wal {}\n", w.name()));
+        }
+        for (level, tables) in inner.version.levels.iter().enumerate() {
+            for t in tables {
+                text.push_str(&format!("table {level} {}\n", t.meta.name));
+            }
+        }
+        let mut f = self.storage.create(MANIFEST)?;
+        f.append(text.as_bytes())?;
+        f.sync()?;
+        Ok(())
+    }
+
+    /// Insert or overwrite `key`.
+    pub fn put(&self, key: u64, value: &[u8]) -> Result<()> {
+        let mut inner = self.inner.write();
+        inner.seq += 1;
+        let seq = inner.seq;
+        if let Some(w) = &mut inner.wal {
+            w.append(key, seq, crate::types::EntryKind::Put, value)?;
+        }
+        inner.mem.put(key, seq, value);
+        self.maybe_flush(&mut inner)
+    }
+
+    /// Delete `key` (writes a tombstone).
+    pub fn delete(&self, key: u64) -> Result<()> {
+        let mut inner = self.inner.write();
+        inner.seq += 1;
+        let seq = inner.seq;
+        if let Some(w) = &mut inner.wal {
+            w.append(key, seq, crate::types::EntryKind::Delete, &[])?;
+        }
+        inner.mem.delete(key, seq);
+        self.maybe_flush(&mut inner)
+    }
+
+    /// Point lookup at the latest snapshot.
+    pub fn get(&self, key: u64) -> Result<Option<Vec<u8>>> {
+        self.get_at(key, MAX_SEQ)
+    }
+
+    /// Point lookup at an explicit snapshot sequence number.
+    pub fn get_at(&self, key: u64, snapshot: SeqNo) -> Result<Option<Vec<u8>>> {
+        let inner = self.inner.read();
+        self.stats.lookups.fetch_add(1, Ordering::Relaxed);
+        if let Some(hit) = inner.mem.get(key, snapshot) {
+            self.stats.memtable_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(hit.map(|v| v.to_vec()));
+        }
+        match inner.version.get(key, snapshot, &self.stats)? {
+            Some(v) => Ok(v),
+            None => Ok(None),
+        }
+    }
+
+    /// Range lookup: up to `limit` live pairs with key ≥ `start`.
+    pub fn scan(&self, start: u64, limit: usize) -> Result<Vec<(u64, Vec<u8>)>> {
+        let mut it = self.iter()?;
+        it.seek(start)?;
+        let out = it.collect_up_to(limit)?;
+        self.stats.scans.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .scan_entries
+            .fetch_add(out.len() as u64, Ordering::Relaxed);
+        Ok(out)
+    }
+
+    /// Snapshot-consistent iterator over the whole database.
+    pub fn iter(&self) -> Result<DbIterator> {
+        let inner = self.inner.read();
+        let snapshot = inner.seq;
+        let mut sources = Vec::with_capacity(2 + inner.version.levels.len());
+        sources.push(MergeSource::buffered(
+            inner.mem.range_from(InternalKey::seek_to(0)).collect(),
+        ));
+        for t in &inner.version.levels[0] {
+            sources.push(MergeSource::table(Arc::clone(&t.reader)));
+        }
+        if inner.version.sorted_levels {
+            for level in inner.version.levels.iter().skip(1) {
+                if !level.is_empty() {
+                    sources.push(MergeSource::level(
+                        level.iter().map(|t| Arc::clone(&t.reader)).collect(),
+                    ));
+                }
+            }
+        } else {
+            // Tiering: runs overlap, so every table merges independently.
+            for t in inner.version.levels.iter().skip(1).flatten() {
+                sources.push(MergeSource::table(Arc::clone(&t.reader)));
+            }
+        }
+        Ok(DbIterator::new(MergeIter::new(sources), snapshot))
+    }
+
+    /// Flush the memtable if it exceeds the write buffer.
+    fn maybe_flush(&self, inner: &mut Inner) -> Result<()> {
+        if inner.mem.approximate_bytes() < self.opts.write_buffer_bytes {
+            return Ok(());
+        }
+        self.flush_locked(inner)
+    }
+
+    /// Force a flush of the current memtable (no-op when empty).
+    pub fn flush(&self) -> Result<()> {
+        let mut inner = self.inner.write();
+        if inner.mem.is_empty() {
+            return Ok(());
+        }
+        self.flush_locked(&mut inner)
+    }
+
+    fn flush_locked(&self, inner: &mut Inner) -> Result<()> {
+        let name = format!("{:06}.sst", inner.next_file_no);
+        inner.next_file_no += 1;
+        let file = self.storage.create(&name)?;
+        let mut builder = TableBuilder::new(
+            file,
+            name.clone(),
+            self.opts.index_for_level(0),
+            self.opts.value_width,
+            self.opts.bloom_bits_for_level(0),
+        );
+        // Memtable order is (key asc, seq desc): the first record per user
+        // key is the newest — keep it, skip the rest.
+        let mut last: Option<u64> = None;
+        for e in inner.mem.iter_all() {
+            if last == Some(e.key.user_key) {
+                continue;
+            }
+            last = Some(e.key.user_key);
+            builder.add(&e)?;
+        }
+        let meta = builder.finish()?;
+        let reader = Arc::new(
+            TableReader::open_with(self.storage.as_ref(), &name, self.cache.clone())?
+                .with_search_strategy(self.opts.search),
+        );
+        inner.version = Arc::new(
+            inner
+                .version
+                .with_l0_table(Arc::new(TableHandle { meta, reader })),
+        );
+        inner.mem = MemTable::new();
+        // Retire the old log: its contents are now durable in the SSTable.
+        if self.opts.wal {
+            let old = inner.wal.take().map(|w| w.name().to_string());
+            let fresh = format!("{:06}.wal", inner.next_file_no);
+            inner.next_file_no += 1;
+            inner.wal = Some(WalWriter::create(self.storage.as_ref(), &fresh)?);
+            if let Some(old) = old {
+                let _ = self.storage.remove(&old);
+            }
+        }
+        self.stats.flushes.fetch_add(1, Ordering::Relaxed);
+        self.compact_until_stable(inner)?;
+        self.write_manifest(inner)
+    }
+
+    fn compact_until_stable(&self, inner: &mut Inner) -> Result<()> {
+        while let Some(task) = pick_compaction(&inner.version, &self.opts, &inner.cursors) {
+            let result = run_compaction(
+                self.storage.as_ref(),
+                &task,
+                &self.opts,
+                &self.stats,
+                &mut inner.next_file_no,
+                self.cache.clone(),
+            )?;
+            // Advance the round-robin cursor for the source level.
+            if task.level >= 1 {
+                let max = task
+                    .inputs
+                    .iter()
+                    .map(|t| t.meta.max_key)
+                    .max()
+                    .unwrap_or(0);
+                let tables = &inner.version.levels[task.level];
+                let is_last = tables
+                    .last()
+                    .map(|t| t.meta.max_key <= max)
+                    .unwrap_or(true);
+                inner.cursors[task.level] = if is_last { 0 } else { max };
+            }
+            let removed = task.input_names();
+            if let Some(cache) = &self.cache {
+                for t in task.inputs.iter().chain(task.next_inputs.iter()) {
+                    cache.evict_table(t.reader.table_id());
+                }
+            }
+            inner.version = Arc::new(inner.version.with_compaction_applied(
+                task.level,
+                &removed,
+                result.outputs,
+            ));
+            for name in &removed {
+                let _ = self.storage.remove(name);
+            }
+        }
+        Ok(())
+    }
+
+    /// Number of live entries in the memtable (records, incl. versions).
+    pub fn memtable_len(&self) -> usize {
+        self.inner.read().mem.len()
+    }
+
+    /// A clone of the current version (level structure snapshot).
+    pub fn version(&self) -> Arc<Version> {
+        Arc::clone(&self.inner.read().version)
+    }
+
+    /// Total in-memory index bytes across all tables — the memory axis of
+    /// Figures 6, 8, 11 and 12.
+    pub fn index_memory_bytes(&self) -> usize {
+        self.inner.read().version.index_memory_bytes()
+    }
+
+    /// Total bloom filter bytes.
+    pub fn bloom_memory_bytes(&self) -> usize {
+        self.inner.read().version.bloom_memory_bytes()
+    }
+
+    /// Engine counters.
+    pub fn stats(&self) -> &DbStats {
+        &self.stats
+    }
+
+    /// The storage the database runs on (for I/O counter snapshots).
+    pub fn storage(&self) -> &Arc<dyn Storage> {
+        &self.storage
+    }
+
+    /// Engine options.
+    pub fn options(&self) -> &Options {
+        &self.opts
+    }
+
+    /// The block cache, when enabled.
+    pub fn block_cache(&self) -> Option<&Arc<BlockCache>> {
+        self.cache.as_ref()
+    }
+
+    /// Current write sequence number.
+    pub fn latest_seq(&self) -> SeqNo {
+        self.inner.read().seq
+    }
+
+    /// Write a batch of entries through the normal write path.
+    pub fn put_batch(&self, pairs: &[(u64, Vec<u8>)]) -> Result<()> {
+        for (k, v) in pairs {
+            self.put(*k, v)?;
+        }
+        Ok(())
+    }
+
+    /// Build and install a fully-loaded database in bulk: entries stream
+    /// straight into leveled SSTables without write amplification. Intended
+    /// for experiment setup (load phase), not a public write path.
+    pub fn bulk_load<I>(&self, entries: I) -> Result<()>
+    where
+        I: IntoIterator<Item = (u64, Vec<u8>)>,
+    {
+        let mut inner = self.inner.write();
+        let mut pending: Vec<Entry> = Vec::new();
+        for (k, v) in entries {
+            inner.seq += 1;
+            let seq = inner.seq;
+            pending.push(Entry::put(k, seq, v));
+        }
+        pending.sort_by(|a, b| a.key.cmp(&b.key));
+        pending.dedup_by_key(|e| e.key.user_key);
+
+        // Write tables at the target granularity directly into the deepest
+        // level that can hold the data.
+        let per_table = self.opts.entries_per_table();
+        let total = pending.len() as u64;
+        let mut level = 1usize;
+        while level + 1 < self.opts.max_levels {
+            let cap_entries = self.opts.level_target_bytes(level)
+                / crate::sstable::format::entry_width(self.opts.value_width) as u64;
+            if total <= cap_entries {
+                break;
+            }
+            level += 1;
+        }
+
+        let mut tables = Vec::new();
+        for chunk in pending.chunks(per_table) {
+            let name = format!("{:06}.sst", inner.next_file_no);
+            inner.next_file_no += 1;
+            let file = self.storage.create(&name)?;
+            let mut b = TableBuilder::new(
+                file,
+                name.clone(),
+                self.opts.index_for_level(level),
+                self.opts.value_width,
+                self.opts.bloom_bits_for_level(level),
+            );
+            for e in chunk {
+                b.add(e)?;
+            }
+            let meta = b.finish()?;
+            let reader = Arc::new(
+                TableReader::open_with(self.storage.as_ref(), &name, self.cache.clone())?
+                    .with_search_strategy(self.opts.search),
+            );
+            tables.push(Arc::new(TableHandle { meta, reader }));
+        }
+        let sorted = matches!(self.opts.compaction, CompactionPolicy::Leveling);
+        let mut version = Version::with_layout(self.opts.max_levels, sorted);
+        version.levels[level] = tables;
+        inner.version = Arc::new(version);
+        self.write_manifest(&inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use learned_index::IndexKind;
+
+    fn small_db(kind: IndexKind) -> Db {
+        let mut opts = Options::small_for_tests();
+        opts.index.kind = kind;
+        Db::open_memory(opts).unwrap()
+    }
+
+    #[test]
+    fn put_get_roundtrip_through_flushes() {
+        for kind in IndexKind::ALL {
+            let db = small_db(kind);
+            for k in 0..2_000u64 {
+                db.put(k * 3, format!("v{k}").as_bytes()).unwrap();
+            }
+            // Writes crossed several flushes and compactions.
+            assert!(db.stats().snapshot().flushes > 0, "{kind}");
+            for k in (0..2_000u64).step_by(17) {
+                let got = db.get(k * 3).unwrap();
+                assert_eq!(got, Some(format!("v{k}").into_bytes()), "{kind} key {k}");
+            }
+            assert_eq!(db.get(1).unwrap(), None, "{kind}");
+        }
+    }
+
+    #[test]
+    fn overwrites_visible_after_compaction() {
+        let db = small_db(IndexKind::Pgm);
+        for round in 0..5u64 {
+            for k in 0..500u64 {
+                db.put(k, format!("r{round}-{k}").as_bytes()).unwrap();
+            }
+        }
+        db.flush().unwrap();
+        for k in (0..500u64).step_by(7) {
+            assert_eq!(db.get(k).unwrap(), Some(format!("r4-{k}").into_bytes()));
+        }
+    }
+
+    #[test]
+    fn deletes_mask_older_values() {
+        let db = small_db(IndexKind::RadixSpline);
+        for k in 0..1_000u64 {
+            db.put(k, b"live").unwrap();
+        }
+        for k in (0..1_000u64).step_by(2) {
+            db.delete(k).unwrap();
+        }
+        db.flush().unwrap();
+        assert_eq!(db.get(2).unwrap(), None);
+        assert_eq!(db.get(3).unwrap(), Some(b"live".to_vec()));
+    }
+
+    #[test]
+    fn scan_returns_sorted_live_range() {
+        let db = small_db(IndexKind::Plr);
+        for k in 0..1_000u64 {
+            db.put(k * 2, &k.to_le_bytes()).unwrap();
+        }
+        db.delete(10).unwrap();
+        db.flush().unwrap();
+        let got = db.scan(7, 5).unwrap();
+        let keys: Vec<u64> = got.iter().map(|(k, _)| *k).collect();
+        assert_eq!(keys, vec![8, 12, 14, 16, 18], "10 deleted, sorted order");
+    }
+
+    #[test]
+    fn bulk_load_places_one_deep_level() {
+        let db = small_db(IndexKind::Pgm);
+        let entries: Vec<(u64, Vec<u8>)> = (0..5_000u64).map(|k| (k, vec![1u8; 8])).collect();
+        db.bulk_load(entries).unwrap();
+        let v = db.version();
+        assert!(v.levels[0].is_empty(), "bulk load bypasses L0");
+        assert!(v.table_count() > 1, "split at granularity");
+        for k in (0..5_000u64).step_by(97) {
+            assert_eq!(db.get(k).unwrap(), Some(vec![1u8; 8]));
+        }
+    }
+
+    #[test]
+    fn reopen_recovers_tables() {
+        let storage: Arc<dyn Storage> = Arc::new(MemStorage::new());
+        let opts = Options::small_for_tests();
+        {
+            let db = Db::open(Arc::clone(&storage), opts.clone()).unwrap();
+            for k in 0..2_000u64 {
+                db.put(k, b"persisted").unwrap();
+            }
+            db.flush().unwrap();
+        }
+        let db = Db::open(storage, opts).unwrap();
+        for k in (0..2_000u64).step_by(111) {
+            assert_eq!(db.get(k).unwrap(), Some(b"persisted".to_vec()), "key {k}");
+        }
+    }
+
+    #[test]
+    fn tree_shape_respects_level_targets() {
+        let db = small_db(IndexKind::FencePointers);
+        for k in 0..8_000u64 {
+            db.put(k, &[0u8; 24]).unwrap();
+        }
+        db.flush().unwrap();
+        let v = db.version();
+        assert!(
+            v.levels[0].len() < db.options().l0_compaction_trigger,
+            "L0 must stay under trigger after stabilization"
+        );
+        for level in 1..v.levels.len() - 1 {
+            let bytes = v.level_bytes(level);
+            assert!(
+                bytes <= db.options().level_target_bytes(level),
+                "level {level}: {bytes} over target"
+            );
+        }
+        // Sorted levels stay non-overlapping.
+        for level in v.levels.iter().skip(1) {
+            for w in level.windows(2) {
+                assert!(w[0].meta.max_key < w[1].meta.min_key);
+            }
+        }
+    }
+
+    #[test]
+    fn stats_reflect_lookups() {
+        let db = small_db(IndexKind::Pgm);
+        for k in 0..1_000u64 {
+            db.put(k, b"x").unwrap();
+        }
+        db.flush().unwrap();
+        let before = db.stats().snapshot();
+        for k in 0..100u64 {
+            db.get(k * 7).unwrap();
+        }
+        let delta = db.stats().snapshot().since(&before);
+        assert_eq!(delta.lookups, 100);
+        assert!(delta.predict_ns > 0);
+        assert!(delta.io_cpu_ns > 0);
+    }
+}

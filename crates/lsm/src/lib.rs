@@ -1,0 +1,87 @@
+//! A LevelDB-style LSM-tree engine with pluggable table indexes.
+//!
+//! This is the testbed substrate of the paper: a leveled LSM-tree (size
+//! ratio `T`, default 10) with a write buffer, per-table Bloom filters
+//! (10 bits/key), partial compaction at SSTable granularity, and — the point
+//! of the exercise — a *pluggable index* per SSTable: classical fence
+//! pointers or any of the six learned indexes from the `learned-index`
+//! crate, selected via [`Options::index`].
+//!
+//! Design points mirrored from LevelDB because the paper relies on them:
+//!
+//! * immutable SSTables, created only by flushes and compactions — which is
+//!   exactly why non-updatable learned indexes fit (Section 2.2);
+//! * L0 tables may overlap (each is one flushed buffer); L1+ levels are
+//!   sorted runs partitioned into non-overlapping files;
+//! * partial compaction: one file (plus next-level overlap) merges at a time;
+//! * fixed-width on-disk entries so a position predicted by a learned model
+//!   converts to a byte offset with one multiply (the data-clustered layout
+//!   of Section 3).
+//!
+//! ```
+//! use lsm_tree::{Db, Options};
+//! use learned_index::IndexKind;
+//!
+//! let mut opts = Options::small_for_tests();
+//! opts.index.kind = IndexKind::Pgm;
+//! let db = Db::open_memory(opts).unwrap();
+//! db.put(42, b"hello").unwrap();
+//! assert_eq!(db.get(42).unwrap().as_deref(), Some(&b"hello"[..]));
+//! ```
+
+pub mod bloom;
+pub mod cache;
+pub mod compaction;
+pub mod db;
+pub mod iter;
+pub mod memtable;
+pub mod options;
+pub mod sstable;
+pub mod stats;
+pub mod types;
+pub mod version;
+pub mod wal;
+
+pub use cache::{BlockCache, BlockKey};
+pub use db::Db;
+pub use iter::DbIterator;
+pub use options::{CompactionPolicy, IndexChoice, Options, SearchStrategy};
+pub use stats::{CompactionBreakdown, DbStats, LookupBreakdown};
+pub use types::{Entry, EntryKind, InternalKey, SeqNo};
+
+use std::fmt;
+
+/// Errors surfaced by the engine.
+#[derive(Debug)]
+pub enum Error {
+    /// Underlying storage failure.
+    Io(std::io::Error),
+    /// A persisted structure failed validation.
+    Corruption(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Io(e) => write!(f, "io error: {e}"),
+            Error::Corruption(msg) => write!(f, "corruption: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e)
+    }
+}
+
+impl From<learned_index::codec::DecodeError> for Error {
+    fn from(e: learned_index::codec::DecodeError) -> Self {
+        Error::Corruption(format!("index decode: {e}"))
+    }
+}
+
+/// Engine result type.
+pub type Result<T> = std::result::Result<T, Error>;

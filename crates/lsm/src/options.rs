@@ -1,0 +1,244 @@
+//! Engine configuration: the system half of the paper's configuration space.
+//!
+//! The three paper knobs map here as:
+//! * **index type** → [`IndexChoice::kind`];
+//! * **position boundary** → [`IndexChoice::config`] (ε = boundary / 2);
+//! * **index granularity** → [`Options::sstable_target_bytes`] (SSTable
+//!   size; the level-grained model lives in the `learned-lsm` crate).
+
+use learned_index::{IndexConfig, IndexKind};
+
+/// How the final in-segment search runs over the fetched position boundary.
+///
+/// The paper's testbed binary-searches the range; Ramadhan et al. (cited in
+/// Section 7) report moderate gains from *exponential search* starting at
+/// the predicted position — accurate models find the key in O(log error)
+/// comparisons instead of O(log 2ε).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SearchStrategy {
+    /// Binary search over the whole fetched range (paper default).
+    #[default]
+    Binary,
+    /// Exponential (galloping) search outward from the predicted position.
+    Exponential,
+}
+
+/// Which index each SSTable is built with.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IndexChoice {
+    pub kind: IndexKind,
+    pub config: IndexConfig,
+}
+
+impl IndexChoice {
+    /// Index of `kind` with error bound `epsilon` (paper defaults elsewhere).
+    pub fn new(kind: IndexKind, epsilon: usize) -> Self {
+        Self {
+            kind,
+            config: IndexConfig {
+                epsilon,
+                ..IndexConfig::default()
+            },
+        }
+    }
+
+    /// Index of `kind` with the paper's *position boundary* (`2ε`).
+    pub fn with_boundary(kind: IndexKind, boundary: usize) -> Self {
+        Self {
+            kind,
+            config: IndexConfig::with_position_boundary(boundary),
+        }
+    }
+
+    /// The position boundary this choice yields.
+    pub fn position_boundary(&self) -> usize {
+        self.config.position_boundary()
+    }
+}
+
+impl Default for IndexChoice {
+    fn default() -> Self {
+        Self::new(IndexKind::FencePointers, 32)
+    }
+}
+
+/// Merge policy (the LSM design-space axis of Dostoevsky/Wacky — the
+/// paper's second future direction suggests studying learned indexes across
+/// it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CompactionPolicy {
+    /// One sorted run per level; a level overflowing its `T`-exponential
+    /// target partially merges into the next (LevelDB; the paper's setup).
+    #[default]
+    Leveling,
+    /// Up to `runs_per_level` overlapping runs per level; a full level
+    /// merges *as a whole* into one new run at the next level. Lower write
+    /// amplification, more runs to check per lookup.
+    Tiering {
+        /// Runs that trigger a merge (usually the size ratio `T`).
+        runs_per_level: usize,
+    },
+}
+
+/// Engine options.
+#[derive(Debug, Clone)]
+pub struct Options {
+    /// Write buffer capacity (paper: 64 MB for the compaction experiment).
+    pub write_buffer_bytes: usize,
+    /// Target SSTable size — the *index granularity* knob (paper: 8–128 MiB).
+    pub sstable_target_bytes: u64,
+    /// Level size ratio `T` (paper: 10).
+    pub size_ratio: u64,
+    /// Number of L0 files that triggers an L0→L1 compaction (LevelDB: 4).
+    pub l0_compaction_trigger: usize,
+    /// Fixed value slot width (paper: 1000-byte values).
+    pub value_width: usize,
+    /// Bloom filter budget (paper: 10 bits per key).
+    pub bloom_bits_per_key: usize,
+    /// Index built into every SSTable.
+    pub index: IndexChoice,
+    /// Maximum number of levels.
+    pub max_levels: usize,
+    /// Write every update to a write-ahead log before the memtable, so an
+    /// unflushed buffer survives a crash (LevelDB default behaviour).
+    pub wal: bool,
+    /// Block cache capacity in bytes; 0 disables caching (the paper's read
+    /// sweeps run uncached so every lookup pays its I/O).
+    pub block_cache_bytes: usize,
+    /// In-segment search strategy.
+    pub search: SearchStrategy,
+    /// Optional per-level error bounds: level `L` uses
+    /// `per_level_epsilon[min(L, len-1)]` instead of the global ε —
+    /// Observation 5's non-uniform position boundaries.
+    pub per_level_epsilon: Option<Vec<usize>>,
+    /// Merge policy.
+    pub compaction: CompactionPolicy,
+    /// Optional per-level Bloom budgets (bits per key): level `L` uses
+    /// `per_level_bloom_bits[min(L, len-1)]`. Monkey [Dayan et al., cited as
+    /// [8] in the paper] shows skewing bits toward upper levels beats a
+    /// uniform budget — the same argument Observation 5 makes for position
+    /// boundaries.
+    pub per_level_bloom_bits: Option<Vec<usize>>,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Self {
+            write_buffer_bytes: 8 << 20,
+            sstable_target_bytes: 4 << 20,
+            size_ratio: 10,
+            l0_compaction_trigger: 4,
+            value_width: 1000,
+            bloom_bits_per_key: 10,
+            index: IndexChoice::default(),
+            max_levels: 8,
+            wal: true,
+            block_cache_bytes: 0,
+            search: SearchStrategy::Binary,
+            per_level_epsilon: None,
+            compaction: CompactionPolicy::Leveling,
+            per_level_bloom_bits: None,
+        }
+    }
+}
+
+impl Options {
+    /// Tiny limits that force flushes and multi-level compactions with a few
+    /// thousand keys — for tests.
+    pub fn small_for_tests() -> Self {
+        Self {
+            write_buffer_bytes: 16 << 10,
+            sstable_target_bytes: 8 << 10,
+            size_ratio: 4,
+            l0_compaction_trigger: 2,
+            value_width: 32,
+            bloom_bits_per_key: 10,
+            index: IndexChoice::new(IndexKind::Pgm, 8),
+            max_levels: 8,
+            wal: true,
+            block_cache_bytes: 0,
+            search: SearchStrategy::Binary,
+            per_level_epsilon: None,
+            compaction: CompactionPolicy::Leveling,
+            per_level_bloom_bits: None,
+        }
+    }
+
+    /// Byte capacity of level `level` (1-based levels; L0 is governed by the
+    /// file-count trigger instead).
+    pub fn level_target_bytes(&self, level: usize) -> u64 {
+        debug_assert!(level >= 1);
+        let base = (self.write_buffer_bytes as u64).max(self.sstable_target_bytes)
+            * self.size_ratio;
+        base * self.size_ratio.pow(level.saturating_sub(1) as u32)
+    }
+
+    /// The index choice for tables written to `level`, honouring the
+    /// per-level boundary override when present.
+    pub fn index_for_level(&self, level: usize) -> IndexChoice {
+        match &self.per_level_epsilon {
+            None => self.index.clone(),
+            Some(eps) if eps.is_empty() => self.index.clone(),
+            Some(eps) => {
+                let e = eps[level.min(eps.len() - 1)].max(1);
+                IndexChoice {
+                    kind: self.index.kind,
+                    config: IndexConfig {
+                        epsilon: e,
+                        ..self.index.config.clone()
+                    },
+                }
+            }
+        }
+    }
+
+    /// Bloom bits/key for tables written to `level`.
+    pub fn bloom_bits_for_level(&self, level: usize) -> usize {
+        match &self.per_level_bloom_bits {
+            None => self.bloom_bits_per_key,
+            Some(bits) if bits.is_empty() => self.bloom_bits_per_key,
+            Some(bits) => bits[level.min(bits.len() - 1)].max(1),
+        }
+    }
+
+    /// Entries per SSTable implied by the granularity knob.
+    pub fn entries_per_table(&self) -> usize {
+        let width = crate::sstable::format::entry_width(self.value_width) as u64;
+        (self.sstable_target_bytes / width).max(1) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_targets_grow_by_t() {
+        let o = Options::default();
+        assert_eq!(
+            o.level_target_bytes(2),
+            o.level_target_bytes(1) * o.size_ratio
+        );
+        assert_eq!(
+            o.level_target_bytes(4),
+            o.level_target_bytes(1) * o.size_ratio.pow(3)
+        );
+    }
+
+    #[test]
+    fn boundary_maps_to_epsilon() {
+        let c = IndexChoice::with_boundary(IndexKind::Pgm, 128);
+        assert_eq!(c.config.epsilon, 64);
+        assert_eq!(c.position_boundary(), 128);
+    }
+
+    #[test]
+    fn entries_per_table_consistent() {
+        let mut o = Options::default();
+        o.value_width = 1000;
+        o.sstable_target_bytes = 8 << 20;
+        let per = o.entries_per_table();
+        // 8 MiB / 1036 B ≈ 8097 entries.
+        assert!((8_000..8_200).contains(&per), "{per}");
+    }
+}

@@ -1,0 +1,9 @@
+//! Immutable sorted tables with pluggable (learned or fence-pointer)
+//! indexes: the `LearnedIndexTable` of the paper's testbed (Figure 4).
+
+pub mod builder;
+pub mod format;
+pub mod reader;
+
+pub use builder::{TableBuilder, TableMeta};
+pub use reader::{TableIter, TableReader};

@@ -1,0 +1,266 @@
+//! Engine instrumentation.
+//!
+//! Every figure in the paper's evaluation needs a different slice of the
+//! engine's behaviour: per-stage lookup times (Fig. 7, Table 1), per-level
+//! read counts (Fig. 10), compaction stage breakdown (Fig. 9), and index
+//! memory (Figs. 6, 8, 11, 12). [`DbStats`] collects all of them with
+//! relaxed atomics so the hot path stays cheap.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Maximum LSM levels tracked by the per-level counters.
+pub const MAX_LEVELS: usize = 12;
+
+/// Shared engine counters. Cloneable snapshots via [`DbStats::snapshot`].
+#[derive(Debug, Default)]
+pub struct DbStats {
+    // Point lookup stage timers (Table 1 / Figure 7).
+    pub lookups: AtomicU64,
+    pub table_locate_ns: AtomicU64,
+    pub predict_ns: AtomicU64,
+    pub io_cpu_ns: AtomicU64,
+    pub search_ns: AtomicU64,
+    // Bloom behaviour.
+    pub bloom_checks: AtomicU64,
+    pub bloom_negatives: AtomicU64,
+    // Per-level reads (Figure 10).
+    pub level_reads: [AtomicU64; MAX_LEVELS],
+    pub level_read_ns: [AtomicU64; MAX_LEVELS],
+    pub memtable_hits: AtomicU64,
+    // Compaction breakdown (Figure 9).
+    pub flushes: AtomicU64,
+    pub compactions: AtomicU64,
+    pub compact_total_ns: AtomicU64,
+    pub compact_kv_io_ns: AtomicU64,
+    pub compact_train_ns: AtomicU64,
+    pub compact_model_write_ns: AtomicU64,
+    pub compact_bytes_read: AtomicU64,
+    pub compact_bytes_written: AtomicU64,
+    // Range scans (Figure 11).
+    pub scans: AtomicU64,
+    pub scan_entries: AtomicU64,
+}
+
+impl DbStats {
+    /// Fresh zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    #[inline]
+    pub(crate) fn add_predict_ns(&self, ns: u64) {
+        self.predict_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub(crate) fn add_io_cpu_ns(&self, ns: u64) {
+        self.io_cpu_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub(crate) fn add_search_ns(&self, ns: u64) {
+        self.search_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// Record one read that was served by level `level`.
+    pub(crate) fn record_level_read(&self, level: usize, ns: u64) {
+        if level < MAX_LEVELS {
+            self.level_reads[level].fetch_add(1, Ordering::Relaxed);
+            self.level_read_ns[level].fetch_add(ns, Ordering::Relaxed);
+        }
+    }
+
+    /// Copy the current counter values.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        let lv = |a: &[AtomicU64; MAX_LEVELS]| {
+            let mut out = [0u64; MAX_LEVELS];
+            for (o, x) in out.iter_mut().zip(a.iter()) {
+                *o = x.load(Ordering::Relaxed);
+            }
+            out
+        };
+        StatsSnapshot {
+            lookups: self.lookups.load(Ordering::Relaxed),
+            table_locate_ns: self.table_locate_ns.load(Ordering::Relaxed),
+            predict_ns: self.predict_ns.load(Ordering::Relaxed),
+            io_cpu_ns: self.io_cpu_ns.load(Ordering::Relaxed),
+            search_ns: self.search_ns.load(Ordering::Relaxed),
+            bloom_checks: self.bloom_checks.load(Ordering::Relaxed),
+            bloom_negatives: self.bloom_negatives.load(Ordering::Relaxed),
+            level_reads: lv(&self.level_reads),
+            level_read_ns: lv(&self.level_read_ns),
+            memtable_hits: self.memtable_hits.load(Ordering::Relaxed),
+            flushes: self.flushes.load(Ordering::Relaxed),
+            compactions: self.compactions.load(Ordering::Relaxed),
+            compact_total_ns: self.compact_total_ns.load(Ordering::Relaxed),
+            compact_kv_io_ns: self.compact_kv_io_ns.load(Ordering::Relaxed),
+            compact_train_ns: self.compact_train_ns.load(Ordering::Relaxed),
+            compact_model_write_ns: self.compact_model_write_ns.load(Ordering::Relaxed),
+            compact_bytes_read: self.compact_bytes_read.load(Ordering::Relaxed),
+            compact_bytes_written: self.compact_bytes_written.load(Ordering::Relaxed),
+            scans: self.scans.load(Ordering::Relaxed),
+            scan_entries: self.scan_entries.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Point-in-time copy of [`DbStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    pub lookups: u64,
+    pub table_locate_ns: u64,
+    pub predict_ns: u64,
+    pub io_cpu_ns: u64,
+    pub search_ns: u64,
+    pub bloom_checks: u64,
+    pub bloom_negatives: u64,
+    pub level_reads: [u64; MAX_LEVELS],
+    pub level_read_ns: [u64; MAX_LEVELS],
+    pub memtable_hits: u64,
+    pub flushes: u64,
+    pub compactions: u64,
+    pub compact_total_ns: u64,
+    pub compact_kv_io_ns: u64,
+    pub compact_train_ns: u64,
+    pub compact_model_write_ns: u64,
+    pub compact_bytes_read: u64,
+    pub compact_bytes_written: u64,
+    pub scans: u64,
+    pub scan_entries: u64,
+}
+
+impl StatsSnapshot {
+    /// Deltas since `earlier`.
+    pub fn since(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
+        let mut out = *self;
+        out.lookups -= earlier.lookups;
+        out.table_locate_ns -= earlier.table_locate_ns;
+        out.predict_ns -= earlier.predict_ns;
+        out.io_cpu_ns -= earlier.io_cpu_ns;
+        out.search_ns -= earlier.search_ns;
+        out.bloom_checks -= earlier.bloom_checks;
+        out.bloom_negatives -= earlier.bloom_negatives;
+        for i in 0..MAX_LEVELS {
+            out.level_reads[i] -= earlier.level_reads[i];
+            out.level_read_ns[i] -= earlier.level_read_ns[i];
+        }
+        out.memtable_hits -= earlier.memtable_hits;
+        out.flushes -= earlier.flushes;
+        out.compactions -= earlier.compactions;
+        out.compact_total_ns -= earlier.compact_total_ns;
+        out.compact_kv_io_ns -= earlier.compact_kv_io_ns;
+        out.compact_train_ns -= earlier.compact_train_ns;
+        out.compact_model_write_ns -= earlier.compact_model_write_ns;
+        out.compact_bytes_read -= earlier.compact_bytes_read;
+        out.compact_bytes_written -= earlier.compact_bytes_written;
+        out.scans -= earlier.scans;
+        out.scan_entries -= earlier.scan_entries;
+        out
+    }
+
+    /// The lookup breakdown of Table 1, averaged per lookup (ns).
+    pub fn lookup_breakdown(&self) -> LookupBreakdown {
+        let n = self.lookups.max(1);
+        LookupBreakdown {
+            table_locate_ns: self.table_locate_ns / n,
+            predict_ns: self.predict_ns / n,
+            io_cpu_ns: self.io_cpu_ns / n,
+            search_ns: self.search_ns / n,
+        }
+    }
+
+    /// The compaction breakdown of Figure 9.
+    pub fn compaction_breakdown(&self) -> CompactionBreakdown {
+        CompactionBreakdown {
+            total_ns: self.compact_total_ns,
+            kv_io_ns: self.compact_kv_io_ns,
+            train_ns: self.compact_train_ns,
+            model_write_ns: self.compact_model_write_ns,
+        }
+    }
+}
+
+/// Per-lookup average stage times (Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LookupBreakdown {
+    pub table_locate_ns: u64,
+    pub predict_ns: u64,
+    pub io_cpu_ns: u64,
+    pub search_ns: u64,
+}
+
+/// Aggregate compaction stage times (Figure 9).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompactionBreakdown {
+    pub total_ns: u64,
+    pub kv_io_ns: u64,
+    pub train_ns: u64,
+    pub model_write_ns: u64,
+}
+
+impl CompactionBreakdown {
+    /// Fraction of compaction time spent training (paper: <5% for most
+    /// indexes, 10–15% for PLEX).
+    pub fn train_fraction(&self) -> f64 {
+        self.train_ns as f64 / self.total_ns.max(1) as f64
+    }
+
+    /// Fraction spent serializing models.
+    pub fn model_write_fraction(&self) -> f64 {
+        self.model_write_ns as f64 / self.total_ns.max(1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_diffs() {
+        let s = DbStats::new();
+        s.lookups.fetch_add(5, Ordering::Relaxed);
+        s.add_predict_ns(100);
+        let a = s.snapshot();
+        s.lookups.fetch_add(3, Ordering::Relaxed);
+        s.add_predict_ns(50);
+        s.record_level_read(2, 42);
+        let b = s.snapshot();
+        let d = b.since(&a);
+        assert_eq!(d.lookups, 3);
+        assert_eq!(d.predict_ns, 50);
+        assert_eq!(d.level_reads[2], 1);
+        assert_eq!(d.level_read_ns[2], 42);
+    }
+
+    #[test]
+    fn breakdown_averages_per_lookup() {
+        let s = DbStats::new();
+        s.lookups.fetch_add(10, Ordering::Relaxed);
+        s.add_predict_ns(1000);
+        s.add_io_cpu_ns(20_000);
+        s.add_search_ns(500);
+        let b = s.snapshot().lookup_breakdown();
+        assert_eq!(b.predict_ns, 100);
+        assert_eq!(b.io_cpu_ns, 2_000);
+        assert_eq!(b.search_ns, 50);
+    }
+
+    #[test]
+    fn compaction_fractions() {
+        let c = CompactionBreakdown {
+            total_ns: 1_000,
+            kv_io_ns: 900,
+            train_ns: 40,
+            model_write_ns: 20,
+        };
+        assert!((c.train_fraction() - 0.04).abs() < 1e-9);
+        assert!((c.model_write_fraction() - 0.02).abs() < 1e-9);
+    }
+
+    #[test]
+    fn level_reads_out_of_range_ignored() {
+        let s = DbStats::new();
+        s.record_level_read(MAX_LEVELS + 3, 1); // must not panic
+        assert_eq!(s.snapshot().level_reads.iter().sum::<u64>(), 0);
+    }
+}

@@ -1,0 +1,170 @@
+//! Core entry types: internal keys, sequence numbers, tombstones.
+//!
+//! User keys are `u64` codes (encoded to 24-byte slots on disk, see
+//! `lsm-workloads::kv`). Every write gets a monotonically increasing
+//! sequence number; an internal key orders by `(user_key asc, seq desc)` so
+//! that the newest version of a key sorts first, exactly like LevelDB.
+
+use std::cmp::Ordering;
+
+/// Monotone write sequence number.
+pub type SeqNo = u64;
+
+/// Maximum sequence number: reading at `MAX_SEQ` sees everything.
+pub const MAX_SEQ: SeqNo = u64::MAX >> 8;
+
+/// What a record means.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EntryKind {
+    /// Insert or overwrite.
+    Put,
+    /// Tombstone: masks older versions until compacted away at the bottom.
+    Delete,
+}
+
+impl EntryKind {
+    /// One-byte on-disk tag.
+    pub fn tag(&self) -> u8 {
+        match self {
+            EntryKind::Put => 1,
+            EntryKind::Delete => 0,
+        }
+    }
+
+    /// Inverse of [`EntryKind::tag`].
+    pub fn from_tag(t: u8) -> Option<EntryKind> {
+        match t {
+            1 => Some(EntryKind::Put),
+            0 => Some(EntryKind::Delete),
+            _ => None,
+        }
+    }
+}
+
+/// `(user_key, seq, kind)` — the engine's total order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InternalKey {
+    pub user_key: u64,
+    pub seq: SeqNo,
+    pub kind: EntryKind,
+}
+
+impl InternalKey {
+    /// Key for seeking: positions *before* every version of `user_key`.
+    pub fn seek_to(user_key: u64) -> Self {
+        InternalKey {
+            user_key,
+            seq: MAX_SEQ,
+            kind: EntryKind::Put,
+        }
+    }
+}
+
+impl Ord for InternalKey {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.user_key
+            .cmp(&other.user_key)
+            // Newer versions (higher seq) sort first.
+            .then_with(|| other.seq.cmp(&self.seq))
+            .then_with(|| other.kind.tag().cmp(&self.kind.tag()))
+    }
+}
+
+impl PartialOrd for InternalKey {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A full record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Entry {
+    pub key: InternalKey,
+    /// Value payload; empty for tombstones.
+    pub value: Vec<u8>,
+}
+
+impl Entry {
+    /// A put record.
+    pub fn put(user_key: u64, seq: SeqNo, value: Vec<u8>) -> Self {
+        Entry {
+            key: InternalKey {
+                user_key,
+                seq,
+                kind: EntryKind::Put,
+            },
+            value,
+        }
+    }
+
+    /// A tombstone record.
+    pub fn tombstone(user_key: u64, seq: SeqNo) -> Self {
+        Entry {
+            key: InternalKey {
+                user_key,
+                seq,
+                kind: EntryKind::Delete,
+            },
+            value: Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_newest_first_per_key() {
+        let old = InternalKey {
+            user_key: 5,
+            seq: 1,
+            kind: EntryKind::Put,
+        };
+        let new = InternalKey {
+            user_key: 5,
+            seq: 9,
+            kind: EntryKind::Put,
+        };
+        assert!(new < old, "newer version sorts first");
+        let other = InternalKey {
+            user_key: 6,
+            seq: 0,
+            kind: EntryKind::Put,
+        };
+        assert!(new < other && old < other, "user key dominates");
+    }
+
+    #[test]
+    fn seek_to_precedes_all_versions() {
+        let seek = InternalKey::seek_to(5);
+        for seq in [0u64, 1, 1 << 40, MAX_SEQ - 1] {
+            for kind in [EntryKind::Put, EntryKind::Delete] {
+                let k = InternalKey {
+                    user_key: 5,
+                    seq,
+                    kind,
+                };
+                assert!(seek <= k, "seek must not skip seq={seq} {kind:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn kind_tag_roundtrip() {
+        for k in [EntryKind::Put, EntryKind::Delete] {
+            assert_eq!(EntryKind::from_tag(k.tag()), Some(k));
+        }
+        assert_eq!(EntryKind::from_tag(7), None);
+    }
+
+    #[test]
+    fn entry_constructors() {
+        let p = Entry::put(1, 2, vec![3]);
+        assert_eq!(p.key.kind, EntryKind::Put);
+        let t = Entry::tombstone(1, 3);
+        assert_eq!(t.key.kind, EntryKind::Delete);
+        assert!(t.value.is_empty());
+        assert!(t.key < p.key, "tombstone at seq 3 sorts before put at seq 2");
+    }
+}

@@ -1,0 +1,121 @@
+//! Durability integration tests: WAL replay on reopen, including writes
+//! that never reached a flush, on both in-memory and real-filesystem
+//! storage.
+
+use std::sync::Arc;
+
+use learned_index::IndexKind;
+use lsm_tree::{Db, Options};
+use lsm_io::{FileStorage, MemStorage, Storage};
+
+fn opts() -> Options {
+    let mut o = Options::small_for_tests();
+    o.index.kind = IndexKind::Pgm;
+    o
+}
+
+#[test]
+fn unflushed_writes_survive_reopen() {
+    let storage: Arc<dyn Storage> = Arc::new(MemStorage::new());
+    {
+        let db = Db::open(Arc::clone(&storage), opts()).unwrap();
+        // Small enough to stay in the memtable (no flush).
+        for k in 0..50u64 {
+            db.put(k, format!("wal-{k}").as_bytes()).unwrap();
+        }
+        db.delete(7).unwrap();
+        assert_eq!(db.stats().snapshot().flushes, 0, "must not have flushed");
+        // Dropped without flush: simulates a crash.
+    }
+    let db = Db::open(storage, opts()).unwrap();
+    assert_eq!(db.get(3).unwrap(), Some(b"wal-3".to_vec()));
+    assert_eq!(db.get(7).unwrap(), None, "tombstone replayed");
+    assert_eq!(db.get(49).unwrap(), Some(b"wal-49".to_vec()));
+}
+
+#[test]
+fn replay_preserves_sequence_ordering() {
+    let storage: Arc<dyn Storage> = Arc::new(MemStorage::new());
+    {
+        let db = Db::open(Arc::clone(&storage), opts()).unwrap();
+        db.put(1, b"first").unwrap();
+        db.put(1, b"second").unwrap();
+        db.put(1, b"third").unwrap();
+    }
+    let db = Db::open(Arc::clone(&storage), opts()).unwrap();
+    assert_eq!(db.get(1).unwrap(), Some(b"third".to_vec()));
+    // New writes continue after the replayed sequence numbers.
+    db.put(1, b"fourth").unwrap();
+    assert_eq!(db.get(1).unwrap(), Some(b"fourth".to_vec()));
+}
+
+#[test]
+fn mixed_flushed_and_unflushed_state_recovers() {
+    let storage: Arc<dyn Storage> = Arc::new(MemStorage::new());
+    {
+        let db = Db::open(Arc::clone(&storage), opts()).unwrap();
+        for k in 0..2_000u64 {
+            db.put(k, b"flushed").unwrap(); // crosses several flushes
+        }
+        for k in 2_000..2_020u64 {
+            db.put(k, b"pending").unwrap(); // stays in the memtable
+        }
+    }
+    let db = Db::open(storage, opts()).unwrap();
+    assert_eq!(db.get(500).unwrap(), Some(b"flushed".to_vec()));
+    assert_eq!(db.get(2_010).unwrap(), Some(b"pending".to_vec()));
+}
+
+#[test]
+fn wal_disabled_loses_unflushed_but_keeps_tables() {
+    let mut o = opts();
+    o.wal = false;
+    let storage: Arc<dyn Storage> = Arc::new(MemStorage::new());
+    {
+        let db = Db::open(Arc::clone(&storage), o.clone()).unwrap();
+        for k in 0..2_000u64 {
+            db.put(k, b"flushed").unwrap();
+        }
+        db.put(9_999, b"unflushed").unwrap();
+    }
+    let db = Db::open(storage, o).unwrap();
+    assert_eq!(db.get(500).unwrap(), Some(b"flushed".to_vec()));
+    assert_eq!(db.get(9_999).unwrap(), None, "no WAL, write lost");
+}
+
+#[test]
+fn old_wals_are_retired_after_flush() {
+    let storage: Arc<dyn Storage> = Arc::new(MemStorage::new());
+    let db = Db::open(Arc::clone(&storage), opts()).unwrap();
+    for k in 0..5_000u64 {
+        db.put(k, &[1u8; 16]).unwrap();
+    }
+    db.flush().unwrap();
+    let wals: Vec<String> = storage
+        .list()
+        .unwrap()
+        .into_iter()
+        .filter(|n| n.ends_with(".wal"))
+        .collect();
+    assert_eq!(wals.len(), 1, "exactly one live log: {wals:?}");
+}
+
+#[test]
+fn file_storage_roundtrip_with_wal() {
+    let dir = std::env::temp_dir().join(format!("learned-lsm-dur-{}", std::process::id()));
+    let storage: Arc<dyn Storage> = Arc::new(FileStorage::new(&dir).unwrap());
+    {
+        let db = Db::open(Arc::clone(&storage), opts()).unwrap();
+        for k in 0..3_000u64 {
+            db.put(k * 2, format!("disk-{k}").as_bytes()).unwrap();
+        }
+        db.put(99_999, b"tail").unwrap();
+    }
+    {
+        let db = Db::open(Arc::clone(&storage), opts()).unwrap();
+        assert_eq!(db.get(4_000).unwrap(), Some(b"disk-2000".to_vec()));
+        assert_eq!(db.get(99_999).unwrap(), Some(b"tail".to_vec()));
+        assert_eq!(db.get(1).unwrap(), None);
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}

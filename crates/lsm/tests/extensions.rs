@@ -1,0 +1,113 @@
+//! Integration tests for the engine extensions beyond the paper's baseline
+//! testbed: exponential in-segment search and per-level position boundaries.
+
+use std::collections::BTreeMap;
+
+use learned_index::IndexKind;
+use lsm_tree::{Db, IndexChoice, Options, SearchStrategy};
+
+fn base_opts() -> Options {
+    let mut o = Options::small_for_tests();
+    o.index = IndexChoice::with_boundary(IndexKind::Pgm, 64);
+    o
+}
+
+#[test]
+fn exponential_search_agrees_with_binary() {
+    let mk = |strategy| {
+        let mut o = base_opts();
+        o.search = strategy;
+        let db = Db::open_memory(o).unwrap();
+        for k in 0..4_000u64 {
+            db.put(k * 3, format!("v{k}").as_bytes()).unwrap();
+        }
+        db.delete(300).unwrap();
+        db.flush().unwrap();
+        db
+    };
+    let binary = mk(SearchStrategy::Binary);
+    let expo = mk(SearchStrategy::Exponential);
+    for probe in 0..12_100u64 {
+        assert_eq!(
+            binary.get(probe).unwrap(),
+            expo.get(probe).unwrap(),
+            "probe {probe}"
+        );
+    }
+    // Scans agree too (seek uses the same lower-bound machinery).
+    assert_eq!(
+        binary.scan(1_000, 50).unwrap(),
+        expo.scan(1_000, 50).unwrap()
+    );
+}
+
+#[test]
+fn exponential_search_with_every_index_kind() {
+    for kind in IndexKind::ALL {
+        let mut o = base_opts();
+        o.index.kind = kind;
+        o.search = SearchStrategy::Exponential;
+        let db = Db::open_memory(o).unwrap();
+        let mut oracle = BTreeMap::new();
+        for k in 0..2_000u64 {
+            let v = vec![(k % 251) as u8; 8];
+            db.put(k * 7, &v).unwrap();
+            oracle.insert(k * 7, v);
+        }
+        db.flush().unwrap();
+        for (k, v) in oracle.iter().step_by(29) {
+            assert_eq!(db.get(*k).unwrap().as_ref(), Some(v), "{kind} key {k}");
+        }
+        assert_eq!(db.get(3).unwrap(), None, "{kind}");
+    }
+}
+
+#[test]
+fn per_level_epsilon_changes_built_indexes() {
+    // Tight boundary at the bottom level, loose above.
+    let mut o = base_opts();
+    o.per_level_epsilon = Some(vec![128, 128, 16, 4]);
+    let db = Db::open_memory(o).unwrap();
+    for k in 0..6_000u64 {
+        db.put(k, &[1u8; 24]).unwrap();
+    }
+    db.flush().unwrap();
+    let version = db.version();
+    let deepest = version.deepest_level();
+    assert!(deepest >= 2, "need a multi-level tree, got L{deepest}");
+
+    // Verify reads still work everywhere.
+    for k in (0..6_000u64).step_by(101) {
+        assert_eq!(db.get(k).unwrap(), Some(vec![1u8; 24]));
+    }
+
+    // A uniform-tight configuration must spend more index memory than the
+    // mixed one (upper levels got away with coarse boundaries).
+    let mut tight = base_opts();
+    tight.index = IndexChoice::new(IndexKind::Pgm, 4);
+    let db_tight = Db::open_memory(tight).unwrap();
+    for k in 0..6_000u64 {
+        db_tight.put(k, &[1u8; 24]).unwrap();
+    }
+    db_tight.flush().unwrap();
+    assert!(
+        db.index_memory_bytes() <= db_tight.index_memory_bytes(),
+        "mixed {} must not exceed uniformly-tight {}",
+        db.index_memory_bytes(),
+        db_tight.index_memory_bytes()
+    );
+}
+
+#[test]
+fn per_level_epsilon_clamps_to_last_entry() {
+    let mut o = base_opts();
+    o.per_level_epsilon = Some(vec![8]); // every level uses ε=8
+    assert_eq!(o.index_for_level(0).config.epsilon, 8);
+    assert_eq!(o.index_for_level(5).config.epsilon, 8);
+    o.per_level_epsilon = Some(vec![]);
+    assert_eq!(
+        o.index_for_level(3).config.epsilon,
+        o.index.config.epsilon,
+        "empty override falls back to the global choice"
+    );
+}

@@ -1,0 +1,81 @@
+//! Failure-injection tests: the engine must fail *cleanly* when storage
+//! errors strike mid-flush or mid-compaction — reads keep working against
+//! the last installed version, and work succeeds after the fault heals.
+
+use std::sync::Arc;
+
+use learned_index::IndexKind;
+use lsm_io::{FaultStorage, MemStorage, Storage};
+use lsm_tree::{Db, Options};
+
+fn opts() -> Options {
+    let mut o = Options::small_for_tests();
+    o.index.kind = IndexKind::Pgm;
+    o.wal = false; // WAL writes consume the fault budget non-deterministically
+    o
+}
+
+#[test]
+fn flush_failure_is_clean_and_retryable() {
+    let (storage, ctl) = FaultStorage::wrap(Arc::new(MemStorage::new()) as Arc<dyn Storage>);
+    let db = Db::open(storage as Arc<dyn Storage>, opts()).unwrap();
+
+    // A durable baseline.
+    for k in 0..1_000u64 {
+        db.put(k, b"base").unwrap();
+    }
+    db.flush().unwrap();
+
+    // Fill the buffer, then make every write fail before the flush.
+    for k in 1_000..1_200u64 {
+        db.put(k, b"pending").unwrap();
+    }
+    ctl.fail_writes_after(0);
+    assert!(db.flush().is_err(), "flush must report the injected fault");
+
+    // Reads against the installed state still work.
+    assert_eq!(db.get(500).unwrap(), Some(b"base".to_vec()));
+    // Unflushed data is still served from the memtable.
+    assert_eq!(db.get(1_100).unwrap(), Some(b"pending".to_vec()));
+
+    // After healing, the retry drains the buffer.
+    ctl.heal();
+    db.flush().unwrap();
+    assert_eq!(db.get(1_100).unwrap(), Some(b"pending".to_vec()));
+    assert_eq!(db.get(500).unwrap(), Some(b"base".to_vec()));
+}
+
+#[test]
+fn write_failure_mid_stream_surfaces_error() {
+    let (storage, ctl) = FaultStorage::wrap(Arc::new(MemStorage::new()) as Arc<dyn Storage>);
+    let db = Db::open(storage as Arc<dyn Storage>, opts()).unwrap();
+    ctl.fail_writes_after(50);
+    let mut failed = false;
+    for k in 0..100_000u64 {
+        if db.put(k, &[0u8; 24]).is_err() {
+            failed = true;
+            break;
+        }
+    }
+    assert!(failed, "the write stream must eventually hit the fault");
+    ctl.heal();
+    // Engine remains usable.
+    db.put(424_242, b"recovered").unwrap();
+    assert_eq!(db.get(424_242).unwrap(), Some(b"recovered".to_vec()));
+}
+
+#[test]
+fn poisoned_table_read_errors_do_not_panic() {
+    let (storage, ctl) = FaultStorage::wrap(Arc::new(MemStorage::new()) as Arc<dyn Storage>);
+    let db = Db::open(storage as Arc<dyn Storage>, opts()).unwrap();
+    for k in 0..2_000u64 {
+        db.put(k, b"x").unwrap();
+    }
+    db.flush().unwrap();
+    // Poison all SSTables: point reads that reach the device must error.
+    ctl.poison(".sst");
+    let err = db.get(1_500);
+    assert!(err.is_err(), "read through poisoned table must error");
+    ctl.heal();
+    assert_eq!(db.get(1_500).unwrap(), Some(b"x".to_vec()));
+}

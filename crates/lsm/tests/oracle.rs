@@ -1,0 +1,142 @@
+//! Whole-engine property tests against an in-memory oracle.
+//!
+//! A random stream of puts/deletes/gets/scans runs through the LSM-tree
+//! (with limits small enough to force flushes and multi-level compactions)
+//! and simultaneously through a `BTreeMap` reference model; every read must
+//! agree, under every index kind.
+
+use std::collections::BTreeMap;
+
+use learned_index::IndexKind;
+use lsm_tree::{Db, Options};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum OpSpec {
+    Put(u64, u8),
+    Delete(u64),
+    Get(u64),
+    Scan(u64, usize),
+}
+
+fn op_strategy() -> impl Strategy<Value = OpSpec> {
+    prop_oneof![
+        4 => (0u64..3_000, any::<u8>()).prop_map(|(k, v)| OpSpec::Put(k, v)),
+        1 => (0u64..3_000).prop_map(OpSpec::Delete),
+        2 => (0u64..3_200).prop_map(OpSpec::Get),
+        1 => (0u64..3_000, 1usize..40).prop_map(|(k, l)| OpSpec::Scan(k, l)),
+    ]
+}
+
+fn value_bytes(v: u8) -> Vec<u8> {
+    vec![v; 16]
+}
+
+fn run_against_oracle(kind: IndexKind, ops: &[OpSpec]) -> Result<(), TestCaseError> {
+    let mut opts = Options::small_for_tests();
+    opts.index.kind = kind;
+    let db = Db::open_memory(opts).unwrap();
+    let mut oracle: BTreeMap<u64, Vec<u8>> = BTreeMap::new();
+
+    for op in ops {
+        match *op {
+            OpSpec::Put(k, v) => {
+                db.put(k, &value_bytes(v)).unwrap();
+                oracle.insert(k, value_bytes(v));
+            }
+            OpSpec::Delete(k) => {
+                db.delete(k).unwrap();
+                oracle.remove(&k);
+            }
+            OpSpec::Get(k) => {
+                let got = db.get(k).unwrap();
+                prop_assert_eq!(got.as_ref(), oracle.get(&k), "{} get({})", kind, k);
+            }
+            OpSpec::Scan(start, limit) => {
+                let got = db.scan(start, limit).unwrap();
+                let want: Vec<(u64, Vec<u8>)> = oracle
+                    .range(start..)
+                    .take(limit)
+                    .map(|(k, v)| (*k, v.clone()))
+                    .collect();
+                prop_assert_eq!(&got, &want, "{} scan({}, {})", kind, start, limit);
+            }
+        }
+    }
+
+    // Final sweep: every key agrees after all flushes/compactions settle.
+    db.flush().unwrap();
+    for (k, v) in &oracle {
+        let got = db.get(*k).unwrap();
+        prop_assert_eq!(got.as_ref(), Some(v), "{} final {}", kind, k);
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 12,
+        .. ProptestConfig::default()
+    })]
+
+    #[test]
+    fn lsm_matches_btreemap_pgm(ops in prop::collection::vec(op_strategy(), 1..800)) {
+        run_against_oracle(IndexKind::Pgm, &ops)?;
+    }
+
+    #[test]
+    fn lsm_matches_btreemap_fence(ops in prop::collection::vec(op_strategy(), 1..800)) {
+        run_against_oracle(IndexKind::FencePointers, &ops)?;
+    }
+
+    #[test]
+    fn lsm_matches_btreemap_rmi(ops in prop::collection::vec(op_strategy(), 1..800)) {
+        run_against_oracle(IndexKind::Rmi, &ops)?;
+    }
+
+    #[test]
+    fn lsm_matches_btreemap_plex(ops in prop::collection::vec(op_strategy(), 1..800)) {
+        run_against_oracle(IndexKind::Plex, &ops)?;
+    }
+}
+
+/// One deterministic end-to-end pass for each of the seven kinds (keeps the
+/// proptest budget low while still touching every family).
+#[test]
+fn all_kinds_deterministic_smoke() {
+    let ops: Vec<OpSpec> = (0..3_000u64)
+        .map(|i| match i % 11 {
+            0 => OpSpec::Delete(i % 700),
+            1 => OpSpec::Get(i % 800),
+            2 => OpSpec::Scan(i % 600, 10),
+            _ => OpSpec::Put((i * 37) % 900, (i % 251) as u8),
+        })
+        .collect();
+    for kind in IndexKind::ALL {
+        run_against_oracle(kind, &ops).unwrap();
+    }
+}
+
+/// Full-database iteration equals the oracle's full ordered contents.
+#[test]
+fn full_iteration_matches_oracle() {
+    let mut opts = Options::small_for_tests();
+    opts.index.kind = IndexKind::RadixSpline;
+    let db = Db::open_memory(opts).unwrap();
+    let mut oracle = BTreeMap::new();
+    for i in 0..4_000u64 {
+        let k = (i * 761) % 2_500;
+        let v = vec![(i % 256) as u8; 12];
+        db.put(k, &v).unwrap();
+        oracle.insert(k, v);
+    }
+    for k in (0..2_500u64).step_by(3) {
+        db.delete(k).unwrap();
+        oracle.remove(&k);
+    }
+    let mut it = db.iter().unwrap();
+    it.seek_to_first();
+    let got = it.collect_up_to(usize::MAX).unwrap();
+    let want: Vec<(u64, Vec<u8>)> = oracle.into_iter().collect();
+    assert_eq!(got, want);
+}

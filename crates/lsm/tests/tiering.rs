@@ -1,0 +1,128 @@
+//! Tiering-policy integration tests: correctness against an oracle, the
+//! write-amplification saving versus leveling, and the read-cost price —
+//! the tradeoff the paper's second future direction wants learned indexes
+//! studied against.
+
+use std::collections::BTreeMap;
+
+use learned_index::IndexKind;
+use lsm_tree::{CompactionPolicy, Db, IndexChoice, Options};
+
+fn tiering_opts() -> Options {
+    let mut o = Options::small_for_tests();
+    o.index = IndexChoice::with_boundary(IndexKind::Pgm, 32);
+    o.compaction = CompactionPolicy::Tiering { runs_per_level: 4 };
+    o
+}
+
+fn leveling_opts() -> Options {
+    let mut o = tiering_opts();
+    o.compaction = CompactionPolicy::Leveling;
+    o
+}
+
+#[test]
+fn tiering_matches_oracle_under_mixed_ops() {
+    let db = Db::open_memory(tiering_opts()).unwrap();
+    let mut oracle = BTreeMap::new();
+    for i in 0..8_000u64 {
+        let k = (i * 37) % 2_000;
+        match i % 9 {
+            0 => {
+                db.delete(k).unwrap();
+                oracle.remove(&k);
+            }
+            _ => {
+                let v = vec![(i % 251) as u8; 8];
+                db.put(k, &v).unwrap();
+                oracle.insert(k, v);
+            }
+        }
+    }
+    db.flush().unwrap();
+    for k in 0..2_100u64 {
+        assert_eq!(db.get(k).unwrap().as_ref(), oracle.get(&k), "key {k}");
+    }
+    // Scans stay sorted and correct across overlapping runs.
+    let got = db.scan(100, 40).unwrap();
+    let want: Vec<(u64, Vec<u8>)> = oracle.range(100..).take(40).map(|(k, v)| (*k, v.clone())).collect();
+    assert_eq!(got, want);
+}
+
+#[test]
+fn tiering_writes_less_reads_more() {
+    let run = |opts: Options| {
+        let db = Db::open_memory(opts).unwrap();
+        for i in 0..12_000u64 {
+            db.put((i * 2_654_435_761) % 100_000, &[1u8; 16]).unwrap();
+        }
+        db.flush().unwrap();
+        let s = db.stats().snapshot();
+        let version = db.version();
+        (s.compact_bytes_written, version.table_count(), db)
+    };
+    let (tier_written, tier_tables, tier_db) = run(tiering_opts());
+    let (level_written, level_tables, _level_db) = run(leveling_opts());
+
+    assert!(
+        tier_written < level_written,
+        "tiering must rewrite fewer bytes: {tier_written} vs {level_written}"
+    );
+    // The price: more overlapping tables to consult.
+    assert!(tier_tables >= 1 && level_tables >= 1);
+    // Reads still correct through the stacked runs.
+    for k in (0..100_000u64).step_by(4_001) {
+        let _ = tier_db.get(k).unwrap();
+    }
+}
+
+#[test]
+fn tiering_newest_version_wins_across_runs() {
+    let db = Db::open_memory(tiering_opts()).unwrap();
+    // Write the same keys repeatedly so different runs hold different
+    // versions of the same key.
+    for round in 0..6u64 {
+        for k in 0..800u64 {
+            db.put(k, format!("round-{round}").as_bytes()).unwrap();
+        }
+        db.flush().unwrap();
+    }
+    for k in (0..800u64).step_by(19) {
+        assert_eq!(db.get(k).unwrap(), Some(b"round-5".to_vec()), "key {k}");
+    }
+}
+
+#[test]
+fn tiering_reopen_preserves_run_order() {
+    use lsm_io::{MemStorage, Storage};
+    use std::sync::Arc;
+    let storage: Arc<dyn Storage> = Arc::new(MemStorage::new());
+    {
+        let db = Db::open(Arc::clone(&storage), tiering_opts()).unwrap();
+        for round in 0..5u64 {
+            for k in 0..600u64 {
+                db.put(k, format!("r{round}").as_bytes()).unwrap();
+            }
+            db.flush().unwrap();
+        }
+    }
+    let db = Db::open(storage, tiering_opts()).unwrap();
+    for k in (0..600u64).step_by(37) {
+        assert_eq!(db.get(k).unwrap(), Some(b"r4".to_vec()), "key {k}");
+    }
+}
+
+#[test]
+fn tombstones_survive_tiering_merges_until_bottom() {
+    let db = Db::open_memory(tiering_opts()).unwrap();
+    for k in 0..2_000u64 {
+        db.put(k, b"live").unwrap();
+    }
+    db.flush().unwrap();
+    for k in (0..2_000u64).step_by(2) {
+        db.delete(k).unwrap();
+    }
+    db.flush().unwrap();
+    assert_eq!(db.get(100).unwrap(), None);
+    assert_eq!(db.get(101).unwrap(), Some(b"live".to_vec()));
+}

@@ -1,0 +1,410 @@
+//! ALEX-like updatable learned map (paper Figure 3(A)).
+//!
+//! Structure: a model-routed set of **data nodes**, each a *gapped array* —
+//! key-value slots interleaved with empty slots so inserts shift only a few
+//! elements. Lookups route through the root model, predict an in-node slot
+//! with the node's linear model, and finish with exponential search. Full
+//! nodes split in two and retrain, mirroring ALEX's adaptive behaviour at a
+//! simplified scale (one routing level; the original nests inner nodes).
+//!
+//! The data-unclustered essence is preserved: key-value pairs live scattered
+//! across per-node heap allocations with deliberate gaps — there is no
+//! single contiguous sorted array an LSM-tree could mmap or stream.
+
+use std::cell::Cell;
+
+use crate::UnclusteredMap;
+
+/// Target fill factor of a data node's gapped array.
+const DENSITY: f64 = 0.7;
+/// Split threshold: keys per node.
+const MAX_NODE_KEYS: usize = 256;
+
+/// One gapped-array data node.
+#[derive(Debug, Clone)]
+struct DataNode {
+    /// Smallest key the node may hold (routing boundary).
+    min_key: u64,
+    /// Gapped slots: `None` = hole for future inserts.
+    slots: Vec<Option<(u64, u64)>>,
+    /// Linear model: slot ≈ slope * (key - min_key) + intercept.
+    slope: f64,
+    intercept: f64,
+    len: usize,
+}
+
+impl DataNode {
+    /// Build from sorted pairs, leaving gaps at `DENSITY` fill.
+    fn build(pairs: &[(u64, u64)]) -> DataNode {
+        debug_assert!(!pairs.is_empty());
+        debug_assert!(pairs.windows(2).all(|w| w[0].0 < w[1].0));
+        let n = pairs.len();
+        let cap = ((n as f64 / DENSITY).ceil() as usize).max(n + 2);
+        let min_key = pairs[0].0;
+        let max_key = pairs[n - 1].0;
+        let span = (max_key - min_key).max(1) as f64;
+        let slope = (cap - 1) as f64 / span;
+        let mut slots = vec![None; cap];
+        // Model-placed: each pair lands at its predicted slot or the next
+        // free one (ALEX's "model-based insertion").
+        for &(k, v) in pairs {
+            let mut i = ((k - min_key) as f64 * slope) as usize;
+            i = i.min(cap - 1);
+            while slots[i].is_some() {
+                i += 1;
+                if i == cap {
+                    // Extremely skewed tail: extend.
+                    slots.push(None);
+                }
+            }
+            slots[i] = Some((k, v));
+        }
+        DataNode {
+            min_key,
+            slots,
+            slope,
+            intercept: 0.0,
+            len: n,
+        }
+    }
+
+    #[inline]
+    fn predict_slot(&self, key: u64) -> usize {
+        let d = key.saturating_sub(self.min_key) as f64;
+        let p = self.slope * d + self.intercept;
+        if p <= 0.0 {
+            0
+        } else {
+            (p as usize).min(self.slots.len() - 1)
+        }
+    }
+
+    /// Exponential search outward from the predicted slot.
+    fn find(&self, key: u64) -> Option<u64> {
+        let start = self.predict_slot(key);
+        // Scan outward; gapped arrays keep keys near their predicted slot,
+        // so the walk is short in practice.
+        if let Some((k, v)) = self.slots[start] {
+            if k == key {
+                return Some(v);
+            }
+        }
+        let mut step = 1usize;
+        loop {
+            let right = start + step;
+            let left = start.checked_sub(step);
+            let mut out_of_range = true;
+            if right < self.slots.len() {
+                out_of_range = false;
+                if let Some((k, v)) = self.slots[right] {
+                    if k == key {
+                        return Some(v);
+                    }
+                }
+            }
+            if let Some(l) = left {
+                out_of_range = false;
+                if let Some((k, v)) = self.slots[l] {
+                    if k == key {
+                        return Some(v);
+                    }
+                }
+            }
+            if out_of_range {
+                return None;
+            }
+            step += 1;
+            // Termination: bounded by node size.
+            if step > self.slots.len() {
+                return None;
+            }
+        }
+    }
+
+    /// Insert; `false` if the node is full and must split.
+    fn insert(&mut self, key: u64, value: u64) -> bool {
+        // Overwrite?
+        let cap = self.slots.len();
+        let start = self.predict_slot(key);
+        // Walk to the correct insertion region: find the slot holding `key`,
+        // or the nearest gap that keeps slot order consistent with key order.
+        // Simplification of ALEX: scan right from the prediction to the
+        // first slot whose key ≥ `key` (or a gap), shifting as needed.
+        let mut i = start;
+        // Back up while the previous occupied slot holds a larger key.
+        while i > 0 {
+            match self.slots[i - 1] {
+                Some((k, _)) if k >= key => i -= 1,
+                _ => break,
+            }
+        }
+        // Advance over smaller keys.
+        while i < cap {
+            match self.slots[i] {
+                Some((k, _)) if k < key => i += 1,
+                _ => break,
+            }
+        }
+        if i < cap {
+            if let Some((k, _)) = self.slots[i] {
+                if k == key {
+                    self.slots[i] = Some((key, value));
+                    return true;
+                }
+            }
+        }
+        if self.len >= MAX_NODE_KEYS {
+            return false;
+        }
+        // Shift right until a gap absorbs the displacement.
+        let mut j = i;
+        while j < cap && self.slots[j].is_some() {
+            j += 1;
+        }
+        if j == cap {
+            self.slots.push(None);
+        }
+        let j = j.min(self.slots.len() - 1);
+        for m in (i..j).rev() {
+            self.slots[m + 1] = self.slots[m];
+        }
+        if i >= self.slots.len() {
+            self.slots.push(None);
+        }
+        let last = self.slots.len() - 1;
+        self.slots[i.min(last)] = Some((key, value));
+        self.len += 1;
+        true
+    }
+
+    /// Live pairs in key order.
+    fn pairs(&self) -> Vec<(u64, u64)> {
+        self.slots.iter().flatten().copied().collect()
+    }
+
+    fn size_bytes(&self) -> usize {
+        self.slots.len() * std::mem::size_of::<Option<(u64, u64)>>() + 48
+    }
+}
+
+/// ALEX-like map: routing table over gapped-array data nodes.
+#[derive(Debug, Default)]
+pub struct AlexMap {
+    /// Data nodes sorted by `min_key`; located by binary search (stands in
+    /// for ALEX's inner-node model routing at this scale).
+    nodes: Vec<DataNode>,
+    len: usize,
+    hops: Cell<u64>,
+}
+
+impl AlexMap {
+    /// Empty map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bulk-build from sorted distinct pairs.
+    pub fn build(pairs: &[(u64, u64)]) -> Self {
+        let mut nodes = Vec::new();
+        for chunk in pairs.chunks(MAX_NODE_KEYS / 2) {
+            nodes.push(DataNode::build(chunk));
+        }
+        Self {
+            nodes,
+            len: pairs.len(),
+            hops: Cell::new(0),
+        }
+    }
+
+    fn node_for(&self, key: u64) -> Option<usize> {
+        if self.nodes.is_empty() {
+            return None;
+        }
+        self.hops.set(self.hops.get() + 1); // root → data node pointer
+        Some(
+            self.nodes
+                .partition_point(|n| n.min_key <= key)
+                .saturating_sub(1),
+        )
+    }
+
+    /// Number of data nodes (grows as inserts split).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+}
+
+impl UnclusteredMap for AlexMap {
+    fn insert(&mut self, key: u64, value: u64) {
+        if self.nodes.is_empty() {
+            self.nodes.push(DataNode::build(&[(key, value)]));
+            self.len = 1;
+            return;
+        }
+        let idx = self.node_for(key).expect("non-empty");
+        let existed = self.nodes[idx].find(key).is_some();
+        if self.nodes[idx].insert(key, value) {
+            if !existed {
+                self.len += 1;
+            }
+            return;
+        }
+        // Split: rebuild the node as two half-full nodes, then retry.
+        let pairs = self.nodes[idx].pairs();
+        let mid = pairs.len() / 2;
+        let left = DataNode::build(&pairs[..mid]);
+        let right = DataNode::build(&pairs[mid..]);
+        self.nodes[idx] = left;
+        self.nodes.insert(idx + 1, right);
+        let idx = self.node_for(key).expect("non-empty");
+        let ok = self.nodes[idx].insert(key, value);
+        debug_assert!(ok, "fresh half-full node must accept the key");
+        if !existed {
+            self.len += 1;
+        }
+    }
+
+    fn get(&self, key: u64) -> Option<u64> {
+        let idx = self.node_for(key)?;
+        self.nodes[idx].find(key)
+    }
+
+    fn scan(&self, start: u64, limit: usize) -> Vec<(u64, u64)> {
+        let mut out = Vec::with_capacity(limit);
+        let Some(mut idx) = self.node_for(start) else {
+            return out;
+        };
+        while idx < self.nodes.len() && out.len() < limit {
+            self.hops.set(self.hops.get() + 1); // next node dereference
+            for slot in &self.nodes[idx].slots {
+                // Walking a gapped array touches the holes too — part of
+                // the unclustered scan cost.
+                if let Some((k, v)) = slot {
+                    if *k >= start {
+                        out.push((*k, *v));
+                        if out.len() == limit {
+                            break;
+                        }
+                    }
+                }
+            }
+            idx += 1;
+        }
+        out
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn size_bytes(&self) -> usize {
+        self.nodes.iter().map(DataNode::size_bytes).sum::<usize>()
+            + self.nodes.len() * 8 // routing pointers
+    }
+
+    fn pointer_hops(&self) -> u64 {
+        self.hops.get()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    fn sorted_pairs(n: u64) -> Vec<(u64, u64)> {
+        (0..n).map(|i| (i * 7 + 1, i)).collect()
+    }
+
+    #[test]
+    fn build_and_get() {
+        let pairs = sorted_pairs(10_000);
+        let m = AlexMap::build(&pairs);
+        assert_eq!(m.len(), 10_000);
+        for &(k, v) in pairs.iter().step_by(37) {
+            assert_eq!(m.get(k), Some(v), "key {k}");
+        }
+        assert_eq!(m.get(0), None);
+        assert_eq!(m.get(3), None);
+        assert_eq!(m.get(u64::MAX), None);
+    }
+
+    #[test]
+    fn inserts_split_nodes_and_stay_correct() {
+        let mut m = AlexMap::build(&sorted_pairs(1_000));
+        let before = m.node_count();
+        let mut oracle: BTreeMap<u64, u64> = sorted_pairs(1_000).into_iter().collect();
+        // Dense inserts into one region force splits.
+        for i in 0..2_000u64 {
+            let k = 3_000 + i;
+            m.insert(k, i);
+            oracle.insert(k, i);
+        }
+        assert!(m.node_count() > before, "splits must have happened");
+        assert_eq!(m.len(), oracle.len());
+        for (&k, &v) in oracle.iter().step_by(53) {
+            assert_eq!(m.get(k), Some(v), "key {k}");
+        }
+    }
+
+    #[test]
+    fn overwrite_does_not_grow() {
+        let mut m = AlexMap::build(&sorted_pairs(100));
+        m.insert(1, 999);
+        assert_eq!(m.len(), 100);
+        assert_eq!(m.get(1), Some(999));
+    }
+
+    #[test]
+    fn scan_is_ordered_and_complete() {
+        let pairs = sorted_pairs(5_000);
+        let m = AlexMap::build(&pairs);
+        let got = m.scan(70, 100);
+        assert_eq!(got.len(), 100);
+        assert!(got.windows(2).all(|w| w[0].0 < w[1].0));
+        assert_eq!(got[0].0, 71); // first key ≥ 70 is 10*7+1
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let mut m = AlexMap::new();
+        assert!(m.is_empty());
+        assert_eq!(m.get(5), None);
+        assert!(m.scan(0, 10).is_empty());
+        m.insert(5, 50);
+        assert_eq!(m.get(5), Some(50));
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn memory_includes_gaps() {
+        let pairs = sorted_pairs(10_000);
+        let m = AlexMap::build(&pairs);
+        let raw = 10_000 * 16;
+        assert!(
+            m.size_bytes() > raw,
+            "gapped arrays must cost more than packed pairs: {} vs {raw}",
+            m.size_bytes()
+        );
+    }
+
+    #[test]
+    fn random_workload_matches_btreemap() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut m = AlexMap::new();
+        let mut oracle = BTreeMap::new();
+        for _ in 0..20_000 {
+            let k = rng.gen_range(0..5_000u64);
+            if rng.gen_bool(0.7) {
+                let v = rng.gen::<u32>() as u64;
+                m.insert(k, v);
+                oracle.insert(k, v);
+            } else {
+                assert_eq!(m.get(k), oracle.get(&k).copied(), "key {k}");
+            }
+        }
+        assert_eq!(m.len(), oracle.len());
+    }
+}

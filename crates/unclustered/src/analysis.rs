@@ -1,0 +1,114 @@
+//! The quantitative Section 3.3 argument: why data-unclustered indexes do
+//! not fit LSM-trees.
+//!
+//! The paper gives two reasons: (1) they replace the compact SSTable layout
+//! with discontinuous structures, and (2) range lookups and compaction
+//! iterators — sequential consumers — would pay pointer jumps and wasted
+//! slots. [`layout_profile`] measures exactly those quantities for a given
+//! structure and workload, next to the data-clustered baseline (a packed
+//! sorted array), so the claim is a number instead of an assertion.
+
+use crate::UnclusteredMap;
+
+/// Layout metrics for one structure under one scan workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayoutProfile {
+    pub name: String,
+    /// Resident bytes per live key (1.0 entry = 16 B packed).
+    pub bytes_per_key: f64,
+    /// Space overhead versus the packed array (1.0 = no overhead).
+    pub space_amplification: f64,
+    /// Pointer dereferences per scanned entry.
+    pub hops_per_scanned_entry: f64,
+    /// Whether entries live in one contiguous allocation an LSM-tree could
+    /// stream or mmap.
+    pub contiguous: bool,
+}
+
+/// Packed sorted-array baseline: 16 bytes per pair, zero hops, contiguous.
+pub fn clustered_baseline(n: usize) -> LayoutProfile {
+    LayoutProfile {
+        name: "sorted-array".into(),
+        bytes_per_key: 16.0,
+        space_amplification: 1.0,
+        hops_per_scanned_entry: 0.0,
+        contiguous: true,
+    }
+    .tap_n(n)
+}
+
+impl LayoutProfile {
+    fn tap_n(self, _n: usize) -> Self {
+        self
+    }
+}
+
+/// Profile `map` by running `scans` range scans of `scan_len` entries
+/// spread over the key space `[0, key_span)`.
+pub fn layout_profile(
+    name: &str,
+    map: &dyn UnclusteredMap,
+    key_span: u64,
+    scans: usize,
+    scan_len: usize,
+) -> LayoutProfile {
+    let n = map.len().max(1);
+    let hops_before = map.pointer_hops();
+    let mut scanned = 0usize;
+    for i in 0..scans.max(1) {
+        let start = (i as u64 * key_span) / scans.max(1) as u64;
+        scanned += map.scan(start, scan_len).len();
+    }
+    let hops = map.pointer_hops() - hops_before;
+    LayoutProfile {
+        name: name.to_string(),
+        bytes_per_key: map.size_bytes() as f64 / n as f64,
+        space_amplification: map.size_bytes() as f64 / (n as f64 * 16.0),
+        hops_per_scanned_entry: hops as f64 / scanned.max(1) as f64,
+        contiguous: false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AlexMap, LippMap};
+
+    fn pairs(n: u64) -> Vec<(u64, u64)> {
+        (0..n).map(|i| (i * 11, i)).collect()
+    }
+
+    #[test]
+    fn unclustered_structures_pay_space_amplification() {
+        let p = pairs(20_000);
+        let alex = AlexMap::build(&p);
+        let lipp = LippMap::build(&p);
+        let pa = layout_profile("alex", &alex, 220_000, 50, 100);
+        let pl = layout_profile("lipp", &lipp, 220_000, 50, 100);
+        let base = clustered_baseline(20_000);
+
+        assert!(pa.space_amplification > 1.2, "ALEX gaps: {}", pa.space_amplification);
+        assert!(pl.space_amplification > 1.2, "LIPP slack: {}", pl.space_amplification);
+        assert!((base.space_amplification - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unclustered_scans_chase_pointers() {
+        let p = pairs(20_000);
+        let alex = AlexMap::build(&p);
+        let lipp = LippMap::build(&p);
+        let pa = layout_profile("alex", &alex, 220_000, 50, 100);
+        let pl = layout_profile("lipp", &lipp, 220_000, 50, 100);
+        assert!(pa.hops_per_scanned_entry > 0.0);
+        assert!(pl.hops_per_scanned_entry > 0.0);
+        assert_eq!(clustered_baseline(1).hops_per_scanned_entry, 0.0);
+    }
+
+    #[test]
+    fn contiguity_flags() {
+        let p = pairs(1_000);
+        let alex = AlexMap::build(&p);
+        assert!(!layout_profile("alex", &alex, 11_000, 5, 10).contiguous);
+        assert!(clustered_baseline(1_000).contiguous);
+    }
+}

@@ -1,0 +1,55 @@
+//! Data-unclustered learned indexes (paper Sections 3.2–3.3).
+//!
+//! The paper classifies ALEX and LIPP as *data-unclustered*: they own their
+//! data layout (gapped arrays, pointer-linked nodes) instead of indexing a
+//! contiguous sorted array. That buys them in-place updates — and is exactly
+//! why the paper rules them out for LSM-trees, whose SSTables are immutable,
+//! contiguous, and scanned sequentially.
+//!
+//! This crate reproduces that *analysis*, not just the assertion:
+//!
+//! * [`alex::AlexMap`] — ALEX-like updatable map: model-routed **gapped
+//!   arrays** with exponential search and node splits;
+//! * [`lipp::LippMap`] — LIPP-like updatable map: per-node models that
+//!   predict **exact slots**, conflicts push keys into child nodes;
+//! * [`analysis`] — the quantitative Section 3.3 argument: memory per key,
+//!   pointer hops per range scan, and layout fragmentation, side by side
+//!   with a data-clustered sorted array.
+
+pub mod alex;
+pub mod analysis;
+pub mod lipp;
+
+pub use alex::AlexMap;
+pub use analysis::{layout_profile, LayoutProfile};
+pub use lipp::LippMap;
+
+/// Common interface for the updatable in-memory maps in this crate.
+pub trait UnclusteredMap {
+    /// Insert or overwrite.
+    fn insert(&mut self, key: u64, value: u64);
+
+    /// Point lookup.
+    fn get(&self, key: u64) -> Option<u64>;
+
+    /// In-order key-value pairs starting at `start`, at most `limit`.
+    /// For data-unclustered structures this requires pointer traversal —
+    /// the cost the paper's Section 3.3 calls out.
+    fn scan(&self, start: u64, limit: usize) -> Vec<(u64, u64)>;
+
+    /// Number of live keys.
+    fn len(&self) -> usize;
+
+    /// Whether the map is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Approximate resident bytes (slots, models, pointers — including the
+    /// empty slots the layout reserves).
+    fn size_bytes(&self) -> usize;
+
+    /// Pointer dereferences (node hops) performed since construction —
+    /// instrumentation for the compatibility analysis.
+    fn pointer_hops(&self) -> u64;
+}

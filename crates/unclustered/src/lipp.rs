@@ -1,0 +1,338 @@
+//! LIPP-like updatable learned map (paper Figure 3(B)).
+//!
+//! Every node owns a slot array and a linear model that maps a key to
+//! *exactly one* slot (no search at all). A slot is `Null` (free), `Data`
+//! (one pair), or `Node` (a child built from keys that collided there).
+//! Lookups follow model predictions down the tree; inserts turn collisions
+//! into children — the FMCD idea simplified to "allocate slots with slack
+//! so conflicts are rare".
+//!
+//! The layout is maximally unclustered: every conflict adds another heap
+//! allocation reachable only through a pointer, and an in-order scan is a
+//! depth-first traversal.
+
+use std::cell::Cell;
+
+use crate::UnclusteredMap;
+
+/// Slot-per-key slack: more slots → fewer conflicts → flatter tree.
+const SLACK: f64 = 1.5;
+/// Minimum slots per node.
+const MIN_SLOTS: usize = 8;
+
+#[derive(Debug)]
+enum Slot {
+    Null,
+    Data(u64, u64),
+    Node(Box<LippNode>),
+}
+
+#[derive(Debug)]
+struct LippNode {
+    min_key: u64,
+    /// slot ≈ slope * (key - min_key)
+    slope: f64,
+    slots: Vec<Slot>,
+}
+
+impl LippNode {
+    /// Build over sorted distinct pairs.
+    fn build(pairs: &[(u64, u64)]) -> LippNode {
+        debug_assert!(!pairs.is_empty());
+        let n = pairs.len();
+        let min_key = pairs[0].0;
+        let max_key = pairs[n - 1].0;
+        let slots_len = ((n as f64 * SLACK) as usize).max(MIN_SLOTS);
+        let span = (max_key - min_key).max(1) as f64;
+        let slope = (slots_len - 1) as f64 / span;
+        let mut node = LippNode {
+            min_key,
+            slope,
+            slots: (0..slots_len).map(|_| Slot::Null).collect(),
+        };
+        // Group colliding keys, then place each group.
+        let mut group: Vec<(u64, u64)> = Vec::new();
+        let mut group_slot = usize::MAX;
+        let flush = |node: &mut LippNode, group: &mut Vec<(u64, u64)>, slot: usize| {
+            if group.is_empty() {
+                return;
+            }
+            node.slots[slot] = if group.len() == 1 {
+                Slot::Data(group[0].0, group[0].1)
+            } else {
+                Slot::Node(Box::new(LippNode::build(group)))
+            };
+            group.clear();
+        };
+        for &(k, v) in pairs {
+            let s = node.predict(k);
+            if s != group_slot {
+                flush(&mut node, &mut group, group_slot.min(slots_len - 1));
+                group_slot = s;
+            }
+            group.push((k, v));
+        }
+        flush(&mut node, &mut group, group_slot.min(slots_len - 1));
+        node
+    }
+
+    #[inline]
+    fn predict(&self, key: u64) -> usize {
+        let d = key.saturating_sub(self.min_key) as f64;
+        let p = self.slope * d;
+        if p <= 0.0 {
+            0
+        } else {
+            (p as usize).min(self.slots.len() - 1)
+        }
+    }
+
+    fn get(&self, key: u64, hops: &Cell<u64>) -> Option<u64> {
+        match &self.slots[self.predict(key)] {
+            Slot::Null => None,
+            Slot::Data(k, v) => (*k == key).then_some(*v),
+            Slot::Node(child) => {
+                hops.set(hops.get() + 1);
+                child.get(key, hops)
+            }
+        }
+    }
+
+    fn insert(&mut self, key: u64, value: u64) -> bool {
+        let s = self.predict(key);
+        match &mut self.slots[s] {
+            slot @ Slot::Null => {
+                *slot = Slot::Data(key, value);
+                true
+            }
+            Slot::Data(k, v) => {
+                if *k == key {
+                    *v = value;
+                    return false;
+                }
+                // Conflict: the slot becomes a child holding both keys.
+                let mut pair = [(*k, *v), (key, value)];
+                pair.sort_unstable_by_key(|p| p.0);
+                self.slots[s] = Slot::Node(Box::new(LippNode::build(&pair)));
+                true
+            }
+            Slot::Node(child) => child.insert(key, value),
+        }
+    }
+
+    fn scan_into(&self, start: u64, limit: usize, out: &mut Vec<(u64, u64)>, hops: &Cell<u64>) {
+        // The model is monotone, so every slot before `predict(start)` holds
+        // only keys < start — skip them instead of filtering one by one.
+        let first = self.predict(start);
+        for slot in &self.slots[first..] {
+            if out.len() >= limit {
+                return;
+            }
+            match slot {
+                Slot::Null => {}
+                Slot::Data(k, v) => {
+                    if *k >= start {
+                        out.push((*k, *v));
+                    }
+                }
+                Slot::Node(child) => {
+                    hops.set(hops.get() + 1);
+                    child.scan_into(start, limit, out, hops);
+                }
+            }
+        }
+    }
+
+    fn size_bytes(&self) -> usize {
+        let own = self.slots.len() * std::mem::size_of::<Slot>() + 40;
+        let children: usize = self
+            .slots
+            .iter()
+            .map(|s| match s {
+                Slot::Node(c) => c.size_bytes(),
+                _ => 0,
+            })
+            .sum();
+        own + children
+    }
+
+    fn depth(&self) -> usize {
+        1 + self
+            .slots
+            .iter()
+            .map(|s| match s {
+                Slot::Node(c) => c.depth(),
+                _ => 0,
+            })
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// LIPP-like map.
+#[derive(Debug)]
+pub struct LippMap {
+    root: Option<LippNode>,
+    len: usize,
+    hops: Cell<u64>,
+}
+
+impl Default for LippMap {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LippMap {
+    /// Empty map.
+    pub fn new() -> Self {
+        Self {
+            root: None,
+            len: 0,
+            hops: Cell::new(0),
+        }
+    }
+
+    /// Bulk-build from sorted distinct pairs.
+    pub fn build(pairs: &[(u64, u64)]) -> Self {
+        if pairs.is_empty() {
+            return Self::new();
+        }
+        Self {
+            root: Some(LippNode::build(pairs)),
+            len: pairs.len(),
+            hops: Cell::new(0),
+        }
+    }
+
+    /// Tree height (1 = flat root).
+    pub fn depth(&self) -> usize {
+        self.root.as_ref().map_or(0, LippNode::depth)
+    }
+}
+
+impl UnclusteredMap for LippMap {
+    fn insert(&mut self, key: u64, value: u64) {
+        match &mut self.root {
+            None => {
+                self.root = Some(LippNode::build(&[(key, value)]));
+                self.len = 1;
+            }
+            Some(root) => {
+                if root.insert(key, value) {
+                    self.len += 1;
+                }
+            }
+        }
+    }
+
+    fn get(&self, key: u64) -> Option<u64> {
+        self.hops.set(self.hops.get() + 1); // root dereference
+        self.root.as_ref()?.get(key, &self.hops)
+    }
+
+    fn scan(&self, start: u64, limit: usize) -> Vec<(u64, u64)> {
+        let mut out = Vec::with_capacity(limit);
+        if let Some(root) = &self.root {
+            self.hops.set(self.hops.get() + 1);
+            root.scan_into(start, limit, &mut out, &self.hops);
+        }
+        out
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn size_bytes(&self) -> usize {
+        self.root.as_ref().map_or(0, LippNode::size_bytes)
+    }
+
+    fn pointer_hops(&self) -> u64 {
+        self.hops.get()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    fn sorted_pairs(n: u64) -> Vec<(u64, u64)> {
+        (0..n).map(|i| (i * 13 + 5, i)).collect()
+    }
+
+    #[test]
+    fn build_and_get() {
+        let pairs = sorted_pairs(10_000);
+        let m = LippMap::build(&pairs);
+        for &(k, v) in pairs.iter().step_by(29) {
+            assert_eq!(m.get(k), Some(v), "key {k}");
+        }
+        assert_eq!(m.get(0), None);
+        assert_eq!(m.get(6), None);
+    }
+
+    #[test]
+    fn conflicts_create_children() {
+        // Clustered keys guarantee slot conflicts.
+        let pairs: Vec<(u64, u64)> = (0..1_000u64)
+            .map(|i| ((i / 10) * 1_000_000 + i % 10, i))
+            .collect();
+        let m = LippMap::build(&pairs);
+        assert!(m.depth() > 1, "clustered keys must force children");
+        for &(k, v) in pairs.iter().step_by(17) {
+            assert_eq!(m.get(k), Some(v));
+        }
+    }
+
+    #[test]
+    fn inserts_match_oracle() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut m = LippMap::build(&sorted_pairs(500));
+        let mut oracle: BTreeMap<u64, u64> = sorted_pairs(500).into_iter().collect();
+        for _ in 0..10_000 {
+            let k = rng.gen_range(0..20_000u64);
+            if rng.gen_bool(0.6) {
+                let v = rng.gen::<u32>() as u64;
+                m.insert(k, v);
+                oracle.insert(k, v);
+            } else {
+                assert_eq!(m.get(k), oracle.get(&k).copied(), "key {k}");
+            }
+        }
+        assert_eq!(m.len(), oracle.len());
+    }
+
+    #[test]
+    fn scan_is_ordered() {
+        let pairs = sorted_pairs(3_000);
+        let m = LippMap::build(&pairs);
+        let got = m.scan(100, 50);
+        assert_eq!(got.len(), 50);
+        assert!(got.windows(2).all(|w| w[0].0 < w[1].0));
+        assert!(got[0].0 >= 100);
+        // Scanning costs pointer hops (the Section 3.3 argument).
+        assert!(m.pointer_hops() > 0);
+    }
+
+    #[test]
+    fn empty_and_overwrite() {
+        let mut m = LippMap::new();
+        assert_eq!(m.get(1), None);
+        assert!(m.scan(0, 5).is_empty());
+        m.insert(9, 1);
+        m.insert(9, 2);
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.get(9), Some(2));
+    }
+
+    #[test]
+    fn slack_slots_cost_memory() {
+        let pairs = sorted_pairs(10_000);
+        let m = LippMap::build(&pairs);
+        assert!(m.size_bytes() > 10_000 * 16, "slack slots must be charged");
+    }
+}

@@ -1,0 +1,89 @@
+//! Empirical CDF sampling (paper Figure 5).
+//!
+//! Figure 5 plots the cumulative distribution of each dataset's keys. A
+//! learned index is exactly a compressed approximation of this CDF, so the
+//! figure doubles as intuition for which datasets are hard to model.
+
+/// One point of an empirical CDF: at `key`, `fraction` of keys are ≤ it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CdfSample {
+    pub key: u64,
+    pub fraction: f64,
+}
+
+/// Sample `points` evenly spaced points of the empirical CDF of sorted `keys`.
+///
+/// The first point is the minimum key (fraction ≈ 0) and the last is the
+/// maximum key (fraction = 1).
+pub fn sample_cdf(keys: &[u64], points: usize) -> Vec<CdfSample> {
+    assert!(points >= 2, "need at least the two endpoints");
+    if keys.is_empty() {
+        return Vec::new();
+    }
+    let n = keys.len();
+    (0..points)
+        .map(|i| {
+            let idx = if i == points - 1 {
+                n - 1
+            } else {
+                i * (n - 1) / (points - 1)
+            };
+            CdfSample {
+                key: keys[idx],
+                fraction: (idx + 1) as f64 / n as f64,
+            }
+        })
+        .collect()
+}
+
+/// Normalised-key CDF: maps keys to [0,1] by min/max so different datasets
+/// plot on a common x-axis, as in the paper's figure.
+pub fn sample_normalized_cdf(keys: &[u64], points: usize) -> Vec<(f64, f64)> {
+    let samples = sample_cdf(keys, points);
+    if samples.is_empty() {
+        return Vec::new();
+    }
+    let lo = keys[0] as f64;
+    let hi = *keys.last().expect("non-empty") as f64;
+    let span = (hi - lo).max(1.0);
+    samples
+        .into_iter()
+        .map(|s| ((s.key as f64 - lo) / span, s.fraction))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn endpoints_are_min_and_max() {
+        let keys: Vec<u64> = (0..1000).map(|i| i * 3).collect();
+        let cdf = sample_cdf(&keys, 11);
+        assert_eq!(cdf.first().unwrap().key, 0);
+        assert_eq!(cdf.last().unwrap().key, 999 * 3);
+        assert!((cdf.last().unwrap().fraction - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fractions_monotone() {
+        let keys: Vec<u64> = (0..500).map(|i| i * i) .collect();
+        let cdf = sample_cdf(&keys, 20);
+        assert!(cdf.windows(2).all(|w| w[0].fraction <= w[1].fraction));
+        assert!(cdf.windows(2).all(|w| w[0].key <= w[1].key));
+    }
+
+    #[test]
+    fn uniform_keys_give_diagonal_normalized_cdf() {
+        let keys: Vec<u64> = (0..10_000u64).map(|i| i * 1000).collect();
+        for (x, y) in sample_normalized_cdf(&keys, 50) {
+            assert!((x - y).abs() < 0.01, "({x},{y}) should sit on diagonal");
+        }
+    }
+
+    #[test]
+    fn empty_keys_empty_cdf() {
+        assert!(sample_cdf(&[], 10).is_empty());
+        assert!(sample_normalized_cdf(&[], 10).is_empty());
+    }
+}

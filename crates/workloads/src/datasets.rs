@@ -1,0 +1,323 @@
+//! Synthetic reproductions of the seven SOSD-style datasets (paper Fig. 5).
+//!
+//! Each generator produces `n` *distinct, sorted* `u64` keys whose empirical
+//! CDF matches the shape of the corresponding SOSD dataset:
+//!
+//! * **Random** — uniform over the key space: a straight-line CDF.
+//! * **Segment** — keys clustered into dense runs separated by wide gaps:
+//!   a staircase CDF (SOSD's synthetic "segmented" data).
+//! * **Longitude** — OSM cell longitudes: a mixture of Gaussians centred on
+//!   densely mapped longitudes, smooth S-shaped multi-modal CDF.
+//! * **Longlat** — interleaved longitude/latitude pairs: stronger multi-modal
+//!   banding than Longitude.
+//! * **Books** — Amazon book popularity: lognormal body, most mass at small
+//!   keys, long right tail (sharply concave CDF).
+//! * **Fb** — Facebook user IDs: nearly uniform body with a sparse set of
+//!   extreme upper outliers (CDF hugs the diagonal then jumps).
+//! * **Wiki** — Wikipedia edit timestamps: near-arithmetic progression with
+//!   bursts (locally linear CDF with slope changes; many near-duplicates).
+
+use std::fmt;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rand_distr::{Distribution, LogNormal, Normal};
+
+/// The seven benchmark key distributions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dataset {
+    Random,
+    Segment,
+    Longitude,
+    Longlat,
+    Books,
+    Fb,
+    Wiki,
+}
+
+impl Dataset {
+    /// All datasets in the order the paper presents them.
+    pub const ALL: [Dataset; 7] = [
+        Dataset::Random,
+        Dataset::Segment,
+        Dataset::Longitude,
+        Dataset::Longlat,
+        Dataset::Books,
+        Dataset::Fb,
+        Dataset::Wiki,
+    ];
+
+    /// Canonical lower-case name (matches the paper's figure labels).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Dataset::Random => "random",
+            Dataset::Segment => "segment",
+            Dataset::Longitude => "longitude",
+            Dataset::Longlat => "longlat",
+            Dataset::Books => "books",
+            Dataset::Fb => "fb",
+            Dataset::Wiki => "wiki",
+        }
+    }
+
+    /// Parse a dataset from its canonical name.
+    pub fn from_name(name: &str) -> Option<Dataset> {
+        Dataset::ALL.iter().copied().find(|d| d.name() == name)
+    }
+
+    /// Generate `n` distinct sorted keys with the dataset's distribution.
+    pub fn generate(&self, n: usize, seed: u64) -> Vec<u64> {
+        let mut rng = StdRng::seed_from_u64(seed ^ hash_name(self.name()));
+        let mut keys = match self {
+            Dataset::Random => gen_random(n, &mut rng),
+            Dataset::Segment => gen_segment(n, &mut rng),
+            Dataset::Longitude => gen_longitude(n, &mut rng),
+            Dataset::Longlat => gen_longlat(n, &mut rng),
+            Dataset::Books => gen_books(n, &mut rng),
+            Dataset::Fb => gen_fb(n, &mut rng),
+            Dataset::Wiki => gen_wiki(n, &mut rng),
+        };
+        dedup_to_exactly(&mut keys, n, &mut rng);
+        keys
+    }
+}
+
+impl fmt::Display for Dataset {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+fn hash_name(name: &str) -> u64 {
+    // FNV-1a; just decorrelates per-dataset seeds.
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Keys live in [0, 2^62) so downstream arithmetic (midpoints, paddings)
+/// never overflows.
+const KEY_SPACE: u64 = 1 << 62;
+
+fn gen_random(n: usize, rng: &mut StdRng) -> Vec<u64> {
+    (0..n).map(|_| rng.gen_range(0..KEY_SPACE)).collect()
+}
+
+fn gen_segment(n: usize, rng: &mut StdRng) -> Vec<u64> {
+    // ~1000 dense runs at random anchors: within a run keys are consecutive
+    // multiples of a small stride, producing the staircase CDF of SOSD's
+    // "segmented" synthetic data.
+    let runs = 1000.max(n / 6400);
+    let per_run = n.div_ceil(runs);
+    let mut keys = Vec::with_capacity(n + per_run);
+    for _ in 0..runs {
+        let anchor = rng.gen_range(0..KEY_SPACE - (per_run as u64 * 16));
+        let stride = rng.gen_range(1..=8u64);
+        for i in 0..per_run {
+            keys.push(anchor + i as u64 * stride);
+        }
+    }
+    keys.truncate(n);
+    keys
+}
+
+/// Longitudes (degrees) of densely mapped regions, used as mixture centres.
+const LON_CENTRES: [(f64, f64, f64); 8] = [
+    // (centre degrees, std-dev degrees, weight)
+    (-122.0, 3.0, 0.10), // US west coast
+    (-74.0, 4.0, 0.15),  // US east coast
+    (-0.1, 2.5, 0.15),   // UK
+    (13.0, 5.0, 0.20),   // central Europe
+    (77.0, 4.0, 0.10),   // India
+    (103.8, 2.0, 0.08),  // SE Asia
+    (116.0, 3.5, 0.12),  // China
+    (139.7, 2.0, 0.10),  // Japan
+];
+
+fn sample_longitude(rng: &mut StdRng) -> f64 {
+    let w: f64 = rng.gen();
+    let mut acc = 0.0;
+    for &(c, s, wt) in &LON_CENTRES {
+        acc += wt;
+        if w <= acc {
+            let d = Normal::new(c, s).expect("valid normal");
+            return d.sample(rng).clamp(-180.0, 180.0);
+        }
+    }
+    rng.gen_range(-180.0..180.0)
+}
+
+fn gen_longitude(n: usize, rng: &mut StdRng) -> Vec<u64> {
+    (0..n)
+        .map(|_| {
+            let lon = sample_longitude(rng);
+            // Fixed-point scale (like OSM: degrees * 1e7) with dithering so
+            // keys are distinct.
+            let fixed = ((lon + 180.0) * 1e16) as u64;
+            fixed + rng.gen_range(0..1_000_000)
+        })
+        .collect()
+}
+
+fn gen_longlat(n: usize, rng: &mut StdRng) -> Vec<u64> {
+    // SOSD's longlat combines both coordinates into one key; high bits are
+    // longitude bands, low bits latitude, giving a coarser staircase.
+    (0..n)
+        .map(|_| {
+            let lon = sample_longitude(rng);
+            let lat = Normal::new(30.0f64, 18.0)
+                .expect("valid normal")
+                .sample(rng)
+                .clamp(-90.0, 90.0);
+            let hi = ((lon + 180.0) * 1e6) as u64; // ~2^28 range
+            let lo = ((lat + 90.0) * 1e7) as u64; // ~2^31 range
+            (hi << 31) | (lo & 0x7fff_ffff)
+        })
+        .collect()
+}
+
+fn gen_books(n: usize, rng: &mut StdRng) -> Vec<u64> {
+    // Lognormal sales-rank-like values: mass concentrated at small keys.
+    let d = LogNormal::new(0.0, 2.3).expect("valid lognormal");
+    (0..n)
+        .map(|_| {
+            let v = d.sample(rng); // heavy-tailed positive float
+            (v * 1e12) as u64
+        })
+        .collect()
+}
+
+fn gen_fb(n: usize, rng: &mut StdRng) -> Vec<u64> {
+    // ~99.9% of IDs uniform in a dense range, 0.1% extreme outliers far
+    // above — reproducing SOSD fb's "linear with a broken tail" CDF.
+    let dense_top = KEY_SPACE / 1024;
+    (0..n)
+        .map(|_| {
+            if rng.gen::<f64>() < 0.999 {
+                rng.gen_range(0..dense_top)
+            } else {
+                rng.gen_range(dense_top..KEY_SPACE)
+            }
+        })
+        .collect()
+}
+
+fn gen_wiki(n: usize, rng: &mut StdRng) -> Vec<u64> {
+    // Timestamp-like: monotone walk with mostly-small increments and
+    // occasional bursts (edit storms) / lulls.
+    let mut keys = Vec::with_capacity(n);
+    let mut t: u64 = 1_000_000_000;
+    for _ in 0..n {
+        let r: f64 = rng.gen();
+        let step = if r < 0.80 {
+            rng.gen_range(1..=3)
+        } else if r < 0.97 {
+            rng.gen_range(3..=40)
+        } else {
+            rng.gen_range(1_000..=50_000)
+        };
+        t += step;
+        keys.push(t);
+    }
+    keys
+}
+
+/// Sort, dedup, and top up with fresh uniform keys until exactly `n` distinct
+/// keys remain.
+fn dedup_to_exactly(keys: &mut Vec<u64>, n: usize, rng: &mut StdRng) {
+    keys.sort_unstable();
+    keys.dedup();
+    while keys.len() < n {
+        let missing = n - keys.len();
+        for _ in 0..missing {
+            keys.push(rng.gen_range(0..KEY_SPACE));
+        }
+        keys.sort_unstable();
+        keys.dedup();
+    }
+    keys.truncate(n);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_basic(d: Dataset) {
+        let keys = d.generate(10_000, 42);
+        assert_eq!(keys.len(), 10_000, "{d}");
+        assert!(keys.windows(2).all(|w| w[0] < w[1]), "{d} not strictly sorted");
+        assert!(*keys.last().unwrap() < (1 << 63), "{d} exceeds key space");
+    }
+
+    #[test]
+    fn all_datasets_generate_sorted_distinct() {
+        for d in Dataset::ALL {
+            check_basic(d);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        for d in Dataset::ALL {
+            assert_eq!(d.generate(1000, 7), d.generate(1000, 7), "{d}");
+            assert_ne!(d.generate(1000, 7), d.generate(1000, 8), "{d}");
+        }
+    }
+
+    #[test]
+    fn datasets_differ_from_each_other() {
+        let a = Dataset::Random.generate(1000, 1);
+        let b = Dataset::Books.generate(1000, 1);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn books_is_head_heavy() {
+        let keys = Dataset::Books.generate(100_000, 3);
+        // Median key should be far below the midpoint of the key range.
+        let median = keys[keys.len() / 2];
+        let max = *keys.last().unwrap();
+        assert!(
+            median < max / 100,
+            "lognormal should concentrate mass at small keys: median={median} max={max}"
+        );
+    }
+
+    #[test]
+    fn fb_has_dense_body_and_outlier_tail() {
+        let keys = Dataset::Fb.generate(100_000, 3);
+        let p999 = keys[(keys.len() as f64 * 0.998) as usize];
+        let max = *keys.last().unwrap();
+        assert!(max > p999 * 100, "fb tail should jump: p998={p999} max={max}");
+    }
+
+    #[test]
+    fn wiki_is_near_arithmetic() {
+        let keys = Dataset::Wiki.generate(100_000, 3);
+        let span = keys.last().unwrap() - keys.first().unwrap();
+        // Average gap is small relative to the uniform key space.
+        assert!(span / (keys.len() as u64) < 1_000);
+    }
+
+    #[test]
+    fn segment_has_plateaus() {
+        let keys = Dataset::Segment.generate(100_000, 3);
+        // Count adjacent gaps of <= 8 (within-run) vs large gaps (between runs).
+        let small = keys.windows(2).filter(|w| w[1] - w[0] <= 8).count();
+        assert!(
+            small > keys.len() / 2,
+            "most adjacent pairs should be within dense runs: {small}"
+        );
+    }
+
+    #[test]
+    fn from_name_roundtrip() {
+        for d in Dataset::ALL {
+            assert_eq!(Dataset::from_name(d.name()), Some(d));
+        }
+        assert_eq!(Dataset::from_name("nope"), None);
+    }
+}

@@ -1,0 +1,214 @@
+//! Request distributions: which of the loaded keys a lookup targets.
+//!
+//! The paper uses a uniform request distribution for the main sweeps,
+//! a "read-latest" distribution for Figure 10(B), and YCSB's zipfian /
+//! latest distributions for Figure 12.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Request distribution kinds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RequestDistribution {
+    /// Every loaded key equally likely.
+    Uniform,
+    /// YCSB-style zipfian over key *positions* with the given theta
+    /// (YCSB default 0.99).
+    Zipfian { theta: f64 },
+    /// Skewed toward the most recently inserted keys (YCSB "latest").
+    Latest { theta: f64 },
+    /// All requests fall in the hottest `hot_fraction` of positions with
+    /// probability `hot_prob` (hotspot distribution).
+    HotSpot { hot_fraction: f64, hot_prob: f64 },
+}
+
+impl RequestDistribution {
+    /// Build a chooser over `n` items.
+    pub fn chooser(&self, n: usize) -> KeyChooser {
+        assert!(n > 0, "cannot choose from an empty key set");
+        match *self {
+            RequestDistribution::Uniform => KeyChooser::Uniform { n },
+            RequestDistribution::Zipfian { theta } => KeyChooser::Zipfian(ZipfianGen::new(n, theta)),
+            RequestDistribution::Latest { theta } => KeyChooser::Latest(ZipfianGen::new(n, theta)),
+            RequestDistribution::HotSpot {
+                hot_fraction,
+                hot_prob,
+            } => KeyChooser::HotSpot {
+                n,
+                hot_n: ((n as f64 * hot_fraction) as usize).max(1),
+                hot_prob,
+            },
+        }
+    }
+}
+
+/// Stateful sampler of key positions in `[0, n)`.
+#[derive(Debug, Clone)]
+pub enum KeyChooser {
+    Uniform { n: usize },
+    Zipfian(ZipfianGen),
+    Latest(ZipfianGen),
+    HotSpot { n: usize, hot_n: usize, hot_prob: f64 },
+}
+
+impl KeyChooser {
+    /// Sample a position in `[0, n)`. For [`KeyChooser::Latest`], position 0
+    /// denotes the *newest* item (callers map it onto their insertion order).
+    pub fn next(&self, rng: &mut StdRng) -> usize {
+        match self {
+            KeyChooser::Uniform { n } => rng.gen_range(0..*n),
+            KeyChooser::Zipfian(z) => z.sample(rng),
+            KeyChooser::Latest(z) => z.sample(rng),
+            KeyChooser::HotSpot { n, hot_n, hot_prob } => {
+                if rng.gen::<f64>() < *hot_prob {
+                    rng.gen_range(0..*hot_n)
+                } else {
+                    rng.gen_range(0..*n)
+                }
+            }
+        }
+    }
+
+    /// Number of positions this chooser samples from.
+    pub fn len(&self) -> usize {
+        match self {
+            KeyChooser::Uniform { n } => *n,
+            KeyChooser::Zipfian(z) | KeyChooser::Latest(z) => z.n,
+            KeyChooser::HotSpot { n, .. } => *n,
+        }
+    }
+
+    /// Whether the underlying item set is empty (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// YCSB's zipfian generator (Gray et al.'s rejection-free method with
+/// precomputed zeta), sampling ranks in `[0, n)` where rank 0 is hottest.
+#[derive(Debug, Clone)]
+pub struct ZipfianGen {
+    n: usize,
+    theta: f64,
+    alpha: f64,
+    zetan: f64,
+    eta: f64,
+    threshold: f64,
+}
+
+impl ZipfianGen {
+    /// Precompute constants for `n` items with skew `theta` in (0, 1).
+    pub fn new(n: usize, theta: f64) -> Self {
+        assert!(n > 0);
+        assert!(
+            (0.0..1.0).contains(&theta),
+            "theta must be in [0,1): got {theta}"
+        );
+        let zetan = zeta(n, theta);
+        let zeta2 = zeta(2, theta);
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
+        Self {
+            n,
+            theta,
+            alpha,
+            zetan,
+            eta,
+            threshold: 1.0 + 0.5f64.powf(theta),
+        }
+    }
+
+    /// Sample a rank in `[0, n)`.
+    pub fn sample(&self, rng: &mut StdRng) -> usize {
+        let u: f64 = rng.gen();
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < self.threshold {
+            return 1;
+        }
+        let rank = (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as usize;
+        rank.min(self.n - 1)
+    }
+
+    /// Skew parameter.
+    pub fn theta(&self) -> f64 {
+        self.theta
+    }
+}
+
+fn zeta(n: usize, theta: f64) -> f64 {
+    (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn histogram(chooser: &KeyChooser, samples: usize) -> Vec<usize> {
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut h = vec![0usize; chooser.len()];
+        for _ in 0..samples {
+            h[chooser.next(&mut rng)] += 1;
+        }
+        h
+    }
+
+    #[test]
+    fn uniform_covers_range() {
+        let c = RequestDistribution::Uniform.chooser(100);
+        let h = histogram(&c, 100_000);
+        assert!(h.iter().all(|&x| x > 500), "uniform should hit every bucket");
+    }
+
+    #[test]
+    fn zipfian_is_skewed_to_low_ranks() {
+        let c = RequestDistribution::Zipfian { theta: 0.99 }.chooser(1000);
+        let h = histogram(&c, 200_000);
+        let head: usize = h[..10].iter().sum();
+        assert!(
+            head > 200_000 / 3,
+            "top-10 ranks should get a large share, got {head}"
+        );
+        // Monotone-ish decrease from rank 0 to rank 500.
+        assert!(h[0] > h[500]);
+    }
+
+    #[test]
+    fn zipfian_within_bounds() {
+        let z = ZipfianGen::new(10, 0.99);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            assert!(z.sample(&mut rng) < 10);
+        }
+    }
+
+    #[test]
+    fn hotspot_concentrates() {
+        let c = RequestDistribution::HotSpot {
+            hot_fraction: 0.1,
+            hot_prob: 0.9,
+        }
+        .chooser(1000);
+        let h = histogram(&c, 100_000);
+        let hot: usize = h[..100].iter().sum();
+        assert!(hot > 85_000, "hot set should absorb ~91% of requests: {hot}");
+    }
+
+    #[test]
+    fn single_item_always_zero() {
+        let c = RequestDistribution::Zipfian { theta: 0.99 }.chooser(1);
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..100 {
+            assert_eq!(c.next(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty key set")]
+    fn empty_chooser_panics() {
+        let _ = RequestDistribution::Uniform.chooser(0);
+    }
+}

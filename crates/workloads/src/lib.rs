@@ -1,0 +1,24 @@
+//! Workload generation for the learned-LSM testbed.
+//!
+//! The paper evaluates on seven datasets produced by the SOSD benchmark
+//! (Random, Segment, Longitude, Longlat, Books, FB, Wiki — Figure 5 shows
+//! their CDFs), with 6.4 M key-value pairs of 24-byte keys and 1000-byte
+//! values, plus six YCSB workloads (A–F) for the mixed-workload experiment
+//! (Figure 12). The real SOSD datasets are derived from proprietary or bulky
+//! sources (Amazon sales ranks, Facebook user IDs, OSM coordinates, Wikipedia
+//! edit timestamps), so this crate ships synthetic generators that reproduce
+//! each dataset's *CDF character* — the only property a learned index sees.
+//!
+//! All generators are deterministic given a seed.
+
+pub mod cdf;
+pub mod datasets;
+pub mod dist;
+pub mod kv;
+pub mod ycsb;
+
+pub use cdf::CdfSample;
+pub use datasets::Dataset;
+pub use dist::{KeyChooser, RequestDistribution};
+pub use kv::{decode_key, encode_key, value_for_key, KeyBytes, KEY_LEN};
+pub use ycsb::{Op, YcsbSpec, YcsbWorkload};

@@ -1,0 +1,316 @@
+//! YCSB core workloads A–F (paper Figure 12).
+//!
+//! * **A** — update heavy: 50% reads / 50% updates, zipfian.
+//! * **B** — read mostly: 95% reads / 5% updates, zipfian.
+//! * **C** — read only: 100% reads, zipfian.
+//! * **D** — read latest: 95% reads (latest distribution) / 5% inserts.
+//! * **E** — short ranges: 95% scans (length uniform in 1..=100) / 5% inserts.
+//! * **F** — read-modify-write: 50% reads / 50% RMW, zipfian.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::dist::{KeyChooser, RequestDistribution};
+
+/// One operation of a YCSB stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// Point lookup.
+    Read(u64),
+    /// Overwrite an existing key.
+    Update(u64),
+    /// Insert a brand-new key.
+    Insert(u64),
+    /// Range scan of `len` entries starting at the key.
+    Scan(u64, usize),
+    /// Read-modify-write on one key.
+    ReadModifyWrite(u64),
+}
+
+impl Op {
+    /// The primary key the operation touches.
+    pub fn key(&self) -> u64 {
+        match *self {
+            Op::Read(k)
+            | Op::Update(k)
+            | Op::Insert(k)
+            | Op::Scan(k, _)
+            | Op::ReadModifyWrite(k) => k,
+        }
+    }
+
+    /// Whether the operation mutates the store.
+    pub fn is_write(&self) -> bool {
+        matches!(self, Op::Update(_) | Op::Insert(_) | Op::ReadModifyWrite(_))
+    }
+}
+
+/// Which YCSB core workload to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum YcsbSpec {
+    A,
+    B,
+    C,
+    D,
+    E,
+    F,
+}
+
+impl YcsbSpec {
+    /// All six workloads.
+    pub const ALL: [YcsbSpec; 6] = [
+        YcsbSpec::A,
+        YcsbSpec::B,
+        YcsbSpec::C,
+        YcsbSpec::D,
+        YcsbSpec::E,
+        YcsbSpec::F,
+    ];
+
+    /// Workload letter, e.g. `"A"`.
+    pub fn name(&self) -> &'static str {
+        match self {
+            YcsbSpec::A => "A",
+            YcsbSpec::B => "B",
+            YcsbSpec::C => "C",
+            YcsbSpec::D => "D",
+            YcsbSpec::E => "E",
+            YcsbSpec::F => "F",
+        }
+    }
+
+    fn read_fraction(&self) -> f64 {
+        match self {
+            YcsbSpec::A => 0.5,
+            YcsbSpec::B => 0.95,
+            YcsbSpec::C => 1.0,
+            YcsbSpec::D => 0.95,
+            YcsbSpec::E => 0.95, // scans
+            YcsbSpec::F => 0.5,
+        }
+    }
+}
+
+/// Stateful generator of a YCSB operation stream over a loaded key set.
+///
+/// Inserts draw fresh keys from gaps between existing keys so they are unique
+/// and follow the dataset's distribution; the "latest" distribution tracks
+/// insertion recency as YCSB does.
+#[derive(Debug)]
+pub struct YcsbWorkload {
+    spec: YcsbSpec,
+    /// Loaded keys, sorted ascending. Inserted keys are appended (kept
+    /// separately to preserve recency order for the latest distribution).
+    keys: Vec<u64>,
+    inserted: Vec<u64>,
+    chooser: KeyChooser,
+    scan_max: usize,
+    rng: StdRng,
+}
+
+impl YcsbWorkload {
+    /// Default zipfian/latest skew used by YCSB.
+    pub const DEFAULT_THETA: f64 = 0.99;
+
+    /// Build a workload over `keys` (must be sorted, distinct, non-empty).
+    pub fn new(spec: YcsbSpec, keys: Vec<u64>, seed: u64) -> Self {
+        assert!(!keys.is_empty(), "YCSB needs a loaded key set");
+        debug_assert!(keys.windows(2).all(|w| w[0] < w[1]));
+        let dist = match spec {
+            YcsbSpec::D => RequestDistribution::Latest {
+                theta: Self::DEFAULT_THETA,
+            },
+            _ => RequestDistribution::Zipfian {
+                theta: Self::DEFAULT_THETA,
+            },
+        };
+        let chooser = dist.chooser(keys.len());
+        Self {
+            spec,
+            keys,
+            inserted: Vec::new(),
+            chooser,
+            scan_max: 100,
+            rng: StdRng::seed_from_u64(seed ^ 0x5ca1ab1e),
+        }
+    }
+
+    /// The workload spec.
+    pub fn spec(&self) -> YcsbSpec {
+        self.spec
+    }
+
+    fn pick_existing(&mut self) -> u64 {
+        let pos = self.chooser.next(&mut self.rng);
+        if matches!(self.chooser, KeyChooser::Latest(_)) {
+            // Rank 0 = newest. Newest items are the tail of `inserted`,
+            // then the tail of the loaded keys.
+            if pos < self.inserted.len() {
+                return self.inserted[self.inserted.len() - 1 - pos];
+            }
+            let pos = pos - self.inserted.len();
+            let idx = self.keys.len().saturating_sub(1 + pos);
+            return self.keys[idx];
+        }
+        self.keys[pos]
+    }
+
+    fn fresh_key(&mut self) -> u64 {
+        // Midpoint of a random gap between neighbouring loaded keys; retries
+        // until a gap with room is found (always terminates for distinct keys
+        // spanning more than `n` values).
+        loop {
+            let i = self.rng.gen_range(0..self.keys.len());
+            let lo = self.keys[i];
+            let hi = if i + 1 < self.keys.len() {
+                self.keys[i + 1]
+            } else {
+                lo.saturating_add(1 << 20)
+            };
+            if hi - lo > 1 {
+                let k = lo + self.rng.gen_range(1..hi - lo);
+                if self.keys.binary_search(&k).is_err() && !self.inserted.contains(&k) {
+                    return k;
+                }
+            }
+        }
+    }
+
+    /// Generate the next operation.
+    pub fn next_op(&mut self) -> Op {
+        let r: f64 = self.rng.gen();
+        let read = r < self.spec.read_fraction();
+        match self.spec {
+            YcsbSpec::A | YcsbSpec::B => {
+                let k = self.pick_existing();
+                if read {
+                    Op::Read(k)
+                } else {
+                    Op::Update(k)
+                }
+            }
+            YcsbSpec::C => Op::Read(self.pick_existing()),
+            YcsbSpec::D => {
+                if read {
+                    Op::Read(self.pick_existing())
+                } else {
+                    let k = self.fresh_key();
+                    self.inserted.push(k);
+                    Op::Insert(k)
+                }
+            }
+            YcsbSpec::E => {
+                if read {
+                    let len = self.rng.gen_range(1..=self.scan_max);
+                    Op::Scan(self.pick_existing(), len)
+                } else {
+                    let k = self.fresh_key();
+                    self.inserted.push(k);
+                    Op::Insert(k)
+                }
+            }
+            YcsbSpec::F => {
+                let k = self.pick_existing();
+                if read {
+                    Op::Read(k)
+                } else {
+                    Op::ReadModifyWrite(k)
+                }
+            }
+        }
+    }
+
+    /// Generate `n` operations.
+    pub fn take(&mut self, n: usize) -> Vec<Op> {
+        (0..n).map(|_| self.next_op()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn keys(n: usize) -> Vec<u64> {
+        (0..n as u64).map(|i| i * 1000).collect()
+    }
+
+    fn mix(spec: YcsbSpec, n: usize) -> (usize, usize, usize, usize, usize) {
+        let mut w = YcsbWorkload::new(spec, keys(1000), 1);
+        let (mut r, mut u, mut i, mut s, mut rmw) = (0, 0, 0, 0, 0);
+        for op in w.take(n) {
+            match op {
+                Op::Read(_) => r += 1,
+                Op::Update(_) => u += 1,
+                Op::Insert(_) => i += 1,
+                Op::Scan(_, _) => s += 1,
+                Op::ReadModifyWrite(_) => rmw += 1,
+            }
+        }
+        (r, u, i, s, rmw)
+    }
+
+    #[test]
+    fn workload_a_is_half_reads() {
+        let (r, u, i, s, rmw) = mix(YcsbSpec::A, 10_000);
+        assert!((4_500..=5_500).contains(&r), "reads {r}");
+        assert_eq!(r + u, 10_000);
+        assert_eq!(i + s + rmw, 0);
+    }
+
+    #[test]
+    fn workload_c_is_read_only() {
+        let (r, u, i, s, rmw) = mix(YcsbSpec::C, 5_000);
+        assert_eq!(r, 5_000);
+        assert_eq!(u + i + s + rmw, 0);
+    }
+
+    #[test]
+    fn workload_d_inserts_fresh_keys() {
+        let mut w = YcsbWorkload::new(YcsbSpec::D, keys(1000), 3);
+        let mut seen = std::collections::HashSet::new();
+        for op in w.take(5_000) {
+            if let Op::Insert(k) = op {
+                assert!(seen.insert(k), "duplicate insert {k}");
+                assert!(!(0..1000).map(|i| i * 1000).any(|x| x == k));
+            }
+        }
+        assert!(!seen.is_empty());
+    }
+
+    #[test]
+    fn workload_e_scans_bounded() {
+        let mut w = YcsbWorkload::new(YcsbSpec::E, keys(1000), 4);
+        let mut scans = 0;
+        for op in w.take(2_000) {
+            if let Op::Scan(_, len) = op {
+                scans += 1;
+                assert!((1..=100).contains(&len));
+            }
+        }
+        assert!(scans > 1_500, "E should be scan-heavy: {scans}");
+    }
+
+    #[test]
+    fn workload_f_has_rmw() {
+        let (r, _, _, _, rmw) = mix(YcsbSpec::F, 10_000);
+        assert!(rmw > 4_000, "rmw {rmw}");
+        assert!(r > 4_000);
+    }
+
+    #[test]
+    fn ops_expose_key_and_write_flag() {
+        assert_eq!(Op::Read(7).key(), 7);
+        assert!(!Op::Read(7).is_write());
+        assert!(Op::Update(1).is_write());
+        assert!(Op::Insert(1).is_write());
+        assert!(Op::ReadModifyWrite(1).is_write());
+        assert!(!Op::Scan(1, 10).is_write());
+    }
+
+    #[test]
+    fn deterministic_stream() {
+        let mut a = YcsbWorkload::new(YcsbSpec::A, keys(100), 9);
+        let mut b = YcsbWorkload::new(YcsbSpec::A, keys(100), 9);
+        assert_eq!(a.take(500), b.take(500));
+    }
+}

@@ -1,0 +1,109 @@
+//! Property tests for the workload generators: invariants every experiment
+//! relies on, checked over the whole parameter space.
+
+use lsm_workloads::{
+    cdf, decode_key, encode_key, value_for_key, Dataset, Op, RequestDistribution, YcsbSpec,
+    YcsbWorkload,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn datasets_always_sorted_distinct_exact_n(
+        n in 1usize..5_000,
+        seed in any::<u64>(),
+        d in prop::sample::select(Dataset::ALL.to_vec()),
+    ) {
+        let keys = d.generate(n, seed);
+        prop_assert_eq!(keys.len(), n);
+        prop_assert!(keys.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn key_encoding_preserves_order(a in any::<u64>(), b in any::<u64>()) {
+        let (ea, eb) = (encode_key(a), encode_key(b));
+        prop_assert_eq!(a.cmp(&b), ea.cmp(&eb));
+        prop_assert_eq!(decode_key(&ea), a);
+    }
+
+    #[test]
+    fn values_deterministic_and_sized(key in any::<u64>(), len in 0usize..2_000) {
+        let v = value_for_key(key, len);
+        prop_assert_eq!(v.len(), len);
+        prop_assert_eq!(v, value_for_key(key, len));
+    }
+
+    #[test]
+    fn choosers_stay_in_bounds(
+        n in 1usize..10_000,
+        seed in any::<u64>(),
+        theta in 0.01f64..0.999,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for dist in [
+            RequestDistribution::Uniform,
+            RequestDistribution::Zipfian { theta },
+            RequestDistribution::Latest { theta },
+            RequestDistribution::HotSpot { hot_fraction: 0.1, hot_prob: 0.9 },
+        ] {
+            let c = dist.chooser(n);
+            for _ in 0..200 {
+                prop_assert!(c.next(&mut rng) < n);
+            }
+        }
+    }
+
+    #[test]
+    fn ycsb_streams_respect_their_mix(
+        seed in any::<u64>(),
+        spec in prop::sample::select(YcsbSpec::ALL.to_vec()),
+    ) {
+        let keys: Vec<u64> = (0..500u64).map(|i| i * 100).collect();
+        let mut w = YcsbWorkload::new(spec, keys.clone(), seed);
+        let ops = w.take(2_000);
+        // Reads may target loaded keys *or* keys inserted earlier in the
+        // stream (YCSB-D's whole point is reading recent inserts).
+        let mut known: std::collections::BTreeSet<u64> = keys.iter().copied().collect();
+        for op in &ops {
+            match op {
+                Op::Read(k) | Op::Update(k) | Op::ReadModifyWrite(k) => {
+                    prop_assert!(known.contains(k), "{spec:?}: key {k} never written");
+                }
+                Op::Insert(k) => {
+                    prop_assert!(known.insert(*k), "{spec:?}: insert reused {k}");
+                }
+                Op::Scan(k, len) => {
+                    prop_assert!(known.contains(k), "{spec:?}: scan start {k} never written");
+                    prop_assert!((1..=100).contains(len));
+                }
+            }
+        }
+        // Each spec emits only its allowed op kinds.
+        let allowed = |op: &Op| match spec {
+            YcsbSpec::A | YcsbSpec::B => matches!(op, Op::Read(_) | Op::Update(_)),
+            YcsbSpec::C => matches!(op, Op::Read(_)),
+            YcsbSpec::D => matches!(op, Op::Read(_) | Op::Insert(_)),
+            YcsbSpec::E => matches!(op, Op::Scan(_, _) | Op::Insert(_)),
+            YcsbSpec::F => matches!(op, Op::Read(_) | Op::ReadModifyWrite(_)),
+        };
+        prop_assert!(ops.iter().all(allowed), "{spec:?} emitted a foreign op");
+    }
+
+    #[test]
+    fn cdf_samples_are_monotone(
+        n in 2usize..5_000,
+        points in 2usize..50,
+        seed in any::<u64>(),
+    ) {
+        let keys = Dataset::Fb.generate(n, seed);
+        let samples = cdf::sample_cdf(&keys, points);
+        prop_assert_eq!(samples.len(), points);
+        prop_assert!(samples.windows(2).all(|w| w[0].key <= w[1].key));
+        prop_assert!(samples.windows(2).all(|w| w[0].fraction <= w[1].fraction));
+        prop_assert!((samples.last().unwrap().fraction - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,58 @@
+//! Quickstart: open an LSM-tree with a learned index, write, read, scan,
+//! and inspect what the index layer is doing.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use learned_lsm_repro::index::IndexKind;
+use learned_lsm_repro::lsm::{Db, IndexChoice, Options};
+
+fn main() {
+    // A small tree so this demo flushes and compacts visibly.
+    let mut opts = Options::default();
+    opts.write_buffer_bytes = 256 << 10;
+    opts.sstable_target_bytes = 128 << 10;
+    opts.value_width = 64;
+    // The paper's headline recommendation: PGM with a modest position
+    // boundary gives the best memory-latency tradeoff.
+    opts.index = IndexChoice::with_boundary(IndexKind::Pgm, 64);
+
+    let db = Db::open_memory(opts).expect("open in-memory database");
+
+    println!("writing 50,000 key-value pairs...");
+    for k in 0..50_000u64 {
+        let value = format!("value-for-{k}");
+        db.put(k * 7, value.as_bytes()).expect("put");
+    }
+    db.flush().expect("flush");
+
+    // Point lookups.
+    let got = db.get(21).expect("get");
+    println!("get(21)      -> {:?}", got.map(|v| String::from_utf8_lossy(&v).into_owned()));
+    let missing = db.get(22).expect("get");
+    println!("get(22)      -> {missing:?} (never written)");
+
+    // Deletes mask older values.
+    db.delete(21).expect("delete");
+    println!("after delete -> {:?}", db.get(21).expect("get"));
+
+    // Range scan.
+    let range = db.scan(70, 5).expect("scan");
+    println!("scan(70, 5)  -> {:?}", range.iter().map(|(k, _)| *k).collect::<Vec<_>>());
+
+    // What did the tree do, and what does the learned index cost?
+    let stats = db.stats().snapshot();
+    let version = db.version();
+    println!("\n--- engine report ---");
+    println!("flushes:            {}", stats.flushes);
+    println!("compactions:        {}", stats.compactions);
+    println!("tables:             {}", version.table_count());
+    println!("deepest level:      L{}", version.deepest_level());
+    println!("index memory:       {} B (PGM, boundary 64)", db.index_memory_bytes());
+    println!("bloom memory:       {} B", db.bloom_memory_bytes());
+    println!(
+        "train time share:   {:.2}% of compaction",
+        stats.compaction_breakdown().train_fraction() * 100.0
+    );
+}

@@ -1,0 +1,72 @@
+//! Interactive embodiment of the paper's tuning guide (Section 6.1): given a
+//! memory budget for indexes, find the best (index, position boundary)
+//! configuration — "prioritize position boundary; index type mainly moves
+//! the memory-latency tradeoff".
+//!
+//! ```sh
+//! cargo run --release --example tune_boundary [budget-bytes] [dataset]
+//! ```
+
+use learned_lsm_repro::index::IndexKind;
+use learned_lsm_repro::testbed::{Granularity, Testbed, TestbedConfig};
+use learned_lsm_repro::workloads::{Dataset, RequestDistribution};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let budget: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(8_192);
+    let dataset = args
+        .next()
+        .and_then(|s| Dataset::from_name(&s))
+        .unwrap_or(Dataset::Wiki);
+    let n = 150_000usize;
+
+    println!("index memory budget: {budget} B, dataset: {dataset}, {n} keys\n");
+    println!(
+        "{:6} {:>9} {:>12} {:>14}  {}",
+        "index", "boundary", "memory (B)", "latency (µs)", "fits?"
+    );
+
+    let mut best: Option<(IndexKind, usize, f64, u64)> = None;
+    for kind in IndexKind::ALL {
+        // Walk the boundary down (latency improves) until the budget breaks.
+        for boundary in [256usize, 128, 64, 32, 16, 8] {
+            let mut c = TestbedConfig::quick(kind, boundary, dataset);
+            c.num_keys = n;
+            c.value_width = 64;
+            c.granularity = Granularity::SstBytes(512 << 10);
+            c.write_buffer_bytes = 512 << 10;
+            let mut tb = Testbed::new(c).expect("open testbed");
+            tb.load().expect("load");
+            let mem = tb.index_memory_bytes();
+            let fits = mem <= budget;
+            let r = tb
+                .run_point_lookups(5_000, RequestDistribution::Uniform)
+                .expect("lookups");
+            println!(
+                "{:6} {:>9} {:>12} {:>14.2}  {}",
+                kind.abbrev(),
+                boundary,
+                mem,
+                r.avg_latency_us,
+                if fits { "yes" } else { "no" }
+            );
+            if fits {
+                let better = best
+                    .as_ref()
+                    .map_or(true, |(_, _, lat, _)| r.avg_latency_us < *lat);
+                if better {
+                    best = Some((kind, boundary, r.avg_latency_us, mem));
+                }
+            }
+        }
+    }
+
+    match best {
+        Some((kind, boundary, lat, mem)) => println!(
+            "\nrecommendation: {} with position boundary {boundary} \
+             ({mem} B of {budget} B budget, {lat:.2} µs/lookup)",
+            kind.abbrev()
+        ),
+        None => println!("\nno configuration fits the budget — raise it or grow the SSTables"),
+    }
+}

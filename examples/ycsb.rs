@@ -1,0 +1,51 @@
+//! Run the six YCSB core workloads against a chosen index — the scenario of
+//! the paper's Figure 12 and of its introduction: "which learned index
+//! should my key-value store use?"
+//!
+//! ```sh
+//! cargo run --release --example ycsb [index-abbrev] [ops]
+//! ```
+
+use learned_lsm_repro::index::IndexKind;
+use learned_lsm_repro::testbed::{Granularity, Testbed, TestbedConfig};
+use learned_lsm_repro::workloads::{Dataset, YcsbSpec};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let kind = args
+        .next()
+        .and_then(|s| IndexKind::from_abbrev(&s))
+        .unwrap_or(IndexKind::Pgm);
+    let ops: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(20_000);
+
+    println!("index={} ops-per-workload={ops}\n", kind.abbrev());
+    println!(
+        "{:>9} {:>14} {:>14}  {}",
+        "workload", "avg op (µs)", "index mem (B)", "mix"
+    );
+    let mixes = [
+        ("A", "50% read / 50% update, zipfian"),
+        ("B", "95% read / 5% update, zipfian"),
+        ("C", "100% read, zipfian"),
+        ("D", "95% read-latest / 5% insert"),
+        ("E", "95% short scans / 5% insert"),
+        ("F", "50% read / 50% read-modify-write"),
+    ];
+    for (spec, (_, mix)) in YcsbSpec::ALL.iter().zip(mixes.iter()) {
+        let mut c = TestbedConfig::quick(kind, 64, Dataset::Random);
+        c.num_keys = 100_000;
+        c.value_width = 64;
+        c.granularity = Granularity::SstBytes(512 << 10);
+        c.write_buffer_bytes = 512 << 10;
+        let mut tb = Testbed::new(c).expect("open testbed");
+        tb.load().expect("load");
+        let avg = tb.run_ycsb(*spec, ops).expect("ycsb");
+        println!(
+            "{:>9} {:>14.2} {:>14}  {}",
+            format!("YCSB-{}", spec.name()),
+            avg,
+            tb.index_memory_bytes(),
+            mix
+        );
+    }
+}

@@ -1,0 +1,32 @@
+//! # learned-lsm-repro
+//!
+//! Reproduction of **"Evaluating Learned Indexes in LSM-tree Systems:
+//! Benchmarks, Insights and Design Choices"** (EDBT 2026) as a Rust
+//! workspace. This facade crate re-exports the pieces; see `README.md` for a
+//! tour and `DESIGN.md` / `EXPERIMENTS.md` for the reproduction notes.
+//!
+//! * [`io`] — storage backends incl. the deterministic simulated NVMe;
+//! * [`workloads`] — the seven SOSD-style datasets and YCSB A–F;
+//! * [`index`] — PLR, FITing-Tree, PGM, RadixSpline, PLEX, RMI and fence
+//!   pointers behind one `SegmentIndex` trait;
+//! * [`lsm`] — the LevelDB-style engine with pluggable table indexes;
+//! * [`testbed`] — the paper's configuration space and workload runners.
+//!
+//! ```
+//! use learned_lsm_repro::lsm::{Db, Options};
+//! use learned_lsm_repro::index::IndexKind;
+//!
+//! let mut opts = Options::small_for_tests();
+//! opts.index.kind = IndexKind::Pgm;
+//! let db = Db::open_memory(opts).unwrap();
+//! db.put(1, b"one").unwrap();
+//! assert_eq!(db.get(1).unwrap().as_deref(), Some(&b"one"[..]));
+//! ```
+
+pub use learned_index as index;
+pub use learned_unclustered as unclustered;
+pub use learned_lsm as testbed;
+pub use lsm_bench as bench;
+pub use lsm_io as io;
+pub use lsm_tree as lsm;
+pub use lsm_workloads as workloads;
