@@ -22,7 +22,8 @@ fn build_db(search: SearchStrategy, cache_bytes: usize, keys: &[u64]) -> Db {
     opts.block_cache_bytes = cache_bytes;
     opts.wal = false;
     let db = Db::open(Arc::new(SimStorage::new(CostModel::default())), opts).expect("open");
-    db.bulk_load(keys.iter().map(|&k| (k, vec![0u8; 24]))).expect("load");
+    db.bulk_load(keys.iter().map(|&k| (k, vec![0u8; 24])))
+        .expect("load");
     db
 }
 

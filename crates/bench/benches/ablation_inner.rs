@@ -30,7 +30,9 @@ fn bench_inner_structures(c: &mut Criterion) {
     let hist = HistTree::build(&knot_keys, 6, 16);
 
     let mut rng = StdRng::seed_from_u64(9);
-    let probes: Vec<u64> = (0..1024).map(|_| keys[rng.gen_range(0..keys.len())]).collect();
+    let probes: Vec<u64> = (0..1024)
+        .map(|_| keys[rng.gen_range(0..keys.len())])
+        .collect();
 
     let mut g = c.benchmark_group("inner_index_locate");
     g.sample_size(20);

@@ -12,7 +12,8 @@ fn write_heavy(kind: IndexKind, n: u64) {
     opts.sstable_target_bytes = 32 << 10;
     let db = Db::open_memory(opts).expect("open");
     for k in 0..n {
-        db.put((k * 2_654_435_761) % (1 << 40), &[7u8; 32]).expect("put");
+        db.put((k * 2_654_435_761) % (1 << 40), &[7u8; 32])
+            .expect("put");
     }
     db.flush().expect("flush");
 }
@@ -23,9 +24,13 @@ fn bench_compaction(c: &mut Criterion) {
     g.sample_size(10);
     g.throughput(Throughput::Elements(N));
     for kind in IndexKind::ALL {
-        g.bench_with_input(BenchmarkId::from_parameter(kind.abbrev()), &kind, |b, &k| {
-            b.iter(|| write_heavy(k, N));
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(kind.abbrev()),
+            &kind,
+            |b, &k| {
+                b.iter(|| write_heavy(k, N));
+            },
+        );
     }
     g.finish();
 }

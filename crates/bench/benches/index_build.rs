@@ -15,9 +15,13 @@ fn bench_build(c: &mut Criterion) {
     g.sample_size(10);
     g.throughput(Throughput::Elements(keys.len() as u64));
     for kind in IndexKind::ALL {
-        g.bench_with_input(BenchmarkId::from_parameter(kind.abbrev()), &kind, |b, &k| {
-            b.iter(|| k.build(std::hint::black_box(&keys), &config));
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(kind.abbrev()),
+            &kind,
+            |b, &k| {
+                b.iter(|| k.build(std::hint::black_box(&keys), &config));
+            },
+        );
     }
     g.finish();
 }

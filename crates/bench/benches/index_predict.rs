@@ -14,19 +14,25 @@ fn bench_predict(c: &mut Criterion) {
         ..IndexConfig::default()
     };
     let mut rng = StdRng::seed_from_u64(3);
-    let probes: Vec<u64> = (0..1024).map(|_| keys[rng.gen_range(0..keys.len())]).collect();
+    let probes: Vec<u64> = (0..1024)
+        .map(|_| keys[rng.gen_range(0..keys.len())])
+        .collect();
 
     let mut g = c.benchmark_group("index_predict_200k_random");
     g.sample_size(20);
     for kind in IndexKind::ALL {
         let idx = kind.build(&keys, &config);
-        g.bench_with_input(BenchmarkId::from_parameter(kind.abbrev()), &idx, |b, idx| {
-            let mut i = 0usize;
-            b.iter(|| {
-                i = (i + 1) & 1023;
-                std::hint::black_box(idx.predict(probes[i]))
-            });
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(kind.abbrev()),
+            &idx,
+            |b, idx| {
+                let mut i = 0usize;
+                b.iter(|| {
+                    i = (i + 1) & 1023;
+                    std::hint::black_box(idx.predict(probes[i]))
+                });
+            },
+        );
     }
     g.finish();
 }

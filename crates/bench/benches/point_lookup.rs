@@ -21,7 +21,9 @@ fn bench_point_lookup(c: &mut Criterion) {
         tb.load().expect("load");
         let keys: Vec<u64> = tb.keys().to_vec();
         let mut rng = StdRng::seed_from_u64(5);
-        let probes: Vec<u64> = (0..1024).map(|_| keys[rng.gen_range(0..keys.len())]).collect();
+        let probes: Vec<u64> = (0..1024)
+            .map(|_| keys[rng.gen_range(0..keys.len())])
+            .collect();
         g.bench_with_input(BenchmarkId::from_parameter(kind.abbrev()), &tb, |b, tb| {
             let mut i = 0usize;
             b.iter(|| {

@@ -33,15 +33,20 @@ fn bench_policies(c: &mut Criterion) {
     for (pname, policy) in policies {
         for kind in [IndexKind::FencePointers, IndexKind::Pgm] {
             let label = format!("{pname}/{}", kind.abbrev());
-            g.bench_with_input(BenchmarkId::from_parameter(label), &(policy, kind), |b, &(p, k)| {
-                b.iter(|| {
-                    let db = Db::open_memory(opts(p, k)).expect("open");
-                    for i in 0..N {
-                        db.put((i * 2_654_435_761) % (1 << 30), &[7u8; 24]).expect("put");
-                    }
-                    db.flush().expect("flush");
-                });
-            });
+            g.bench_with_input(
+                BenchmarkId::from_parameter(label),
+                &(policy, kind),
+                |b, &(p, k)| {
+                    b.iter(|| {
+                        let db = Db::open_memory(opts(p, k)).expect("open");
+                        for i in 0..N {
+                            db.put((i * 2_654_435_761) % (1 << 30), &[7u8; 24])
+                                .expect("put");
+                        }
+                        db.flush().expect("flush");
+                    });
+                },
+            );
         }
     }
     g.finish();
@@ -57,7 +62,9 @@ fn bench_policies(c: &mut Criterion) {
             }
             db.flush().expect("flush");
             let mut rng = StdRng::seed_from_u64(3);
-            let probes: Vec<u64> = (0..1024).map(|_| keys[rng.gen_range(0..keys.len())]).collect();
+            let probes: Vec<u64> = (0..1024)
+                .map(|_| keys[rng.gen_range(0..keys.len())])
+                .collect();
             let label = format!("{pname}/{}", kind.abbrev());
             g.bench_with_input(BenchmarkId::from_parameter(label), &db, |b, db| {
                 let mut i = 0usize;

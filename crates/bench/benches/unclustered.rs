@@ -11,7 +11,11 @@ use rand::{Rng, SeedableRng};
 fn bench_unclustered(c: &mut Criterion) {
     let n = 100_000usize;
     let keys = Dataset::Random.generate(n, 21);
-    let pairs: Vec<(u64, u64)> = keys.iter().enumerate().map(|(i, &k)| (k, i as u64)).collect();
+    let pairs: Vec<(u64, u64)> = keys
+        .iter()
+        .enumerate()
+        .map(|(i, &k)| (k, i as u64))
+        .collect();
     let alex = AlexMap::build(&pairs);
     let lipp = LippMap::build(&pairs);
     let packed: Vec<(u64, u64)> = pairs.clone();

@@ -9,7 +9,10 @@ fn main() {
 
     println!("# Figure 10 — per-level shares (read overhead / index size / level size)");
     let mut last = String::new();
-    println!("{:12} {:>5} {:>12} {:>12} {:>12}", "dist", "level", "reads", "index", "entries");
+    println!(
+        "{:12} {:>5} {:>12} {:>12} {:>12}",
+        "dist", "level", "reads", "index", "entries"
+    );
     for r in &records {
         if r.distribution != last {
             println!("--- {} ---", r.distribution);

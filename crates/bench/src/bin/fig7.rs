@@ -8,7 +8,10 @@ fn main() {
     let (by_kind, by_boundary) = runner::fig7(&cli.scale, cli.dataset).expect("fig7 experiment");
 
     println!("# Figure 7(A) — stage breakdown by index type (boundary 64, µs/op)");
-    println!("{:8} {:>10} {:>10} {:>10} {:>10}", "index", "locate", "predict", "disk I/O", "search");
+    println!(
+        "{:8} {:>10} {:>10} {:>10} {:>10}",
+        "index", "locate", "predict", "disk I/O", "search"
+    );
     for r in &by_kind {
         println!(
             "{:8} {:10.3} {:10.3} {:10.3} {:10.3}",

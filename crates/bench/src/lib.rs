@@ -160,7 +160,16 @@ mod tests {
 
     #[test]
     fn overrides_apply() {
-        let c = parse(&["--keys", "500", "--ops", "7", "--dataset", "wiki", "--out", "/tmp/x.json"]);
+        let c = parse(&[
+            "--keys",
+            "500",
+            "--ops",
+            "7",
+            "--dataset",
+            "wiki",
+            "--out",
+            "/tmp/x.json",
+        ]);
         assert_eq!(c.scale.keys, 500);
         assert_eq!(c.scale.ops, 7);
         assert_eq!(c.dataset, Dataset::Wiki);

@@ -151,6 +151,62 @@ pub fn fig8(scale: &Scale, dataset: Dataset, boundaries: &[usize]) -> Result<Vec
     Ok(out)
 }
 
+// ---------------------------------------------------- Write modes (ablation)
+
+/// One point of the group-commit ablation: the same write-only workload
+/// issued per-key or in `WriteBatch`es of `batch_size` entries.
+#[derive(Debug, Serialize)]
+pub struct WriteModeRecord {
+    pub mode: String,
+    pub batch_size: usize,
+    /// Per-op write latency, µs (CPU measured + modeled I/O).
+    pub avg_write_us: f64,
+    /// WAL records appended over the whole load — group commit makes this
+    /// `ops / batch_size` instead of `ops`.
+    pub wal_appends: u64,
+    pub speedup_vs_per_key: f64,
+}
+
+/// Group-commit ablation: per-key `put` vs batched `Db::write` for the same
+/// write-only load on the simulated NVMe. The ≥2× speedup of batched
+/// loading is the write-path headline of the `WriteBatch` API redesign.
+pub fn write_modes(
+    scale: &Scale,
+    dataset: Dataset,
+    batch_sizes: &[usize],
+) -> Result<Vec<WriteModeRecord>> {
+    let mut config = config_for(
+        scale,
+        IndexKind::Pgm,
+        64,
+        dataset,
+        Granularity::SstBytes(scale.sst_bytes),
+    );
+    config.num_keys = 0;
+
+    let mut per_key_tb = Testbed::new(config.clone())?;
+    let per_key = per_key_tb.run_write_workload(scale.ops)?;
+    let mut out = vec![WriteModeRecord {
+        mode: "per-key".to_string(),
+        batch_size: 1,
+        avg_write_us: per_key.avg_write_us,
+        wal_appends: per_key_tb.db().stats().snapshot().wal_appends,
+        speedup_vs_per_key: 1.0,
+    }];
+    for &batch_size in batch_sizes {
+        let mut tb = Testbed::new(config.clone())?;
+        let r = tb.run_write_workload_batched(scale.ops, batch_size)?;
+        out.push(WriteModeRecord {
+            mode: "batched".to_string(),
+            batch_size,
+            avg_write_us: r.avg_write_us,
+            wal_appends: tb.db().stats().snapshot().wal_appends,
+            speedup_vs_per_key: per_key.avg_write_us / r.avg_write_us.max(1e-9),
+        });
+    }
+    Ok(out)
+}
+
 // ---------------------------------------------------------------- Figure 9
 
 /// Figure 9: compaction time and breakdown under a write-only workload.
@@ -288,11 +344,7 @@ pub struct YcsbRecord {
 
 /// Figure 12: six YCSB workloads, each index at several memory budgets
 /// (obtained by sweeping the position boundary).
-pub fn fig12(
-    scale: &Scale,
-    dataset: Dataset,
-    boundaries: &[usize],
-) -> Result<Vec<YcsbRecord>> {
+pub fn fig12(scale: &Scale, dataset: Dataset, boundaries: &[usize]) -> Result<Vec<YcsbRecord>> {
     let mut out = Vec::new();
     for spec in YcsbSpec::ALL {
         for kind in IndexKind::ALL {

@@ -136,7 +136,7 @@ impl BoundaryAllocator {
                     continue;
                 }
                 let density = gain / (extra.max(1)) as f64;
-                if best.map_or(true, |(_, d, _)| density > d) {
+                if best.is_none_or(|(_, d, _)| density > d) {
                     best = Some((li, density, extra));
                 }
             }
@@ -149,8 +149,7 @@ impl BoundaryAllocator {
             }
         }
 
-        let per_level_boundary: Vec<usize> =
-            choice.iter().map(|&ci| self.candidates[ci]).collect();
+        let per_level_boundary: Vec<usize> = choice.iter().map(|&ci| self.candidates[ci]).collect();
         let per_level_memory: Vec<usize> = choice
             .iter()
             .enumerate()
@@ -176,7 +175,11 @@ impl AllocationPlan {
     /// Guard against empty-level artifacts: levels with no keys keep the
     /// coarsest boundary.
     fn normalized(mut self, coarse: usize) -> Self {
-        for (b, &m) in self.per_level_boundary.iter_mut().zip(&self.per_level_memory) {
+        for (b, &m) in self
+            .per_level_boundary
+            .iter_mut()
+            .zip(&self.per_level_memory)
+        {
             if m == 0 {
                 *b = coarse;
             }
@@ -235,10 +238,7 @@ mod tests {
 
     #[test]
     fn plan_respects_budget_and_improves_cost() {
-        let levels = vec![
-            level(2_000, 11, 0.3, 2),
-            level(20_000, 13, 0.7, 8),
-        ];
+        let levels = vec![level(2_000, 11, 0.3, 2), level(20_000, 13, 0.7, 8)];
         let alloc = BoundaryAllocator::default();
         let coarse_cost: f64 = levels.iter().map(|l| l.read_share * alloc.io_ns(256)).sum();
         let plan = alloc.allocate(&levels, 1 << 20);

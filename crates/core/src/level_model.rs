@@ -33,9 +33,7 @@ impl LevelModel {
         kind: IndexKind,
         config: &IndexConfig,
     ) -> Result<LevelModel> {
-        debug_assert!(tables
-            .windows(2)
-            .all(|w| w[0].max_key() < w[1].min_key()));
+        debug_assert!(tables.windows(2).all(|w| w[0].max_key() < w[1].min_key()));
         let total: usize = tables.iter().map(|t| t.len()).sum();
         let mut keys = Vec::with_capacity(total);
         let mut cum = Vec::with_capacity(tables.len() + 1);
@@ -61,9 +59,10 @@ impl LevelModel {
         }
         let t0 = std::time::Instant::now();
         let bound = self.index.predict(key);
-        stats
-            .predict_ns
-            .fetch_add(t0.elapsed().as_nanos() as u64, std::sync::atomic::Ordering::Relaxed);
+        stats.predict_ns.fetch_add(
+            t0.elapsed().as_nanos() as u64,
+            std::sync::atomic::Ordering::Relaxed,
+        );
         if bound.is_empty() {
             return Ok(None);
         }
@@ -111,10 +110,10 @@ impl LevelModel {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use lsm_io::{MemStorage, Storage};
     use lsm_tree::sstable::TableBuilder;
     use lsm_tree::types::Entry;
     use lsm_tree::IndexChoice;
-    use lsm_io::{MemStorage, Storage};
 
     fn table(storage: &MemStorage, name: &str, keys: &[u64]) -> Arc<TableReader> {
         let file = storage.create(name).unwrap();

@@ -193,8 +193,8 @@ mod tests {
             64,
             "64".into(),
             1000,
-            2_000_000,  // 2 µs CPU total... per 1000 ops = 2ns? no: 2ms/1000 = 2µs/op
-            8_000_000,  // 8 µs/op modeled
+            2_000_000, // 2 µs CPU total... per 1000 ops = 2ns? no: 2ms/1000 = 2µs/op
+            8_000_000, // 8 µs/op modeled
             3000,
             12345,
             678,

@@ -30,7 +30,9 @@ impl MemStorage {
 
     pub(crate) fn insert_empty(&self, name: &str) -> Arc<RwLock<Vec<u8>>> {
         let buf = Arc::new(RwLock::new(Vec::new()));
-        self.files.write().insert(name.to_string(), Arc::clone(&buf));
+        self.files
+            .write()
+            .insert(name.to_string(), Arc::clone(&buf));
         buf
     }
 

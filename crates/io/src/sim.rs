@@ -82,10 +82,9 @@ impl WritableFile for SimWriter {
 
 impl Storage for SimStorage {
     fn open_read(&self, name: &str) -> io::Result<Arc<dyn RandomAccessFile>> {
-        let data = self
-            .mem
-            .get(name)
-            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, format!("no such file: {name}")))?;
+        let data = self.mem.get(name).ok_or_else(|| {
+            io::Error::new(io::ErrorKind::NotFound, format!("no such file: {name}"))
+        })?;
         Ok(Arc::new(SimFile {
             inner: MemFile {
                 data,

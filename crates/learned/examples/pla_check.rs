@@ -11,7 +11,10 @@ fn main() {
             let segs = optimal_pla(&keys, eps);
             let mut worst = 0f64;
             for (si, s) in segs.iter().enumerate() {
-                let end = segs.get(si + 1).map_or(keys.len(), |x| x.start_pos as usize);
+                let end = segs
+                    .get(si + 1)
+                    .map_or(keys.len(), |x| x.start_pos as usize);
+                #[allow(clippy::needless_range_loop)] // pos arithmetic is the point
                 for pos in s.start_pos as usize..end {
                     let k = keys[pos];
                     let dx = (k - s.first_key) as f64; // integer-exact delta

@@ -85,7 +85,8 @@ pub fn segment_keys(keys: &[u64], eps: usize) -> Vec<Segment> {
         let slope = match (lo.is_finite(), hi.is_finite()) {
             (true, true) => (lo + hi) / 2.0,
             (true, false) => lo.max(0.0),
-            (false, true) => hi.min(0.0).max(0.0),
+            // Only an upper bound: the flattest non-negative slope is 0.
+            (false, true) => 0.0,
             (false, false) => 0.0,
         };
         segments.push(Segment {

@@ -6,7 +6,7 @@
 //! `index_shootout` example and the RMI leaf-sizing logic reason about
 //! *achieved* (as opposed to configured) position boundaries.
 
-use crate::{SegmentIndex, SearchBound};
+use crate::{SearchBound, SegmentIndex};
 
 /// Exact fit statistics of one index over the keys it was built on.
 #[derive(Debug, Clone, PartialEq)]
@@ -141,8 +141,20 @@ mod tests {
     #[test]
     fn tighter_epsilon_means_smaller_errors() {
         let ks = keys(20_000);
-        let tight = IndexKind::Pgm.build(&ks, &IndexConfig { epsilon: 2, ..Default::default() });
-        let loose = IndexKind::Pgm.build(&ks, &IndexConfig { epsilon: 128, ..Default::default() });
+        let tight = IndexKind::Pgm.build(
+            &ks,
+            &IndexConfig {
+                epsilon: 2,
+                ..Default::default()
+            },
+        );
+        let loose = IndexKind::Pgm.build(
+            &ks,
+            &IndexConfig {
+                epsilon: 128,
+                ..Default::default()
+            },
+        );
         let dt = IndexDiagnostics::evaluate(tight.as_ref(), &ks);
         let dl = IndexDiagnostics::evaluate(loose.as_ref(), &ks);
         assert!(dt.mean_error < dl.mean_error);
@@ -152,7 +164,13 @@ mod tests {
     #[test]
     fn perfect_fit_is_all_zero_errors() {
         let ks: Vec<u64> = (0..5_000u64).map(|i| i * 10).collect();
-        let idx = IndexKind::Rmi.build(&ks, &IndexConfig { epsilon: 8, ..Default::default() });
+        let idx = IndexKind::Rmi.build(
+            &ks,
+            &IndexConfig {
+                epsilon: 8,
+                ..Default::default()
+            },
+        );
         let d = IndexDiagnostics::evaluate(idx.as_ref(), &ks);
         // Linear data: RMI's recorded error is 0; centre error ≤ 1 (clamping).
         assert!(d.max_error <= 1, "{}", d.summary());

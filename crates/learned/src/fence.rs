@@ -30,11 +30,7 @@ impl FencePointerIndex {
     /// width is the position boundary `2ε`.
     pub fn build(keys: &[u64], eps: usize) -> Self {
         let block_len = (2 * eps.max(1)) as u32;
-        let firsts = keys
-            .iter()
-            .step_by(block_len as usize)
-            .copied()
-            .collect();
+        let firsts = keys.iter().step_by(block_len as usize).copied().collect();
         Self {
             firsts,
             block_len,
@@ -75,10 +71,7 @@ impl SegmentIndex for FencePointerIndex {
         if n == 0 || self.firsts.is_empty() {
             return SearchBound { lo: 0, hi: 0 };
         }
-        let block = self
-            .firsts
-            .partition_point(|&k| k <= key)
-            .saturating_sub(1);
+        let block = self.firsts.partition_point(|&k| k <= key).saturating_sub(1);
         // Clamp into [0, n] so even corrupt block_len/n fields deserialized
         // from a damaged file cannot produce an out-of-range bound.
         let lo = (block * self.block_len as usize).min(n);

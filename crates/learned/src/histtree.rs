@@ -45,7 +45,14 @@ impl HistTree {
             n: keys.len(),
         };
         if keys.len() > 1 {
-            tree.build_node(keys, 0, keys.len(), keys[0], *keys.last().expect("non-empty"), 0);
+            tree.build_node(
+                keys,
+                0,
+                keys.len(),
+                keys[0],
+                *keys.last().expect("non-empty"),
+                0,
+            );
         }
         tree
     }
@@ -104,7 +111,14 @@ impl HistTree {
                 if e - s > self.leaf_threshold {
                     let bin_min = min_key + ((b as u64) << shift);
                     let bin_max = (min_key + (((b + 1) as u64) << shift)).saturating_sub(1);
-                    let child = self.build_node(keys, s, e, bin_min.max(keys[s]), bin_max.min(keys[e - 1]).max(bin_min), depth + 1);
+                    let child = self.build_node(
+                        keys,
+                        s,
+                        e,
+                        bin_min.max(keys[s]),
+                        bin_max.min(keys[e - 1]).max(bin_min),
+                        depth + 1,
+                    );
                     self.nodes[id as usize].children[b] = child;
                 }
             }

@@ -9,7 +9,7 @@
 //! | Index | Segmentation | Inner index over segments |
 //! |---|---|---|
 //! | [`plr::PlrIndex`] | greedy shrinking cone | sorted array + binary search |
-//! | [`fiting::FitingTreeIndex`] | greedy shrinking cone | B+-tree |
+//! | [`fitting::FitingTreeIndex`] | greedy shrinking cone | B+-tree |
 //! | [`pgm::PgmIndex`] | optimal streaming (O'Rourke) | recursive PGM levels |
 //! | [`radixspline::RadixSplineIndex`] | greedy spline corridor | radix table |
 //! | [`plex::PlexIndex`] | greedy spline corridor | compact hist-tree (self-tuned) |
@@ -28,7 +28,7 @@ pub mod cone;
 pub mod cost;
 pub mod diagnostics;
 pub mod fence;
-pub mod fiting;
+pub mod fitting;
 pub mod histtree;
 pub mod linear;
 pub mod pgm;
@@ -170,7 +170,7 @@ impl IndexKind {
         let eps = config.epsilon.max(1);
         match self {
             IndexKind::FencePointers => Box::new(fence::FencePointerIndex::build(keys, eps)),
-            IndexKind::FitingTree => Box::new(fiting::FitingTreeIndex::build(
+            IndexKind::FitingTree => Box::new(fitting::FitingTreeIndex::build(
                 keys,
                 eps,
                 config.bptree_fanout,
@@ -202,7 +202,7 @@ impl IndexKind {
         let mut r = codec::Reader::new(rest);
         let idx: Box<dyn SegmentIndex> = match kind {
             IndexKind::FencePointers => Box::new(fence::FencePointerIndex::decode_body(&mut r)?),
-            IndexKind::FitingTree => Box::new(fiting::FitingTreeIndex::decode_body(&mut r)?),
+            IndexKind::FitingTree => Box::new(fitting::FitingTreeIndex::decode_body(&mut r)?),
             IndexKind::Plr => Box::new(plr::PlrIndex::decode_body(&mut r)?),
             IndexKind::Plex => Box::new(plex::PlexIndex::decode_body(&mut r)?),
             IndexKind::RadixSpline => Box::new(radixspline::RadixSplineIndex::decode_body(&mut r)?),

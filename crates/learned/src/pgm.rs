@@ -134,8 +134,14 @@ impl OptPla {
             x: x as i128,
             y: y as i128,
         };
-        let p1 = Pt { x: p.x, y: p.y + self.eps }; // upper constraint point
-        let p2 = Pt { x: p.x, y: p.y - self.eps }; // lower constraint point
+        let p1 = Pt {
+            x: p.x,
+            y: p.y + self.eps,
+        }; // upper constraint point
+        let p2 = Pt {
+            x: p.x,
+            y: p.y - self.eps,
+        }; // lower constraint point
 
         if self.points == 0 {
             self.first_x = x;

@@ -39,7 +39,7 @@ impl PlexIndex {
             let knot_keys: Vec<u64> = knots.iter().map(|k| k.key).collect();
             let tree = Self::self_tune(&knot_keys);
             let size = knots.len() * SplinePoint::ENCODED_LEN + tree.size_bytes();
-            let better = best.as_ref().map_or(true, |(bk, bt)| {
+            let better = best.as_ref().is_none_or(|(bk, bt)| {
                 size < bk.len() * SplinePoint::ENCODED_LEN + bt.size_bytes()
             });
             if better {
@@ -70,14 +70,14 @@ impl PlexIndex {
             if run <= TARGET_LEAF_RUN + 1 {
                 let better = best
                     .as_ref()
-                    .map_or(true, |b| t.size_bytes() < b.size_bytes());
+                    .is_none_or(|b| t.size_bytes() < b.size_bytes());
                 if better {
                     best = Some(t.clone());
                 }
             }
             let better_fb = best_fallback
                 .as_ref()
-                .map_or(true, |b| run < b.max_leaf_run());
+                .is_none_or(|b| run < b.max_leaf_run());
             if better_fb {
                 best_fallback = Some(t);
             }
@@ -101,8 +101,7 @@ impl PlexIndex {
         }
         let cand = lo + in_window.saturating_sub(1);
         if cand == hi && hi + 1 < self.knots.len() && self.knots[hi + 1].key <= key {
-            return hi
-                + self.knots[hi + 1..].partition_point(|k| k.key <= key);
+            return hi + self.knots[hi + 1..].partition_point(|k| k.key <= key);
         }
         cand
     }

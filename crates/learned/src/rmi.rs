@@ -119,7 +119,11 @@ impl RmiIndex {
 
     /// Maximum recorded leaf error (the achieved half-boundary).
     pub fn max_recorded_error(&self) -> usize {
-        self.leaves.iter().map(|l| l.err as usize).max().unwrap_or(0)
+        self.leaves
+            .iter()
+            .map(|l| l.err as usize)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Mean recorded leaf error weighted by leaf size.
@@ -130,10 +134,7 @@ impl RmiIndex {
         let n = self.n as usize;
         let mut acc = 0.0;
         for (i, l) in self.leaves.iter().enumerate() {
-            let end = self
-                .leaves
-                .get(i + 1)
-                .map_or(n, |nx| nx.start as usize);
+            let end = self.leaves.get(i + 1).map_or(n, |nx| nx.start as usize);
             acc += l.err as f64 * (end - l.start as usize) as f64;
         }
         acc / n as f64
@@ -143,10 +144,7 @@ impl RmiIndex {
         let n = r.u32("rmi.n")?;
         let root = LinearModel::decode(r)?;
         let count = r.u32("rmi.leaf_count")? as usize;
-        if count == 0
-            || count > (n as usize).max(1)
-            || count * Leaf::ENCODED_LEN > r.remaining()
-        {
+        if count == 0 || count > (n as usize).max(1) || count * Leaf::ENCODED_LEN > r.remaining() {
             return Err(DecodeError::Corrupt("rmi.leaf_count"));
         }
         let mut leaves = Vec::with_capacity(count);
@@ -158,7 +156,7 @@ impl RmiIndex {
         }
         let well_formed = leaves.windows(2).all(|w| w[0].start <= w[1].start)
             && leaves.iter().all(|l| l.start <= n)
-            && leaves.first().map_or(true, |l| l.start == 0);
+            && leaves.first().is_none_or(|l| l.start == 0);
         if !well_formed {
             return Err(DecodeError::Corrupt("rmi.leaf_starts"));
         }

@@ -32,7 +32,7 @@ impl BloomFilter {
         let n_bits = (words * 64) as u64;
         for &key in keys {
             let h = mix(key);
-            let delta = (h >> 17) | (h << 47);
+            let delta = h.rotate_right(17);
             let mut pos = h;
             for _ in 0..k {
                 let bit = pos % n_bits;
@@ -47,7 +47,7 @@ impl BloomFilter {
     #[inline]
     pub fn may_contain(&self, key: u64) -> bool {
         let h = mix(key);
-        let delta = (h >> 17) | (h << 47);
+        let delta = h.rotate_right(17);
         let mut pos = h;
         for _ in 0..self.k {
             let bit = pos % self.n_bits;

@@ -21,10 +21,52 @@ use crate::iter::{MergeIter, MergeSource};
 use crate::options::{CompactionPolicy, Options};
 use crate::sstable::{TableBuilder, TableReader};
 use crate::stats::DbStats;
-use crate::types::EntryKind;
+use crate::types::{EntryKind, InternalKey};
 use crate::version::{TableHandle, Version};
 use crate::Result;
 use lsm_io::Storage;
+
+/// Version-retention state machine for merges (flushes and compactions).
+///
+/// Feed it each entry in merge order (user key ascending, sequence
+/// descending within a key); [`KeyRetention::keep`] answers whether the
+/// entry must be written out:
+///
+/// * only the newest version of each user key survives (every SSTable holds
+///   at most one version per key — the strictly-increasing key column is
+///   what the learned index models train on);
+/// * a tombstone is additionally elided when the output is the bottom of
+///   the tree (`elide_tombstones`) — there is nothing underneath left to
+///   mask.
+///
+/// Older versions pinned by a live [`crate::Snapshot`] do **not** need to
+/// survive the merge: snapshots read through their pinned `Version`, whose
+/// `Arc`s keep the pre-merge tables alive for as long as the handle does.
+#[derive(Debug)]
+pub struct KeyRetention {
+    elide_tombstones: bool,
+    current_key: Option<u64>,
+}
+
+impl KeyRetention {
+    /// Retention for a merge whose output lands at the tree bottom iff
+    /// `elide_tombstones`.
+    pub fn new(elide_tombstones: bool) -> Self {
+        Self {
+            elide_tombstones,
+            current_key: None,
+        }
+    }
+
+    /// Whether the entry with internal key `key` must be written out.
+    pub fn keep(&mut self, key: &InternalKey) -> bool {
+        if self.current_key == Some(key.user_key) {
+            return false; // shadowed by a newer version already emitted
+        }
+        self.current_key = Some(key.user_key);
+        !(self.elide_tombstones && key.kind == EntryKind::Delete)
+    }
+}
 
 /// A planned compaction.
 #[derive(Debug)]
@@ -96,7 +138,8 @@ pub fn pick_compaction(
                 .position(|t| t.meta.max_key > cursor)
                 .unwrap_or(0);
             let input = tables[idx].clone();
-            let next_inputs = version.overlapping(level + 1, input.meta.min_key, input.meta.max_key);
+            let next_inputs =
+                version.overlapping(level + 1, input.meta.min_key, input.meta.max_key);
             return Some(CompactionTask {
                 level,
                 inputs: vec![input],
@@ -113,14 +156,15 @@ pub fn pick_compaction(
 /// not touched — that is the write-amplification saving).
 fn pick_tiering(version: &Version, runs_per_level: usize) -> Option<CompactionTask> {
     for level in 0..version.levels.len() - 1 {
-        let trigger = if level == 0 { runs_per_level } else { runs_per_level };
+        // L0 and deeper levels share one trigger: the size ratio `T`.
+        let trigger = runs_per_level;
         if version.levels[level].len() >= trigger {
             let inputs = version.levels[level].clone();
             // Tombstones drop only when nothing deeper can hold older
             // versions (the output level itself must be empty too, since we
             // do not merge with it).
-            let is_bottom = version.levels[level + 1].is_empty()
-                && is_bottom_output(version, level + 1);
+            let is_bottom =
+                version.levels[level + 1].is_empty() && is_bottom_output(version, level + 1);
             return Some(CompactionTask {
                 level,
                 inputs,
@@ -176,16 +220,16 @@ pub fn run_compaction(
 
     let mut outputs = Vec::new();
     let mut builder: Option<TableBuilder> = None;
-    let mut last_user_key: Option<u64> = None;
+    let mut retention = KeyRetention::new(task.is_bottom);
     let mut bytes_written = 0u64;
     let mut train_ns = 0u64;
     let mut model_write_ns = 0u64;
 
     let finish_builder = |b: TableBuilder,
-                              outputs: &mut Vec<Arc<TableHandle>>,
-                              bytes_written: &mut u64,
-                              train_ns: &mut u64,
-                              model_write_ns: &mut u64|
+                          outputs: &mut Vec<Arc<TableHandle>>,
+                          bytes_written: &mut u64,
+                          train_ns: &mut u64,
+                          model_write_ns: &mut u64|
      -> Result<()> {
         if b.is_empty() {
             return Ok(());
@@ -204,15 +248,29 @@ pub fn run_compaction(
 
     while let Some(entry) = merge.next_entry()? {
         // Dedup: internal-key order puts the newest version of a user key
-        // first; all later versions of the same key are obsolete (the engine
-        // holds no snapshots across compactions).
-        if last_user_key == Some(entry.key.user_key) {
+        // first; all later versions of the same key are obsolete here
+        // (live snapshots read through their own pinned `Version`).
+        if !retention.keep(&entry.key) {
             continue;
         }
-        last_user_key = Some(entry.key.user_key);
-        // Bottom level: tombstones have nothing to mask.
-        if task.is_bottom && entry.key.kind == EntryKind::Delete {
-            continue;
+
+        // Tiering keeps one table per run; leveling rotates at the
+        // granularity target. (Retention emits one version per user key, so
+        // a rotation boundary is always also a user-key boundary and sorted
+        // runs stay non-overlapping.)
+        let rotate = matches!(opts.compaction, CompactionPolicy::Leveling)
+            && builder
+                .as_ref()
+                .is_some_and(|b| b.data_bytes() >= opts.sstable_target_bytes);
+        if rotate {
+            let full = builder.take().expect("non-empty builder");
+            finish_builder(
+                full,
+                &mut outputs,
+                &mut bytes_written,
+                &mut train_ns,
+                &mut model_write_ns,
+            )?;
         }
 
         if builder.is_none() {
@@ -229,20 +287,6 @@ pub fn run_compaction(
         }
         let b = builder.as_mut().expect("builder just created");
         b.add(&entry)?;
-        // Tiering keeps one table per run; leveling rotates at the
-        // granularity target.
-        let rotate = matches!(opts.compaction, CompactionPolicy::Leveling)
-            && b.data_bytes() >= opts.sstable_target_bytes;
-        if rotate {
-            let full = builder.take().expect("non-empty builder");
-            finish_builder(
-                full,
-                &mut outputs,
-                &mut bytes_written,
-                &mut train_ns,
-                &mut model_write_ns,
-            )?;
-        }
     }
     if let Some(b) = builder.take() {
         finish_builder(
@@ -257,8 +301,12 @@ pub fn run_compaction(
     let total_ns = total_start.elapsed().as_nanos() as u64;
     let bytes_read = task.input_bytes();
     stats.compactions.fetch_add(1, Ordering::Relaxed);
-    stats.compact_total_ns.fetch_add(total_ns, Ordering::Relaxed);
-    stats.compact_train_ns.fetch_add(train_ns, Ordering::Relaxed);
+    stats
+        .compact_total_ns
+        .fetch_add(total_ns, Ordering::Relaxed);
+    stats
+        .compact_train_ns
+        .fetch_add(train_ns, Ordering::Relaxed);
     stats
         .compact_model_write_ns
         .fetch_add(model_write_ns, Ordering::Relaxed);
@@ -266,7 +314,9 @@ pub fn run_compaction(
         total_ns.saturating_sub(train_ns + model_write_ns),
         Ordering::Relaxed,
     );
-    stats.compact_bytes_read.fetch_add(bytes_read, Ordering::Relaxed);
+    stats
+        .compact_bytes_read
+        .fetch_add(bytes_read, Ordering::Relaxed);
     stats
         .compact_bytes_written
         .fetch_add(bytes_written, Ordering::Relaxed);
@@ -286,11 +336,7 @@ mod tests {
     use learned_index::IndexKind;
     use lsm_io::MemStorage;
 
-    fn handle_with(
-        storage: &MemStorage,
-        name: &str,
-        entries: Vec<Entry>,
-    ) -> Arc<TableHandle> {
+    fn handle_with(storage: &MemStorage, name: &str, entries: Vec<Entry>) -> Arc<TableHandle> {
         let file = storage.create(name).unwrap();
         let mut b = TableBuilder::new(
             file,
@@ -308,7 +354,9 @@ mod tests {
     }
 
     fn puts(range: std::ops::Range<u64>, seq: u64) -> Vec<Entry> {
-        range.map(|k| Entry::put(k, seq, vec![k as u8; 4])).collect()
+        range
+            .map(|k| Entry::put(k, seq, vec![k as u8; 4]))
+            .collect()
     }
 
     #[test]

@@ -1,10 +1,20 @@
-//! The database facade: `Put` / `Get` / `NewIter` over the whole tree
-//! (paper Figure 4's query interface).
+//! The database facade — LevelDB's quartet: `write(WriteBatch, WriteOptions)`
+//! as the single write entry point (with `put`/`delete`/`put_batch` as thin
+//! wrappers), `get_with`/`iter_with(ReadOptions)` as the read entry points,
+//! and RAII [`Snapshot`] handles for pinned point-in-time reads.
 //!
 //! Writes land in the memtable; when it fills, it is flushed to an L0
 //! SSTable and compactions run *synchronously* until the tree satisfies its
 //! shape invariants. Synchronous maintenance keeps every experiment
 //! deterministic — compaction work is measured, never raced against.
+//!
+//! ## Group commit
+//!
+//! A [`WriteBatch`] is applied under **one** write-lock acquisition, gets
+//! **one** contiguous sequence range, and is framed as **one** CRC-protected
+//! WAL record (`DbStats::wal_appends` counts exactly one per batch). Replay
+//! applies a batch all-or-nothing: a torn tail drops the whole batch, never
+//! a prefix.
 //!
 //! A minimal `MANIFEST` file (rewritten on every version edit) records the
 //! level structure, so a database directory can be reopened.
@@ -14,14 +24,16 @@ use std::sync::Arc;
 
 use parking_lot::RwLock;
 
+use crate::batch::WriteBatch;
 use crate::cache::BlockCache;
-use crate::compaction::{pick_compaction, run_compaction};
+use crate::compaction::{pick_compaction, run_compaction, KeyRetention};
 use crate::iter::{DbIterator, MergeIter, MergeSource};
 use crate::memtable::MemTable;
-use crate::options::{CompactionPolicy, Options};
+use crate::options::{CompactionPolicy, Options, ReadOptions, WriteOptions};
+use crate::snapshot::{Snapshot, SnapshotList};
 use crate::sstable::{TableBuilder, TableReader};
 use crate::stats::DbStats;
-use crate::types::{Entry, InternalKey, SeqNo, MAX_SEQ};
+use crate::types::{Entry, EntryKind, InternalKey, SeqNo, MAX_SEQ};
 use crate::version::{TableHandle, Version};
 use crate::wal::{self, WalWriter};
 use crate::{Error, Result};
@@ -48,13 +60,14 @@ pub struct Db {
     inner: RwLock<Inner>,
     stats: Arc<DbStats>,
     cache: Option<Arc<BlockCache>>,
+    snapshots: Arc<SnapshotList>,
 }
 
 impl Db {
     /// Open (or create) a database on `storage`.
     pub fn open(storage: Arc<dyn Storage>, opts: Options) -> Result<Db> {
-        let cache = (opts.block_cache_bytes > 0)
-            .then(|| Arc::new(BlockCache::new(opts.block_cache_bytes)));
+        let cache =
+            (opts.block_cache_bytes > 0).then(|| Arc::new(BlockCache::new(opts.block_cache_bytes)));
         let sorted_levels = matches!(opts.compaction, CompactionPolicy::Leveling);
         let mut inner = Inner {
             mem: MemTable::new(),
@@ -64,31 +77,58 @@ impl Db {
             cursors: vec![0; opts.max_levels],
             wal: None,
         };
+        let mut replayed: Vec<Entry> = Vec::new();
+        let mut old_wal: Option<String> = None;
         if storage.exists(MANIFEST) {
             let (version, next_file_no, seq, wal_name) =
                 Self::recover(storage.as_ref(), &opts, cache.as_ref())?;
             inner.version = Arc::new(version);
             inner.next_file_no = next_file_no;
             inner.seq = seq;
-            // Replay unflushed writes from the previous generation's log.
+            // Replay unflushed batches from the previous generation's log.
             if let Some(name) = &wal_name {
-                for e in wal::replay(storage.as_ref(), name)? {
+                replayed = wal::replay(storage.as_ref(), name)?;
+                for e in &replayed {
                     inner.seq = inner.seq.max(e.key.seq);
                     match e.key.kind {
-                        crate::types::EntryKind::Put => {
-                            inner.mem.put(e.key.user_key, e.key.seq, &e.value)
-                        }
-                        crate::types::EntryKind::Delete => {
-                            inner.mem.delete(e.key.user_key, e.key.seq)
-                        }
+                        EntryKind::Put => inner.mem.put(e.key.user_key, e.key.seq, &e.value),
+                        EntryKind::Delete => inner.mem.delete(e.key.user_key, e.key.seq),
                     }
                 }
+                old_wal = Some(name.clone());
             }
         }
         if opts.wal {
             let name = format!("{:06}.wal", inner.next_file_no);
             inner.next_file_no += 1;
-            inner.wal = Some(WalWriter::create(storage.as_ref(), &name)?);
+            let mut w = WalWriter::create(storage.as_ref(), &name)?;
+            // Re-log the replayed-but-unflushed entries into the fresh log,
+            // one batch record per contiguous sequence run, so a second
+            // crash before the next flush still loses nothing. (Runs split
+            // only where `disable_wal` writes left sequence gaps.)
+            let mut run_start = 0usize;
+            for i in 1..=replayed.len() {
+                let run_ends =
+                    i == replayed.len() || replayed[i].key.seq != replayed[i - 1].key.seq + 1;
+                if !run_ends {
+                    continue;
+                }
+                let run = &replayed[run_start..i];
+                let ops: Vec<crate::batch::BatchOp> = run
+                    .iter()
+                    .map(|e| crate::batch::BatchOp {
+                        kind: e.key.kind,
+                        key: e.key.user_key,
+                        value: e.value.clone(),
+                    })
+                    .collect();
+                w.append_batch(run[0].key.seq, &ops)?;
+                run_start = i;
+            }
+            if !replayed.is_empty() {
+                w.sync()?;
+            }
+            inner.wal = Some(w);
         }
         let db = Db {
             opts,
@@ -96,11 +136,20 @@ impl Db {
             inner: RwLock::new(inner),
             stats: Arc::new(DbStats::new()),
             cache,
+            snapshots: SnapshotList::new(),
         };
         {
             // Persist the fresh log's name so a reopen knows where to look.
             let inner = db.inner.read();
             db.write_manifest(&inner)?;
+        }
+        // The previous generation's log is fully superseded (its surviving
+        // contents were re-logged above and the manifest no longer names
+        // it) — retire it so exactly one log is ever live.
+        if db.opts.wal {
+            if let Some(old) = old_wal {
+                let _ = db.storage.remove(&old);
+            }
         }
         Ok(db)
     }
@@ -201,46 +250,169 @@ impl Db {
         Ok(())
     }
 
-    /// Insert or overwrite `key`.
+    // ------------------------------------------------------------- writes
+
+    /// Apply `batch` atomically — the single write entry point.
+    ///
+    /// The batch is applied under one write-lock acquisition, receives one
+    /// contiguous sequence range, and (unless the WAL is off or
+    /// [`WriteOptions::disable_wal`] is set) is logged as **one** CRC-framed
+    /// WAL record — group commit. Returns the last sequence number assigned
+    /// to the batch.
+    pub fn write(&self, batch: WriteBatch, wopts: &WriteOptions) -> Result<SeqNo> {
+        let mut inner = self.inner.write();
+        if batch.is_empty() {
+            return Ok(inner.seq);
+        }
+        // Log first: a failed append (storage error, oversized batch) must
+        // not have advanced the sequence counter or the write stats — the
+        // batch then simply never happened.
+        let first_seq = inner.seq + 1;
+        if !wopts.disable_wal {
+            if let Some(w) = &mut inner.wal {
+                let framed = w.append_batch(first_seq, batch.ops())?;
+                self.stats.wal_appends.fetch_add(1, Ordering::Relaxed);
+                self.stats.wal_bytes.fetch_add(framed, Ordering::Relaxed);
+                if wopts.sync {
+                    w.sync()?;
+                    self.stats.wal_syncs.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        inner.seq += batch.len() as SeqNo;
+        let last_seq = inner.seq;
+        self.stats.write_batches.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .write_entries
+            .fetch_add(batch.len() as u64, Ordering::Relaxed);
+
+        for (i, op) in batch.ops().iter().enumerate() {
+            inner.mem.apply(op, first_seq + i as SeqNo);
+        }
+        self.maybe_flush(&mut inner)?;
+        Ok(last_seq)
+    }
+
+    /// Insert or overwrite `key` (thin wrapper over [`Db::write`]).
     pub fn put(&self, key: u64, value: &[u8]) -> Result<()> {
-        let mut inner = self.inner.write();
-        inner.seq += 1;
-        let seq = inner.seq;
-        if let Some(w) = &mut inner.wal {
-            w.append(key, seq, crate::types::EntryKind::Put, value)?;
-        }
-        inner.mem.put(key, seq, value);
-        self.maybe_flush(&mut inner)
+        let mut batch = WriteBatch::with_capacity(1);
+        batch.put(key, value);
+        self.write(batch, &WriteOptions::default())?;
+        Ok(())
     }
 
-    /// Delete `key` (writes a tombstone).
+    /// Delete `key` — writes a tombstone (thin wrapper over [`Db::write`]).
     pub fn delete(&self, key: u64) -> Result<()> {
-        let mut inner = self.inner.write();
-        inner.seq += 1;
-        let seq = inner.seq;
-        if let Some(w) = &mut inner.wal {
-            w.append(key, seq, crate::types::EntryKind::Delete, &[])?;
+        let mut batch = WriteBatch::with_capacity(1);
+        batch.delete(key);
+        self.write(batch, &WriteOptions::default())?;
+        Ok(())
+    }
+
+    /// Write `pairs` as one atomic batch (thin wrapper over [`Db::write`]).
+    pub fn put_batch(&self, pairs: &[(u64, Vec<u8>)]) -> Result<()> {
+        let mut batch = WriteBatch::with_capacity(pairs.len());
+        for (k, v) in pairs {
+            batch.put(*k, v);
         }
-        inner.mem.delete(key, seq);
-        self.maybe_flush(&mut inner)
+        self.write(batch, &WriteOptions::default())?;
+        Ok(())
     }
 
-    /// Point lookup at the latest snapshot.
-    pub fn get(&self, key: u64) -> Result<Option<Vec<u8>>> {
-        self.get_at(key, MAX_SEQ)
-    }
+    // -------------------------------------------------------------- reads
 
-    /// Point lookup at an explicit snapshot sequence number.
-    pub fn get_at(&self, key: u64, snapshot: SeqNo) -> Result<Option<Vec<u8>>> {
+    /// Acquire an RAII snapshot: a pinned point-in-time view.
+    ///
+    /// The handle pins the current sequence ceiling, the level structure
+    /// (keeping pre-snapshot SSTables readable across compactions) and a
+    /// copy of the memtable (surviving flushes). Reads through it — via
+    /// [`ReadOptions::at`] — are stable until the handle drops.
+    pub fn snapshot(&self) -> Snapshot {
         let inner = self.inner.read();
+        let mem: Vec<Entry> = inner.mem.iter_all().collect();
+        self.snapshots
+            .acquire(inner.seq, Arc::clone(&inner.version), Arc::new(mem))
+    }
+
+    /// Number of live snapshot handles.
+    pub fn live_snapshots(&self) -> usize {
+        self.snapshots.len()
+    }
+
+    /// Sequence ceiling of the oldest live snapshot ([`MAX_SEQ`] when no
+    /// snapshots are held) — the garbage-collection watermark.
+    pub fn oldest_snapshot_seq(&self) -> SeqNo {
+        self.snapshots.smallest()
+    }
+
+    /// Point lookup at the latest state.
+    pub fn get(&self, key: u64) -> Result<Option<Vec<u8>>> {
+        self.get_with(key, &ReadOptions::new())
+    }
+
+    /// Point lookup at an explicit sequence ceiling against the **live**
+    /// tree. Unlike a [`Snapshot`], a bare sequence number pins nothing:
+    /// versions below the ceiling may be garbage-collected by intervening
+    /// flushes/compactions. Prefer [`Db::snapshot`] + [`Db::get_with`].
+    pub fn get_at(&self, key: u64, snapshot: SeqNo) -> Result<Option<Vec<u8>>> {
+        self.get_with(
+            key,
+            &ReadOptions {
+                read_seq: Some(snapshot),
+                ..ReadOptions::new()
+            },
+        )
+    }
+
+    /// Point lookup honouring [`ReadOptions`]: snapshot / sequence ceiling
+    /// and block-cache fill policy.
+    pub fn get_with(&self, key: u64, ropts: &ReadOptions<'_>) -> Result<Option<Vec<u8>>> {
         self.stats.lookups.fetch_add(1, Ordering::Relaxed);
-        if let Some(hit) = inner.mem.get(key, snapshot) {
+        if let Some(snap) = ropts.snapshot {
+            // Pinned path: the snapshot's own memtable copy + version.
+            if let Some(hit) = Self::search_pinned_mem(snap.mem(), key, snap.seq()) {
+                self.stats.memtable_hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(hit.map(|v| v.to_vec()));
+            }
+            return match snap
+                .version()
+                .get_opts(key, snap.seq(), &self.stats, ropts.fill_cache)?
+            {
+                Some(v) => Ok(v),
+                None => Ok(None),
+            };
+        }
+        let inner = self.inner.read();
+        let seq = ropts.effective_seq(MAX_SEQ);
+        if let Some(hit) = inner.mem.get(key, seq) {
             self.stats.memtable_hits.fetch_add(1, Ordering::Relaxed);
             return Ok(hit.map(|v| v.to_vec()));
         }
-        match inner.version.get(key, snapshot, &self.stats)? {
+        match inner
+            .version
+            .get_opts(key, seq, &self.stats, ropts.fill_cache)?
+        {
             Some(v) => Ok(v),
             None => Ok(None),
+        }
+    }
+
+    /// Binary search a pinned memtable copy (internal-key order) for the
+    /// newest version of `key` visible at `seq`.
+    fn search_pinned_mem(mem: &[Entry], key: u64, seq: SeqNo) -> Option<Option<&[u8]>> {
+        let from = InternalKey {
+            user_key: key,
+            seq,
+            kind: EntryKind::Put,
+        };
+        let i = mem.partition_point(|e| e.key < from);
+        let e = mem.get(i)?;
+        if e.key.user_key != key {
+            return None;
+        }
+        match e.key.kind {
+            EntryKind::Put => Some(Some(e.value.as_slice())),
+            EntryKind::Delete => Some(None),
         }
     }
 
@@ -256,19 +428,41 @@ impl Db {
         Ok(out)
     }
 
-    /// Snapshot-consistent iterator over the whole database.
+    /// Snapshot-consistent iterator over the whole database (latest state).
     pub fn iter(&self) -> Result<DbIterator> {
+        self.iter_with(&ReadOptions::new())
+    }
+
+    /// Iterator honouring [`ReadOptions`]: through a pinned [`Snapshot`],
+    /// at an explicit sequence ceiling, or over the latest state.
+    pub fn iter_with(&self, ropts: &ReadOptions<'_>) -> Result<DbIterator> {
+        if let Some(snap) = ropts.snapshot {
+            // Reuse the snapshot's pinned memtable copy — no per-iterator
+            // deep clone of the write buffer.
+            return Ok(Self::version_iter(
+                Arc::clone(snap.mem()),
+                snap.version(),
+                snap.seq(),
+            ));
+        }
         let inner = self.inner.read();
-        let snapshot = inner.seq;
-        let mut sources = Vec::with_capacity(2 + inner.version.levels.len());
-        sources.push(MergeSource::buffered(
-            inner.mem.range_from(InternalKey::seek_to(0)).collect(),
-        ));
-        for t in &inner.version.levels[0] {
+        let seq = ropts.effective_seq(inner.seq);
+        Ok(Self::version_iter(
+            Arc::new(inner.mem.range_from(InternalKey::seek_to(0)).collect()),
+            &inner.version,
+            seq,
+        ))
+    }
+
+    /// Build a merged iterator over a memtable snapshot + a level structure.
+    fn version_iter(mem: Arc<Vec<Entry>>, version: &Arc<Version>, seq: SeqNo) -> DbIterator {
+        let mut sources = Vec::with_capacity(2 + version.levels.len());
+        sources.push(MergeSource::buffered_shared(mem));
+        for t in &version.levels[0] {
             sources.push(MergeSource::table(Arc::clone(&t.reader)));
         }
-        if inner.version.sorted_levels {
-            for level in inner.version.levels.iter().skip(1) {
+        if version.sorted_levels {
+            for level in version.levels.iter().skip(1) {
                 if !level.is_empty() {
                     sources.push(MergeSource::level(
                         level.iter().map(|t| Arc::clone(&t.reader)).collect(),
@@ -277,12 +471,14 @@ impl Db {
             }
         } else {
             // Tiering: runs overlap, so every table merges independently.
-            for t in inner.version.levels.iter().skip(1).flatten() {
+            for t in version.levels.iter().skip(1).flatten() {
                 sources.push(MergeSource::table(Arc::clone(&t.reader)));
             }
         }
-        Ok(DbIterator::new(MergeIter::new(sources), snapshot))
+        DbIterator::new(MergeIter::new(sources), seq)
     }
+
+    // ------------------------------------------------- flush / compaction
 
     /// Flush the memtable if it exceeds the write buffer.
     fn maybe_flush(&self, inner: &mut Inner) -> Result<()> {
@@ -312,14 +508,13 @@ impl Db {
             self.opts.value_width,
             self.opts.bloom_bits_for_level(0),
         );
-        // Memtable order is (key asc, seq desc): the first record per user
-        // key is the newest — keep it, skip the rest.
-        let mut last: Option<u64> = None;
+        // Memtable order is (key asc, seq desc): keep the newest version per
+        // user key. Tombstones survive the flush (L0 is never the bottom).
+        let mut retention = KeyRetention::new(false);
         for e in inner.mem.iter_all() {
-            if last == Some(e.key.user_key) {
+            if !retention.keep(&e.key) {
                 continue;
             }
-            last = Some(e.key.user_key);
             builder.add(&e)?;
         }
         let meta = builder.finish()?;
@@ -333,19 +528,26 @@ impl Db {
                 .with_l0_table(Arc::new(TableHandle { meta, reader })),
         );
         inner.mem = MemTable::new();
-        // Retire the old log: its contents are now durable in the SSTable.
-        if self.opts.wal {
+        // Start a fresh log; the old one is retired only after the manifest
+        // durably references the new SSTable — until then a crash must
+        // still find the old log named by the old manifest, or the flushed
+        // writes would be lost.
+        let old_wal = if self.opts.wal {
             let old = inner.wal.take().map(|w| w.name().to_string());
             let fresh = format!("{:06}.wal", inner.next_file_no);
             inner.next_file_no += 1;
             inner.wal = Some(WalWriter::create(self.storage.as_ref(), &fresh)?);
-            if let Some(old) = old {
-                let _ = self.storage.remove(&old);
-            }
-        }
+            old
+        } else {
+            None
+        };
         self.stats.flushes.fetch_add(1, Ordering::Relaxed);
         self.compact_until_stable(inner)?;
-        self.write_manifest(inner)
+        self.write_manifest(inner)?;
+        if let Some(old) = old_wal {
+            let _ = self.storage.remove(&old);
+        }
+        Ok(())
     }
 
     fn compact_until_stable(&self, inner: &mut Inner) -> Result<()> {
@@ -367,10 +569,7 @@ impl Db {
                     .max()
                     .unwrap_or(0);
                 let tables = &inner.version.levels[task.level];
-                let is_last = tables
-                    .last()
-                    .map(|t| t.meta.max_key <= max)
-                    .unwrap_or(true);
+                let is_last = tables.last().map(|t| t.meta.max_key <= max).unwrap_or(true);
                 inner.cursors[task.level] = if is_last { 0 } else { max };
             }
             let removed = task.input_names();
@@ -384,12 +583,16 @@ impl Db {
                 &removed,
                 result.outputs,
             ));
+            // Unlink the merged inputs. Open readers pinned by a live
+            // Snapshot's Version keep their data readable until released.
             for name in &removed {
                 let _ = self.storage.remove(name);
             }
         }
         Ok(())
     }
+
+    // ------------------------------------------------------- introspection
 
     /// Number of live entries in the memtable (records, incl. versions).
     pub fn memtable_len(&self) -> usize {
@@ -437,14 +640,6 @@ impl Db {
         self.inner.read().seq
     }
 
-    /// Write a batch of entries through the normal write path.
-    pub fn put_batch(&self, pairs: &[(u64, Vec<u8>)]) -> Result<()> {
-        for (k, v) in pairs {
-            self.put(*k, v)?;
-        }
-        Ok(())
-    }
-
     /// Build and install a fully-loaded database in bulk: entries stream
     /// straight into leveled SSTables without write amplification. Intended
     /// for experiment setup (load phase), not a public write path.
@@ -459,7 +654,7 @@ impl Db {
             let seq = inner.seq;
             pending.push(Entry::put(k, seq, v));
         }
-        pending.sort_by(|a, b| a.key.cmp(&b.key));
+        pending.sort_by_key(|a| a.key);
         pending.dedup_by_key(|e| e.key.user_key);
 
         // Write tables at the target granularity directly into the deepest
@@ -647,5 +842,150 @@ mod tests {
         assert_eq!(delta.lookups, 100);
         assert!(delta.predict_ns > 0);
         assert!(delta.io_cpu_ns > 0);
+    }
+
+    #[test]
+    fn write_batch_is_one_wal_append_and_one_seq_range() {
+        let db = small_db(IndexKind::Pgm);
+        let before = db.stats().snapshot();
+        let seq0 = db.latest_seq();
+        let mut batch = WriteBatch::new();
+        for k in 0..100u64 {
+            batch.put(k, b"batched");
+        }
+        batch.delete(7);
+        let last = db.write(batch, &WriteOptions::default()).unwrap();
+        let delta = db.stats().snapshot().since(&before);
+        assert_eq!(delta.wal_appends, 1, "group commit: one WAL record");
+        assert_eq!(delta.write_batches, 1);
+        assert_eq!(delta.write_entries, 101);
+        assert_eq!(last, seq0 + 101, "contiguous sequence range");
+        assert_eq!(db.get(3).unwrap(), Some(b"batched".to_vec()));
+        assert_eq!(db.get(7).unwrap(), None, "later delete wins in-batch");
+    }
+
+    #[test]
+    fn per_key_puts_cost_one_wal_append_each() {
+        let db = small_db(IndexKind::Pgm);
+        let before = db.stats().snapshot();
+        for k in 0..50u64 {
+            db.put(k, b"x").unwrap();
+        }
+        let delta = db.stats().snapshot().since(&before);
+        assert_eq!(delta.wal_appends, 50);
+        assert_eq!(delta.write_batches, 50);
+    }
+
+    #[test]
+    fn write_options_sync_and_disable_wal() {
+        let db = small_db(IndexKind::Pgm);
+        let before = db.stats().snapshot();
+        let mut b1 = WriteBatch::new();
+        b1.put(1, b"synced");
+        db.write(b1, &WriteOptions::durable()).unwrap();
+        let mut b2 = WriteBatch::new();
+        b2.put(2, b"unlogged");
+        db.write(b2, &WriteOptions::unlogged()).unwrap();
+        let delta = db.stats().snapshot().since(&before);
+        assert_eq!(delta.wal_appends, 1, "unlogged batch skips the WAL");
+        assert_eq!(delta.wal_syncs, 1);
+        assert_eq!(db.get(2).unwrap(), Some(b"unlogged".to_vec()));
+    }
+
+    #[test]
+    fn empty_batch_is_a_noop() {
+        let db = small_db(IndexKind::Pgm);
+        let seq = db.latest_seq();
+        let last = db
+            .write(WriteBatch::new(), &WriteOptions::default())
+            .unwrap();
+        assert_eq!(last, seq);
+        assert_eq!(db.stats().snapshot().wal_appends, 0);
+    }
+
+    #[test]
+    fn snapshot_pins_view_across_overwrites_and_deletes() {
+        let db = small_db(IndexKind::Pgm);
+        for k in 0..100u64 {
+            db.put(k, b"v1").unwrap();
+        }
+        let snap = db.snapshot();
+        assert_eq!(db.live_snapshots(), 1);
+        for k in 0..100u64 {
+            db.put(k, b"v2").unwrap();
+        }
+        db.delete(5).unwrap();
+        assert_eq!(db.get(5).unwrap(), None);
+        assert_eq!(
+            db.get_with(5, &ReadOptions::at(&snap)).unwrap(),
+            Some(b"v1".to_vec())
+        );
+        assert_eq!(
+            db.get_with(50, &ReadOptions::at(&snap)).unwrap(),
+            Some(b"v1".to_vec())
+        );
+        drop(snap);
+        assert_eq!(db.live_snapshots(), 0);
+    }
+
+    #[test]
+    fn snapshot_survives_flushes_and_compactions() {
+        let db = small_db(IndexKind::Pgm);
+        for k in 0..500u64 {
+            db.put(k, format!("old-{k}").as_bytes()).unwrap();
+        }
+        let snap = db.snapshot();
+        let pinned: Vec<(u64, Vec<u8>)> = {
+            let mut it = db.iter_with(&ReadOptions::at(&snap)).unwrap();
+            it.seek_to_first();
+            it.collect_up_to(usize::MAX).unwrap()
+        };
+        assert_eq!(pinned.len(), 500);
+        // Churn: overwrite everything several times, forcing flushes and
+        // multi-level compactions that unlink the pinned tables.
+        for round in 0..4u64 {
+            for k in 0..500u64 {
+                db.put(k, format!("new-{round}-{k}").as_bytes()).unwrap();
+            }
+            db.flush().unwrap();
+        }
+        assert!(db.stats().snapshot().compactions > 0);
+        // Point reads and the full iteration are byte-identical.
+        for k in (0..500u64).step_by(13) {
+            assert_eq!(
+                db.get_with(k, &ReadOptions::at(&snap)).unwrap(),
+                Some(format!("old-{k}").into_bytes()),
+                "key {k}"
+            );
+        }
+        let mut it = db.iter_with(&ReadOptions::at(&snap)).unwrap();
+        it.seek_to_first();
+        assert_eq!(it.collect_up_to(usize::MAX).unwrap(), pinned);
+        // The live view moved on.
+        assert_eq!(db.get(0).unwrap(), Some(b"new-3-0".to_vec()));
+    }
+
+    #[test]
+    fn read_options_fill_cache_controls_population() {
+        let mut opts = Options::small_for_tests();
+        opts.block_cache_bytes = 1 << 20;
+        let db = Db::open_memory(opts).unwrap();
+        for k in 0..2_000u64 {
+            db.put(k, &[7u8; 32]).unwrap();
+        }
+        db.flush().unwrap();
+        let cache = db.block_cache().unwrap();
+        let baseline = cache.used_bytes();
+        db.get_with(
+            1_500,
+            &ReadOptions {
+                fill_cache: false,
+                ..ReadOptions::new()
+            },
+        )
+        .unwrap();
+        assert_eq!(cache.used_bytes(), baseline, "no-fill read must not insert");
+        db.get_with(1_500, &ReadOptions::new()).unwrap();
+        assert!(cache.used_bytes() > baseline, "default read populates");
     }
 }

@@ -23,9 +23,7 @@ pub struct LevelIter {
 impl LevelIter {
     /// Over `tables`, which must be sorted by min key and non-overlapping.
     pub fn new(tables: Vec<Arc<TableReader>>) -> Self {
-        debug_assert!(tables
-            .windows(2)
-            .all(|w| w[0].max_key() < w[1].min_key()));
+        debug_assert!(tables.windows(2).all(|w| w[0].max_key() < w[1].min_key()));
         Self {
             tables,
             idx: 0,
@@ -94,8 +92,13 @@ pub enum MergeSource {
     Table(TableIter),
     /// A sorted level of non-overlapping tables.
     Level(LevelIter),
-    /// A buffered, sorted run of entries (memtable snapshot).
-    Buffered { entries: Vec<Entry>, pos: usize },
+    /// A buffered, sorted run of entries (memtable snapshot). Shared via
+    /// `Arc` so snapshot iterators reuse the pinned copy instead of
+    /// deep-cloning a write buffer per iterator.
+    Buffered {
+        entries: Arc<Vec<Entry>>,
+        pos: usize,
+    },
 }
 
 impl MergeSource {
@@ -111,6 +114,11 @@ impl MergeSource {
 
     /// Wrap an already-sorted entry run.
     pub fn buffered(entries: Vec<Entry>) -> Self {
+        Self::buffered_shared(Arc::new(entries))
+    }
+
+    /// Wrap an already-sorted entry run without copying it.
+    pub fn buffered_shared(entries: Arc<Vec<Entry>>) -> Self {
         debug_assert!(entries.windows(2).all(|w| w[0].key < w[1].key));
         MergeSource::Buffered { entries, pos: 0 }
     }
@@ -244,6 +252,7 @@ impl DbIterator {
     }
 
     /// Next live `(key, value)` pair.
+    #[allow(clippy::should_implement_trait)] // fallible cursor, not Iterator
     pub fn next(&mut self) -> Result<Option<(u64, Vec<u8>)>> {
         while let Some(e) = self.merge.next_entry()? {
             if e.key.seq > self.snapshot {
@@ -284,8 +293,14 @@ mod tests {
 
     #[test]
     fn merge_interleaves_sorted_runs() {
-        let a = buffered(vec![Entry::put(1, 10, b"a1".to_vec()), Entry::put(5, 10, b"a5".to_vec())]);
-        let b = buffered(vec![Entry::put(2, 11, b"b2".to_vec()), Entry::put(9, 11, b"b9".to_vec())]);
+        let a = buffered(vec![
+            Entry::put(1, 10, b"a1".to_vec()),
+            Entry::put(5, 10, b"a5".to_vec()),
+        ]);
+        let b = buffered(vec![
+            Entry::put(2, 11, b"b2".to_vec()),
+            Entry::put(9, 11, b"b9".to_vec()),
+        ]);
         let mut m = MergeIter::new(vec![a, b]);
         m.seek_to_first();
         let mut keys = Vec::new();
@@ -354,7 +369,11 @@ mod tests {
 
     #[test]
     fn seek_starts_mid_range() {
-        let run = buffered((0..10u64).map(|k| Entry::put(k, 1, vec![k as u8])).collect());
+        let run = buffered(
+            (0..10u64)
+                .map(|k| Entry::put(k, 1, vec![k as u8]))
+                .collect(),
+        );
         let mut it = DbIterator::new(MergeIter::new(vec![run]), u64::MAX >> 8);
         it.seek(7).unwrap();
         let got = it.collect_up_to(10).unwrap();

@@ -18,17 +18,46 @@
 //!   converts to a byte offset with one multiply (the data-clustered layout
 //!   of Section 3).
 //!
+//! ## The public API quartet
+//!
+//! The engine exposes LevelDB's four-piece interface:
+//!
+//! * [`WriteBatch`] + [`Db::write`]`(batch, &`[`WriteOptions`]`)` — the single
+//!   write entry point. A batch is applied under one lock acquisition, one
+//!   contiguous sequence range, and **one** CRC-framed WAL record (group
+//!   commit); recovery applies it all-or-nothing. `put`/`delete`/`put_batch`
+//!   are thin wrappers.
+//! * [`Snapshot`] — an RAII handle pinning a point-in-time view across
+//!   concurrent writes, flushes and compactions.
+//! * [`ReadOptions`] — per-read knobs (`snapshot`, `fill_cache`) for
+//!   [`Db::get_with`] / [`Db::iter_with`].
+//! * [`WriteOptions`] — per-write knobs (`sync`, `disable_wal`).
+//!
 //! ```
-//! use lsm_tree::{Db, Options};
+//! use lsm_tree::{Db, Options, ReadOptions, WriteBatch, WriteOptions};
 //! use learned_index::IndexKind;
 //!
 //! let mut opts = Options::small_for_tests();
 //! opts.index.kind = IndexKind::Pgm;
 //! let db = Db::open_memory(opts).unwrap();
-//! db.put(42, b"hello").unwrap();
-//! assert_eq!(db.get(42).unwrap().as_deref(), Some(&b"hello"[..]));
+//!
+//! // Group commit: both writes land atomically, in one WAL record.
+//! let mut batch = WriteBatch::new();
+//! batch.put(42, b"hello");
+//! batch.put(43, b"world");
+//! db.write(batch, &WriteOptions::default()).unwrap();
+//!
+//! // A snapshot pins this state across later writes.
+//! let snap = db.snapshot();
+//! db.put(42, b"changed").unwrap();
+//! assert_eq!(db.get(42).unwrap().as_deref(), Some(&b"changed"[..]));
+//! assert_eq!(
+//!     db.get_with(42, &ReadOptions::at(&snap)).unwrap().as_deref(),
+//!     Some(&b"hello"[..]),
+//! );
 //! ```
 
+pub mod batch;
 pub mod bloom;
 pub mod cache;
 pub mod compaction;
@@ -36,16 +65,21 @@ pub mod db;
 pub mod iter;
 pub mod memtable;
 pub mod options;
+pub mod snapshot;
 pub mod sstable;
 pub mod stats;
 pub mod types;
 pub mod version;
 pub mod wal;
 
+pub use batch::{BatchOp, WriteBatch};
 pub use cache::{BlockCache, BlockKey};
 pub use db::Db;
 pub use iter::DbIterator;
-pub use options::{CompactionPolicy, IndexChoice, Options, SearchStrategy};
+pub use options::{
+    CompactionPolicy, IndexChoice, Options, ReadOptions, SearchStrategy, WriteOptions,
+};
+pub use snapshot::Snapshot;
 pub use stats::{CompactionBreakdown, DbStats, LookupBreakdown};
 pub use types::{Entry, EntryKind, InternalKey, SeqNo};
 

@@ -11,8 +11,9 @@ use std::ops::Bound;
 use crate::types::{Entry, EntryKind, InternalKey, SeqNo};
 
 /// Approximate per-entry bookkeeping overhead, matching the on-disk entry
-/// header (24-byte key slot + 8-byte meta + 4-byte length).
-const ENTRY_OVERHEAD: usize = 36;
+/// header (24-byte key slot + 8-byte meta + 4-byte length). Shared with
+/// `WriteBatch::approximate_bytes` so batch sizing matches buffer sizing.
+pub(crate) const ENTRY_OVERHEAD: usize = 36;
 
 /// Sorted in-memory buffer of recent writes.
 #[derive(Debug, Default)]
@@ -38,6 +39,14 @@ impl MemTable {
             },
             value.to_vec(),
         );
+    }
+
+    /// Apply one batched operation at `seq`.
+    pub fn apply(&mut self, op: &crate::batch::BatchOp, seq: SeqNo) {
+        match op.kind {
+            EntryKind::Put => self.put(op.key, seq, &op.value),
+            EntryKind::Delete => self.delete(op.key, seq),
+        }
     }
 
     /// Insert a tombstone.
@@ -77,10 +86,7 @@ impl MemTable {
 
     /// Iterate all records (key asc, seq desc) starting at `seek` (inclusive
     /// by internal-key order).
-    pub fn range_from(
-        &self,
-        seek: InternalKey,
-    ) -> impl Iterator<Item = Entry> + '_ {
+    pub fn range_from(&self, seek: InternalKey) -> impl Iterator<Item = Entry> + '_ {
         self.map
             .range((Bound::Included(seek), Bound::Unbounded))
             .map(|(k, v)| Entry {

@@ -8,6 +8,92 @@
 
 use learned_index::{IndexConfig, IndexKind};
 
+use crate::snapshot::Snapshot;
+use crate::types::SeqNo;
+
+/// Per-write knobs (LevelDB's `WriteOptions`), passed to [`crate::Db::write`].
+///
+/// Both knobs default to the cheap setting: unsynced, logged writes.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WriteOptions {
+    /// `fsync` the write-ahead log before the write returns. Durable against
+    /// power loss, at one storage sync per batch — another reason batched
+    /// writes beat per-key writes when durability matters.
+    pub sync: bool,
+    /// Skip the write-ahead log for this batch. The write is lost on crash
+    /// until the next flush makes it durable; bulk loaders that can replay
+    /// their input use this to halve write traffic.
+    pub disable_wal: bool,
+}
+
+impl WriteOptions {
+    /// Synced durable writes (`sync = true`).
+    pub fn durable() -> Self {
+        Self {
+            sync: true,
+            disable_wal: false,
+        }
+    }
+
+    /// Unlogged writes (`disable_wal = true`).
+    pub fn unlogged() -> Self {
+        Self {
+            sync: false,
+            disable_wal: true,
+        }
+    }
+}
+
+/// Per-read knobs (LevelDB's `ReadOptions`), passed to [`crate::Db::get_with`]
+/// and [`crate::Db::iter_with`].
+#[derive(Debug, Clone, Copy)]
+pub struct ReadOptions<'a> {
+    /// Read at this pinned snapshot instead of the latest state.
+    pub snapshot: Option<&'a Snapshot>,
+    /// Explicit sequence-number ceiling; used when a raw [`SeqNo`] is on
+    /// hand instead of a [`Snapshot`] handle (ignored when `snapshot` is
+    /// set). `None` reads the latest state.
+    pub read_seq: Option<SeqNo>,
+    /// Whether blocks fetched by this read may populate the block cache
+    /// (default `true`). Scans and one-off analytical reads set this to
+    /// `false` so they do not evict the point-lookup working set.
+    pub fill_cache: bool,
+}
+
+impl Default for ReadOptions<'_> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<'a> ReadOptions<'a> {
+    /// The default read: latest state, cache-filling.
+    pub fn new() -> Self {
+        Self {
+            snapshot: None,
+            read_seq: None,
+            fill_cache: true,
+        }
+    }
+
+    /// Read through a pinned snapshot (cache-filling).
+    pub fn at(snapshot: &'a Snapshot) -> Self {
+        Self {
+            snapshot: Some(snapshot),
+            ..Self::new()
+        }
+    }
+
+    /// The sequence ceiling this read observes, given the latest sequence.
+    pub fn effective_seq(&self, latest: SeqNo) -> SeqNo {
+        match (self.snapshot, self.read_seq) {
+            (Some(s), _) => s.seq(),
+            (None, Some(seq)) => seq,
+            (None, None) => latest,
+        }
+    }
+}
+
 /// How the final in-segment search runs over the fetched position boundary.
 ///
 /// The paper's testbed binary-searches the range; Ramadhan et al. (cited in
@@ -168,8 +254,8 @@ impl Options {
     /// file-count trigger instead).
     pub fn level_target_bytes(&self, level: usize) -> u64 {
         debug_assert!(level >= 1);
-        let base = (self.write_buffer_bytes as u64).max(self.sstable_target_bytes)
-            * self.size_ratio;
+        let base =
+            (self.write_buffer_bytes as u64).max(self.sstable_target_bytes) * self.size_ratio;
         base * self.size_ratio.pow(level.saturating_sub(1) as u32)
     }
 
@@ -234,9 +320,11 @@ mod tests {
 
     #[test]
     fn entries_per_table_consistent() {
-        let mut o = Options::default();
-        o.value_width = 1000;
-        o.sstable_target_bytes = 8 << 20;
+        let o = Options {
+            value_width: 1000,
+            sstable_target_bytes: 8 << 20,
+            ..Options::default()
+        };
         let per = o.entries_per_table();
         // 8 MiB / 1036 B ≈ 8097 entries.
         assert!((8_000..8_200).contains(&per), "{per}");

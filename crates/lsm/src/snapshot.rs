@@ -1,0 +1,140 @@
+//! RAII read snapshots.
+//!
+//! A [`Snapshot`] is a pinned point-in-time view of the database
+//! (LevelDB's `GetSnapshot`/`ReleaseSnapshot`, made RAII). It captures
+//! three things at creation:
+//!
+//! * the **sequence ceiling** — writes after the snapshot are invisible;
+//! * the **level structure** — an `Arc` of the copy-on-write [`Version`],
+//!   which keeps every pre-snapshot SSTable reader alive even after later
+//!   compactions replace and unlink those files;
+//! * the **memtable contents** — a sorted copy of the write buffer, so a
+//!   later flush (which rebuilds the buffer and dedups versions into an
+//!   SSTable) cannot disturb the snapshot's view of unflushed writes.
+//!
+//! Reads through the handle (`Db::get_with` / `Db::iter_with` with
+//! [`crate::ReadOptions::at`]) therefore return identical results no matter
+//! how many writes, flushes or compactions happen concurrently. Dropping
+//! the handle releases every pin.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::types::{Entry, SeqNo, MAX_SEQ};
+use crate::version::Version;
+
+/// Shared registry of live snapshot sequence numbers (multiset: several
+/// snapshots may pin the same sequence). The engine uses it for
+/// observability ([`crate::Db::live_snapshots`]) and as the hook for any
+/// future watermark-based garbage collection.
+#[derive(Debug, Default)]
+pub(crate) struct SnapshotList {
+    live: Mutex<BTreeMap<SeqNo, usize>>,
+}
+
+impl SnapshotList {
+    pub(crate) fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// Register a snapshot pinning `seq` over `version` + `mem`.
+    pub(crate) fn acquire(
+        self: &Arc<Self>,
+        seq: SeqNo,
+        version: Arc<Version>,
+        mem: Arc<Vec<Entry>>,
+    ) -> Snapshot {
+        *self.live.lock().entry(seq).or_insert(0) += 1;
+        Snapshot {
+            seq,
+            version,
+            mem,
+            list: Arc::clone(self),
+        }
+    }
+
+    /// The oldest sequence number any live snapshot can read at, or
+    /// [`MAX_SEQ`] when no snapshots are held.
+    pub(crate) fn smallest(&self) -> SeqNo {
+        self.live.lock().keys().next().copied().unwrap_or(MAX_SEQ)
+    }
+
+    /// Number of live snapshot handles.
+    pub(crate) fn len(&self) -> usize {
+        self.live.lock().values().sum()
+    }
+
+    fn release(&self, seq: SeqNo) {
+        let mut live = self.live.lock();
+        if let Some(count) = live.get_mut(&seq) {
+            *count -= 1;
+            if *count == 0 {
+                live.remove(&seq);
+            }
+        }
+    }
+}
+
+/// A pinned point-in-time view of the database. Obtained from
+/// [`crate::Db::snapshot`]; dropping the handle releases the pin.
+#[derive(Debug)]
+pub struct Snapshot {
+    seq: SeqNo,
+    version: Arc<Version>,
+    /// Memtable contents at creation, in internal-key order.
+    mem: Arc<Vec<Entry>>,
+    list: Arc<SnapshotList>,
+}
+
+impl Snapshot {
+    /// The sequence number reads through this snapshot observe.
+    pub fn seq(&self) -> SeqNo {
+        self.seq
+    }
+
+    /// The pinned level structure.
+    pub(crate) fn version(&self) -> &Arc<Version> {
+        &self.version
+    }
+
+    /// The pinned memtable contents (internal-key order).
+    pub(crate) fn mem(&self) -> &Arc<Vec<Entry>> {
+        &self.mem
+    }
+}
+
+impl Drop for Snapshot {
+    fn drop(&mut self) {
+        self.list.release(self.seq);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pin(list: &Arc<SnapshotList>, seq: SeqNo) -> Snapshot {
+        list.acquire(seq, Arc::new(Version::new(2)), Arc::new(Vec::new()))
+    }
+
+    #[test]
+    fn smallest_tracks_live_handles() {
+        let list = SnapshotList::new();
+        assert_eq!(list.smallest(), MAX_SEQ);
+        let a = pin(&list, 10);
+        let b = pin(&list, 5);
+        let c = pin(&list, 5);
+        assert_eq!(list.smallest(), 5);
+        assert_eq!(list.len(), 3);
+        drop(b);
+        assert_eq!(list.smallest(), 5, "duplicate pin still live");
+        drop(c);
+        assert_eq!(list.smallest(), 10);
+        assert_eq!(a.seq(), 10);
+        drop(a);
+        assert_eq!(list.smallest(), MAX_SEQ);
+        assert_eq!(list.len(), 0);
+    }
+}

@@ -195,13 +195,7 @@ mod tests {
     fn build_table(keys: &[u64], kind: IndexKind) -> (MemStorage, TableMeta) {
         let storage = MemStorage::new();
         let file = storage.create("000001.sst").unwrap();
-        let mut b = TableBuilder::new(
-            file,
-            "000001.sst".into(),
-            IndexChoice::new(kind, 8),
-            32,
-            10,
-        );
+        let mut b = TableBuilder::new(file, "000001.sst".into(), IndexChoice::new(kind, 8), 32, 10);
         for (i, &k) in keys.iter().enumerate() {
             b.add(&Entry::put(k, i as u64 + 1, vec![b'x'; 10])).unwrap();
         }
@@ -219,13 +213,9 @@ mod tests {
         assert_eq!(meta.max_seq, 1000);
         assert_eq!(meta.index_kind, IndexKind::Pgm);
         assert!(meta.train_ns > 0);
-        assert_eq!(
-            storage.size_of("000001.sst").unwrap(),
-            meta.file_bytes
-        );
+        assert_eq!(storage.size_of("000001.sst").unwrap(), meta.file_bytes);
         // data + index + bloom + footer
-        let expected_min =
-            1000 * format::entry_width(32) as u64 + meta.index_payload_bytes as u64;
+        let expected_min = 1000 * format::entry_width(32) as u64 + meta.index_payload_bytes as u64;
         assert!(meta.file_bytes > expected_min);
     }
 

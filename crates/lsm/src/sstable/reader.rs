@@ -12,8 +12,8 @@ use learned_index::{IndexKind, SearchBound, SegmentIndex};
 
 use crate::bloom::BloomFilter;
 use crate::cache::{BlockCache, BlockKey};
-use crate::sstable::format::{self, Footer};
 use crate::options::SearchStrategy;
+use crate::sstable::format::{self, Footer};
 use crate::stats::DbStats;
 use crate::types::{Entry, SeqNo};
 use crate::{Error, Result};
@@ -182,10 +182,26 @@ impl TableReader {
         snapshot: SeqNo,
         stats: &DbStats,
     ) -> Result<Option<Option<Vec<u8>>>> {
+        self.get_opts(key, snapshot, stats, true)
+    }
+
+    /// [`TableReader::get`] with an explicit block-cache fill policy: when
+    /// `fill_cache` is false, blocks fetched for this lookup are served from
+    /// the cache if present but never inserted into it
+    /// (`ReadOptions::fill_cache`).
+    pub fn get_opts(
+        &self,
+        key: u64,
+        snapshot: SeqNo,
+        stats: &DbStats,
+        fill_cache: bool,
+    ) -> Result<Option<Option<Vec<u8>>>> {
         if self.n == 0 || key < self.min_key || key > self.max_key {
             return Ok(None);
         }
-        stats.bloom_checks.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        stats
+            .bloom_checks
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         if !self.bloom.may_contain(key) {
             stats
                 .bloom_negatives
@@ -203,7 +219,7 @@ impl TableReader {
 
         // Stage: disk I/O — one pread of the position boundary.
         let t = Instant::now();
-        let buf = self.read_positions(bound)?;
+        let buf = self.read_positions_opts(bound, fill_cache)?;
         stats.add_io_cpu_ns(t.elapsed().as_nanos() as u64);
 
         // Stage: binary search within the fetched range.
@@ -244,6 +260,11 @@ impl TableReader {
     /// Read entries `[bound.lo, bound.hi)` in one positional read, through
     /// the block cache when one is attached.
     fn read_positions(&self, bound: SearchBound) -> Result<Vec<u8>> {
+        self.read_positions_opts(bound, true)
+    }
+
+    /// [`TableReader::read_positions`] with an explicit cache fill policy.
+    fn read_positions_opts(&self, bound: SearchBound, fill_cache: bool) -> Result<Vec<u8>> {
         let lo_byte = (bound.lo * self.entry_width) as u64;
         let len = (bound.hi - bound.lo) * self.entry_width;
         match &self.cache {
@@ -252,17 +273,18 @@ impl TableReader {
                 self.file.read_exact_at(lo_byte, &mut buf)?;
                 Ok(buf)
             }
-            Some(cache) => self.read_span_cached(cache, lo_byte, len),
+            Some(cache) => self.read_span_cached(cache, lo_byte, len, fill_cache),
         }
     }
 
     /// Assemble `[off, off+len)` from cached 4 KiB blocks, loading misses
-    /// from the device.
+    /// from the device (inserted into the cache only when `fill_cache`).
     fn read_span_cached(
         &self,
         cache: &Arc<BlockCache>,
         off: u64,
         len: usize,
+        fill_cache: bool,
     ) -> Result<Vec<u8>> {
         if len == 0 {
             return Ok(Vec::new());
@@ -284,7 +306,9 @@ impl TableReader {
                     let mut buf = vec![0u8; blen];
                     self.file.read_exact_at(start, &mut buf)?;
                     let block = Arc::new(buf);
-                    cache.insert(key, Arc::clone(&block));
+                    if fill_cache {
+                        cache.insert(key, Arc::clone(&block));
+                    }
                     block
                 }
             };
@@ -602,7 +626,11 @@ mod tests {
             let (_s, r) = make_table(&keys, kind);
             for probe in [0u64, 5, 10, 29_990, 29_995, 30_000, 123_456] {
                 let want = keys.partition_point(|&k| k < probe);
-                assert_eq!(r.seek_position(probe).unwrap(), want, "{kind} probe={probe}");
+                assert_eq!(
+                    r.seek_position(probe).unwrap(),
+                    want,
+                    "{kind} probe={probe}"
+                );
             }
         }
     }

@@ -27,6 +27,14 @@ pub struct DbStats {
     pub level_reads: [AtomicU64; MAX_LEVELS],
     pub level_read_ns: [AtomicU64; MAX_LEVELS],
     pub memtable_hits: AtomicU64,
+    // Write path / group commit. One `Db::write` = one batch = (at most)
+    // one WAL append, regardless of how many entries the batch carries —
+    // `wal_appends` is the counter that asserts the group-commit contract.
+    pub write_batches: AtomicU64,
+    pub write_entries: AtomicU64,
+    pub wal_appends: AtomicU64,
+    pub wal_bytes: AtomicU64,
+    pub wal_syncs: AtomicU64,
     // Compaction breakdown (Figure 9).
     pub flushes: AtomicU64,
     pub compactions: AtomicU64,
@@ -90,6 +98,11 @@ impl DbStats {
             level_reads: lv(&self.level_reads),
             level_read_ns: lv(&self.level_read_ns),
             memtable_hits: self.memtable_hits.load(Ordering::Relaxed),
+            write_batches: self.write_batches.load(Ordering::Relaxed),
+            write_entries: self.write_entries.load(Ordering::Relaxed),
+            wal_appends: self.wal_appends.load(Ordering::Relaxed),
+            wal_bytes: self.wal_bytes.load(Ordering::Relaxed),
+            wal_syncs: self.wal_syncs.load(Ordering::Relaxed),
             flushes: self.flushes.load(Ordering::Relaxed),
             compactions: self.compactions.load(Ordering::Relaxed),
             compact_total_ns: self.compact_total_ns.load(Ordering::Relaxed),
@@ -117,6 +130,11 @@ pub struct StatsSnapshot {
     pub level_reads: [u64; MAX_LEVELS],
     pub level_read_ns: [u64; MAX_LEVELS],
     pub memtable_hits: u64,
+    pub write_batches: u64,
+    pub write_entries: u64,
+    pub wal_appends: u64,
+    pub wal_bytes: u64,
+    pub wal_syncs: u64,
     pub flushes: u64,
     pub compactions: u64,
     pub compact_total_ns: u64,
@@ -145,6 +163,11 @@ impl StatsSnapshot {
             out.level_read_ns[i] -= earlier.level_read_ns[i];
         }
         out.memtable_hits -= earlier.memtable_hits;
+        out.write_batches -= earlier.write_batches;
+        out.write_entries -= earlier.write_entries;
+        out.wal_appends -= earlier.wal_appends;
+        out.wal_bytes -= earlier.wal_bytes;
+        out.wal_syncs -= earlier.wal_syncs;
         out.flushes -= earlier.flushes;
         out.compactions -= earlier.compactions;
         out.compact_total_ns -= earlier.compact_total_ns;

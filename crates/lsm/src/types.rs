@@ -165,6 +165,9 @@ mod tests {
         let t = Entry::tombstone(1, 3);
         assert_eq!(t.key.kind, EntryKind::Delete);
         assert!(t.value.is_empty());
-        assert!(t.key < p.key, "tombstone at seq 3 sorts before put at seq 2");
+        assert!(
+            t.key < p.key,
+            "tombstone at seq 3 sorts before put at seq 2"
+        );
     }
 }

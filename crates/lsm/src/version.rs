@@ -55,10 +55,22 @@ impl Version {
         snapshot: SeqNo,
         stats: &DbStats,
     ) -> Result<Option<Option<Vec<u8>>>> {
+        self.get_opts(key, snapshot, stats, true)
+    }
+
+    /// [`Version::get`] with an explicit block-cache fill policy
+    /// (`ReadOptions::fill_cache`).
+    pub fn get_opts(
+        &self,
+        key: u64,
+        snapshot: SeqNo,
+        stats: &DbStats,
+        fill_cache: bool,
+    ) -> Result<Option<Option<Vec<u8>>>> {
         // L0: tables may overlap; newest first.
         for t in &self.levels[0] {
             let started = Instant::now();
-            if let Some(hit) = t.reader.get(key, snapshot, stats)? {
+            if let Some(hit) = t.reader.get_opts(key, snapshot, stats, fill_cache)? {
                 stats.record_level_read(0, started.elapsed().as_nanos() as u64);
                 return Ok(Some(hit));
             }
@@ -68,12 +80,13 @@ impl Version {
             for (level, tables) in self.levels.iter().enumerate().skip(1) {
                 let t0 = Instant::now();
                 let candidate = Self::locate(tables, key);
-                stats
-                    .table_locate_ns
-                    .fetch_add(t0.elapsed().as_nanos() as u64, std::sync::atomic::Ordering::Relaxed);
+                stats.table_locate_ns.fetch_add(
+                    t0.elapsed().as_nanos() as u64,
+                    std::sync::atomic::Ordering::Relaxed,
+                );
                 if let Some(t) = candidate {
                     let started = Instant::now();
-                    if let Some(hit) = t.reader.get(key, snapshot, stats)? {
+                    if let Some(hit) = t.reader.get_opts(key, snapshot, stats, fill_cache)? {
                         stats.record_level_read(level, started.elapsed().as_nanos() as u64);
                         return Ok(Some(hit));
                     }
@@ -88,7 +101,7 @@ impl Version {
                         continue;
                     }
                     let started = Instant::now();
-                    if let Some(hit) = t.reader.get(key, snapshot, stats)? {
+                    if let Some(hit) = t.reader.get_opts(key, snapshot, stats, fill_cache)? {
                         stats.record_level_read(level, started.elapsed().as_nanos() as u64);
                         return Ok(Some(hit));
                     }
@@ -99,10 +112,7 @@ impl Version {
     }
 
     /// The table at a sorted level whose key range may contain `key`.
-    pub fn locate<'a>(
-        tables: &'a [Arc<TableHandle>],
-        key: u64,
-    ) -> Option<&'a Arc<TableHandle>> {
+    pub fn locate(tables: &[Arc<TableHandle>], key: u64) -> Option<&Arc<TableHandle>> {
         if tables.is_empty() {
             return None;
         }
@@ -226,7 +236,11 @@ mod tests {
     use learned_index::IndexKind;
     use lsm_io::{MemStorage, Storage};
 
-    fn make_handle(storage: &MemStorage, name: &str, keys: std::ops::Range<u64>) -> Arc<TableHandle> {
+    fn make_handle(
+        storage: &MemStorage,
+        name: &str,
+        keys: std::ops::Range<u64>,
+    ) -> Arc<TableHandle> {
         let file = storage.create(name).unwrap();
         let mut b = TableBuilder::new(
             file,
@@ -254,7 +268,10 @@ mod tests {
         assert_eq!(Version::locate(&tables, 50).unwrap().meta.name, "a");
         assert_eq!(Version::locate(&tables, 250).unwrap().meta.name, "b");
         assert_eq!(Version::locate(&tables, 499).unwrap().meta.name, "c");
-        assert!(Version::locate(&tables, 150).is_none(), "gap between tables");
+        assert!(
+            Version::locate(&tables, 150).is_none(),
+            "gap between tables"
+        );
         assert!(Version::locate(&tables, 600).is_none(), "past the end");
     }
 

@@ -1,32 +1,67 @@
-//! Write-ahead log: durability for the memtable.
+//! Write-ahead log: durability for the memtable, with group commit.
 //!
 //! LevelDB logs every write before applying it to the memtable so that a
-//! crash loses nothing. Records are CRC-framed; replay stops cleanly at the
-//! first torn or corrupt record (a crash mid-append is expected, not an
-//! error). One log file exists per memtable generation — a flush seals the
-//! table and retires the log.
+//! crash loses nothing. Since the `WriteBatch` redesign the unit of logging
+//! is the **batch**: one CRC-framed record per [`crate::WriteBatch`], no
+//! matter how many operations it carries, which is what makes batched
+//! writes cheap (one frame, one CRC pass, one storage append) and atomic
+//! (a torn or corrupt tail drops the *whole* batch on replay — never a
+//! prefix of it). One log file exists per memtable generation — a flush
+//! seals the table and retires the log.
 //!
 //! Record layout (little-endian):
 //!
 //! ```text
-//! [crc32 u32][payload_len u32][payload]
-//! payload = seq u64 | kind u8 | user_key u64 | value_len u32 | value bytes
+//! frame   = [crc32 u32][payload_len u32][payload]
+//! payload = [format u8 = 1][first_seq u64][count u32] count × op
+//! op      = [kind u8][user_key u64][value_len u32][value bytes]
 //! ```
+//!
+//! Operation `i` of a record receives sequence number `first_seq + i`, so a
+//! batch occupies one contiguous sequence range. The `format` byte versions
+//! the payload encoding; replay rejects formats it does not understand.
 
+use crate::batch::BatchOp;
 use crate::types::{Entry, EntryKind, InternalKey, SeqNo};
 use crate::{Error, Result};
 use lsm_io::{Storage, WritableFile};
 
-/// CRC-32 (IEEE) over `data`, bitwise implementation — fast enough for the
-/// WAL's per-record framing and dependency-free.
+/// WAL payload format version written by this build.
+pub const BATCH_FORMAT: u8 = 1;
+
+/// Fixed bytes of a batch payload before its operations.
+const BATCH_HEADER: usize = 1 + 8 + 4;
+
+/// Fixed bytes of one operation before its value payload.
+const OP_HEADER: usize = 1 + 8 + 4;
+
+/// CRC-32 (IEEE) lookup table, built at compile time.
+const CRC32_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-32 (IEEE) over `data`, table-driven — this frames every record on
+/// the write hot path, so it must not pay the bitwise 8-steps-per-byte loop.
 pub fn crc32(data: &[u8]) -> u32 {
     let mut crc: u32 = !0;
     for &b in data {
-        crc ^= b as u32;
-        for _ in 0..8 {
-            let mask = (crc & 1).wrapping_neg();
-            crc = (crc >> 1) ^ (0xEDB88320 & mask);
-        }
+        crc = (crc >> 8) ^ CRC32_TABLE[((crc ^ b as u32) & 0xFF) as usize];
     }
     !crc
 }
@@ -44,7 +79,7 @@ impl WalWriter {
         Ok(WalWriter {
             file: storage.create(name)?,
             name: name.to_string(),
-            buf: Vec::with_capacity(256),
+            buf: Vec::with_capacity(512),
         })
     }
 
@@ -53,14 +88,49 @@ impl WalWriter {
         &self.name
     }
 
-    /// Append one record.
-    pub fn append(&mut self, key: u64, seq: SeqNo, kind: EntryKind, value: &[u8]) -> Result<()> {
+    /// Append one batch as a single framed record. Operation `i` is logged
+    /// with sequence `first_seq + i`. Returns the framed bytes written.
+    ///
+    /// Fails with `Corruption` (before touching the log) when the batch
+    /// exceeds the record format's u32 fields — silently wrapping the
+    /// length prefixes would write an undecodable frame and lose every
+    /// batch behind it on replay.
+    pub fn append_batch(&mut self, first_seq: SeqNo, ops: &[BatchOp]) -> Result<u64> {
+        debug_assert!(!ops.is_empty(), "empty batches are not logged");
+        if ops.len() > u32::MAX as usize {
+            return Err(Error::Corruption(format!(
+                "wal batch of {} ops exceeds the record format",
+                ops.len()
+            )));
+        }
+        let payload: usize = BATCH_HEADER
+            + ops
+                .iter()
+                .map(|op| {
+                    if op.value.len() > u32::MAX as usize {
+                        usize::MAX
+                    } else {
+                        OP_HEADER + op.value.len()
+                    }
+                })
+                .fold(0usize, usize::saturating_add);
+        if payload > u32::MAX as usize {
+            return Err(Error::Corruption(format!(
+                "wal batch payload of {payload} bytes exceeds the record format"
+            )));
+        }
         self.buf.clear();
-        self.buf.extend_from_slice(&seq.to_le_bytes());
-        self.buf.push(kind.tag());
-        self.buf.extend_from_slice(&key.to_le_bytes());
-        self.buf.extend_from_slice(&(value.len() as u32).to_le_bytes());
-        self.buf.extend_from_slice(value);
+        self.buf.push(BATCH_FORMAT);
+        self.buf.extend_from_slice(&first_seq.to_le_bytes());
+        self.buf
+            .extend_from_slice(&(ops.len() as u32).to_le_bytes());
+        for op in ops {
+            self.buf.push(op.kind.tag());
+            self.buf.extend_from_slice(&op.key.to_le_bytes());
+            self.buf
+                .extend_from_slice(&(op.value.len() as u32).to_le_bytes());
+            self.buf.extend_from_slice(&op.value);
+        }
 
         let crc = crc32(&self.buf);
         let mut frame = Vec::with_capacity(8 + self.buf.len());
@@ -68,6 +138,19 @@ impl WalWriter {
         frame.extend_from_slice(&(self.buf.len() as u32).to_le_bytes());
         frame.extend_from_slice(&self.buf);
         self.file.append(&frame)?;
+        Ok(frame.len() as u64)
+    }
+
+    /// Append one single-operation record (convenience for tests).
+    pub fn append(&mut self, key: u64, seq: SeqNo, kind: EntryKind, value: &[u8]) -> Result<()> {
+        self.append_batch(
+            seq,
+            &[BatchOp {
+                kind,
+                key,
+                value: value.to_vec(),
+            }],
+        )?;
         Ok(())
     }
 
@@ -83,9 +166,78 @@ impl WalWriter {
     }
 }
 
-/// Replay a log file into entries. Returns the decoded records in append
-/// order; a torn or corrupt tail terminates the replay without error (but a
-/// corrupt *frame head* mid-file is reported, since it means real damage).
+/// Decode the operations of one intact batch payload into entries.
+fn decode_batch(body: &[u8]) -> Result<Vec<Entry>> {
+    if body.len() < BATCH_HEADER {
+        return Err(Error::Corruption(format!(
+            "wal batch header too short: {}",
+            body.len()
+        )));
+    }
+    if body[0] != BATCH_FORMAT {
+        return Err(Error::Corruption(format!(
+            "wal batch format {} unsupported (expected {BATCH_FORMAT})",
+            body[0]
+        )));
+    }
+    let first_seq = SeqNo::from_le_bytes(body[1..9].try_into().unwrap());
+    let count = u32::from_le_bytes(body[9..13].try_into().unwrap()) as usize;
+    if count == 0 {
+        return Err(Error::Corruption("wal batch with zero operations".into()));
+    }
+    // Bound the claimed count by what the body could possibly hold before
+    // allocating — a CRC-valid but malformed record must produce a clean
+    // corruption error, not a giant allocation.
+    if count > (body.len() - BATCH_HEADER) / OP_HEADER {
+        return Err(Error::Corruption(format!(
+            "wal batch claims {count} ops in a {}-byte record",
+            body.len()
+        )));
+    }
+    let mut out = Vec::with_capacity(count);
+    let mut pos = BATCH_HEADER;
+    for i in 0..count {
+        if pos + OP_HEADER > body.len() {
+            return Err(Error::Corruption(format!(
+                "wal batch truncated at op {i}/{count}"
+            )));
+        }
+        let kind = EntryKind::from_tag(body[pos])
+            .ok_or_else(|| Error::Corruption(format!("wal bad kind {}", body[pos])))?;
+        let user_key = u64::from_le_bytes(body[pos + 1..pos + 9].try_into().unwrap());
+        let vlen = u32::from_le_bytes(body[pos + 9..pos + 13].try_into().unwrap()) as usize;
+        pos += OP_HEADER;
+        if pos + vlen > body.len() {
+            return Err(Error::Corruption(format!(
+                "wal batch value overruns record at op {i}/{count}"
+            )));
+        }
+        out.push(Entry {
+            key: InternalKey {
+                user_key,
+                seq: first_seq + i as SeqNo,
+                kind,
+            },
+            value: body[pos..pos + vlen].to_vec(),
+        });
+        pos += vlen;
+    }
+    if pos != body.len() {
+        return Err(Error::Corruption(format!(
+            "wal batch has {} trailing bytes",
+            body.len() - pos
+        )));
+    }
+    Ok(out)
+}
+
+/// Replay a log file into entries, batch-atomically.
+///
+/// Returns the decoded records in append order. A torn or CRC-corrupt tail
+/// frame terminates the replay without error (a crash mid-append is
+/// expected) and drops that frame's **entire batch** — recovery never
+/// applies a batch prefix. A malformed payload *inside* an intact frame is
+/// reported as corruption, since the CRC passing means real damage.
 pub fn replay(storage: &dyn Storage, name: &str) -> Result<Vec<Entry>> {
     if !storage.exists(name) {
         return Ok(Vec::new());
@@ -98,31 +250,13 @@ pub fn replay(storage: &dyn Storage, name: &str) -> Result<Vec<Entry>> {
         let len = u32::from_le_bytes(data[pos + 4..pos + 8].try_into().unwrap()) as usize;
         let body_start = pos + 8;
         if body_start + len > data.len() {
-            break; // torn tail: crash mid-append
+            break; // torn tail: crash mid-append, whole batch dropped
         }
         let body = &data[body_start..body_start + len];
         if crc32(body) != crc {
-            break; // corrupt tail record
+            break; // corrupt tail record: whole batch dropped
         }
-        if len < 21 {
-            return Err(Error::Corruption(format!("wal record too short: {len}")));
-        }
-        let seq = SeqNo::from_le_bytes(body[0..8].try_into().unwrap());
-        let kind = EntryKind::from_tag(body[8])
-            .ok_or_else(|| Error::Corruption(format!("wal bad kind {}", body[8])))?;
-        let user_key = u64::from_le_bytes(body[9..17].try_into().unwrap());
-        let vlen = u32::from_le_bytes(body[17..21].try_into().unwrap()) as usize;
-        if 21 + vlen != len {
-            return Err(Error::Corruption("wal value length mismatch".into()));
-        }
-        out.push(Entry {
-            key: InternalKey {
-                user_key,
-                seq,
-                kind,
-            },
-            value: body[21..].to_vec(),
-        });
+        out.extend(decode_batch(body)?);
         pos = body_start + len;
     }
     Ok(out)
@@ -134,10 +268,40 @@ mod tests {
     use lsm_io::MemStorage;
 
     #[test]
-    fn crc32_known_vector() {
-        // CRC-32/IEEE of "123456789" is 0xCBF43926.
+    fn crc32_known_vectors() {
+        // CRC-32/IEEE check values (see e.g. the reveng catalogue).
         assert_eq!(crc32(b"123456789"), 0xCBF43926);
         assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+        assert_eq!(crc32(b"abc"), 0x3524_41C2);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+        assert_eq!(crc32(&[0u8; 32]), 0x190A_55AD);
+        assert_eq!(crc32(&[0xFFu8; 32]), 0xFF6C_AB0B);
+    }
+
+    #[test]
+    fn crc32_table_matches_bitwise_reference() {
+        fn bitwise(data: &[u8]) -> u32 {
+            let mut crc: u32 = !0;
+            for &b in data {
+                crc ^= b as u32;
+                for _ in 0..8 {
+                    let mask = (crc & 1).wrapping_neg();
+                    crc = (crc >> 1) ^ (0xEDB88320 & mask);
+                }
+            }
+            !crc
+        }
+        let mut payload = Vec::new();
+        for i in 0..1024u32 {
+            payload.push((i.wrapping_mul(2654435761) >> 13) as u8);
+        }
+        for window in [0usize, 1, 7, 64, 1000, 1024] {
+            assert_eq!(crc32(&payload[..window]), bitwise(&payload[..window]));
+        }
     }
 
     #[test]
@@ -160,20 +324,57 @@ mod tests {
     }
 
     #[test]
-    fn torn_tail_is_tolerated() {
+    fn batch_record_assigns_contiguous_seqs() {
+        let storage = MemStorage::new();
+        let mut w = WalWriter::create(&storage, "wal").unwrap();
+        let ops = vec![
+            BatchOp {
+                kind: EntryKind::Put,
+                key: 10,
+                value: b"a".to_vec(),
+            },
+            BatchOp {
+                kind: EntryKind::Delete,
+                key: 11,
+                value: vec![],
+            },
+            BatchOp {
+                kind: EntryKind::Put,
+                key: 12,
+                value: b"c".to_vec(),
+            },
+        ];
+        w.append_batch(40, &ops).unwrap();
+        drop(w);
+        let entries = replay(&storage, "wal").unwrap();
+        let seqs: Vec<u64> = entries.iter().map(|e| e.key.seq).collect();
+        assert_eq!(seqs, vec![40, 41, 42]);
+        assert_eq!(entries[1].key.kind, EntryKind::Delete);
+    }
+
+    #[test]
+    fn torn_tail_drops_whole_batch_never_a_prefix() {
         let storage = MemStorage::new();
         let mut w = WalWriter::create(&storage, "wal").unwrap();
         w.append(1, 1, EntryKind::Put, b"full").unwrap();
-        w.append(2, 2, EntryKind::Put, b"will-be-torn").unwrap();
+        let ops: Vec<BatchOp> = (0..5u64)
+            .map(|k| BatchOp {
+                kind: EntryKind::Put,
+                key: 100 + k,
+                value: vec![7; 20],
+            })
+            .collect();
+        w.append_batch(2, &ops).unwrap();
         drop(w);
-        // Truncate mid-second-record to simulate a crash.
+        // Truncate mid-batch: only the final op's bytes are missing, but the
+        // whole 5-op batch must vanish.
         let full = lsm_io::read_all(&storage, "wal").unwrap();
         let mut f = storage.create("wal").unwrap();
         f.append(&full[..full.len() - 5]).unwrap();
         drop(f);
 
         let entries = replay(&storage, "wal").unwrap();
-        assert_eq!(entries.len(), 1, "only the intact record survives");
+        assert_eq!(entries.len(), 1, "only the intact first record survives");
         assert_eq!(entries[0].key.user_key, 1);
     }
 
@@ -196,6 +397,44 @@ mod tests {
     }
 
     #[test]
+    fn unknown_format_is_corruption() {
+        let storage = MemStorage::new();
+        let mut w = WalWriter::create(&storage, "wal").unwrap();
+        w.append(1, 1, EntryKind::Put, b"x").unwrap();
+        drop(w);
+        let mut full = lsm_io::read_all(&storage, "wal").unwrap();
+        full[8] = 99; // payload format byte
+        let body_len = full.len() - 8;
+        let crc = crc32(&full[8..8 + body_len]);
+        full[0..4].copy_from_slice(&crc.to_le_bytes());
+        let mut f = storage.create("wal").unwrap();
+        f.append(&full).unwrap();
+        drop(f);
+        assert!(replay(&storage, "wal").is_err(), "valid CRC + bad format");
+    }
+
+    #[test]
+    fn absurd_op_count_is_corruption_not_allocation() {
+        // A frame whose CRC validates but whose count field claims far more
+        // ops than the body holds must error cleanly (never allocate for
+        // the claimed count).
+        let mut body = vec![BATCH_FORMAT];
+        body.extend_from_slice(&1u64.to_le_bytes()); // first_seq
+        body.extend_from_slice(&u32::MAX.to_le_bytes()); // absurd count
+        body.extend_from_slice(&[0u8; 13]); // room for exactly one op header
+        let mut frame = Vec::new();
+        frame.extend_from_slice(&crc32(&body).to_le_bytes());
+        frame.extend_from_slice(&(body.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&body);
+
+        let storage = MemStorage::new();
+        let mut f = storage.create("wal").unwrap();
+        f.append(&frame).unwrap();
+        drop(f);
+        assert!(replay(&storage, "wal").is_err());
+    }
+
+    #[test]
     fn missing_log_is_empty() {
         let storage = MemStorage::new();
         assert!(replay(&storage, "nope").unwrap().is_empty());
@@ -205,7 +444,8 @@ mod tests {
     fn empty_values_and_large_keys() {
         let storage = MemStorage::new();
         let mut w = WalWriter::create(&storage, "wal").unwrap();
-        w.append(u64::MAX, u64::MAX >> 9, EntryKind::Put, b"").unwrap();
+        w.append(u64::MAX, u64::MAX >> 9, EntryKind::Put, b"")
+            .unwrap();
         drop(w);
         let entries = replay(&storage, "wal").unwrap();
         assert_eq!(entries[0].key.user_key, u64::MAX);

@@ -66,7 +66,10 @@ fn starved_blooms_mean_more_false_positive_io() {
         strong_rejects > weak_rejects,
         "strong filters must reject more absent-key probes: {strong_rejects:.3} vs {weak_rejects:.3}"
     );
-    assert!(strong_rejects > 0.9, "12 bits/key should reject >90%: {strong_rejects:.3}");
+    assert!(
+        strong_rejects > 0.9,
+        "12 bits/key should reject >90%: {strong_rejects:.3}"
+    );
 }
 
 #[test]

@@ -1,12 +1,14 @@
 //! Durability integration tests: WAL replay on reopen, including writes
 //! that never reached a flush, on both in-memory and real-filesystem
-//! storage.
+//! storage — and batch atomicity: a torn tail drops a whole `WriteBatch`,
+//! never a prefix of it.
 
 use std::sync::Arc;
 
 use learned_index::IndexKind;
-use lsm_tree::{Db, Options};
 use lsm_io::{FileStorage, MemStorage, Storage};
+use lsm_tree::{Db, Options, WriteBatch, WriteOptions};
+use proptest::prelude::*;
 
 fn opts() -> Options {
     let mut o = Options::small_for_tests();
@@ -98,6 +100,176 @@ fn old_wals_are_retired_after_flush() {
         .filter(|n| n.ends_with(".wal"))
         .collect();
     assert_eq!(wals.len(), 1, "exactly one live log: {wals:?}");
+}
+
+/// Clip the live WAL to its first `keep` bytes, simulating a crash that
+/// tore the tail of the log mid-append.
+fn truncate_wal(storage: &Arc<dyn Storage>, keep: usize) {
+    let wal_name = storage
+        .list()
+        .unwrap()
+        .into_iter()
+        .find(|n| n.ends_with(".wal"))
+        .expect("live wal");
+    let full = lsm_io::read_all(storage.as_ref(), &wal_name).unwrap();
+    assert!(keep <= full.len(), "cannot keep {keep} of {}", full.len());
+    let mut f = storage.create(&wal_name).unwrap();
+    f.append(&full[..keep]).unwrap();
+}
+
+/// Bytes currently in the live WAL.
+fn wal_len(storage: &Arc<dyn Storage>) -> usize {
+    let wal_name = storage
+        .list()
+        .unwrap()
+        .into_iter()
+        .find(|n| n.ends_with(".wal"))
+        .expect("live wal");
+    storage.size_of(&wal_name).unwrap() as usize
+}
+
+#[test]
+fn intact_batch_replays_all_of_it() {
+    let storage: Arc<dyn Storage> = Arc::new(MemStorage::new());
+    {
+        let db = Db::open(Arc::clone(&storage), opts()).unwrap();
+        let mut batch = WriteBatch::new();
+        for k in 0..40u64 {
+            batch.put(k, format!("b{k}").as_bytes());
+        }
+        batch.delete(3);
+        db.write(batch, &WriteOptions::default()).unwrap();
+        // Crash: dropped without flush.
+    }
+    let db = Db::open(storage, opts()).unwrap();
+    for k in (0..40u64).filter(|&k| k != 3) {
+        assert_eq!(db.get(k).unwrap(), Some(format!("b{k}").into_bytes()));
+    }
+    assert_eq!(db.get(3).unwrap(), None, "in-batch delete replayed");
+}
+
+/// Write one intact single-op batch, then a 40-op batch, then tear the log
+/// down to `keep_of_total(total_len, first_frame_end)` bytes and reopen.
+fn torn_batch_scenario(keep_of_total: impl Fn(usize, usize) -> usize) {
+    let storage: Arc<dyn Storage> = Arc::new(MemStorage::new());
+    let first_batch_end;
+    {
+        let db = Db::open(Arc::clone(&storage), opts()).unwrap();
+        let mut intact = WriteBatch::new();
+        intact.put(1, b"intact");
+        db.write(intact, &WriteOptions::durable()).unwrap();
+        first_batch_end = wal_len(&storage);
+        let mut torn = WriteBatch::new();
+        for k in 100..140u64 {
+            torn.put(k, &[0xab; 24]);
+        }
+        db.write(torn, &WriteOptions::default()).unwrap();
+    }
+    let total = wal_len(&storage);
+    truncate_wal(&storage, keep_of_total(total, first_batch_end));
+
+    let db = Db::open(storage, opts()).unwrap();
+    assert_eq!(db.get(1).unwrap(), Some(b"intact".to_vec()));
+    for k in 100..140u64 {
+        assert_eq!(db.get(k).unwrap(), None, "no prefix of the torn batch");
+    }
+}
+
+#[test]
+fn torn_tail_mid_batch_replays_none_of_that_batch() {
+    // Cut only a handful of trailing bytes: most of the 40 operations are
+    // still physically present in the log, yet none may replay.
+    torn_batch_scenario(|total, _first_end| total - 7);
+    // Cut one byte past the first frame: the second batch's header alone
+    // survives, and still nothing of it may replay.
+    torn_batch_scenario(|_total, first_end| first_end + 1);
+}
+
+#[test]
+fn unflushed_writes_survive_two_crashes() {
+    // Reopen re-logs replayed entries into the fresh WAL, so a second
+    // crash before any flush still loses nothing.
+    let storage: Arc<dyn Storage> = Arc::new(MemStorage::new());
+    {
+        let db = Db::open(Arc::clone(&storage), opts()).unwrap();
+        let mut batch = WriteBatch::new();
+        batch.put(1, b"first-life");
+        batch.delete(2);
+        db.write(batch, &WriteOptions::default()).unwrap();
+    }
+    {
+        let db = Db::open(Arc::clone(&storage), opts()).unwrap();
+        assert_eq!(db.stats().snapshot().flushes, 0);
+        db.put(3, b"second-life").unwrap();
+        // Crash again, still without a flush.
+    }
+    let db = Db::open(Arc::clone(&storage), opts()).unwrap();
+    assert_eq!(db.get(1).unwrap(), Some(b"first-life".to_vec()));
+    assert_eq!(db.get(2).unwrap(), None, "tombstone survives two crashes");
+    assert_eq!(db.get(3).unwrap(), Some(b"second-life".to_vec()));
+    let wals: Vec<String> = storage
+        .list()
+        .unwrap()
+        .into_iter()
+        .filter(|n| n.ends_with(".wal"))
+        .collect();
+    assert_eq!(wals.len(), 1, "old logs retired on reopen: {wals:?}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Reopen-after-crash: write a prefix of batches, tear the log at an
+    /// arbitrary byte, reopen. Every batch whose frame survived must replay
+    /// in full; every later batch must vanish in full — all-or-nothing per
+    /// batch, regardless of where the tear lands.
+    #[test]
+    fn crash_replay_is_batch_atomic(
+        batch_sizes in prop::collection::vec(1usize..20, 1..8),
+        cut_fraction in 0.0f64..1.0,
+    ) {
+        let storage: Arc<dyn Storage> = Arc::new(MemStorage::new());
+        // Frame boundaries: frame_ends[i] = wal length after batch i.
+        let mut frame_ends = Vec::new();
+        {
+            let db = Db::open(Arc::clone(&storage), opts()).unwrap();
+            for (i, &size) in batch_sizes.iter().enumerate() {
+                let mut batch = WriteBatch::new();
+                for j in 0..size {
+                    let k = (i * 1_000 + j) as u64;
+                    batch.put(k, format!("v{i}-{j}").as_bytes());
+                }
+                db.write(batch, &WriteOptions::default()).unwrap();
+                frame_ends.push(wal_len(&storage));
+            }
+        }
+        let total = *frame_ends.last().unwrap();
+        let cut = (total as f64 * cut_fraction) as usize;
+        truncate_wal(&storage, cut.min(total));
+        // Batches whose full frame fits within the cut survive.
+        let surviving = frame_ends.iter().filter(|&&end| end <= cut).count();
+
+        let db = Db::open(storage, opts()).unwrap();
+        for (i, &size) in batch_sizes.iter().enumerate() {
+            for j in 0..size {
+                let k = (i * 1_000 + j) as u64;
+                let got = db.get(k).unwrap();
+                if i < surviving {
+                    prop_assert_eq!(
+                        got,
+                        Some(format!("v{i}-{j}").into_bytes()),
+                        "batch {} op {} must survive (cut {}/{})", i, j, cut, total
+                    );
+                } else {
+                    prop_assert_eq!(
+                        got,
+                        None,
+                        "batch {} op {} must vanish (cut {}/{})", i, j, cut, total
+                    );
+                }
+            }
+        }
+    }
 }
 
 #[test]

@@ -1,20 +1,24 @@
 //! Whole-engine property tests against an in-memory oracle.
 //!
-//! A random stream of puts/deletes/gets/scans runs through the LSM-tree
-//! (with limits small enough to force flushes and multi-level compactions)
-//! and simultaneously through a `BTreeMap` reference model; every read must
-//! agree, under every index kind.
+//! A random stream of puts/deletes/atomic batches/gets/scans runs through
+//! the LSM-tree (with limits small enough to force flushes and multi-level
+//! compactions) and simultaneously through a `BTreeMap` reference model;
+//! every read must agree, under every index kind. Halfway through, a
+//! [`Snapshot`] is taken and held across the remaining churn — at the end
+//! its full contents must still equal the oracle state at that midpoint.
 
 use std::collections::BTreeMap;
 
 use learned_index::IndexKind;
-use lsm_tree::{Db, Options};
+use lsm_tree::{Db, Options, ReadOptions, WriteBatch, WriteOptions};
 use proptest::prelude::*;
 
 #[derive(Debug, Clone)]
 enum OpSpec {
     Put(u64, u8),
     Delete(u64),
+    /// Atomic `WriteBatch`: `Some(v)` puts, `None` deletes.
+    Batch(Vec<(u64, Option<u8>)>),
     Get(u64),
     Scan(u64, usize),
 }
@@ -23,6 +27,11 @@ fn op_strategy() -> impl Strategy<Value = OpSpec> {
     prop_oneof![
         4 => (0u64..3_000, any::<u8>()).prop_map(|(k, v)| OpSpec::Put(k, v)),
         1 => (0u64..3_000).prop_map(OpSpec::Delete),
+        1 => prop::collection::vec((0u64..3_000, prop_oneof![
+                3 => any::<u8>().prop_map(Some),
+                1 => (0u64..1).prop_map(|_| None),
+            ]), 1..30)
+            .prop_map(OpSpec::Batch),
         2 => (0u64..3_200).prop_map(OpSpec::Get),
         1 => (0u64..3_000, 1usize..40).prop_map(|(k, l)| OpSpec::Scan(k, l)),
     ]
@@ -32,31 +41,62 @@ fn value_bytes(v: u8) -> Vec<u8> {
     vec![v; 16]
 }
 
+fn dump(db: &Db, ropts: &ReadOptions<'_>) -> Vec<(u64, Vec<u8>)> {
+    let mut it = db.iter_with(ropts).unwrap();
+    it.seek_to_first();
+    it.collect_up_to(usize::MAX).unwrap()
+}
+
 fn run_against_oracle(kind: IndexKind, ops: &[OpSpec]) -> Result<(), TestCaseError> {
     let mut opts = Options::small_for_tests();
     opts.index.kind = kind;
     let db = Db::open_memory(opts).unwrap();
     let mut oracle: BTreeMap<u64, Vec<u8>> = BTreeMap::new();
+    type HeldSnapshot = (lsm_tree::Snapshot, Vec<(u64, Vec<u8>)>);
+    let mut held: Option<HeldSnapshot> = None;
 
-    for op in ops {
-        match *op {
+    for (i, op) in ops.iter().enumerate() {
+        if i == ops.len() / 2 {
+            // Pin the midpoint state and hold it across the rest of the run.
+            held = Some((
+                db.snapshot(),
+                oracle.iter().map(|(k, v)| (*k, v.clone())).collect(),
+            ));
+        }
+        match op {
             OpSpec::Put(k, v) => {
-                db.put(k, &value_bytes(v)).unwrap();
-                oracle.insert(k, value_bytes(v));
+                db.put(*k, &value_bytes(*v)).unwrap();
+                oracle.insert(*k, value_bytes(*v));
             }
             OpSpec::Delete(k) => {
-                db.delete(k).unwrap();
-                oracle.remove(&k);
+                db.delete(*k).unwrap();
+                oracle.remove(k);
+            }
+            OpSpec::Batch(entries) => {
+                let mut batch = WriteBatch::new();
+                for (k, v) in entries {
+                    match v {
+                        Some(v) => {
+                            batch.put(*k, &value_bytes(*v));
+                            oracle.insert(*k, value_bytes(*v));
+                        }
+                        None => {
+                            batch.delete(*k);
+                            oracle.remove(k);
+                        }
+                    }
+                }
+                db.write(batch, &WriteOptions::default()).unwrap();
             }
             OpSpec::Get(k) => {
-                let got = db.get(k).unwrap();
-                prop_assert_eq!(got.as_ref(), oracle.get(&k), "{} get({})", kind, k);
+                let got = db.get(*k).unwrap();
+                prop_assert_eq!(got.as_ref(), oracle.get(k), "{} get({})", kind, k);
             }
             OpSpec::Scan(start, limit) => {
-                let got = db.scan(start, limit).unwrap();
+                let got = db.scan(*start, *limit).unwrap();
                 let want: Vec<(u64, Vec<u8>)> = oracle
                     .range(start..)
-                    .take(limit)
+                    .take(*limit)
                     .map(|(k, v)| (*k, v.clone()))
                     .collect();
                 prop_assert_eq!(&got, &want, "{} scan({}, {})", kind, start, limit);
@@ -69,6 +109,11 @@ fn run_against_oracle(kind: IndexKind, ops: &[OpSpec]) -> Result<(), TestCaseErr
     for (k, v) in &oracle {
         let got = db.get(*k).unwrap();
         prop_assert_eq!(got.as_ref(), Some(v), "{} final {}", kind, k);
+    }
+    // The held snapshot still reads exactly the midpoint state.
+    if let Some((snap, want)) = held {
+        let got = dump(&db, &ReadOptions::at(&snap));
+        prop_assert_eq!(got, want, "{} snapshot diverged", kind);
     }
     Ok(())
 }

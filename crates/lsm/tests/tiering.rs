@@ -45,7 +45,11 @@ fn tiering_matches_oracle_under_mixed_ops() {
     }
     // Scans stay sorted and correct across overlapping runs.
     let got = db.scan(100, 40).unwrap();
-    let want: Vec<(u64, Vec<u8>)> = oracle.range(100..).take(40).map(|(k, v)| (*k, v.clone())).collect();
+    let want: Vec<(u64, Vec<u8>)> = oracle
+        .range(100..)
+        .take(40)
+        .map(|(k, v)| (*k, v.clone()))
+        .collect();
     assert_eq!(got, want);
 }
 

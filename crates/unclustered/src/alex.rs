@@ -276,15 +276,13 @@ impl UnclusteredMap for AlexMap {
         };
         while idx < self.nodes.len() && out.len() < limit {
             self.hops.set(self.hops.get() + 1); // next node dereference
-            for slot in &self.nodes[idx].slots {
-                // Walking a gapped array touches the holes too — part of
-                // the unclustered scan cost.
-                if let Some((k, v)) = slot {
-                    if *k >= start {
-                        out.push((*k, *v));
-                        if out.len() == limit {
-                            break;
-                        }
+                                                // Walking a gapped array touches the holes too — part of the
+                                                // unclustered scan cost.
+            for (k, v) in self.nodes[idx].slots.iter().flatten() {
+                if *k >= start {
+                    out.push((*k, *v));
+                    if out.len() == limit {
+                        break;
                     }
                 }
             }
@@ -298,8 +296,8 @@ impl UnclusteredMap for AlexMap {
     }
 
     fn size_bytes(&self) -> usize {
-        self.nodes.iter().map(DataNode::size_bytes).sum::<usize>()
-            + self.nodes.len() * 8 // routing pointers
+        self.nodes.iter().map(DataNode::size_bytes).sum::<usize>() + self.nodes.len() * 8
+        // routing pointers
     }
 
     fn pointer_hops(&self) -> u64 {

@@ -87,8 +87,16 @@ mod tests {
         let pl = layout_profile("lipp", &lipp, 220_000, 50, 100);
         let base = clustered_baseline(20_000);
 
-        assert!(pa.space_amplification > 1.2, "ALEX gaps: {}", pa.space_amplification);
-        assert!(pl.space_amplification > 1.2, "LIPP slack: {}", pl.space_amplification);
+        assert!(
+            pa.space_amplification > 1.2,
+            "ALEX gaps: {}",
+            pa.space_amplification
+        );
+        assert!(
+            pl.space_amplification > 1.2,
+            "LIPP slack: {}",
+            pl.space_amplification
+        );
         assert!((base.space_amplification - 1.0).abs() < 1e-9);
     }
 

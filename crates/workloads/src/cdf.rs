@@ -67,7 +67,7 @@ mod tests {
 
     #[test]
     fn fractions_monotone() {
-        let keys: Vec<u64> = (0..500).map(|i| i * i) .collect();
+        let keys: Vec<u64> = (0..500).map(|i| i * i).collect();
         let cdf = sample_cdf(&keys, 20);
         assert!(cdf.windows(2).all(|w| w[0].fraction <= w[1].fraction));
         assert!(cdf.windows(2).all(|w| w[0].key <= w[1].key));

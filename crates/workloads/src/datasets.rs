@@ -157,7 +157,7 @@ fn gen_longitude(n: usize, rng: &mut StdRng) -> Vec<u64> {
             // Fixed-point scale (like OSM: degrees * 1e7) with dithering so
             // keys are distinct.
             let fixed = ((lon + 180.0) * 1e16) as u64;
-            fixed + rng.gen_range(0..1_000_000)
+            fixed + rng.gen_range(0..1_000_000u64)
         })
         .collect()
 }
@@ -213,11 +213,11 @@ fn gen_wiki(n: usize, rng: &mut StdRng) -> Vec<u64> {
     for _ in 0..n {
         let r: f64 = rng.gen();
         let step = if r < 0.80 {
-            rng.gen_range(1..=3)
+            rng.gen_range(1..=3u64)
         } else if r < 0.97 {
-            rng.gen_range(3..=40)
+            rng.gen_range(3..=40u64)
         } else {
-            rng.gen_range(1_000..=50_000)
+            rng.gen_range(1_000..=50_000u64)
         };
         t += step;
         keys.push(t);
@@ -248,7 +248,10 @@ mod tests {
     fn check_basic(d: Dataset) {
         let keys = d.generate(10_000, 42);
         assert_eq!(keys.len(), 10_000, "{d}");
-        assert!(keys.windows(2).all(|w| w[0] < w[1]), "{d} not strictly sorted");
+        assert!(
+            keys.windows(2).all(|w| w[0] < w[1]),
+            "{d} not strictly sorted"
+        );
         assert!(*keys.last().unwrap() < (1 << 63), "{d} exceeds key space");
     }
 
@@ -291,7 +294,10 @@ mod tests {
         let keys = Dataset::Fb.generate(100_000, 3);
         let p999 = keys[(keys.len() as f64 * 0.998) as usize];
         let max = *keys.last().unwrap();
-        assert!(max > p999 * 100, "fb tail should jump: p998={p999} max={max}");
+        assert!(
+            max > p999 * 100,
+            "fb tail should jump: p998={p999} max={max}"
+        );
     }
 
     #[test]

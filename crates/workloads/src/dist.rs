@@ -28,7 +28,9 @@ impl RequestDistribution {
         assert!(n > 0, "cannot choose from an empty key set");
         match *self {
             RequestDistribution::Uniform => KeyChooser::Uniform { n },
-            RequestDistribution::Zipfian { theta } => KeyChooser::Zipfian(ZipfianGen::new(n, theta)),
+            RequestDistribution::Zipfian { theta } => {
+                KeyChooser::Zipfian(ZipfianGen::new(n, theta))
+            }
             RequestDistribution::Latest { theta } => KeyChooser::Latest(ZipfianGen::new(n, theta)),
             RequestDistribution::HotSpot {
                 hot_fraction,
@@ -45,10 +47,16 @@ impl RequestDistribution {
 /// Stateful sampler of key positions in `[0, n)`.
 #[derive(Debug, Clone)]
 pub enum KeyChooser {
-    Uniform { n: usize },
+    Uniform {
+        n: usize,
+    },
     Zipfian(ZipfianGen),
     Latest(ZipfianGen),
-    HotSpot { n: usize, hot_n: usize, hot_prob: f64 },
+    HotSpot {
+        n: usize,
+        hot_n: usize,
+        hot_prob: f64,
+    },
 }
 
 impl KeyChooser {
@@ -160,7 +168,10 @@ mod tests {
     fn uniform_covers_range() {
         let c = RequestDistribution::Uniform.chooser(100);
         let h = histogram(&c, 100_000);
-        assert!(h.iter().all(|&x| x > 500), "uniform should hit every bucket");
+        assert!(
+            h.iter().all(|&x| x > 500),
+            "uniform should hit every bucket"
+        );
     }
 
     #[test]
@@ -194,7 +205,10 @@ mod tests {
         .chooser(1000);
         let h = histogram(&c, 100_000);
         let hot: usize = h[..100].iter().sum();
-        assert!(hot > 85_000, "hot set should absorb ~91% of requests: {hot}");
+        assert!(
+            hot > 85_000,
+            "hot set should absorb ~91% of requests: {hot}"
+        );
     }
 
     #[test]

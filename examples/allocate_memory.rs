@@ -88,7 +88,10 @@ fn main() {
     tuned.load().expect("load tuned");
     let after = tuned.run_point_lookups(20_000, dist).expect("tuned run");
 
-    println!("\nuniform boundary 256: {:.2} µs/lookup, {} B of index", probe.avg_latency_us, probe.index_memory_bytes);
+    println!(
+        "\nuniform boundary 256: {:.2} µs/lookup, {} B of index",
+        probe.avg_latency_us, probe.index_memory_bytes
+    );
     println!(
         "allocated boundaries:  {:.2} µs/lookup, {} B of index",
         after.avg_latency_us, after.index_memory_bytes

@@ -20,7 +20,10 @@ fn main() {
         ..IndexConfig::default()
     };
 
-    println!("epsilon={eps} (position boundary {}), {n} keys per dataset\n", 2 * eps);
+    println!(
+        "epsilon={eps} (position boundary {}), {n} keys per dataset\n",
+        2 * eps
+    );
     for dataset in Dataset::ALL {
         let keys = dataset.generate(n, 99);
         println!("[{dataset}]");

@@ -22,8 +22,8 @@ fn main() {
 
     println!("index memory budget: {budget} B, dataset: {dataset}, {n} keys\n");
     println!(
-        "{:6} {:>9} {:>12} {:>14}  {}",
-        "index", "boundary", "memory (B)", "latency (µs)", "fits?"
+        "{:6} {:>9} {:>12} {:>14}  fits?",
+        "index", "boundary", "memory (B)", "latency (µs)"
     );
 
     let mut best: Option<(IndexKind, usize, f64, u64)> = None;
@@ -53,7 +53,7 @@ fn main() {
             if fits {
                 let better = best
                     .as_ref()
-                    .map_or(true, |(_, _, lat, _)| r.avg_latency_us < *lat);
+                    .is_none_or(|(_, _, lat, _)| r.avg_latency_us < *lat);
                 if better {
                     best = Some((kind, boundary, r.avg_latency_us, mem));
                 }

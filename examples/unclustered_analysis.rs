@@ -19,7 +19,11 @@ use std::time::Instant;
 fn main() {
     let n = 200_000usize;
     let keys = Dataset::Books.generate(n, 17);
-    let pairs: Vec<(u64, u64)> = keys.iter().enumerate().map(|(i, &k)| (k, i as u64)).collect();
+    let pairs: Vec<(u64, u64)> = keys
+        .iter()
+        .enumerate()
+        .map(|(i, &k)| (k, i as u64))
+        .collect();
     let span = *keys.last().unwrap();
 
     let t = Instant::now();
@@ -44,7 +48,10 @@ fn main() {
         );
     }
 
-    println!("\nbuild times: alex {:?}, lipp {:?}", alex_build, lipp_build);
+    println!(
+        "\nbuild times: alex {:?}, lipp {:?}",
+        alex_build, lipp_build
+    );
     println!(
         "lookup sanity: alex.get ok={}, lipp.get ok={}",
         alex.get(keys[n / 2]).is_some(),

@@ -1,0 +1,213 @@
+//! Offline shim of `criterion`.
+//!
+//! Implements the API surface this workspace's benches use — `Criterion`,
+//! `benchmark_group` with `sample_size`/`throughput`, `bench_function`,
+//! `bench_with_input`, `BenchmarkId`, `Throughput`, and the
+//! `criterion_group!`/`criterion_main!` macros. Measurement is a plain
+//! wall-clock sampler reporting the median ns/iteration; no statistics
+//! engine, plots, or saved baselines. Set `CRITERION_SHIM_SAMPLES` to
+//! override the per-benchmark sample count.
+
+use std::fmt::Display;
+use std::time::Instant;
+
+/// Re-export of the standard black box under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Throughput annotation (printed alongside timings).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Timing loop handle passed to bench closures.
+pub struct Bencher {
+    samples: Vec<u64>,
+    iters_per_sample: u64,
+    target_samples: usize,
+}
+
+impl Bencher {
+    /// Run `f` repeatedly, recording wall time per iteration.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // One warm-up pass, then timed samples of `iters_per_sample` calls.
+        black_box(f());
+        for _ in 0..self.target_samples {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                black_box(f());
+            }
+            let ns = start.elapsed().as_nanos() as u64 / self.iters_per_sample.max(1);
+            self.samples.push(ns);
+        }
+    }
+
+    fn median_ns(&mut self) -> u64 {
+        if self.samples.is_empty() {
+            return 0;
+        }
+        self.samples.sort_unstable();
+        self.samples[self.samples.len() / 2]
+    }
+}
+
+fn default_samples() -> usize {
+    std::env::var("CRITERION_SHIM_SAMPLES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10)
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\ngroup: {name}");
+        BenchmarkGroup {
+            _c: self,
+            sample_size: default_samples(),
+            throughput: None,
+        }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: impl Display, mut f: F) {
+        run_one(&name.to_string(), default_samples(), None, |b| f(b));
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        // Criterion insists on ≥10; the shim just takes what it gets (≥1).
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, mut f: F) {
+        run_one(&id.to_string(), self.sample_size, self.throughput, |b| f(b));
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(&id.to_string(), self.sample_size, self.throughput, |b| {
+            f(b, input)
+        });
+    }
+
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, samples: usize, tp: Option<Throughput>, mut f: F) {
+    let mut b = Bencher {
+        samples: Vec::with_capacity(samples),
+        iters_per_sample: 1,
+        target_samples: samples,
+    };
+    f(&mut b);
+    let ns = b.median_ns();
+    let extra = match tp {
+        Some(Throughput::Elements(n)) if ns > 0 => {
+            // `ns` is per iteration; one iteration processes `n` elements.
+            format!("  ({:.2} Melem/s)", n as f64 * 1e3 / ns as f64)
+        }
+        Some(Throughput::Bytes(n)) if ns > 0 => {
+            format!(
+                "  ({:.1} MiB/s)",
+                n as f64 / (ns as f64 / 1e9) / (1 << 20) as f64
+            )
+        }
+        _ => String::new(),
+    };
+    println!("  {label:40} median {ns:>12} ns/iter{extra}");
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(2);
+        let mut count = 0u64;
+        g.bench_function("count", |b| b.iter(|| count += 1));
+        g.finish();
+        assert!(count > 0);
+    }
+
+    #[test]
+    fn bench_with_input_passes_input() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g2");
+        g.sample_size(2).throughput(Throughput::Elements(4));
+        g.bench_with_input(BenchmarkId::from_parameter("x"), &21u64, |b, &v| {
+            b.iter(|| assert_eq!(v * 2, 42))
+        });
+        g.finish();
+    }
+}

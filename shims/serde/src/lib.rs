@@ -1,0 +1,229 @@
+//! Offline shim for `serde`'s `Serialize` half.
+//!
+//! The real serde is a visitor framework; this workspace only ever
+//! serializes plain record structs to JSON, so the shim collapses the
+//! design to one trait producing a [`json::Value`] tree. The derive macro
+//! (`#[derive(Serialize)]`, re-exported from the sibling `serde_derive`
+//! shim) emits field-by-field `Value::Object` construction. `serde_json`
+//! renders/parses the tree.
+
+// Let the derive's `serde::`-prefixed expansion resolve inside this crate
+// too (the in-crate tests derive on local structs).
+extern crate self as serde;
+
+pub use serde_derive::Serialize;
+
+/// Minimal JSON value tree shared by the `serde` and `serde_json` shims.
+pub mod json {
+    /// A JSON document node. Object fields keep insertion order so emitted
+    /// documents are deterministic.
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Value {
+        Null,
+        Bool(bool),
+        Number(f64),
+        String(String),
+        Array(Vec<Value>),
+        Object(Vec<(String, Value)>),
+    }
+
+    impl Value {
+        /// Member lookup on objects (`None` for other node kinds).
+        pub fn get(&self, key: &str) -> Option<&Value> {
+            match self {
+                Value::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+                _ => None,
+            }
+        }
+
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                Value::String(s) => Some(s),
+                _ => None,
+            }
+        }
+
+        pub fn as_f64(&self) -> Option<f64> {
+            match self {
+                Value::Number(n) => Some(*n),
+                _ => None,
+            }
+        }
+
+        pub fn as_u64(&self) -> Option<u64> {
+            match self {
+                Value::Number(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= u64::MAX as f64 => {
+                    Some(*n as u64)
+                }
+                _ => None,
+            }
+        }
+
+        pub fn as_i64(&self) -> Option<i64> {
+            match self {
+                Value::Number(n)
+                    if n.fract() == 0.0 && *n >= i64::MIN as f64 && *n <= i64::MAX as f64 =>
+                {
+                    Some(*n as i64)
+                }
+                _ => None,
+            }
+        }
+
+        pub fn as_bool(&self) -> Option<bool> {
+            match self {
+                Value::Bool(b) => Some(*b),
+                _ => None,
+            }
+        }
+
+        pub fn as_array(&self) -> Option<&[Value]> {
+            match self {
+                Value::Array(a) => Some(a),
+                _ => None,
+            }
+        }
+    }
+}
+
+use json::Value;
+
+/// Conversion into the JSON value tree (stand-in for `serde::Serialize`).
+pub trait Serialize {
+    fn to_json_value(&self) -> Value;
+}
+
+macro_rules! impl_serialize_num {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json_value(&self) -> Value {
+                Value::Number(*self as f64)
+            }
+        }
+    )*};
+}
+impl_serialize_num!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+impl Serialize for bool {
+    fn to_json_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Serialize for String {
+    fn to_json_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn to_json_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for Value {
+    fn to_json_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_json_value(&self) -> Value {
+        (**self).to_json_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_json_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_json_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_json_value(&self) -> Value {
+        self.as_slice().to_json_value()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_json_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_json_value(&self) -> Value {
+        self.as_slice().to_json_value()
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_json_value(&self) -> Value {
+        Value::Array(vec![self.0.to_json_value(), self.1.to_json_value()])
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn to_json_value(&self) -> Value {
+        Value::Array(vec![
+            self.0.to_json_value(),
+            self.1.to_json_value(),
+            self.2.to_json_value(),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_and_containers() {
+        assert_eq!(1u64.to_json_value(), Value::Number(1.0));
+        assert_eq!("x".to_json_value(), Value::String("x".into()));
+        assert_eq!(
+            vec![1u8, 2].to_json_value(),
+            Value::Array(vec![Value::Number(1.0), Value::Number(2.0)])
+        );
+        assert_eq!(None::<u8>.to_json_value(), Value::Null);
+        assert_eq!(
+            (1u8, "a".to_string()).to_json_value(),
+            Value::Array(vec![Value::Number(1.0), Value::String("a".into())])
+        );
+    }
+
+    #[test]
+    fn value_accessors() {
+        let v = Value::Object(vec![("k".into(), Value::Number(3.0))]);
+        assert_eq!(v.get("k").and_then(Value::as_u64), Some(3));
+        assert_eq!(v.get("missing"), None);
+        assert_eq!(Value::Number(1.5).as_u64(), None);
+        assert_eq!(Value::Number(1.5).as_f64(), Some(1.5));
+    }
+
+    #[test]
+    fn derive_emits_object() {
+        #[derive(Serialize)]
+        struct Rec {
+            name: String,
+            n: u64,
+            xs: Vec<f64>,
+        }
+        let v = Rec {
+            name: "a".into(),
+            n: 7,
+            xs: vec![0.5],
+        }
+        .to_json_value();
+        assert_eq!(v.get("name").and_then(Value::as_str), Some("a"));
+        assert_eq!(v.get("n").and_then(Value::as_u64), Some(7));
+        assert_eq!(
+            v.get("xs").and_then(Value::as_array).map(|a| a.len()),
+            Some(1)
+        );
+    }
+}

@@ -1,0 +1,92 @@
+//! Offline shim of `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` for the only shape this workspace
+//! derives on: non-generic structs with named fields. The expansion targets
+//! the `serde` shim's single-method trait, so no `syn`/`quote` dependency is
+//! needed — the struct is parsed with a small token walk.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derive `serde::Serialize` (shim): serializes each named field in
+/// declaration order into a `serde::json::Value::Object`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+
+    // Locate `struct <Name> { ... }`, skipping attributes and visibility.
+    let mut name = None;
+    let mut body = None;
+    let mut iter = tokens.iter().peekable();
+    while let Some(tt) = iter.next() {
+        if let TokenTree::Ident(id) = tt {
+            if id.to_string() == "struct" {
+                if let Some(TokenTree::Ident(n)) = iter.next() {
+                    name = Some(n.to_string());
+                }
+                for rest in iter.by_ref() {
+                    if let TokenTree::Group(g) = rest {
+                        if g.delimiter() == Delimiter::Brace {
+                            body = Some(g.stream());
+                            break;
+                        }
+                    }
+                }
+                break;
+            }
+        }
+    }
+    let (name, body) = match (name, body) {
+        (Some(n), Some(b)) => (n, b),
+        _ => {
+            return "compile_error!(\"serde shim: #[derive(Serialize)] supports only \
+                    named-field structs\");"
+                .parse()
+                .unwrap()
+        }
+    };
+
+    // Field names: the identifier directly before each top-level `:`,
+    // honouring `,` as the field separator and skipping `#[...]` attributes.
+    let mut fields = Vec::new();
+    let mut last_ident: Option<String> = None;
+    let mut seen_colon_in_field = false;
+    for tt in body {
+        match tt {
+            TokenTree::Ident(id) if !seen_colon_in_field => {
+                last_ident = Some(id.to_string());
+            }
+            TokenTree::Punct(p) if p.as_char() == ':' && !seen_colon_in_field => {
+                if let Some(f) = last_ident.take() {
+                    fields.push(f);
+                }
+                seen_colon_in_field = true;
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' => {
+                seen_colon_in_field = false;
+                last_ident = None;
+            }
+            _ => {}
+        }
+    }
+
+    let pushes: String = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "fields.push((\"{f}\".to_string(), \
+                 serde::Serialize::to_json_value(&self.{f})));"
+            )
+        })
+        .collect();
+    format!(
+        "impl serde::Serialize for {name} {{\n\
+             fn to_json_value(&self) -> serde::json::Value {{\n\
+                 let mut fields: Vec<(String, serde::json::Value)> = Vec::new();\n\
+                 {pushes}\n\
+                 serde::json::Value::Object(fields)\n\
+             }}\n\
+         }}"
+    )
+    .parse()
+    .unwrap()
+}

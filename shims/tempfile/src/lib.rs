@@ -1,0 +1,66 @@
+//! Offline shim of `tempfile`: just `tempdir()`/`TempDir`, which is all the
+//! workspace's tests use. Directories are created under the system temp dir
+//! and removed on drop.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::{env, fs, io, process};
+
+static COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// A directory deleted (recursively) when the handle drops.
+#[derive(Debug)]
+pub struct TempDir {
+    path: PathBuf,
+}
+
+impl TempDir {
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Consume without deleting.
+    pub fn into_path(mut self) -> PathBuf {
+        std::mem::take(&mut self.path)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        if !self.path.as_os_str().is_empty() {
+            let _ = fs::remove_dir_all(&self.path);
+        }
+    }
+}
+
+/// Create a fresh uniquely-named temporary directory.
+pub fn tempdir() -> io::Result<TempDir> {
+    let id = COUNTER.fetch_add(1, Ordering::Relaxed);
+    let path = env::temp_dir().join(format!("tmpshim-{}-{id}", process::id()));
+    fs::create_dir_all(&path)?;
+    Ok(TempDir { path })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn creates_and_cleans_up() {
+        let kept_path;
+        {
+            let d = tempdir().unwrap();
+            kept_path = d.path().to_path_buf();
+            fs::write(d.path().join("f"), b"x").unwrap();
+            assert!(kept_path.exists());
+        }
+        assert!(!kept_path.exists(), "dropped TempDir must be removed");
+    }
+
+    #[test]
+    fn distinct_paths() {
+        let a = tempdir().unwrap();
+        let b = tempdir().unwrap();
+        assert_ne!(a.path(), b.path());
+    }
+}

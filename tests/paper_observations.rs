@@ -24,7 +24,10 @@ fn fig6_latency_falls_then_plateaus_and_memory_rises() {
     let records = runner::fig6(&smoke(), &[Dataset::Random], &boundaries).unwrap();
 
     for kind in IndexKind::ALL {
-        let series: Vec<_> = records.iter().filter(|r| r.index == kind.abbrev()).collect();
+        let series: Vec<_> = records
+            .iter()
+            .filter(|r| r.index == kind.abbrev())
+            .collect();
         assert_eq!(series.len(), 3, "{kind}");
         if kind == IndexKind::Rmi {
             // RMI's error is recorded at training time, not configured, so
@@ -93,7 +96,10 @@ fn fig7_io_dominates_lookup_cost() {
 fn fig8_granularity_saves_memory_not_latency() {
     let records = runner::fig8(&smoke(), Dataset::Random, &[64]).unwrap();
     for kind in [IndexKind::Pgm, IndexKind::Plr] {
-        let series: Vec<_> = records.iter().filter(|r| r.index == kind.abbrev()).collect();
+        let series: Vec<_> = records
+            .iter()
+            .filter(|r| r.index == kind.abbrev())
+            .collect();
         let finest = series.first().unwrap();
         let level = series.iter().find(|r| r.granularity == "L").unwrap();
         assert!(
@@ -207,7 +213,10 @@ fn table1_io_constant_across_sst_sizes() {
     }
     let io: Vec<f64> = records.iter().map(|r| r.breakdown.disk_io).collect();
     let spread = (io[0] - io[2]).abs();
-    assert!(spread < 1.5, "I/O time should be near-constant, spread {spread}");
+    assert!(
+        spread < 1.5,
+        "I/O time should be near-constant, spread {spread}"
+    );
 }
 
 /// Observation 6 (Figure 11): learned indexes beat fence pointers on short
@@ -276,7 +285,11 @@ fn fig5_cdfs_are_distinct_and_monotone() {
     let records = runner::fig5(30_000, 20, 1);
     assert_eq!(records.len(), 7);
     for r in &records {
-        assert!(r.points.windows(2).all(|w| w[0].1 <= w[1].1), "{}", r.dataset);
+        assert!(
+            r.points.windows(2).all(|w| w[0].1 <= w[1].1),
+            "{}",
+            r.dataset
+        );
         assert!(r.points.last().unwrap().1 > 0.99);
     }
     // Books (lognormal) must look nothing like Random (uniform): compare the
