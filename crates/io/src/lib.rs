@@ -69,7 +69,7 @@ pub trait RandomAccessFile: Send + Sync {
 }
 
 /// An append-only output file, as produced by flushes and compactions.
-pub trait WritableFile: Send {
+pub trait WritableFile: Send + Sync {
     /// Append `data` to the end of the file.
     fn append(&mut self, data: &[u8]) -> io::Result<()>;
 

@@ -12,7 +12,8 @@
 //! serialization inside [`TableBuilder::finish`] are timed separately so
 //! Figure 9's breakdown falls out directly.
 
-use std::sync::atomic::Ordering;
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -102,14 +103,29 @@ impl CompactionTask {
 }
 
 /// Decide whether any level needs compacting. `cursors` is the per-level
-/// round-robin key cursor (updated by the caller after the compaction runs).
+/// round-robin key cursor (advanced by [`advance_cursor`]).
 pub fn pick_compaction(
     version: &Version,
     opts: &Options,
     cursors: &[u64],
 ) -> Option<CompactionTask> {
+    pick_compaction_excluding(version, opts, cursors, &HashSet::new())
+}
+
+/// [`pick_compaction`] that never selects a task whose inputs intersect
+/// `busy` (tables claimed by an in-flight background compaction). A level
+/// whose due work is blocked is skipped, so disjoint tasks at other levels
+/// can still run concurrently. With an empty `busy` set this is exactly
+/// the synchronous picker.
+pub fn pick_compaction_excluding(
+    version: &Version,
+    opts: &Options,
+    cursors: &[u64],
+    busy: &HashSet<String>,
+) -> Option<CompactionTask> {
+    let is_busy = |t: &Arc<TableHandle>| busy.contains(&t.meta.name);
     if let CompactionPolicy::Tiering { runs_per_level } = opts.compaction {
-        return pick_tiering(version, runs_per_level.max(2));
+        return pick_tiering(version, runs_per_level.max(2), &is_busy);
     }
     // L0 first: file-count pressure stalls writes soonest.
     if version.levels[0].len() >= opts.l0_compaction_trigger {
@@ -117,12 +133,15 @@ pub fn pick_compaction(
         let min = inputs.iter().map(|t| t.meta.min_key).min()?;
         let max = inputs.iter().map(|t| t.meta.max_key).max()?;
         let next_inputs = version.overlapping(1, min, max);
-        return Some(CompactionTask {
-            level: 0,
-            inputs,
-            next_inputs,
-            is_bottom: is_bottom_output(version, 1),
-        });
+        if !inputs.iter().chain(next_inputs.iter()).any(is_busy) {
+            return Some(CompactionTask {
+                level: 0,
+                inputs,
+                next_inputs,
+                is_bottom: is_bottom_output(version, 1),
+            });
+        }
+        // An L0 merge is already in flight; fall through to deeper levels.
     }
     // Size-triggered levels.
     for level in 1..version.levels.len() - 1 {
@@ -131,35 +150,73 @@ pub fn pick_compaction(
             if tables.is_empty() {
                 continue;
             }
-            // Round-robin: first table whose max key is past the cursor.
+            // Round-robin: first table whose max key is past the cursor,
+            // skipping tables (or next-level overlaps) already claimed.
             let cursor = cursors.get(level).copied().unwrap_or(0);
-            let idx = tables
+            let start = tables
                 .iter()
                 .position(|t| t.meta.max_key > cursor)
                 .unwrap_or(0);
-            let input = tables[idx].clone();
-            let next_inputs =
-                version.overlapping(level + 1, input.meta.min_key, input.meta.max_key);
-            return Some(CompactionTask {
-                level,
-                inputs: vec![input],
-                next_inputs,
-                is_bottom: is_bottom_output(version, level + 1),
-            });
+            let candidate = (0..tables.len())
+                .map(|i| &tables[(start + i) % tables.len()])
+                .find_map(|input| {
+                    if is_busy(input) {
+                        return None;
+                    }
+                    let next_inputs =
+                        version.overlapping(level + 1, input.meta.min_key, input.meta.max_key);
+                    if next_inputs.iter().any(is_busy) {
+                        return None;
+                    }
+                    Some((Arc::clone(input), next_inputs))
+                });
+            if let Some((input, next_inputs)) = candidate {
+                return Some(CompactionTask {
+                    level,
+                    inputs: vec![input],
+                    next_inputs,
+                    is_bottom: is_bottom_output(version, level + 1),
+                });
+            }
         }
     }
     None
 }
 
+/// Advance the round-robin cursor for `task`'s source level, using the
+/// pre-apply `version` (the structure the task was picked from). L0 has no
+/// cursor; a task that consumed the level's last table wraps to 0.
+pub fn advance_cursor(version: &Version, task: &CompactionTask, cursors: &mut [u64]) {
+    if task.level == 0 || task.level >= cursors.len() {
+        return;
+    }
+    let max = task
+        .inputs
+        .iter()
+        .map(|t| t.meta.max_key)
+        .max()
+        .unwrap_or(0);
+    let tables = &version.levels[task.level];
+    let is_last = tables.last().map(|t| t.meta.max_key <= max).unwrap_or(true);
+    cursors[task.level] = if is_last { 0 } else { max };
+}
+
 /// Tiering trigger: any level holding `runs_per_level` runs merges *all*
 /// of them into one new run stacked on the next level (next-level runs are
 /// not touched — that is the write-amplification saving).
-fn pick_tiering(version: &Version, runs_per_level: usize) -> Option<CompactionTask> {
+fn pick_tiering(
+    version: &Version,
+    runs_per_level: usize,
+    is_busy: &dyn Fn(&Arc<TableHandle>) -> bool,
+) -> Option<CompactionTask> {
     for level in 0..version.levels.len() - 1 {
         // L0 and deeper levels share one trigger: the size ratio `T`.
         let trigger = runs_per_level;
         if version.levels[level].len() >= trigger {
             let inputs = version.levels[level].clone();
+            if inputs.iter().any(is_busy) {
+                continue; // this level is already being merged
+            }
             // Tombstones drop only when nothing deeper can hold older
             // versions (the output level itself must be empty too, since we
             // do not merge with it).
@@ -198,13 +255,15 @@ pub struct CompactionResult {
 }
 
 /// Execute `task`: merge inputs, write ≤-target-size output tables, record
-/// the stage breakdown into `stats`. `next_file_no` supplies output names.
+/// the stage breakdown into `stats`. `next_file_no` supplies output names —
+/// an atomic, so background workers can name outputs without holding the
+/// tree lock for the duration of the merge.
 pub fn run_compaction(
     storage: &dyn Storage,
     task: &CompactionTask,
     opts: &Options,
     stats: &DbStats,
-    next_file_no: &mut u64,
+    next_file_no: &AtomicU64,
     cache: Option<Arc<BlockCache>>,
 ) -> Result<CompactionResult> {
     let total_start = Instant::now();
@@ -274,8 +333,7 @@ pub fn run_compaction(
         }
 
         if builder.is_none() {
-            let name = format!("{:06}.sst", *next_file_no);
-            *next_file_no += 1;
+            let name = format!("{:06}.sst", next_file_no.fetch_add(1, Ordering::Relaxed));
             let file = storage.create(&name)?;
             builder = Some(TableBuilder::new(
                 file,
@@ -386,8 +444,8 @@ mod tests {
             next_inputs: vec![],
             is_bottom: true,
         };
-        let mut fno = 100;
-        let result = run_compaction(&storage, &task, &opts, &stats, &mut fno, None).unwrap();
+        let fno = AtomicU64::new(100);
+        let result = run_compaction(&storage, &task, &opts, &stats, &fno, None).unwrap();
         assert_eq!(result.outputs.len(), 1);
         let out = &result.outputs[0];
         assert_eq!(out.meta.n, 10, "one survivor per key");
@@ -413,8 +471,8 @@ mod tests {
             next_inputs: vec![],
             is_bottom: true,
         };
-        let mut fno = 200;
-        let result = run_compaction(&storage, &task, &opts, &stats, &mut fno, None).unwrap();
+        let fno = AtomicU64::new(200);
+        let result = run_compaction(&storage, &task, &opts, &stats, &fno, None).unwrap();
         let out = &result.outputs[0];
         assert_eq!(out.meta.n, 4, "tombstone dropped at bottom");
         let got = out.reader.get(2, u64::MAX >> 8, &stats).unwrap();
@@ -433,8 +491,8 @@ mod tests {
             next_inputs: vec![],
             is_bottom: false,
         };
-        let mut fno = 300;
-        let result = run_compaction(&storage, &task, &opts, &stats, &mut fno, None).unwrap();
+        let fno = AtomicU64::new(300);
+        let result = run_compaction(&storage, &task, &opts, &stats, &fno, None).unwrap();
         assert_eq!(result.outputs[0].meta.n, 1, "tombstone must survive");
     }
 
@@ -452,8 +510,8 @@ mod tests {
             next_inputs: vec![],
             is_bottom: true,
         };
-        let mut fno = 400;
-        let result = run_compaction(&storage, &task, &opts, &stats, &mut fno, None).unwrap();
+        let fno = AtomicU64::new(400);
+        let result = run_compaction(&storage, &task, &opts, &stats, &fno, None).unwrap();
         assert!(result.outputs.len() > 1, "must split into multiple tables");
         let total: u64 = result.outputs.iter().map(|t| t.meta.n).sum();
         assert_eq!(total, 200);
@@ -475,8 +533,8 @@ mod tests {
             next_inputs: vec![],
             is_bottom: true,
         };
-        let mut fno = 500;
-        run_compaction(&storage, &task, &opts, &stats, &mut fno, None).unwrap();
+        let fno = AtomicU64::new(500);
+        run_compaction(&storage, &task, &opts, &stats, &fno, None).unwrap();
         let snap = stats.snapshot();
         assert_eq!(snap.compactions, 1);
         assert!(snap.compact_total_ns > 0);

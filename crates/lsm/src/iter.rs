@@ -10,7 +10,41 @@ use std::sync::Arc;
 
 use crate::sstable::{TableIter, TableReader};
 use crate::types::{Entry, EntryKind, InternalKey, SeqNo};
+use crate::version::Version;
 use crate::Result;
+
+/// Build a snapshot-consistent [`DbIterator`] over the read path's three
+/// layers: a memtable stack (active buffer copy plus queued immutable
+/// memtables, each an already-sorted shared run), then every SSTable of
+/// `version`. Newer sources come first so same-key ties resolve newest.
+pub(crate) fn db_iter_over(
+    mems: Vec<Arc<Vec<Entry>>>,
+    version: &Version,
+    seq: SeqNo,
+) -> DbIterator {
+    let mut sources = Vec::with_capacity(mems.len() + 1 + version.levels.len());
+    for mem in mems {
+        sources.push(MergeSource::buffered_shared(mem));
+    }
+    for t in &version.levels[0] {
+        sources.push(MergeSource::table(Arc::clone(&t.reader)));
+    }
+    if version.sorted_levels {
+        for level in version.levels.iter().skip(1) {
+            if !level.is_empty() {
+                sources.push(MergeSource::level(
+                    level.iter().map(|t| Arc::clone(&t.reader)).collect(),
+                ));
+            }
+        }
+    } else {
+        // Tiering: runs overlap, so every table merges independently.
+        for t in version.levels.iter().skip(1).flatten() {
+            sources.push(MergeSource::table(Arc::clone(&t.reader)));
+        }
+    }
+    DbIterator::new(MergeIter::new(sources), seq)
+}
 
 /// Cursor over one sorted level: non-overlapping tables concatenated in key
 /// order, opened lazily one at a time (the paper's `NewLevelIter`).

@@ -65,6 +65,7 @@ pub mod db;
 pub mod iter;
 pub mod memtable;
 pub mod options;
+pub mod scheduler;
 pub mod snapshot;
 pub mod sstable;
 pub mod stats;
@@ -77,7 +78,7 @@ pub use cache::{BlockCache, BlockKey};
 pub use db::Db;
 pub use iter::DbIterator;
 pub use options::{
-    CompactionPolicy, IndexChoice, Options, ReadOptions, SearchStrategy, WriteOptions,
+    CompactionPolicy, IndexChoice, Maintenance, Options, ReadOptions, SearchStrategy, WriteOptions,
 };
 pub use snapshot::Snapshot;
 pub use stats::{CompactionBreakdown, DbStats, LookupBreakdown};

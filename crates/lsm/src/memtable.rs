@@ -4,9 +4,16 @@
 //! so a flush streams entries in exactly the order the SSTable builder needs.
 //! The paper's write buffer is 64 MB for the compaction experiment; size is
 //! tracked approximately (key slot + metadata + value bytes).
+//!
+//! Under background maintenance a full buffer is **frozen** into an
+//! [`ImmutableMemTable`] — a sorted, shareable run that sits on the flush
+//! queue, stays readable (it is still the newest data after the active
+//! buffer), and remembers which WAL file made it durable so the log can be
+//! retired once the flush lands.
 
 use std::collections::BTreeMap;
 use std::ops::Bound;
+use std::sync::Arc;
 
 use crate::types::{Entry, EntryKind, InternalKey, SeqNo};
 
@@ -119,6 +126,71 @@ impl MemTable {
     }
 }
 
+/// Binary search a sorted entry run (internal-key order: key asc, seq desc)
+/// for the newest version of `key` visible at `seq`. Same contract as
+/// [`MemTable::get`]: `None` = not present, `Some(None)` = deleted,
+/// `Some(Some(v))` = live value.
+pub fn search_sorted_run(entries: &[Entry], key: u64, seq: SeqNo) -> Option<Option<&[u8]>> {
+    let from = InternalKey {
+        user_key: key,
+        seq,
+        kind: EntryKind::Put,
+    };
+    let i = entries.partition_point(|e| e.key < from);
+    let e = entries.get(i)?;
+    if e.key.user_key != key {
+        return None;
+    }
+    match e.key.kind {
+        EntryKind::Put => Some(Some(e.value.as_slice())),
+        EntryKind::Delete => Some(None),
+    }
+}
+
+/// A frozen write buffer queued for flush (background maintenance).
+///
+/// The entries are shared via `Arc`, so the flush worker, concurrent
+/// readers, iterators and snapshots all reuse one sorted copy.
+#[derive(Debug)]
+pub struct ImmutableMemTable {
+    entries: Arc<Vec<Entry>>,
+    approx_bytes: usize,
+    /// The WAL file that made these writes durable; retired after the
+    /// flushed SSTable is referenced by the manifest.
+    wal: Option<String>,
+}
+
+impl ImmutableMemTable {
+    /// Freeze `mem`, remembering the log (`wal`) that covers it.
+    pub fn freeze(mem: MemTable, wal: Option<String>) -> Self {
+        Self {
+            approx_bytes: mem.approximate_bytes(),
+            entries: Arc::new(mem.iter_all().collect()),
+            wal,
+        }
+    }
+
+    /// Newest version of `key` visible at `seq` (see [`MemTable::get`]).
+    pub fn get(&self, key: u64, seq: SeqNo) -> Option<Option<&[u8]>> {
+        search_sorted_run(&self.entries, key, seq)
+    }
+
+    /// The frozen entries, flush order (key asc, seq desc).
+    pub fn entries(&self) -> &Arc<Vec<Entry>> {
+        &self.entries
+    }
+
+    /// Approximate resident bytes at freeze time.
+    pub fn approximate_bytes(&self) -> usize {
+        self.approx_bytes
+    }
+
+    /// The WAL file covering these writes, if logging was on.
+    pub fn wal(&self) -> Option<&str> {
+        self.wal.as_deref()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -177,6 +249,25 @@ mod tests {
         assert_eq!(m.approximate_bytes(), 172);
         assert_eq!(m.len(), 2);
     }
+
+    #[test]
+    fn freeze_preserves_contents_and_wal_name() {
+        let mut m = MemTable::new();
+        m.put(1, 5, b"v5");
+        m.put(1, 2, b"v2");
+        m.delete(9, 7);
+        let bytes = m.approximate_bytes();
+        let imm = ImmutableMemTable::freeze(m, Some("000003.wal".into()));
+        assert_eq!(imm.approximate_bytes(), bytes);
+        assert_eq!(imm.wal(), Some("000003.wal"));
+        assert_eq!(imm.entries().len(), 3);
+        assert_eq!(imm.get(1, MAX_VISIBLE), Some(Some(&b"v5"[..])));
+        assert_eq!(imm.get(1, 2), Some(Some(&b"v2"[..])));
+        assert_eq!(imm.get(9, MAX_VISIBLE), Some(None), "tombstone");
+        assert_eq!(imm.get(4, MAX_VISIBLE), None);
+    }
+
+    const MAX_VISIBLE: SeqNo = u64::MAX >> 8;
 
     #[test]
     fn range_from_seeks_mid_key() {

@@ -148,6 +148,53 @@ impl Default for IndexChoice {
     }
 }
 
+/// How flushes and compactions are scheduled.
+///
+/// The paper's compaction experiments *measure* maintenance work, so it
+/// must never race against foreground traffic — [`Maintenance::Synchronous`]
+/// (the default) runs the flush and the whole follow-on merge cascade
+/// inside the write path, exactly as the seed engine did, and stays
+/// byte-for-byte deterministic.
+///
+/// [`Maintenance::Background`] is the production mode: a full memtable is
+/// rotated onto an immutable queue and the write returns immediately, while
+/// dedicated flush and compaction worker threads restore the tree invariant
+/// concurrently. Writers are regulated LevelDB-style by
+/// [`Options::l0_slowdown_trigger`] / [`Options::l0_stop_trigger`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Maintenance {
+    /// Flush + compactions run inline in the write path (deterministic;
+    /// the mode every paper experiment uses).
+    #[default]
+    Synchronous,
+    /// Dedicated background workers; writes overlap with maintenance.
+    Background {
+        /// Flush worker threads draining the immutable-memtable queue.
+        /// Installation into L0 is age-ordered, so extra threads add
+        /// redundancy rather than reordering.
+        flush_threads: usize,
+        /// Compaction worker threads. Disjoint tasks (different levels /
+        /// key ranges) run concurrently; claimed input tables are excluded
+        /// from later picks.
+        compaction_threads: usize,
+    },
+}
+
+impl Maintenance {
+    /// Background maintenance with one flush and one compaction worker.
+    pub fn background() -> Self {
+        Maintenance::Background {
+            flush_threads: 1,
+            compaction_threads: 1,
+        }
+    }
+
+    /// Whether this is a background (worker-thread) configuration.
+    pub fn is_background(&self) -> bool {
+        matches!(self, Maintenance::Background { .. })
+    }
+}
+
 /// Merge policy (the LSM design-space axis of Dostoevsky/Wacky — the
 /// paper's second future direction suggests studying learned indexes across
 /// it).
@@ -200,11 +247,24 @@ pub struct Options {
     /// Merge policy.
     pub compaction: CompactionPolicy,
     /// Optional per-level Bloom budgets (bits per key): level `L` uses
-    /// `per_level_bloom_bits[min(L, len-1)]`. Monkey [Dayan et al., cited as
-    /// [8] in the paper] shows skewing bits toward upper levels beats a
+    /// `per_level_bloom_bits[min(L, len-1)]`. Monkey \[Dayan et al., cited
+    /// as \[8\] in the paper\] shows skewing bits toward upper levels beats a
     /// uniform budget — the same argument Observation 5 makes for position
     /// boundaries.
     pub per_level_bloom_bits: Option<Vec<usize>>,
+    /// Flush/compaction scheduling (see [`Maintenance`]).
+    pub maintenance: Maintenance,
+    /// Background mode only: L0 file count at which each write is delayed
+    /// by ~1 ms, giving compaction a chance to catch up before the hard
+    /// stop (LevelDB's `kL0_SlowdownWritesTrigger`).
+    pub l0_slowdown_trigger: usize,
+    /// Background mode only: L0 file count at which writers block until an
+    /// L0 compaction completes (LevelDB's `kL0_StopWritesTrigger`).
+    pub l0_stop_trigger: usize,
+    /// Background mode only: maximum immutable memtables queued for flush;
+    /// a writer that fills the active memtable while the queue is full
+    /// blocks until a flush drains a slot.
+    pub max_immutable_memtables: usize,
 }
 
 impl Default for Options {
@@ -224,6 +284,10 @@ impl Default for Options {
             per_level_epsilon: None,
             compaction: CompactionPolicy::Leveling,
             per_level_bloom_bits: None,
+            maintenance: Maintenance::Synchronous,
+            l0_slowdown_trigger: 8,
+            l0_stop_trigger: 12,
+            max_immutable_memtables: 2,
         }
     }
 }
@@ -247,6 +311,10 @@ impl Options {
             per_level_epsilon: None,
             compaction: CompactionPolicy::Leveling,
             per_level_bloom_bits: None,
+            maintenance: Maintenance::Synchronous,
+            l0_slowdown_trigger: 8,
+            l0_stop_trigger: 12,
+            max_immutable_memtables: 2,
         }
     }
 

@@ -1,0 +1,221 @@
+//! Background maintenance: dedicated flush and compaction workers.
+//!
+//! Under [`crate::options::Maintenance::Background`] the write path never
+//! merges SSTables itself. A full memtable is rotated onto an immutable
+//! queue and the write returns; the workers spawned here restore the tree
+//! invariant concurrently:
+//!
+//! * **flush workers** drain the immutable-memtable queue into L0 tables
+//!   (strictly oldest-first — L0's newest-first read order depends on it);
+//! * **compaction workers** repeatedly claim a due
+//!   [`crate::compaction::CompactionTask`] whose inputs are not already
+//!   being merged, run the merge off-lock, and install the edit.
+//!
+//! Coordination uses one epoch-counter signal (`MaintSignal`): every
+//! state change (rotation, flush install, compaction install, pause toggle,
+//! shutdown) bumps the epoch and wakes everyone — workers waiting for work
+//! and writers stalled on backpressure alike. Waiters re-check their
+//! condition against the tree state after every bump, so there are no lost
+//! wakeups and no condition-specific condvars to keep consistent.
+//!
+//! Shutdown (`Scheduler::shutdown`, invoked by `Db::close`/`Drop`) wakes
+//! all workers and flips them into *drain* mode: flush workers keep
+//! flushing until the immutable queue is empty (even when paused — on
+//! shutdown an acknowledged write is better off in an SSTable than only in
+//! its WAL), compaction workers finish their in-flight task and stop
+//! claiming new ones, and every thread is joined before the database
+//! counts as closed. Compaction *debt* may survive a shutdown; nothing is
+//! lost — the next open simply resumes merging where the tree left off.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// A shared epoch counter + condvar: the single wakeup channel for
+/// background workers and stalled writers.
+///
+/// Usage pattern (the standard lost-wakeup-free recipe):
+/// 1. read [`MaintSignal::epoch`];
+/// 2. check the interesting condition under the tree lock;
+/// 3. if unsatisfied, [`MaintSignal::wait_past`] the epoch from step 1.
+///
+/// Any state change that could satisfy a waiter must call
+/// [`MaintSignal::bump`] *after* publishing the change.
+#[derive(Debug, Default)]
+pub(crate) struct MaintSignal {
+    epoch: Mutex<u64>,
+    cv: Condvar,
+}
+
+impl MaintSignal {
+    /// Current epoch; pair with [`MaintSignal::wait_past`].
+    pub fn epoch(&self) -> u64 {
+        *self.epoch.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Publish a state change: advance the epoch and wake every waiter.
+    pub fn bump(&self) {
+        *self.epoch.lock().unwrap_or_else(|e| e.into_inner()) += 1;
+        self.cv.notify_all();
+    }
+
+    /// Block until the epoch advances past `seen` (returns immediately if
+    /// it already has). A coarse timeout turns any missed bump into a poll
+    /// interval instead of a hang.
+    pub fn wait_past(&self, seen: u64) {
+        let mut epoch = self.epoch.lock().unwrap_or_else(|e| e.into_inner());
+        while *epoch == seen {
+            let (guard, timeout) = self
+                .cv
+                .wait_timeout(epoch, Duration::from_millis(50))
+                .unwrap_or_else(|e| e.into_inner());
+            epoch = guard;
+            if timeout.timed_out() {
+                break;
+            }
+        }
+    }
+}
+
+/// What a worker found when it looked for work.
+pub(crate) enum Step {
+    /// Did one unit of work; look again immediately.
+    Worked,
+    /// Nothing eligible right now; sleep until the next signal (or, when
+    /// draining, exit).
+    Idle,
+}
+
+/// One worker thread: run `step` until shutdown finds it idle.
+///
+/// `step(draining)` performs at most one unit of work. During a drain
+/// (`draining == true`) the first [`Step::Idle`] ends the thread: for a
+/// flush worker that means the queue is empty (or claimed by a sibling who
+/// will finish it); for a compaction worker it means "stop now".
+fn worker_loop<S: FnMut(bool) -> Step>(signal: &MaintSignal, shutdown: &AtomicBool, mut step: S) {
+    loop {
+        let epoch = signal.epoch();
+        let draining = shutdown.load(Ordering::Acquire);
+        match step(draining) {
+            Step::Worked => continue,
+            Step::Idle if draining => return,
+            Step::Idle => signal.wait_past(epoch),
+        }
+    }
+}
+
+/// Handle to the spawned maintenance threads. Owned by `Db`; must be
+/// retired via [`Scheduler::shutdown`] (joins every thread).
+pub(crate) struct Scheduler {
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl Scheduler {
+    /// Spawn `flush_threads` flush workers and `compaction_threads`
+    /// compaction workers (each pool at least one thread). `flush_step` /
+    /// `compact_step` are closures over the shared database core, each
+    /// performing at most one flush / one compaction.
+    pub fn start<FS, CS>(
+        signal: Arc<MaintSignal>,
+        shutdown: Arc<AtomicBool>,
+        flush_threads: usize,
+        compaction_threads: usize,
+        flush_step: FS,
+        compact_step: CS,
+    ) -> Self
+    where
+        FS: Fn(bool) -> Step + Send + Sync + 'static,
+        CS: Fn(bool) -> Step + Send + Sync + 'static,
+    {
+        let flush_step = Arc::new(flush_step);
+        let compact_step = Arc::new(compact_step);
+        let mut handles = Vec::with_capacity(flush_threads + compaction_threads);
+        for i in 0..flush_threads.max(1) {
+            let (signal, shutdown) = (Arc::clone(&signal), Arc::clone(&shutdown));
+            let step = Arc::clone(&flush_step);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("lsm-flush-{i}"))
+                    .spawn(move || worker_loop(&signal, &shutdown, |d| step(d)))
+                    .expect("spawn flush worker"),
+            );
+        }
+        for i in 0..compaction_threads.max(1) {
+            let (signal, shutdown) = (Arc::clone(&signal), Arc::clone(&shutdown));
+            let step = Arc::clone(&compact_step);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("lsm-compact-{i}"))
+                    .spawn(move || worker_loop(&signal, &shutdown, |d| step(d)))
+                    .expect("spawn compaction worker"),
+            );
+        }
+        Self { handles }
+    }
+
+    /// Signal shutdown and join every worker.
+    pub fn shutdown(self, signal: &MaintSignal, shutdown: &AtomicBool) {
+        shutdown.store(true, Ordering::Release);
+        signal.bump();
+        for h in self.handles {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn signal_wakes_waiter_past_epoch() {
+        let s = Arc::new(MaintSignal::default());
+        let seen = s.epoch();
+        let s2 = Arc::clone(&s);
+        let t = std::thread::spawn(move || s2.wait_past(seen));
+        s.bump();
+        t.join().unwrap();
+        assert!(s.epoch() > seen);
+    }
+
+    #[test]
+    fn wait_past_returns_immediately_when_stale() {
+        let s = MaintSignal::default();
+        let seen = s.epoch();
+        s.bump();
+        s.wait_past(seen); // must not block
+    }
+
+    #[test]
+    fn workers_drain_queued_work_before_exiting_on_shutdown() {
+        let signal = Arc::new(MaintSignal::default());
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let pending = Arc::new(AtomicU64::new(3));
+        let worked = Arc::new(AtomicU64::new(0));
+        let sched = {
+            let (p, w) = (Arc::clone(&pending), Arc::clone(&worked));
+            Scheduler::start(
+                Arc::clone(&signal),
+                Arc::clone(&shutdown),
+                1,
+                1,
+                move |_| {
+                    if p.fetch_update(Ordering::SeqCst, Ordering::SeqCst, |v| v.checked_sub(1))
+                        .is_ok()
+                    {
+                        w.fetch_add(1, Ordering::SeqCst);
+                        Step::Worked
+                    } else {
+                        Step::Idle
+                    }
+                },
+                |_| Step::Idle,
+            )
+        };
+        sched.shutdown(&signal, &shutdown);
+        assert_eq!(pending.load(Ordering::SeqCst), 0, "queue drained");
+        assert_eq!(worked.load(Ordering::SeqCst), 3);
+    }
+}

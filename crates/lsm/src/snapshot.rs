@@ -8,9 +8,11 @@
 //! * the **level structure** — an `Arc` of the copy-on-write [`Version`],
 //!   which keeps every pre-snapshot SSTable reader alive even after later
 //!   compactions replace and unlink those files;
-//! * the **memtable contents** — a sorted copy of the write buffer, so a
-//!   later flush (which rebuilds the buffer and dedups versions into an
-//!   SSTable) cannot disturb the snapshot's view of unflushed writes.
+//! * the **memtable stack** — a sorted copy of the active write buffer
+//!   plus shared handles to every queued immutable memtable (background
+//!   maintenance), so a later flush (which rebuilds the buffer and dedups
+//!   versions into an SSTable) cannot disturb the snapshot's view of
+//!   unflushed writes.
 //!
 //! Reads through the handle (`Db::get_with` / `Db::iter_with` with
 //! [`crate::ReadOptions::at`]) therefore return identical results no matter
@@ -39,18 +41,20 @@ impl SnapshotList {
         Arc::new(Self::default())
     }
 
-    /// Register a snapshot pinning `seq` over `version` + `mem`.
+    /// Register a snapshot pinning `seq` over `version` + the memtable
+    /// stack `mems` (newest first: active buffer copy, then queued
+    /// immutable memtables newest to oldest).
     pub(crate) fn acquire(
         self: &Arc<Self>,
         seq: SeqNo,
         version: Arc<Version>,
-        mem: Arc<Vec<Entry>>,
+        mems: Vec<Arc<Vec<Entry>>>,
     ) -> Snapshot {
         *self.live.lock().entry(seq).or_insert(0) += 1;
         Snapshot {
             seq,
             version,
-            mem,
+            mems,
             list: Arc::clone(self),
         }
     }
@@ -83,8 +87,9 @@ impl SnapshotList {
 pub struct Snapshot {
     seq: SeqNo,
     version: Arc<Version>,
-    /// Memtable contents at creation, in internal-key order.
-    mem: Arc<Vec<Entry>>,
+    /// Memtable stack at creation (newest first), each run in internal-key
+    /// order: the active buffer copy, then any queued immutable memtables.
+    mems: Vec<Arc<Vec<Entry>>>,
     list: Arc<SnapshotList>,
 }
 
@@ -99,9 +104,10 @@ impl Snapshot {
         &self.version
     }
 
-    /// The pinned memtable contents (internal-key order).
-    pub(crate) fn mem(&self) -> &Arc<Vec<Entry>> {
-        &self.mem
+    /// The pinned memtable stack, newest run first (each in internal-key
+    /// order).
+    pub(crate) fn mems(&self) -> &[Arc<Vec<Entry>>] {
+        &self.mems
     }
 }
 
@@ -116,7 +122,7 @@ mod tests {
     use super::*;
 
     fn pin(list: &Arc<SnapshotList>, seq: SeqNo) -> Snapshot {
-        list.acquire(seq, Arc::new(Version::new(2)), Arc::new(Vec::new()))
+        list.acquire(seq, Arc::new(Version::new(2)), vec![Arc::new(Vec::new())])
     }
 
     #[test]

@@ -47,6 +47,36 @@ pub struct DbStats {
     // Range scans (Figure 11).
     pub scans: AtomicU64,
     pub scan_entries: AtomicU64,
+    // Background maintenance (`Maintenance::Background`): write
+    // backpressure and worker activity.
+    /// Writes delayed ~1 ms because L0 reached `l0_slowdown_trigger`.
+    pub stall_slowdowns: AtomicU64,
+    /// Write stalls that blocked until maintenance caught up (L0 at
+    /// `l0_stop_trigger`, or the immutable-memtable queue full).
+    pub stall_stops: AtomicU64,
+    /// Total wall time writers spent stalled (both kinds), in ns.
+    pub stall_ns: AtomicU64,
+    /// Memtable rotations onto the immutable queue.
+    pub imm_rotations: AtomicU64,
+    /// High-water mark of the immutable-memtable queue depth.
+    pub imm_queue_peak: AtomicU64,
+    /// Busy time of background flush workers, in ns.
+    pub bg_flush_ns: AtomicU64,
+    /// Busy time of background compaction workers, in ns.
+    pub bg_compact_ns: AtomicU64,
+    /// Errors surfaced by background workers (the last one is also kept by
+    /// the Db for inspection).
+    pub bg_errors: AtomicU64,
+    /// Writes that completed while at least one background worker was busy
+    /// — the counter that proves foreground/maintenance overlap.
+    pub writes_during_maintenance: AtomicU64,
+    /// Gauge: background workers currently executing a flush or compaction
+    /// (not part of [`StatsSnapshot`]; read via
+    /// [`DbStats::active_background_workers`]).
+    pub bg_active: AtomicU64,
+    /// Gauge: writers currently blocked in a hard stop (not part of
+    /// [`StatsSnapshot`]; read via [`DbStats::stalled_writers`]).
+    pub stalled_now: AtomicU64,
 }
 
 impl DbStats {
@@ -76,6 +106,35 @@ impl DbStats {
             self.level_reads[level].fetch_add(1, Ordering::Relaxed);
             self.level_read_ns[level].fetch_add(ns, Ordering::Relaxed);
         }
+    }
+
+    /// Record a memtable rotation that left the immutable queue `depth` deep.
+    pub(crate) fn record_rotation(&self, depth: usize) {
+        self.imm_rotations.fetch_add(1, Ordering::Relaxed);
+        self.imm_queue_peak
+            .fetch_max(depth as u64, Ordering::Relaxed);
+    }
+
+    /// Record one writer stall of `ns` wall time. `stopped` distinguishes a
+    /// hard stop (blocked on maintenance) from a slowdown delay.
+    pub(crate) fn record_stall(&self, stopped: bool, ns: u64) {
+        if stopped {
+            self.stall_stops.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.stall_slowdowns.fetch_add(1, Ordering::Relaxed);
+        }
+        self.stall_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// Background workers currently executing a flush or compaction.
+    pub fn active_background_workers(&self) -> u64 {
+        self.bg_active.load(Ordering::Relaxed)
+    }
+
+    /// Writers currently blocked in a hard stop (stop trigger / queue
+    /// full), waiting for maintenance to catch up.
+    pub fn stalled_writers(&self) -> u64 {
+        self.stalled_now.load(Ordering::Relaxed)
     }
 
     /// Copy the current counter values.
@@ -113,6 +172,15 @@ impl DbStats {
             compact_bytes_written: self.compact_bytes_written.load(Ordering::Relaxed),
             scans: self.scans.load(Ordering::Relaxed),
             scan_entries: self.scan_entries.load(Ordering::Relaxed),
+            stall_slowdowns: self.stall_slowdowns.load(Ordering::Relaxed),
+            stall_stops: self.stall_stops.load(Ordering::Relaxed),
+            stall_ns: self.stall_ns.load(Ordering::Relaxed),
+            imm_rotations: self.imm_rotations.load(Ordering::Relaxed),
+            imm_queue_peak: self.imm_queue_peak.load(Ordering::Relaxed),
+            bg_flush_ns: self.bg_flush_ns.load(Ordering::Relaxed),
+            bg_compact_ns: self.bg_compact_ns.load(Ordering::Relaxed),
+            bg_errors: self.bg_errors.load(Ordering::Relaxed),
+            writes_during_maintenance: self.writes_during_maintenance.load(Ordering::Relaxed),
         }
     }
 }
@@ -145,6 +213,17 @@ pub struct StatsSnapshot {
     pub compact_bytes_written: u64,
     pub scans: u64,
     pub scan_entries: u64,
+    pub stall_slowdowns: u64,
+    pub stall_stops: u64,
+    pub stall_ns: u64,
+    pub imm_rotations: u64,
+    /// High-water mark (monotone, not a delta-friendly counter —
+    /// [`StatsSnapshot::since`] reports the later value).
+    pub imm_queue_peak: u64,
+    pub bg_flush_ns: u64,
+    pub bg_compact_ns: u64,
+    pub bg_errors: u64,
+    pub writes_during_maintenance: u64,
 }
 
 impl StatsSnapshot {
@@ -178,6 +257,16 @@ impl StatsSnapshot {
         out.compact_bytes_written -= earlier.compact_bytes_written;
         out.scans -= earlier.scans;
         out.scan_entries -= earlier.scan_entries;
+        out.stall_slowdowns -= earlier.stall_slowdowns;
+        out.stall_stops -= earlier.stall_stops;
+        out.stall_ns -= earlier.stall_ns;
+        out.imm_rotations -= earlier.imm_rotations;
+        // Peak is a high-water mark, not a counter: keep the later value.
+        out.imm_queue_peak = self.imm_queue_peak;
+        out.bg_flush_ns -= earlier.bg_flush_ns;
+        out.bg_compact_ns -= earlier.bg_compact_ns;
+        out.bg_errors -= earlier.bg_errors;
+        out.writes_during_maintenance -= earlier.writes_during_maintenance;
         out
     }
 
@@ -278,6 +367,24 @@ mod tests {
         };
         assert!((c.train_fraction() - 0.04).abs() < 1e-9);
         assert!((c.model_write_fraction() - 0.02).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stall_and_rotation_counters() {
+        let s = DbStats::new();
+        s.record_stall(false, 100);
+        s.record_stall(true, 400);
+        s.record_rotation(1);
+        s.record_rotation(3);
+        s.record_rotation(2);
+        let snap = s.snapshot();
+        assert_eq!(snap.stall_slowdowns, 1);
+        assert_eq!(snap.stall_stops, 1);
+        assert_eq!(snap.stall_ns, 500);
+        assert_eq!(snap.imm_rotations, 3);
+        assert_eq!(snap.imm_queue_peak, 3, "peak is a high-water mark");
+        let later = s.snapshot();
+        assert_eq!(later.since(&snap).imm_queue_peak, 3, "peak survives diffs");
     }
 
     #[test]

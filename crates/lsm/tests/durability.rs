@@ -291,3 +291,167 @@ fn file_storage_roundtrip_with_wal() {
     }
     std::fs::remove_dir_all(&dir).ok();
 }
+
+// ---------------------------------------------------------------------------
+// Background maintenance: shutdown and crash recovery. Acknowledged writes
+// must survive (a) a point-in-time "crash image" taken while the immutable
+// queue is non-empty, and (b) a clean drop that drains workers mid-flight.
+// ---------------------------------------------------------------------------
+
+use lsm_tree::Maintenance;
+
+fn background_opts() -> Options {
+    let mut o = opts();
+    o.maintenance = Maintenance::background();
+    o.max_immutable_memtables = 4;
+    o
+}
+
+/// Copy every file of `storage` into a fresh `MemStorage` — a point-in-time
+/// disk image, i.e. what a crash would leave behind.
+fn disk_image(storage: &Arc<dyn Storage>) -> Arc<dyn Storage> {
+    let image = MemStorage::new();
+    for name in storage.list().unwrap() {
+        let data = lsm_io::read_all(storage.as_ref(), &name).unwrap();
+        let mut f = image.create(&name).unwrap();
+        f.append(&data).unwrap();
+        f.sync().unwrap();
+    }
+    Arc::new(image)
+}
+
+#[test]
+fn background_crash_with_queued_memtables_loses_no_acknowledged_write() {
+    let storage: Arc<dyn Storage> = Arc::new(MemStorage::new());
+    let o = background_opts();
+    let db = Db::open(Arc::clone(&storage), o.clone()).unwrap();
+    // Freeze both worker pools so the on-disk state stays put while we
+    // image it: rotations still happen (they are the writer's job), but
+    // nothing flushes and nothing compacts.
+    db.pause_flushes();
+    db.pause_compactions();
+    let mut key = 0u64;
+    while db.immutable_memtables() < 2 {
+        db.put(key, format!("imm-{key}").as_bytes()).unwrap();
+        key += 1;
+    }
+    // Plus writes that only live in the active memtable + active WAL.
+    for extra in 0..20u64 {
+        db.put(1_000_000 + extra, b"active").unwrap();
+    }
+    db.delete(0).unwrap();
+    assert!(db.immutable_memtables() >= 2, "queue is non-empty");
+    assert_eq!(db.stats().snapshot().flushes, 0, "nothing flushed yet");
+
+    // (a) Crash: a point-in-time disk image, taken while every worker is
+    // idle (manifest must already name one WAL per queued memtable plus
+    // the active one).
+    let crashed = Db::open(disk_image(&storage), o.clone()).unwrap();
+    for probe in (1..key).step_by(13) {
+        assert_eq!(
+            crashed.get(probe).unwrap(),
+            Some(format!("imm-{probe}").into_bytes()),
+            "queued write {probe} after crash"
+        );
+    }
+    assert_eq!(crashed.get(1_000_005).unwrap(), Some(b"active".to_vec()));
+    assert_eq!(crashed.get(0).unwrap(), None, "tombstone replayed");
+
+    // (b) Clean drop: workers drain the queue (flushes override the pause
+    // on shutdown), then a reopen finds everything — now in SSTables.
+    drop(db);
+    let reopened = Db::open(storage, o).unwrap();
+    assert!(
+        reopened.stats().snapshot().flushes == 0,
+        "drained at shutdown: reopen replays at most the active WAL"
+    );
+    for probe in (1..key).step_by(7) {
+        assert_eq!(
+            reopened.get(probe).unwrap(),
+            Some(format!("imm-{probe}").into_bytes()),
+            "queued write {probe} after drop + reopen"
+        );
+    }
+    assert_eq!(reopened.get(1_000_019).unwrap(), Some(b"active".to_vec()));
+    assert_eq!(reopened.get(0).unwrap(), None);
+}
+
+#[test]
+fn background_drop_during_inflight_compaction_loses_nothing() {
+    let storage: Arc<dyn Storage> = Arc::new(MemStorage::new());
+    let o = background_opts();
+    {
+        let db = Db::open(Arc::clone(&storage), o.clone()).unwrap();
+        // Enough churn that flushes and compactions are genuinely racing
+        // the drop below (no quiescing: Drop must drain cleanly).
+        for k in 0..3_000u64 {
+            db.put(k, format!("c{k}").as_bytes()).unwrap();
+        }
+        assert_eq!(db.background_error(), None);
+        // Dropped with whatever flush/compaction happens to be in flight.
+    }
+    let db = Db::open(storage, o).unwrap();
+    for k in (0..3_000u64).step_by(59) {
+        assert_eq!(
+            db.get(k).unwrap(),
+            Some(format!("c{k}").into_bytes()),
+            "key {k} after mid-maintenance drop"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Background-mode extension of the reopen-after-crash property: any
+    /// sequence of acknowledged batches survives (a) a point-in-time disk
+    /// image while flushes are withheld and (b) a draining drop + reopen —
+    /// regardless of how the batches land relative to rotations.
+    #[test]
+    fn background_acknowledged_batches_survive_crash_and_drop(
+        batch_sizes in prop::collection::vec(1usize..24, 1..10),
+        withhold_flushes in any::<bool>(),
+    ) {
+        let storage: Arc<dyn Storage> = Arc::new(MemStorage::new());
+        let o = background_opts();
+        let db = Db::open(Arc::clone(&storage), o.clone()).unwrap();
+        if withhold_flushes {
+            db.pause_flushes();
+            db.pause_compactions();
+        }
+        for (i, &size) in batch_sizes.iter().enumerate() {
+            let mut batch = WriteBatch::new();
+            for j in 0..size {
+                let k = (i * 1_000 + j) as u64;
+                batch.put(k, format!("v{i}-{j}").as_bytes());
+            }
+            db.write(batch, &WriteOptions::default()).unwrap();
+        }
+        if withhold_flushes {
+            // Workers are frozen: the disk image is a valid crash state.
+            let crashed = Db::open(disk_image(&storage), o.clone()).unwrap();
+            for (i, &size) in batch_sizes.iter().enumerate() {
+                for j in 0..size {
+                    let k = (i * 1_000 + j) as u64;
+                    prop_assert_eq!(
+                        crashed.get(k).unwrap(),
+                        Some(format!("v{i}-{j}").into_bytes()),
+                        "crash image lost batch {} op {}", i, j
+                    );
+                }
+            }
+        }
+        drop(db);
+        let reopened = Db::open(storage, o).unwrap();
+        for (i, &size) in batch_sizes.iter().enumerate() {
+            for j in 0..size {
+                let k = (i * 1_000 + j) as u64;
+                prop_assert_eq!(
+                    reopened.get(k).unwrap(),
+                    Some(format!("v{i}-{j}").into_bytes()),
+                    "drop + reopen lost batch {} op {}", i, j
+                );
+            }
+        }
+    }
+}

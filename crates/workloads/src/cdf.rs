@@ -36,7 +36,7 @@ pub fn sample_cdf(keys: &[u64], points: usize) -> Vec<CdfSample> {
         .collect()
 }
 
-/// Normalised-key CDF: maps keys to [0,1] by min/max so different datasets
+/// Normalised-key CDF: maps keys to \[0,1\] by min/max so different datasets
 /// plot on a common x-axis, as in the paper's figure.
 pub fn sample_normalized_cdf(keys: &[u64], points: usize) -> Vec<(f64, f64)> {
     let samples = sample_cdf(keys, points);

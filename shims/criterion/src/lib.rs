@@ -7,8 +7,19 @@
 //! wall-clock sampler reporting the median ns/iteration; no statistics
 //! engine, plots, or saved baselines. Set `CRITERION_SHIM_SAMPLES` to
 //! override the per-benchmark sample count.
+//!
+//! Two CI affordances mirror real criterion:
+//!
+//! * **`--test` mode** (`cargo bench --bench x -- --test`): every
+//!   benchmark closure runs exactly once, untimed-in-spirit (one sample,
+//!   no warm-up) — the smoke mode CI uses so benches can't silently rot.
+//! * **JSON output**: when `CRITERION_SHIM_JSON_DIR` is set, each
+//!   benchmark group writes `<dir>/<group>.json` with its per-benchmark
+//!   median ns and throughput — the artifact CI uploads to track a perf
+//!   trajectory across commits.
 
 use std::fmt::Display;
+use std::io::Write as _;
 use std::time::Instant;
 
 /// Re-export of the standard black box under criterion's name.
@@ -54,13 +65,16 @@ pub struct Bencher {
     samples: Vec<u64>,
     iters_per_sample: u64,
     target_samples: usize,
+    warmup: bool,
 }
 
 impl Bencher {
     /// Run `f` repeatedly, recording wall time per iteration.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
         // One warm-up pass, then timed samples of `iters_per_sample` calls.
-        black_box(f());
+        if self.warmup {
+            black_box(f());
+        }
         for _ in 0..self.target_samples {
             let start = Instant::now();
             for _ in 0..self.iters_per_sample {
@@ -87,6 +101,73 @@ fn default_samples() -> usize {
         .unwrap_or(10)
 }
 
+/// `cargo bench -- --test`: compile-and-run-once smoke mode.
+fn test_mode() -> bool {
+    std::env::args().any(|a| a == "--test")
+}
+
+/// One finished benchmark within a group.
+struct BenchResult {
+    label: String,
+    median_ns: u64,
+    throughput: Option<Throughput>,
+}
+
+/// Minimal JSON string escape (labels are code-controlled identifiers).
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Write a group's results to `$CRITERION_SHIM_JSON_DIR/<group>.json`
+/// (silently skipped when the variable is unset; a write failure must not
+/// fail the bench run).
+fn write_group_json(group: &str, results: &[BenchResult]) {
+    let Ok(dir) = std::env::var("CRITERION_SHIM_JSON_DIR") else {
+        return;
+    };
+    if dir.is_empty() || std::fs::create_dir_all(&dir).is_err() {
+        return;
+    }
+    let safe: String = group
+        .chars()
+        .map(|c| {
+            if c.is_alphanumeric() || c == '-' || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    let mut body = String::new();
+    body.push_str(&format!(
+        "{{\n  \"group\": \"{}\",\n  \"test_mode\": {},\n  \"benchmarks\": [",
+        json_escape(group),
+        test_mode(),
+    ));
+    for (i, r) in results.iter().enumerate() {
+        if i > 0 {
+            body.push(',');
+        }
+        let (tp_kind, tp_n) = match r.throughput {
+            Some(Throughput::Elements(n)) => ("\"elements\"", n),
+            Some(Throughput::Bytes(n)) => ("\"bytes\"", n),
+            None => ("null", 0),
+        };
+        body.push_str(&format!(
+            "\n    {{\"id\": \"{}\", \"median_ns\": {}, \"throughput_kind\": {}, \"throughput_per_iter\": {}}}",
+            json_escape(&r.label),
+            r.median_ns,
+            tp_kind,
+            tp_n,
+        ));
+    }
+    body.push_str("\n  ]\n}\n");
+    let path = std::path::Path::new(&dir).join(format!("{safe}.json"));
+    if let Ok(mut f) = std::fs::File::create(&path) {
+        let _ = f.write_all(body.as_bytes());
+    }
+}
+
 /// Top-level benchmark driver.
 #[derive(Debug, Default)]
 pub struct Criterion {}
@@ -97,8 +178,10 @@ impl Criterion {
         println!("\ngroup: {name}");
         BenchmarkGroup {
             _c: self,
+            name,
             sample_size: default_samples(),
             throughput: None,
+            results: Vec::new(),
         }
     }
 
@@ -110,8 +193,10 @@ impl Criterion {
 /// A named group of related benchmarks.
 pub struct BenchmarkGroup<'a> {
     _c: &'a mut Criterion,
+    name: String,
     sample_size: usize,
     throughput: Option<Throughput>,
+    results: Vec<BenchResult>,
 }
 
 impl BenchmarkGroup<'_> {
@@ -127,26 +212,42 @@ impl BenchmarkGroup<'_> {
     }
 
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, mut f: F) {
-        run_one(&id.to_string(), self.sample_size, self.throughput, |b| f(b));
+        let r = run_one(&id.to_string(), self.sample_size, self.throughput, |b| f(b));
+        self.results.push(r);
     }
 
     pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F)
     where
         F: FnMut(&mut Bencher, &I),
     {
-        run_one(&id.to_string(), self.sample_size, self.throughput, |b| {
+        let r = run_one(&id.to_string(), self.sample_size, self.throughput, |b| {
             f(b, input)
         });
+        self.results.push(r);
     }
 
-    pub fn finish(self) {}
+    pub fn finish(self) {
+        write_group_json(&self.name, &self.results);
+    }
 }
 
-fn run_one<F: FnMut(&mut Bencher)>(label: &str, samples: usize, tp: Option<Throughput>, mut f: F) {
+fn run_one<F: FnMut(&mut Bencher)>(
+    label: &str,
+    samples: usize,
+    tp: Option<Throughput>,
+    mut f: F,
+) -> BenchResult {
+    // Smoke mode: one sample, no warm-up — the closure runs exactly once.
+    let (samples, warmup) = if test_mode() {
+        (1, false)
+    } else {
+        (samples, true)
+    };
     let mut b = Bencher {
         samples: Vec::with_capacity(samples),
         iters_per_sample: 1,
         target_samples: samples,
+        warmup,
     };
     f(&mut b);
     let ns = b.median_ns();
@@ -163,7 +264,17 @@ fn run_one<F: FnMut(&mut Bencher)>(label: &str, samples: usize, tp: Option<Throu
         }
         _ => String::new(),
     };
-    println!("  {label:40} median {ns:>12} ns/iter{extra}");
+    let mode = if test_mode() {
+        "  [test mode: 1 iteration]"
+    } else {
+        ""
+    };
+    println!("  {label:40} median {ns:>12} ns/iter{extra}{mode}");
+    BenchResult {
+        label: label.to_string(),
+        median_ns: ns,
+        throughput: tp,
+    }
 }
 
 #[macro_export]
