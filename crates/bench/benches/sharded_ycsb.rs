@@ -1,0 +1,54 @@
+//! Criterion bench: YCSB mixes against the sharded engine.
+//!
+//! Runs workload A (update-heavy — the mix that stresses the cross-shard
+//! write fence) and workload E (scan-heavy — the mix that stresses the
+//! k-way merged iterator) at 1 and 4 shards, smoke scale, on the simulated
+//! NVMe. The headline metric is the repo's standard "measured CPU +
+//! modeled I/O" per-op latency; a summary pass prints the per-mix records
+//! (including the learned router's load imbalance) for all six workloads.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use learned_index::IndexKind;
+use lsm_bench::{runner, Scale};
+use lsm_workloads::Dataset;
+
+const SEED: u64 = 0x5a4d;
+
+fn bench_sharded_ycsb(c: &mut Criterion) {
+    let scale = Scale::smoke();
+    let mut g = c.benchmark_group("sharded_ycsb_smoke");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(scale.ops as u64));
+    for shards in [1usize, 4] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{shards}-shard")),
+            &shards,
+            |b, &shards| {
+                b.iter(|| {
+                    let records =
+                        runner::ycsb_sharded(&scale, Dataset::Random, shards, IndexKind::Pgm, SEED)
+                            .expect("ycsb");
+                    std::hint::black_box(records)
+                })
+            },
+        );
+    }
+    g.finish();
+
+    // One summary pass: the six mixes at 4 shards, with router balance.
+    println!("\nsharded YCSB summary (4 shards, smoke scale):");
+    for r in runner::ycsb_sharded(&scale, Dataset::Random, 4, IndexKind::Pgm, SEED)
+        .expect("ycsb summary")
+    {
+        println!(
+            "  YCSB-{:1}  {:8.2} µs/op  load imbalance {:5.1}%  stalls {:6.2} ms",
+            r.workload,
+            r.avg_op_us,
+            r.load_imbalance * 100.0,
+            r.stall_ms,
+        );
+    }
+}
+
+criterion_group!(benches, bench_sharded_ycsb);
+criterion_main!(benches);

@@ -1,10 +1,37 @@
 //! Figure 12: YCSB A–F — average op latency vs index memory, per index,
 //! swept over position boundaries to trace the memory-latency curve.
+//!
+//! With `--shards N` (N > 1) the six mixes instead run against an
+//! `N`-shard `ShardedDb` (learned range routing, shared worker pool) —
+//! the engine-level sharding scenario rather than the paper's figure.
 
 use lsm_bench::{runner, Cli};
 
 fn main() {
     let cli = Cli::parse();
+    if cli.shards > 1 {
+        let records = runner::ycsb_sharded(
+            &cli.scale,
+            cli.dataset,
+            cli.shards,
+            learned_index::IndexKind::Pgm,
+            0x5eed,
+        )
+        .expect("sharded ycsb experiment");
+        println!("# YCSB A–F on a {}-shard ShardedDb", cli.shards);
+        for r in &records {
+            println!(
+                "YCSB-{}  shards={}  avg-op={:9.2}us  load-imbalance={:5.1}%  stalls={:8.2}ms",
+                r.workload,
+                r.shards,
+                r.avg_op_us,
+                r.load_imbalance * 100.0,
+                r.stall_ms
+            );
+        }
+        cli.maybe_write(&learned_lsm::report::to_json(&records));
+        return;
+    }
     let boundaries = [128usize, 32, 8];
     let records = runner::fig12(&cli.scale, cli.dataset, &boundaries).expect("fig12 experiment");
 

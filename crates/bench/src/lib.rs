@@ -66,6 +66,9 @@ pub struct Cli {
     pub dataset: Dataset,
     pub all_datasets: bool,
     pub out: Option<String>,
+    /// `--shards N`: run against an `N`-shard `ShardedDb` where the
+    /// runner supports it (YCSB); 1 = the single-`Db` path.
+    pub shards: usize,
 }
 
 impl Cli {
@@ -80,6 +83,7 @@ impl Cli {
         let mut dataset = Dataset::Random;
         let mut all_datasets = false;
         let mut out = None;
+        let mut shards = 1usize;
         let mut it = args.into_iter();
         while let Some(arg) = it.next() {
             let mut next_usize = |what: &str| -> usize {
@@ -92,6 +96,7 @@ impl Cli {
                 "--smoke" => scale = Scale::smoke(),
                 "--keys" => scale.keys = next_usize("--keys"),
                 "--ops" => scale.ops = next_usize("--ops"),
+                "--shards" => shards = next_usize("--shards").max(1),
                 "--dataset" => {
                     let name = it.next().unwrap_or_else(|| die("--dataset needs a name"));
                     dataset = Dataset::from_name(&name)
@@ -101,7 +106,7 @@ impl Cli {
                 "--out" => out = Some(it.next().unwrap_or_else(|| die("--out needs a path"))),
                 "--help" | "-h" => {
                     eprintln!(
-                        "flags: --full | --smoke | --keys N | --ops N | --dataset NAME | --all-datasets | --out PATH"
+                        "flags: --full | --smoke | --keys N | --ops N | --shards N | --dataset NAME | --all-datasets | --out PATH"
                     );
                     std::process::exit(0);
                 }
@@ -113,6 +118,7 @@ impl Cli {
             dataset,
             all_datasets,
             out,
+            shards,
         }
     }
 
@@ -174,6 +180,13 @@ mod tests {
         assert_eq!(c.scale.ops, 7);
         assert_eq!(c.dataset, Dataset::Wiki);
         assert_eq!(c.out.as_deref(), Some("/tmp/x.json"));
+    }
+
+    #[test]
+    fn shards_flag_parses_and_defaults_to_one() {
+        assert_eq!(parse(&[]).shards, 1);
+        assert_eq!(parse(&["--shards", "4"]).shards, 4);
+        assert_eq!(parse(&["--shards", "0"]).shards, 1, "clamped to >= 1");
     }
 
     #[test]

@@ -3,8 +3,9 @@
 
 use learned_index::IndexKind;
 use learned_lsm::{Granularity, LookupReport, RangeReport, Testbed, TestbedConfig};
-use lsm_tree::Result;
-use lsm_workloads::{cdf, Dataset, RequestDistribution, YcsbSpec};
+use lsm_tree::sharding::imbalance;
+use lsm_tree::{Maintenance, Options, Result, ShardedDb, ShardedOptions, WriteBatch, WriteOptions};
+use lsm_workloads::{cdf, value_for_key, Dataset, Op, RequestDistribution, YcsbSpec, YcsbWorkload};
 use serde::Serialize;
 
 use crate::Scale;
@@ -340,6 +341,116 @@ pub struct YcsbRecord {
     pub position_boundary: usize,
     pub avg_op_us: f64,
     pub index_memory_bytes: u64,
+}
+
+// ----------------------------------------------------------- Sharded YCSB
+
+/// One YCSB measurement point against a [`ShardedDb`] (the `--shards N`
+/// scenario: same six mixes, engine-level range sharding underneath).
+#[derive(Debug, Serialize)]
+pub struct ShardedYcsbRecord {
+    pub workload: String,
+    pub index: String,
+    pub shards: usize,
+    pub ops: u64,
+    /// Per-op latency, µs (measured CPU + modeled I/O — the repo's
+    /// standard convention).
+    pub avg_op_us: f64,
+    /// Relative shard imbalance after the load (`max/mean - 1`); the
+    /// learned range router's report card.
+    pub load_imbalance: f64,
+    /// Writer stall time accumulated during load + run, ms.
+    pub stall_ms: f64,
+}
+
+/// Engine options for the sharded YCSB runs: background maintenance with
+/// a small shared worker pool, sized from the scale profile.
+fn sharded_ycsb_opts(scale: &Scale, kind: IndexKind) -> Options {
+    let mut o = Options::default();
+    o.index.kind = kind;
+    o.value_width = scale.value_width;
+    o.write_buffer_bytes = scale.write_buffer_bytes;
+    o.sstable_target_bytes = scale.sst_bytes;
+    o.maintenance = Maintenance::Background {
+        flush_threads: 2,
+        compaction_threads: 2,
+    };
+    o
+}
+
+/// Run all six YCSB mixes against an `N`-shard [`ShardedDb`] on the
+/// simulated NVMe (learned range routing, boundaries trained on a sample
+/// of the load; `shards == 1` measures the degenerate single-shard case).
+/// Each mix gets a freshly loaded engine, mirroring [`fig12`].
+pub fn ycsb_sharded(
+    scale: &Scale,
+    dataset: Dataset,
+    shards: usize,
+    kind: IndexKind,
+    seed: u64,
+) -> Result<Vec<ShardedYcsbRecord>> {
+    let mut out = Vec::new();
+    let keys = dataset.generate(scale.keys, seed);
+    for spec in YcsbSpec::ALL {
+        let mut workload = YcsbWorkload::new(spec, keys.clone(), seed ^ 0xfc);
+        let opts = ShardedOptions::learned(
+            shards,
+            workload.router_sample(16),
+            sharded_ycsb_opts(scale, kind),
+        );
+        let db = ShardedDb::open_sim(opts, lsm_io::CostModel::default())?;
+
+        // YCSB load phase: batched writes through the fence.
+        let wopts = WriteOptions::default();
+        for chunk in workload.keys().chunks(512) {
+            let mut batch = WriteBatch::with_capacity(chunk.len());
+            for &k in chunk {
+                batch.put(k, &value_for_key(k, scale.value_width));
+            }
+            db.write(batch, &wopts)?;
+        }
+        db.flush()?;
+        let load_imbalance = imbalance(&db.shard_entry_counts());
+
+        let ops = if matches!(spec, YcsbSpec::E) {
+            scale.ops / 10
+        } else {
+            scale.ops
+        };
+        let io_before = db.shard(0).storage().stats().snapshot();
+        let wall = std::time::Instant::now();
+        for _ in 0..ops {
+            match workload.next_op() {
+                Op::Read(k) => {
+                    let _ = db.get(k)?;
+                }
+                Op::Update(k) | Op::Insert(k) => {
+                    db.put(k, &value_for_key(k, scale.value_width))?;
+                }
+                Op::Scan(k, len) => {
+                    let _ = db.scan(k, len)?;
+                }
+                Op::ReadModifyWrite(k) => {
+                    let _ = db.get(k)?;
+                    db.put(k, &value_for_key(k ^ 1, scale.value_width))?;
+                }
+            }
+        }
+        let cpu_ns = wall.elapsed().as_nanos() as u64;
+        let io = db.shard(0).storage().stats().snapshot().since(&io_before);
+        let stats = db.stats();
+        out.push(ShardedYcsbRecord {
+            workload: spec.name().to_string(),
+            index: kind.abbrev().to_string(),
+            shards,
+            ops: ops as u64,
+            avg_op_us: (cpu_ns + io.sim_total_ns()) as f64 / ops.max(1) as f64 / 1_000.0,
+            load_imbalance,
+            stall_ms: stats.stall_ns as f64 / 1e6,
+        });
+        db.close()?;
+    }
+    Ok(out)
 }
 
 /// Figure 12: six YCSB workloads, each index at several memory budgets

@@ -128,11 +128,19 @@ impl Storage for FileStorage {
     }
 
     fn create(&self, name: &str) -> io::Result<Box<dyn WritableFile>> {
+        let path = self.path(name);
+        // Directory-style names ("shard-0/000001.wal", as produced by
+        // `PrefixedStorage`) map onto real subdirectories.
+        if let Some(parent) = path.parent() {
+            if parent != self.root {
+                fs::create_dir_all(parent)?;
+            }
+        }
         let file = OpenOptions::new()
             .write(true)
             .create(true)
             .truncate(true)
-            .open(self.path(name))?;
+            .open(path)?;
         Ok(Box::new(OsWriter {
             writer: BufWriter::with_capacity(1 << 20, file),
             written: 0,
@@ -150,15 +158,26 @@ impl Storage for FileStorage {
     }
 
     fn list(&self) -> io::Result<Vec<String>> {
-        let mut out = Vec::new();
-        for entry in fs::read_dir(&self.root)? {
-            let entry = entry?;
-            if entry.file_type()?.is_file() {
-                if let Some(name) = entry.file_name().to_str() {
-                    out.push(name.to_string());
+        // Recursive: nested names are reported relative to the root with
+        // `/` separators, matching what `create` accepted.
+        fn walk(root: &Path, dir: &Path, out: &mut Vec<String>) -> io::Result<()> {
+            for entry in fs::read_dir(dir)? {
+                let entry = entry?;
+                let ty = entry.file_type()?;
+                if ty.is_dir() {
+                    walk(root, &entry.path(), out)?;
+                } else if ty.is_file() {
+                    if let Ok(rel) = entry.path().strip_prefix(root) {
+                        if let Some(name) = rel.to_str() {
+                            out.push(name.replace(std::path::MAIN_SEPARATOR, "/"));
+                        }
+                    }
                 }
             }
+            Ok(())
         }
+        let mut out = Vec::new();
+        walk(&self.root, &self.root, &mut out)?;
         Ok(out)
     }
 
@@ -191,13 +210,30 @@ mod tests {
     }
 
     #[test]
-    fn list_only_files() {
+    fn list_recurses_into_subdirectories() {
         let dir = tempfile::tempdir().unwrap();
         let s = FileStorage::new(dir.path()).unwrap();
-        fs::create_dir(dir.path().join("subdir")).unwrap();
+        fs::create_dir(dir.path().join("empty-subdir")).unwrap();
         s.create("x").unwrap().append(b"1").unwrap();
-        let names = s.list().unwrap();
-        assert_eq!(names, vec!["x".to_string()]);
+        s.create("shard-0/wal").unwrap().append(b"2").unwrap();
+        let mut names = s.list().unwrap();
+        names.sort();
+        assert_eq!(names, vec!["shard-0/wal".to_string(), "x".to_string()]);
+    }
+
+    #[test]
+    fn directory_style_names_roundtrip() {
+        let dir = tempfile::tempdir().unwrap();
+        let s = FileStorage::new(dir.path()).unwrap();
+        s.create("a/b/f").unwrap().append(b"nested").unwrap();
+        assert!(s.exists("a/b/f"));
+        assert_eq!(s.size_of("a/b/f").unwrap(), 6);
+        let r = s.open_read("a/b/f").unwrap();
+        let mut buf = [0u8; 6];
+        r.read_exact_at(0, &mut buf).unwrap();
+        assert_eq!(&buf, b"nested");
+        s.remove("a/b/f").unwrap();
+        assert!(!s.exists("a/b/f"));
     }
 
     #[test]

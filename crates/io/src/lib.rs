@@ -22,6 +22,7 @@ pub mod cost;
 pub mod fault;
 pub mod file;
 pub mod mem;
+pub mod prefix;
 pub mod sim;
 pub mod stats;
 
@@ -32,6 +33,7 @@ pub use cost::{CostModel, DEFAULT_BLOCK_SIZE};
 pub use fault::{FaultControl, FaultStorage};
 pub use file::FileStorage;
 pub use mem::MemStorage;
+pub use prefix::PrefixedStorage;
 pub use sim::SimStorage;
 pub use stats::{IoStats, IoStatsSnapshot};
 

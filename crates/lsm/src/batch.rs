@@ -96,6 +96,13 @@ impl WriteBatch {
         &self.ops
     }
 
+    /// Consume the batch, yielding its operations in application order
+    /// (no per-op clone — the sharding layer's batch splitter moves ops
+    /// into per-shard sub-batches through this).
+    pub fn into_ops(self) -> Vec<BatchOp> {
+        self.ops
+    }
+
     /// Approximate memory the batch will occupy in the memtable (same
     /// per-entry accounting as `MemTable::approximate_bytes`).
     pub fn approximate_bytes(&self) -> usize {

@@ -86,8 +86,10 @@ struct Inner {
 
 /// Shared engine state: everything the foreground API and the background
 /// workers both touch. `Db` wraps it in an `Arc` so worker threads keep it
-/// alive for exactly as long as they run.
-struct DbCore {
+/// alive for exactly as long as they run. The sharding layer
+/// ([`crate::sharding`]) holds one `Arc<DbCore>` per shard so a *single*
+/// global worker pool can drive every shard's maintenance steps.
+pub(crate) struct DbCore {
     opts: Options,
     storage: Arc<dyn Storage>,
     inner: RwLock<Inner>,
@@ -115,9 +117,27 @@ pub struct Db {
     scheduler: Option<Scheduler>,
 }
 
+/// Plumbing handed to [`Db::open_internal`] when the caller (the sharding
+/// layer) runs maintenance on its own shared worker pool: the database
+/// spawns no threads of its own and wires the shared wakeup channel and
+/// shutdown flag into its core, so rotations/installs in any shard wake the
+/// global workers and stalled writers alike.
+pub(crate) struct ExternalPool {
+    pub signal: Arc<MaintSignal>,
+    pub shutdown: Arc<AtomicBool>,
+}
+
 impl Db {
     /// Open (or create) a database on `storage`.
     pub fn open(storage: Arc<dyn Storage>, opts: Options) -> Result<Db> {
+        Self::open_internal(storage, opts, None)
+    }
+
+    pub(crate) fn open_internal(
+        storage: Arc<dyn Storage>,
+        opts: Options,
+        pool: Option<ExternalPool>,
+    ) -> Result<Db> {
         let cache =
             (opts.block_cache_bytes > 0).then(|| Arc::new(BlockCache::new(opts.block_cache_bytes)));
         let sorted_levels = matches!(opts.compaction, CompactionPolicy::Leveling);
@@ -188,6 +208,14 @@ impl Db {
             }
             inner.wal = Some(w);
         }
+        let external = pool.is_some();
+        let (signal, shutdown) = match pool {
+            Some(p) => (p.signal, p.shutdown),
+            None => (
+                Arc::new(MaintSignal::default()),
+                Arc::new(AtomicBool::new(false)),
+            ),
+        };
         let core = Arc::new(DbCore {
             opts,
             storage,
@@ -196,8 +224,8 @@ impl Db {
             cache,
             snapshots: SnapshotList::new(),
             next_file_no: AtomicU64::new(next_file_no),
-            signal: Arc::new(MaintSignal::default()),
-            shutdown: Arc::new(AtomicBool::new(false)),
+            signal,
+            shutdown,
             flush_paused: AtomicBool::new(false),
             compaction_paused: AtomicBool::new(false),
             last_bg_error: Mutex::new(None),
@@ -217,6 +245,9 @@ impl Db {
         }
         let scheduler = match core.opts.maintenance {
             Maintenance::Synchronous => None,
+            // On an external pool the sharding layer owns the worker
+            // threads; this instance only contributes its step functions.
+            Maintenance::Background { .. } if external => None,
             Maintenance::Background {
                 flush_threads,
                 compaction_threads,
@@ -261,6 +292,32 @@ impl Db {
     /// blocked (L0 at the stop trigger / immutable queue full) before it is
     /// admitted.
     pub fn write(&self, batch: WriteBatch, wopts: &WriteOptions) -> Result<SeqNo> {
+        self.write_impl(batch, wopts, None)
+    }
+
+    /// [`Db::write`] with an externally assigned first sequence number.
+    ///
+    /// The sharding layer allocates **one** contiguous range per
+    /// cross-shard batch from a shared fence and hands each shard's
+    /// sub-batch its sub-range, so sequence numbers stay globally unique
+    /// and per-shard monotone. `first_seq` must exceed every sequence this
+    /// instance has seen (the caller's allocator + commit lock guarantee
+    /// it).
+    pub(crate) fn write_assigned(
+        &self,
+        batch: WriteBatch,
+        wopts: &WriteOptions,
+        first_seq: SeqNo,
+    ) -> Result<SeqNo> {
+        self.write_impl(batch, wopts, Some(first_seq))
+    }
+
+    fn write_impl(
+        &self,
+        batch: WriteBatch,
+        wopts: &WriteOptions,
+        assigned: Option<SeqNo>,
+    ) -> Result<SeqNo> {
         if batch.is_empty() {
             return Ok(self.core.inner.read().seq);
         }
@@ -280,7 +337,7 @@ impl Db {
         // Log first: a failed append (storage error, oversized batch) must
         // not have advanced the sequence counter or the write stats — the
         // batch then simply never happened.
-        let first_seq = inner.seq + 1;
+        let first_seq = assigned.unwrap_or(inner.seq + 1);
         if !wopts.disable_wal {
             if let Some(w) = &mut inner.wal {
                 let framed = w.append_batch(first_seq, batch.ops())?;
@@ -295,8 +352,8 @@ impl Db {
                 }
             }
         }
-        inner.seq += batch.len() as SeqNo;
-        let last_seq = inner.seq;
+        let last_seq = first_seq + batch.len() as SeqNo - 1;
+        inner.seq = inner.seq.max(last_seq);
         self.core
             .stats
             .write_batches
@@ -366,6 +423,22 @@ impl Db {
             Arc::clone(&inner.version),
             Self::mem_stack(&inner),
         )
+    }
+
+    /// Snapshot pinning the current structures but reading at an explicit
+    /// sequence ceiling — the sharding layer's coherence primitive: every
+    /// shard is captured at the *same* globally published fence, so a
+    /// cross-shard batch (whose range is wholly above or wholly below any
+    /// published fence) is either fully visible or fully invisible.
+    ///
+    /// `seq` may exceed this shard's own latest sequence (other shards
+    /// consumed the gap); entries above what is pinned simply don't exist
+    /// here, so the higher ceiling is harmless.
+    pub(crate) fn snapshot_at(&self, seq: SeqNo) -> Snapshot {
+        let inner = self.core.inner.read();
+        self.core
+            .snapshots
+            .acquire(seq, Arc::clone(&inner.version), Self::mem_stack(&inner))
     }
 
     /// The memtable stack, newest run first: active buffer copy, then
@@ -649,6 +722,12 @@ impl Db {
     /// Engine counters.
     pub fn stats(&self) -> &DbStats {
         &self.core.stats
+    }
+
+    /// The shared core (sharding layer: worker-pool step closures hold one
+    /// `Arc<DbCore>` per shard).
+    pub(crate) fn core(&self) -> &Arc<DbCore> {
+        &self.core
     }
 
     /// The storage the database runs on (for I/O counter snapshots).
@@ -1031,7 +1110,7 @@ impl DbCore {
     /// build its L0 table off-lock, install it and retire its WAL.
     /// Installation is strictly oldest-first (single claim at a time) —
     /// L0's newest-first read order depends on it.
-    fn flush_step(&self, draining: bool) -> Step {
+    pub(crate) fn flush_step(&self, draining: bool) -> Step {
         if self.flush_paused.load(Ordering::Acquire) && !draining {
             return Step::Idle;
         }
@@ -1089,7 +1168,7 @@ impl DbCore {
     /// One unit of compaction-worker work: claim a due task whose inputs
     /// are free, merge off-lock, install the edit. Disjoint tasks run
     /// concurrently; the `busy` set keeps claims from overlapping.
-    fn compact_step(&self, draining: bool) -> Step {
+    pub(crate) fn compact_step(&self, draining: bool) -> Step {
         if draining || self.compaction_paused.load(Ordering::Acquire) {
             return Step::Idle;
         }

@@ -5,6 +5,11 @@
 //! internal key; [`DbIterator`] layers LSM visibility on top — newest
 //! version per user key wins, tombstones suppress older versions, and
 //! versions newer than the read snapshot are invisible.
+//!
+//! One level up, the sharding layer merges whole *engines*: a
+//! [`crate::sharding::ShardedDbIterator`] k-way-merges per-shard
+//! `DbIterator`s (already version-resolved, so by user key alone) into one
+//! globally ordered scan.
 
 use std::sync::Arc;
 

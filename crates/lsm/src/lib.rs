@@ -66,6 +66,7 @@ pub mod iter;
 pub mod memtable;
 pub mod options;
 pub mod scheduler;
+pub mod sharding;
 pub mod snapshot;
 pub mod sstable;
 pub mod stats;
@@ -78,10 +79,12 @@ pub use cache::{BlockCache, BlockKey};
 pub use db::Db;
 pub use iter::DbIterator;
 pub use options::{
-    CompactionPolicy, IndexChoice, Maintenance, Options, ReadOptions, SearchStrategy, WriteOptions,
+    CompactionPolicy, IndexChoice, Maintenance, Options, ReadOptions, SearchStrategy,
+    ShardedOptions, ShardingPolicy, WriteOptions,
 };
+pub use sharding::{ShardRouter, ShardedDb, ShardedDbIterator, ShardedSnapshot};
 pub use snapshot::Snapshot;
-pub use stats::{CompactionBreakdown, DbStats, LookupBreakdown};
+pub use stats::{CompactionBreakdown, DbStats, LookupBreakdown, StatsSnapshot};
 pub use types::{Entry, EntryKind, InternalKey, SeqNo};
 
 use std::fmt;

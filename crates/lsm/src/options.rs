@@ -195,6 +195,76 @@ impl Maintenance {
     }
 }
 
+/// How a [`crate::sharding::ShardedDb`] partitions the key space across
+/// shards.
+///
+/// Range partitioning keeps shards scan-friendly (a merged scan touches
+/// only the shards a range spans) but needs *balanced* boundaries; the
+/// learned variant picks them from a sampled key distribution the same way
+/// the paper's learned indexes compress a CDF. Hash partitioning needs no
+/// knowledge of the distribution and is the fallback when none is
+/// available.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum ShardingPolicy {
+    /// Multiplicative-hash partitioning: balanced for any key set, but
+    /// scans must merge every shard. The fallback for unknown key
+    /// distributions.
+    #[default]
+    Hash,
+    /// Learned range partitioning: fit a cheap CDF model (PLR — the
+    /// paper's lightest segmentation) over `sample` and cut the key space
+    /// at the model's quantiles, so each shard holds an ≈equal fraction of
+    /// the distribution even when the key space is heavily skewed. Falls
+    /// back to [`ShardingPolicy::Hash`] when the sample is too small to
+    /// cut (< 2 distinct keys per shard).
+    LearnedRange {
+        /// Sampled keys (any order, duplicates fine) — e.g. every n-th key
+        /// of a load file, or keys drawn from live traffic.
+        sample: Vec<u64>,
+        /// Error bound for the router's CDF model (the paper's ε).
+        epsilon: usize,
+    },
+}
+
+/// Configuration of a [`crate::sharding::ShardedDb`]: the shard count, the
+/// partitioning policy, and the per-shard engine [`Options`].
+///
+/// Under [`Maintenance::Background`] the thread counts in `base` are the
+/// **global** budget: one shared worker pool drives every shard's flushes
+/// and compactions (no per-shard pools).
+#[derive(Debug, Clone)]
+pub struct ShardedOptions {
+    /// Number of shards (≥ 1).
+    pub shards: usize,
+    /// Key-space partitioning policy.
+    pub policy: ShardingPolicy,
+    /// Engine options applied to every shard.
+    pub base: Options,
+}
+
+impl ShardedOptions {
+    /// `shards` hash-partitioned shards over `base` options.
+    pub fn hash(shards: usize, base: Options) -> Self {
+        Self {
+            shards,
+            policy: ShardingPolicy::Hash,
+            base,
+        }
+    }
+
+    /// `shards` learned-range shards, boundaries fitted over `sample`.
+    pub fn learned(shards: usize, sample: Vec<u64>, base: Options) -> Self {
+        Self {
+            shards,
+            policy: ShardingPolicy::LearnedRange {
+                sample,
+                epsilon: 32,
+            },
+            base,
+        }
+    }
+}
+
 /// Merge policy (the LSM design-space axis of Dostoevsky/Wacky — the
 /// paper's second future direction suggests studying learned indexes across
 /// it).

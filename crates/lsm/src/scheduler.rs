@@ -18,6 +18,13 @@
 //! condition against the tree state after every bump, so there are no lost
 //! wakeups and no condition-specific condvars to keep consistent.
 //!
+//! The pool is deliberately decoupled from any one tree: a step function is
+//! just a closure returning a `Step`. A single `Db` passes its own
+//! flush/compact steps; a [`crate::sharding::ShardedDb`] passes closures
+//! that round-robin one step over *every* shard's core, so `N` shards share
+//! one global thread budget and one wakeup channel instead of spawning `N`
+//! pools (see `Db::open_internal`'s `ExternalPool`).
+//!
 //! Shutdown (`Scheduler::shutdown`, invoked by `Db::close`/`Drop`) wakes
 //! all workers and flips them into *drain* mode: flush workers keep
 //! flushing until the immutable queue is empty (even when paused — on

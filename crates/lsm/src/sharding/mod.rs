@@ -1,0 +1,509 @@
+//! Sharded engine: many [`Db`] shards behind one `Db`-shaped facade.
+//!
+//! [`ShardedDb`] range- or hash-partitions the key space across `N`
+//! independent LSM-trees and exposes the same `write`/`get`/`iter`/
+//! `snapshot` surface as a single [`Db`]:
+//!
+//! * **Learned range routing** ([`router`]) — shard boundaries are chosen
+//!   from a sampled key distribution via a cheap CDF model (PLR over the
+//!   sample: `position/n` *is* the empirical CDF), so each shard holds an
+//!   ≈equal share of the data even on heavily skewed key spaces, with
+//!   hash sharding as the fallback for unknown distributions. The router
+//!   is persisted next to the shard directories and reloaded verbatim on
+//!   reopen.
+//! * **Cross-shard atomic batches** ([`split`]) — a [`WriteBatch`] is
+//!   split per shard and committed under one *shared sequence fence*: the
+//!   whole batch gets one contiguous global sequence range (each shard a
+//!   sub-range, one group-commit WAL record per touched shard), and the
+//!   fence's published ceiling advances only after every shard has
+//!   applied. Snapshots and merged scans read at the published fence
+//!   (pinned under the commit lock), so a multi-shard batch is
+//!   **all-or-nothing visible** to every multi-key view.
+//! * **Coherent snapshots** ([`ShardedSnapshot`]) — one RAII handle
+//!   capturing every shard at the same published fence; reads and merged
+//!   scans through it are stable and cut-consistent no matter how many
+//!   writes, flushes or compactions run concurrently.
+//! * **Merged scans** ([`merge`]) — per-shard snapshot-consistent
+//!   iterators k-way-merged by a binary heap into one globally ordered
+//!   scan.
+//! * **One shared worker pool** — under [`Maintenance::Background`] the
+//!   thread counts are a *global* budget: a single `scheduler` pool
+//!   round-robins flush/compaction steps across all shards (no per-shard
+//!   pools), and all shards share one wakeup channel, so a 16-shard
+//!   engine does not spawn 32 threads.
+//! * **Independent crash recovery** — each shard keeps its own
+//!   `MANIFEST` + WALs in its own `shard-i/` directory
+//!   (`lsm_io::PrefixedStorage`), so recovery of one shard never reads
+//!   another's files.
+//!
+//! ## Durability caveat (documented, not hidden)
+//!
+//! The fence makes cross-shard batches atomically visible **to multi-key
+//! views** — snapshots and merged scans — in a live process. Bare point
+//! [`ShardedDb::get`]s read the owning shard's latest applied state and
+//! make no cross-key promise (two separate `get`s are not a cut, with or
+//! without sharding; use a [`ShardedSnapshot`] for one). Cross-shard
+//! *crash* atomicity would need a distributed commit protocol (per-shard
+//! WALs are independent): a crash between two shards' WAL appends can
+//! surface a partial batch after recovery, exactly like a non-2PC
+//! distributed store. A storage error mid-commit poisons the write path
+//! (reads stay available), so no *later* commit can ever publish a fence
+//! past the orphaned sub-batches — snapshots and scans never see the
+//! partial batch for the life of the process, though bare `get`s may, and
+//! a reopen replays whatever each shard's WAL holds.
+
+pub mod merge;
+pub mod router;
+pub mod split;
+
+pub use merge::ShardedDbIterator;
+pub use router::{imbalance, ShardRouter};
+pub use split::split_batch;
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::batch::WriteBatch;
+use crate::db::{Db, DbCore, ExternalPool};
+use crate::options::{Maintenance, ReadOptions, ShardedOptions, WriteOptions};
+use crate::scheduler::{MaintSignal, Scheduler, Step};
+use crate::snapshot::Snapshot;
+use crate::stats::{DbStats, StatsSnapshot};
+use crate::types::SeqNo;
+use crate::{Error, Result};
+use lsm_io::{CostModel, MemStorage, PrefixedStorage, SimStorage, Storage};
+
+/// The shared sequence fence: one global allocator + one published
+/// visibility ceiling for all shards.
+///
+/// `next` is the last sequence number handed out; `visible` is the last
+/// sequence number whose batch has been fully applied on every shard it
+/// touches. `visible` trails `next` only while a commit is in flight, and
+/// every read path uses `visible` as its ceiling — which is exactly what
+/// makes a cross-shard batch all-or-nothing visible.
+#[derive(Debug)]
+struct SeqFence {
+    next: AtomicU64,
+    visible: AtomicU64,
+}
+
+/// A coherent point-in-time view across every shard: all per-shard
+/// [`Snapshot`]s are pinned at the **same** published fence sequence, so a
+/// cross-shard batch is either entirely inside or entirely outside the
+/// view. Obtained from [`ShardedDb::snapshot`]; dropping releases every
+/// per-shard pin.
+#[derive(Debug)]
+pub struct ShardedSnapshot {
+    seq: SeqNo,
+    shards: Vec<Snapshot>,
+}
+
+impl ShardedSnapshot {
+    /// The fence sequence every shard of this snapshot reads at.
+    pub fn seq(&self) -> SeqNo {
+        self.seq
+    }
+
+    pub(crate) fn shard(&self, i: usize) -> &Snapshot {
+        &self.shards[i]
+    }
+}
+
+/// An open sharded database. See the [module docs](self) for the design.
+pub struct ShardedDb {
+    shards: Vec<Db>,
+    router: ShardRouter,
+    fence: SeqFence,
+    /// Serializes cross-shard commits (the fence publishes in allocation
+    /// order because of it).
+    commit_lock: Mutex<()>,
+    /// Set when a commit failed after touching some shards: further writes
+    /// are refused so the partial batch can never become visible in this
+    /// process.
+    poisoned: AtomicBool,
+    /// Shared wakeup channel: every shard's rotations/installs bump it,
+    /// the global workers and stalled writers wait on it.
+    signal: Arc<MaintSignal>,
+    shutdown: Arc<AtomicBool>,
+    /// The single shared worker pool (background maintenance only).
+    scheduler: Option<Scheduler>,
+}
+
+impl ShardedDb {
+    /// Open (or create) a sharded database on `storage`.
+    ///
+    /// A fresh directory trains the router from `opts.policy` and persists
+    /// it; an existing one loads the persisted router (the shard count
+    /// must match — resharding is not supported yet) and recovers every
+    /// shard independently from its own `shard-i/` manifest + WALs.
+    pub fn open(storage: Arc<dyn Storage>, opts: ShardedOptions) -> Result<ShardedDb> {
+        let requested = opts.shards.max(1);
+        let router = if storage.exists(router::ROUTER_FILE) {
+            let r = ShardRouter::load(storage.as_ref())?;
+            if r.shards() != requested {
+                return Err(Error::Corruption(format!(
+                    "sharded db has {} shards, asked to open with {requested} \
+                     (resharding is not supported)",
+                    r.shards()
+                )));
+            }
+            r
+        } else {
+            let r = ShardRouter::train(requested, &opts.policy);
+            r.save(storage.as_ref())?;
+            r
+        };
+
+        let background = opts.base.maintenance.is_background();
+        let signal = Arc::new(MaintSignal::default());
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let mut shards = Vec::with_capacity(router.shards());
+        for i in 0..router.shards() {
+            let dir: Arc<dyn Storage> = Arc::new(PrefixedStorage::new(
+                Arc::clone(&storage),
+                format!("shard-{i}/"),
+            ));
+            let pool = background.then(|| ExternalPool {
+                signal: Arc::clone(&signal),
+                shutdown: Arc::clone(&shutdown),
+            });
+            shards.push(Db::open_internal(dir, opts.base.clone(), pool)?);
+        }
+
+        // The fence resumes from the highest sequence any shard recovered.
+        let max_seq = shards.iter().map(Db::latest_seq).max().unwrap_or(0);
+        let fence = SeqFence {
+            next: AtomicU64::new(max_seq),
+            visible: AtomicU64::new(max_seq),
+        };
+
+        let scheduler = match opts.base.maintenance {
+            Maintenance::Synchronous => None,
+            Maintenance::Background {
+                flush_threads,
+                compaction_threads,
+            } => {
+                let flush_cores: Vec<Arc<DbCore>> =
+                    shards.iter().map(|d| Arc::clone(d.core())).collect();
+                let compact_cores = flush_cores.clone();
+                let flush_rr = AtomicUsize::new(0);
+                let compact_rr = AtomicUsize::new(0);
+                Some(Scheduler::start(
+                    Arc::clone(&signal),
+                    Arc::clone(&shutdown),
+                    flush_threads,
+                    compaction_threads,
+                    move |draining| {
+                        round_robin(&flush_cores, &flush_rr, |core| core.flush_step(draining))
+                    },
+                    move |draining| {
+                        round_robin(&compact_cores, &compact_rr, |core| {
+                            core.compact_step(draining)
+                        })
+                    },
+                ))
+            }
+        };
+
+        Ok(ShardedDb {
+            shards,
+            router,
+            fence,
+            commit_lock: Mutex::new(()),
+            poisoned: AtomicBool::new(false),
+            signal,
+            shutdown,
+            scheduler,
+        })
+    }
+
+    /// Open on a fresh in-memory storage (tests, examples).
+    pub fn open_memory(opts: ShardedOptions) -> Result<ShardedDb> {
+        Self::open(Arc::new(MemStorage::new()), opts)
+    }
+
+    /// Open on a fresh simulated-NVMe storage (benchmarks).
+    pub fn open_sim(opts: ShardedOptions, model: CostModel) -> Result<ShardedDb> {
+        Self::open(Arc::new(SimStorage::new(model)), opts)
+    }
+
+    // ------------------------------------------------------------- writes
+
+    /// Apply `batch` atomically across every shard it touches.
+    ///
+    /// The batch is split per shard ([`split_batch`]) and committed under
+    /// the shared fence: one contiguous global sequence range, one
+    /// group-commit WAL record per touched shard, and the published
+    /// ceiling advances only after the last shard applied — readers never
+    /// observe a partially applied cross-shard batch. Returns the last
+    /// sequence number of the batch.
+    pub fn write(&self, batch: WriteBatch, wopts: &WriteOptions) -> Result<SeqNo> {
+        if batch.is_empty() {
+            return Ok(self.fence.visible.load(Ordering::Acquire));
+        }
+        let len = batch.len() as SeqNo;
+        let parts = split_batch(batch, &self.router);
+
+        let _commit = self.commit_lock.lock();
+        // Checked *under* the lock: a writer that was blocked here while
+        // another commit failed must not proceed — it would re-allocate
+        // the failed batch's sequence range and could publish a fence past
+        // the orphaned sub-batches.
+        if self.poisoned.load(Ordering::Acquire) {
+            return Err(Error::Corruption(
+                "a cross-shard commit failed mid-way; writes are disabled (reopen to recover)"
+                    .into(),
+            ));
+        }
+        let first = self.fence.next.load(Ordering::Relaxed) + 1;
+        let last = first + len - 1;
+        let mut next = first;
+        for (shard, part) in parts.into_iter().enumerate() {
+            if part.is_empty() {
+                continue;
+            }
+            let part_len = part.len() as SeqNo;
+            if let Err(e) = self.shards[shard].write_assigned(part, wopts, next) {
+                // Poison unconditionally — even a first-shard failure can
+                // leave state behind (e.g. the WAL frame was appended and
+                // only the sync failed), so the allocated range must never
+                // be handed out again in this process.
+                self.poisoned.store(true, Ordering::Release);
+                return Err(e);
+            }
+            next += part_len;
+        }
+        self.fence.next.store(last, Ordering::Relaxed);
+        self.fence.visible.store(last, Ordering::Release);
+        Ok(last)
+    }
+
+    /// Insert or overwrite `key` (thin wrapper over [`ShardedDb::write`]).
+    pub fn put(&self, key: u64, value: &[u8]) -> Result<()> {
+        let mut batch = WriteBatch::with_capacity(1);
+        batch.put(key, value);
+        self.write(batch, &WriteOptions::default())?;
+        Ok(())
+    }
+
+    /// Delete `key` (thin wrapper over [`ShardedDb::write`]).
+    pub fn delete(&self, key: u64) -> Result<()> {
+        let mut batch = WriteBatch::with_capacity(1);
+        batch.delete(key);
+        self.write(batch, &WriteOptions::default())?;
+        Ok(())
+    }
+
+    /// Write `pairs` as one atomic (possibly cross-shard) batch.
+    pub fn put_batch(&self, pairs: &[(u64, Vec<u8>)]) -> Result<()> {
+        let mut batch = WriteBatch::with_capacity(pairs.len());
+        for (k, v) in pairs {
+            batch.put(*k, v);
+        }
+        self.write(batch, &WriteOptions::default())?;
+        Ok(())
+    }
+
+    // -------------------------------------------------------------- reads
+
+    /// Point lookup at the owning shard's latest applied state.
+    ///
+    /// A single-key read touches exactly one shard, so cross-shard
+    /// atomicity cannot be observed through it; *multi*-key consistency
+    /// (the all-or-nothing view of a cross-shard batch) is what
+    /// [`ShardedDb::snapshot`] / [`ShardedDb::iter`] provide.
+    pub fn get(&self, key: u64) -> Result<Option<Vec<u8>>> {
+        self.shards[self.router.shard_of(key)].get_with(key, &ReadOptions::new())
+    }
+
+    /// Point lookup through a pinned [`ShardedSnapshot`].
+    pub fn get_at(&self, key: u64, snapshot: &ShardedSnapshot) -> Result<Option<Vec<u8>>> {
+        let shard = self.router.shard_of(key);
+        self.shards[shard].get_with(key, &ReadOptions::at(snapshot.shard(shard)))
+    }
+
+    /// Acquire a coherent snapshot: every shard pinned at the same
+    /// published fence.
+    ///
+    /// The pins are taken under the commit lock, so no cross-shard batch
+    /// is mid-flight while any shard is captured: each pinned state
+    /// contains exactly the batches at or below the fence. (Pinning
+    /// *after* a bare fence read would race background flushes, whose
+    /// newest-version-per-key retention can drop a sub-fence version in
+    /// the window — the lock closes it.) Snapshot acquisition therefore
+    /// serializes briefly with writes; reads through the handle never do.
+    pub fn snapshot(&self) -> ShardedSnapshot {
+        let _commit = self.commit_lock.lock();
+        let seq = self.fence.visible.load(Ordering::Acquire);
+        ShardedSnapshot {
+            seq,
+            shards: self.shards.iter().map(|d| d.snapshot_at(seq)).collect(),
+        }
+    }
+
+    /// Number of live per-shard snapshot handles (each
+    /// [`ShardedSnapshot`] holds one per shard).
+    pub fn live_snapshots(&self) -> usize {
+        self.shards.iter().map(Db::live_snapshots).sum()
+    }
+
+    /// Globally ordered scan over the latest published state (internally
+    /// pins a coherent [`ShardedSnapshot`] for the iterator's lifetime —
+    /// the per-shard iterators hold the pinned structures, so the scan is
+    /// stable and cut-consistent).
+    pub fn iter(&self) -> Result<ShardedDbIterator> {
+        self.iter_at(&self.snapshot())
+    }
+
+    /// Globally ordered scan through a pinned [`ShardedSnapshot`].
+    pub fn iter_at(&self, snapshot: &ShardedSnapshot) -> Result<ShardedDbIterator> {
+        let iters = self
+            .shards
+            .iter()
+            .enumerate()
+            .map(|(i, d)| d.iter_with(&ReadOptions::at(snapshot.shard(i))))
+            .collect::<Result<Vec<_>>>()?;
+        Ok(ShardedDbIterator::new(iters))
+    }
+
+    /// Range lookup: up to `limit` live pairs with key ≥ `start`, merged
+    /// across shards in global key order.
+    pub fn scan(&self, start: u64, limit: usize) -> Result<Vec<(u64, Vec<u8>)>> {
+        let mut it = self.iter()?;
+        it.seek(start)?;
+        let out = it.collect_up_to(limit)?;
+        // Attribute the scan to the shard owning its start key, so the
+        // merged stats still count it exactly once.
+        let stats = self.shards[self.router.shard_of(start)].stats();
+        stats.scans.fetch_add(1, Ordering::Relaxed);
+        stats
+            .scan_entries
+            .fetch_add(out.len() as u64, Ordering::Relaxed);
+        Ok(out)
+    }
+
+    // ------------------------------------------------- flush / maintenance
+
+    /// Flush every shard's memtable (and, under background maintenance,
+    /// wait for the queues to drain).
+    pub fn flush(&self) -> Result<()> {
+        for db in &self.shards {
+            db.flush()?;
+        }
+        Ok(())
+    }
+
+    /// Block until every shard's eligible background maintenance is done.
+    pub fn wait_for_maintenance(&self) {
+        for db in &self.shards {
+            db.wait_for_maintenance();
+        }
+    }
+
+    /// Pause background flushes on every shard (testing/ops hook).
+    pub fn pause_flushes(&self) {
+        self.shards.iter().for_each(Db::pause_flushes);
+    }
+
+    /// Resume background flushes on every shard.
+    pub fn resume_flushes(&self) {
+        self.shards.iter().for_each(Db::resume_flushes);
+    }
+
+    /// Pause background compactions on every shard.
+    pub fn pause_compactions(&self) {
+        self.shards.iter().for_each(Db::pause_compactions);
+    }
+
+    /// Resume background compactions on every shard.
+    pub fn resume_compactions(&self) {
+        self.shards.iter().for_each(Db::resume_compactions);
+    }
+
+    /// The most recent background worker error on any shard.
+    pub fn background_error(&self) -> Option<String> {
+        self.shards.iter().find_map(Db::background_error)
+    }
+
+    /// Drain the shared pool and close every shard, surfacing any
+    /// background error.
+    pub fn close(mut self) -> Result<()> {
+        self.shutdown_pool();
+        for db in std::mem::take(&mut self.shards) {
+            db.close()?;
+        }
+        Ok(())
+    }
+
+    fn shutdown_pool(&mut self) {
+        if let Some(scheduler) = self.scheduler.take() {
+            scheduler.shutdown(&self.signal, &self.shutdown);
+        }
+    }
+
+    // ------------------------------------------------------- introspection
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The router in effect.
+    pub fn router(&self) -> &ShardRouter {
+        &self.router
+    }
+
+    /// One shard's engine (read-only introspection; writing through a
+    /// shard directly would bypass the fence).
+    pub fn shard(&self, i: usize) -> &Db {
+        &self.shards[i]
+    }
+
+    /// Entries resident per shard (tables + active memtable, including
+    /// versions) — the balance the router is graded on.
+    pub fn shard_entry_counts(&self) -> Vec<u64> {
+        self.shards
+            .iter()
+            .map(|d| {
+                let v = d.version();
+                let tables: u64 = (0..v.levels.len()).map(|l| v.level_entries(l)).sum();
+                tables + d.memtable_len() as u64
+            })
+            .collect()
+    }
+
+    /// Last sequence number published by the fence.
+    pub fn latest_visible_seq(&self) -> SeqNo {
+        self.fence.visible.load(Ordering::Acquire)
+    }
+
+    /// Engine counters summed across every shard (peaks take the max) —
+    /// [`DbStats::merged`] over the per-shard blocks.
+    pub fn stats(&self) -> StatsSnapshot {
+        DbStats::merged(self.shards.iter().map(Db::stats))
+    }
+}
+
+impl Drop for ShardedDb {
+    fn drop(&mut self) {
+        self.shutdown_pool();
+    }
+}
+
+/// One worker step over a fleet of shard cores: try each shard once,
+/// starting at a rotating offset so no shard starves, and report
+/// [`Step::Worked`] as soon as any shard makes progress. The pool goes
+/// idle only when a full pass found nothing to do on any shard — which is
+/// also the shutdown-drain exit condition.
+fn round_robin(cores: &[Arc<DbCore>], rr: &AtomicUsize, step: impl Fn(&DbCore) -> Step) -> Step {
+    let n = cores.len();
+    let start = rr.fetch_add(1, Ordering::Relaxed) % n;
+    for i in 0..n {
+        if matches!(step(&cores[(start + i) % n]), Step::Worked) {
+            return Step::Worked;
+        }
+    }
+    Step::Idle
+}

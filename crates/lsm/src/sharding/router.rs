@@ -1,0 +1,438 @@
+//! The shard router: which shard owns a key.
+//!
+//! Range partitioning needs boundaries that balance *data*, not key space —
+//! on a skewed distribution (zipfian, lognormal) equal key-space slices put
+//! almost everything in one shard. The learned router reuses the paper's
+//! central artifact: a cheap CDF model over a sorted key sample. Boundary
+//! `i` is the sample's `i/N` quantile (equal mass per shard by
+//! construction), and routing predicts through a PLR model of the sample —
+//! `position/n` *is* the empirical CDF — then corrects the O(ε) prediction
+//! error against the exact boundaries, the same predict-then-bounded-search
+//! contract every learned index in `learned-index` follows.
+//!
+//! When no sample is available (unknown distribution) the router falls
+//! back to multiplicative hashing, which balances any key set but gives up
+//! range locality.
+
+use learned_index::{IndexConfig, IndexKind, SegmentIndex};
+use lsm_io::Storage;
+
+use crate::options::ShardingPolicy;
+use crate::{Error, Result};
+
+/// Router state file (text; boundaries + policy).
+pub(crate) const ROUTER_FILE: &str = "SHARDING";
+/// Serialized CDF model (binary, `learned-index` codec).
+pub(crate) const ROUTER_MODEL_FILE: &str = "SHARDING.model";
+
+/// Routes user keys to shards. Built once per [`super::ShardedDb`] from a
+/// [`ShardingPolicy`], persisted next to the shard directories so a reopen
+/// routes identically (a boundary drift would strand keys in the wrong
+/// shard).
+pub enum ShardRouter {
+    /// Multiplicative-hash partitioning (fallback).
+    Hash {
+        /// Number of shards.
+        shards: usize,
+    },
+    /// Learned range partitioning.
+    Range {
+        /// Ascending shard cut points, `shards - 1` of them: shard `i`
+        /// owns `[boundaries[i-1], boundaries[i])` (unbounded at the
+        /// ends).
+        boundaries: Vec<u64>,
+        /// CDF model over the training sample; `None` after a reopen that
+        /// lost the model file (routing then binary-searches the
+        /// boundaries — same answers, just not learned).
+        model: Option<Box<dyn SegmentIndex>>,
+        /// Size of the training sample (the model's position → CDF
+        /// denominator).
+        sample_len: usize,
+    },
+}
+
+impl std::fmt::Debug for ShardRouter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShardRouter::Hash { shards } => f.debug_struct("Hash").field("shards", shards).finish(),
+            ShardRouter::Range {
+                boundaries,
+                model,
+                sample_len,
+            } => f
+                .debug_struct("Range")
+                .field("shards", &(boundaries.len() + 1))
+                .field("model", &model.as_ref().map(|m| m.kind()))
+                .field("sample_len", sample_len)
+                .finish(),
+        }
+    }
+}
+
+/// Finalizer of splitmix64: a full-avalanche mix so sequential keys spread
+/// uniformly across shards.
+#[inline]
+fn mix64(mut k: u64) -> u64 {
+    k ^= k >> 33;
+    k = k.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    k ^= k >> 33;
+    k = k.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+    k ^ (k >> 33)
+}
+
+impl ShardRouter {
+    /// Build a router for `shards` shards under `policy`.
+    ///
+    /// A learned-range policy whose sample is too small to cut (< 2
+    /// distinct keys per shard) falls back to hash sharding — boundaries
+    /// from a vanishing sample would be noise, and hash at least balances.
+    pub fn train(shards: usize, policy: &ShardingPolicy) -> ShardRouter {
+        let shards = shards.max(1);
+        match policy {
+            ShardingPolicy::Hash => ShardRouter::Hash { shards },
+            ShardingPolicy::LearnedRange { sample, epsilon } => {
+                let mut sample = sample.clone();
+                sample.sort_unstable();
+                sample.dedup();
+                if shards < 2 || sample.len() < shards * 2 {
+                    return ShardRouter::Hash { shards };
+                }
+                let n = sample.len();
+                // Quantile cuts: boundary i is the first key of shard i+1,
+                // so each shard receives ≈ n/shards of the sampled mass.
+                let boundaries: Vec<u64> = (1..shards).map(|i| sample[i * n / shards]).collect();
+                let config = IndexConfig {
+                    epsilon: (*epsilon).max(1),
+                    ..IndexConfig::default()
+                };
+                let model = IndexKind::Plr.build(&sample, &config);
+                ShardRouter::Range {
+                    boundaries,
+                    model: Some(model),
+                    sample_len: n,
+                }
+            }
+        }
+    }
+
+    /// Number of shards this router spreads keys over.
+    pub fn shards(&self) -> usize {
+        match self {
+            ShardRouter::Hash { shards } => *shards,
+            ShardRouter::Range { boundaries, .. } => boundaries.len() + 1,
+        }
+    }
+
+    /// Whether this is (learned) range partitioning.
+    pub fn is_range(&self) -> bool {
+        matches!(self, ShardRouter::Range { .. })
+    }
+
+    /// The shard that owns `key`.
+    ///
+    /// Range mode predicts through the CDF model (`position/n → shard`)
+    /// and then corrects against the exact boundaries, so a model error —
+    /// up to its ε, or anything at all for a stale model — can never
+    /// misroute; it only costs extra comparisons.
+    pub fn shard_of(&self, key: u64) -> usize {
+        match self {
+            ShardRouter::Hash { shards } => (mix64(key) % *shards as u64) as usize,
+            ShardRouter::Range {
+                boundaries,
+                model,
+                sample_len,
+            } => {
+                let shards = boundaries.len() + 1;
+                let mut s = match model {
+                    Some(m) => {
+                        let b = m.predict(key);
+                        let mid = (b.lo + b.hi) / 2;
+                        (mid * shards / (*sample_len).max(1)).min(shards - 1)
+                    }
+                    None => boundaries.partition_point(|&b| b <= key),
+                };
+                while s > 0 && key < boundaries[s - 1] {
+                    s -= 1;
+                }
+                while s < boundaries.len() && key >= boundaries[s] {
+                    s += 1;
+                }
+                s
+            }
+        }
+    }
+
+    /// How many of `keys` each shard would receive.
+    pub fn partition_counts(&self, keys: &[u64]) -> Vec<u64> {
+        let mut counts = vec![0u64; self.shards()];
+        for &k in keys {
+            counts[self.shard_of(k)] += 1;
+        }
+        counts
+    }
+
+    // ------------------------------------------------------- persistence
+
+    /// Persist the router at the storage root (next to the shard
+    /// directories): boundaries/policy as text, the CDF model via the
+    /// `learned-index` codec.
+    pub(crate) fn save(&self, storage: &dyn Storage) -> Result<()> {
+        let mut text = format!("shards {}\n", self.shards());
+        match self {
+            ShardRouter::Hash { .. } => text.push_str("policy hash\n"),
+            ShardRouter::Range {
+                boundaries,
+                model,
+                sample_len,
+            } => {
+                text.push_str("policy range\n");
+                text.push_str(&format!("sample_len {sample_len}\n"));
+                for b in boundaries {
+                    text.push_str(&format!("boundary {b}\n"));
+                }
+                if let Some(m) = model {
+                    let mut f = storage.create(ROUTER_MODEL_FILE)?;
+                    f.append(&m.encode())?;
+                    f.sync()?;
+                }
+            }
+        }
+        let mut f = storage.create(ROUTER_FILE)?;
+        f.append(text.as_bytes())?;
+        f.sync()?;
+        Ok(())
+    }
+
+    /// Load a previously saved router. A missing or corrupt model file
+    /// degrades to boundary binary search (identical routing); a corrupt
+    /// text file is an error — routing *boundaries* must never be guessed.
+    pub(crate) fn load(storage: &dyn Storage) -> Result<ShardRouter> {
+        let raw = lsm_io::read_all(storage, ROUTER_FILE)?;
+        let text = String::from_utf8(raw)
+            .map_err(|_| Error::Corruption("sharding file is not UTF-8".into()))?;
+        let mut shards = 0usize;
+        let mut is_range = false;
+        let mut sample_len = 0usize;
+        let mut boundaries = Vec::new();
+        for (lineno, line) in text.lines().enumerate() {
+            let corrupt = || Error::Corruption(format!("sharding file line {lineno}"));
+            let mut parts = line.split_whitespace();
+            match parts.next() {
+                Some("shards") => {
+                    shards = parts
+                        .next()
+                        .and_then(|s| s.parse().ok())
+                        .ok_or_else(corrupt)?;
+                }
+                Some("policy") => {
+                    is_range = match parts.next() {
+                        Some("range") => true,
+                        Some("hash") => false,
+                        _ => return Err(corrupt()),
+                    };
+                }
+                Some("sample_len") => {
+                    sample_len = parts
+                        .next()
+                        .and_then(|s| s.parse().ok())
+                        .ok_or_else(corrupt)?;
+                }
+                Some("boundary") => {
+                    boundaries.push(
+                        parts
+                            .next()
+                            .and_then(|s| s.parse().ok())
+                            .ok_or_else(corrupt)?,
+                    );
+                }
+                _ => {}
+            }
+        }
+        if shards == 0 {
+            return Err(Error::Corruption("sharding file: no shard count".into()));
+        }
+        if !is_range {
+            return Ok(ShardRouter::Hash { shards });
+        }
+        if boundaries.len() + 1 != shards || !boundaries.windows(2).all(|w| w[0] < w[1]) {
+            return Err(Error::Corruption("sharding file: bad boundaries".into()));
+        }
+        let model = storage
+            .exists(ROUTER_MODEL_FILE)
+            .then(|| lsm_io::read_all(storage, ROUTER_MODEL_FILE))
+            .transpose()?
+            .and_then(|bytes| IndexKind::decode(&bytes).ok());
+        Ok(ShardRouter::Range {
+            boundaries,
+            model,
+            sample_len,
+        })
+    }
+}
+
+/// Relative imbalance of a partition: `max/mean - 1` (0 = perfectly even;
+/// 0.2 means the fullest shard holds 20% more than its fair share).
+pub fn imbalance(counts: &[u64]) -> f64 {
+    if counts.is_empty() {
+        return 0.0;
+    }
+    let max = counts.iter().copied().max().unwrap_or(0) as f64;
+    let mean = counts.iter().sum::<u64>() as f64 / counts.len() as f64;
+    if mean == 0.0 {
+        0.0
+    } else {
+        max / mean - 1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsm_io::MemStorage;
+
+    fn skewed_keys(n: usize) -> Vec<u64> {
+        // Quadratic spacing: dense at the low end, sparse at the top —
+        // equal key-space slices would be wildly unbalanced.
+        (0..n as u64).map(|i| i * i).collect()
+    }
+
+    #[test]
+    fn hash_router_balances_sequential_keys() {
+        let r = ShardRouter::train(4, &ShardingPolicy::Hash);
+        let keys: Vec<u64> = (0..40_000).collect();
+        let counts = r.partition_counts(&keys);
+        assert!(imbalance(&counts) < 0.1, "{counts:?}");
+    }
+
+    #[test]
+    fn learned_range_router_balances_skewed_keys() {
+        let keys = skewed_keys(50_000);
+        let sample: Vec<u64> = keys.iter().copied().step_by(13).collect();
+        let r = ShardRouter::train(
+            4,
+            &ShardingPolicy::LearnedRange {
+                sample,
+                epsilon: 32,
+            },
+        );
+        assert!(r.is_range());
+        let counts = r.partition_counts(&keys);
+        assert!(imbalance(&counts) < 0.05, "{counts:?}");
+        // Uniform key-space cuts on the same keys: terribly unbalanced —
+        // the learned quantile cuts are doing real work.
+        let max = *keys.last().unwrap();
+        let uniform = ShardRouter::Range {
+            boundaries: (1..4).map(|i| i * max / 4).collect(),
+            model: None,
+            sample_len: 0,
+        };
+        assert!(imbalance(&uniform.partition_counts(&keys)) > 0.5);
+    }
+
+    #[test]
+    fn range_routing_respects_exact_boundaries() {
+        let sample: Vec<u64> = (0..4000u64).map(|i| i * 10).collect();
+        let r = ShardRouter::train(4, &ShardingPolicy::LearnedRange { sample, epsilon: 8 });
+        let ShardRouter::Range { ref boundaries, .. } = r else {
+            panic!("expected range router");
+        };
+        assert_eq!(boundaries.len(), 3);
+        for (i, &b) in boundaries.iter().enumerate() {
+            // A boundary key is the first key of the next shard.
+            assert_eq!(r.shard_of(b), i + 1, "boundary {b}");
+            assert_eq!(r.shard_of(b - 1), i, "just below boundary {b}");
+            assert_eq!(r.shard_of(b + 1), i + 1, "just above boundary {b}");
+        }
+        assert_eq!(r.shard_of(0), 0);
+        assert_eq!(r.shard_of(u64::MAX), 3);
+    }
+
+    #[test]
+    fn model_and_binary_search_agree_everywhere() {
+        let sample = skewed_keys(10_000);
+        let r = ShardRouter::train(
+            8,
+            &ShardingPolicy::LearnedRange {
+                sample: sample.clone(),
+                epsilon: 64,
+            },
+        );
+        let ShardRouter::Range {
+            ref boundaries,
+            ref sample_len,
+            ..
+        } = r
+        else {
+            panic!("expected range router");
+        };
+        let plain = ShardRouter::Range {
+            boundaries: boundaries.clone(),
+            model: None,
+            sample_len: *sample_len,
+        };
+        for k in sample.iter().step_by(7) {
+            assert_eq!(r.shard_of(*k), plain.shard_of(*k), "key {k}");
+        }
+        for probe in [0u64, 1, 999, u64::MAX / 2, u64::MAX] {
+            assert_eq!(r.shard_of(probe), plain.shard_of(probe), "probe {probe}");
+        }
+    }
+
+    #[test]
+    fn tiny_sample_falls_back_to_hash() {
+        let r = ShardRouter::train(
+            4,
+            &ShardingPolicy::LearnedRange {
+                sample: vec![1, 2, 3],
+                epsilon: 8,
+            },
+        );
+        assert!(!r.is_range());
+        assert_eq!(r.shards(), 4);
+    }
+
+    #[test]
+    fn save_load_roundtrip_routes_identically() {
+        let storage = MemStorage::new();
+        let keys = skewed_keys(20_000);
+        let r = ShardRouter::train(
+            4,
+            &ShardingPolicy::LearnedRange {
+                sample: keys.clone(),
+                epsilon: 32,
+            },
+        );
+        r.save(&storage).unwrap();
+        let loaded = ShardRouter::load(&storage).unwrap();
+        assert_eq!(loaded.shards(), 4);
+        for k in keys.iter().step_by(11) {
+            assert_eq!(r.shard_of(*k), loaded.shard_of(*k), "key {k}");
+        }
+        // Losing the model file degrades to boundary search, same answers.
+        storage.remove(ROUTER_MODEL_FILE).unwrap();
+        let degraded = ShardRouter::load(&storage).unwrap();
+        for k in keys.iter().step_by(11) {
+            assert_eq!(r.shard_of(*k), degraded.shard_of(*k), "key {k}");
+        }
+    }
+
+    #[test]
+    fn hash_save_load_roundtrip() {
+        let storage = MemStorage::new();
+        let r = ShardRouter::train(6, &ShardingPolicy::Hash);
+        r.save(&storage).unwrap();
+        let loaded = ShardRouter::load(&storage).unwrap();
+        assert!(!loaded.is_range());
+        for k in (0..1000u64).map(|i| i * 77) {
+            assert_eq!(r.shard_of(k), loaded.shard_of(k));
+        }
+    }
+
+    #[test]
+    fn imbalance_metric() {
+        assert_eq!(imbalance(&[5, 5, 5, 5]), 0.0);
+        assert!((imbalance(&[10, 5, 5, 0]) - 1.0).abs() < 1e-12);
+        assert_eq!(imbalance(&[]), 0.0);
+        assert_eq!(imbalance(&[0, 0]), 0.0);
+    }
+}

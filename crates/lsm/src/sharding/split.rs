@@ -1,0 +1,76 @@
+//! Cross-shard batch splitting.
+//!
+//! A client-facing [`WriteBatch`] may touch any mix of shards. The splitter
+//! routes every operation to its owning shard, preserving application
+//! order *within* each shard — and because one key always routes to one
+//! shard, per-shard order is all that LevelDB's "later op wins" semantics
+//! needs. Ops never move between shards, so the concatenation of the
+//! sub-batches is a permutation of the original that reorders only
+//! independent keys.
+
+use crate::batch::WriteBatch;
+
+use super::router::ShardRouter;
+
+/// Split `batch` into one sub-batch per shard (empty sub-batches for
+/// shards the batch does not touch). Ops are moved, not cloned.
+pub fn split_batch(batch: WriteBatch, router: &ShardRouter) -> Vec<WriteBatch> {
+    let mut out: Vec<WriteBatch> = (0..router.shards()).map(|_| WriteBatch::new()).collect();
+    for op in batch.into_ops() {
+        out[router.shard_of(op.key)].extend(std::iter::once(op));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::options::ShardingPolicy;
+    use crate::types::EntryKind;
+
+    fn range_router() -> ShardRouter {
+        // Boundaries at 1000, 2000, 3000 (sample 0..4000).
+        ShardRouter::train(
+            4,
+            &ShardingPolicy::LearnedRange {
+                sample: (0..4000u64).collect(),
+                epsilon: 8,
+            },
+        )
+    }
+
+    #[test]
+    fn ops_land_on_their_shard_in_order() {
+        let router = range_router();
+        let mut batch = WriteBatch::new();
+        batch.put(10, b"a"); // shard 0
+        batch.put(2500, b"b"); // shard 2
+        batch.delete(10); // shard 0, after the put
+        batch.put(3999, b"c"); // shard 3
+        let parts = split_batch(batch, &router);
+        assert_eq!(parts.len(), 4);
+        assert_eq!(parts[0].len(), 2);
+        assert_eq!(parts[0].ops()[0].kind, EntryKind::Put);
+        assert_eq!(parts[0].ops()[1].kind, EntryKind::Delete, "order kept");
+        assert_eq!(parts[1].len(), 0, "untouched shard gets an empty batch");
+        assert_eq!(parts[2].ops()[0].key, 2500);
+        assert_eq!(parts[3].ops()[0].key, 3999);
+    }
+
+    #[test]
+    fn split_is_a_partition_of_the_batch() {
+        let router = range_router();
+        let mut batch = WriteBatch::new();
+        for k in (0..4000u64).step_by(17) {
+            batch.put(k, &k.to_le_bytes());
+        }
+        let total = batch.len();
+        let parts = split_batch(batch, &router);
+        assert_eq!(parts.iter().map(WriteBatch::len).sum::<usize>(), total);
+        for (shard, part) in parts.iter().enumerate() {
+            for op in part.ops() {
+                assert_eq!(router.shard_of(op.key), shard);
+            }
+        }
+    }
+}

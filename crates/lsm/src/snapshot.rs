@@ -18,6 +18,12 @@
 //! [`crate::ReadOptions::at`]) therefore return identical results no matter
 //! how many writes, flushes or compactions happen concurrently. Dropping
 //! the handle releases every pin.
+//!
+//! A snapshot's sequence ceiling is usually the instance's own latest
+//! sequence, but the sharding layer pins every shard at one shared *fence*
+//! sequence instead (`Db::snapshot_at`): the per-shard pins all read at the
+//! same globally published ceiling, which is what makes a
+//! [`crate::sharding::ShardedSnapshot`] a coherent cut across shards.
 
 use std::collections::BTreeMap;
 use std::sync::Arc;

@@ -137,6 +137,17 @@ impl DbStats {
         self.stalled_now.load(Ordering::Relaxed)
     }
 
+    /// Sum the current counters of several stats blocks into one snapshot —
+    /// the per-shard → whole-engine aggregation behind
+    /// `ShardedDb::stats()`, usable standalone for any fleet of engines.
+    /// High-water marks (`imm_queue_peak`) take the maximum instead.
+    pub fn merged<'a>(stats: impl IntoIterator<Item = &'a DbStats>) -> StatsSnapshot {
+        stats
+            .into_iter()
+            .map(DbStats::snapshot)
+            .fold(StatsSnapshot::default(), |acc, s| acc + s)
+    }
+
     /// Copy the current counter values.
     pub fn snapshot(&self) -> StatsSnapshot {
         let lv = |a: &[AtomicU64; MAX_LEVELS]| {
@@ -186,7 +197,7 @@ impl DbStats {
 }
 
 /// Point-in-time copy of [`DbStats`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct StatsSnapshot {
     pub lookups: u64,
     pub table_locate_ns: u64,
@@ -270,6 +281,14 @@ impl StatsSnapshot {
         out
     }
 
+    /// Sum a set of snapshots (e.g. one per shard) into one report.
+    /// Equivalent to folding with `+`.
+    pub fn merged(parts: &[StatsSnapshot]) -> StatsSnapshot {
+        parts
+            .iter()
+            .fold(StatsSnapshot::default(), |acc, s| acc + *s)
+    }
+
     /// The lookup breakdown of Table 1, averaged per lookup (ns).
     pub fn lookup_breakdown(&self) -> LookupBreakdown {
         let n = self.lookups.max(1);
@@ -289,6 +308,64 @@ impl StatsSnapshot {
             train_ns: self.compact_train_ns,
             model_write_ns: self.compact_model_write_ns,
         }
+    }
+}
+
+/// Counter-wise sum: every additive counter adds; the high-water mark
+/// `imm_queue_peak` takes the maximum (the peak of a fleet is the worst
+/// shard's peak, not the sum). This is what makes per-shard stats
+/// composable into one engine-level report.
+impl std::ops::AddAssign for StatsSnapshot {
+    fn add_assign(&mut self, rhs: StatsSnapshot) {
+        macro_rules! add_fields {
+            ($($f:ident),* $(,)?) => { $( self.$f += rhs.$f; )* }
+        }
+        add_fields!(
+            lookups,
+            table_locate_ns,
+            predict_ns,
+            io_cpu_ns,
+            search_ns,
+            bloom_checks,
+            bloom_negatives,
+            memtable_hits,
+            write_batches,
+            write_entries,
+            wal_appends,
+            wal_bytes,
+            wal_syncs,
+            flushes,
+            compactions,
+            compact_total_ns,
+            compact_kv_io_ns,
+            compact_train_ns,
+            compact_model_write_ns,
+            compact_bytes_read,
+            compact_bytes_written,
+            scans,
+            scan_entries,
+            stall_slowdowns,
+            stall_stops,
+            stall_ns,
+            imm_rotations,
+            bg_flush_ns,
+            bg_compact_ns,
+            bg_errors,
+            writes_during_maintenance,
+        );
+        for i in 0..MAX_LEVELS {
+            self.level_reads[i] += rhs.level_reads[i];
+            self.level_read_ns[i] += rhs.level_read_ns[i];
+        }
+        self.imm_queue_peak = self.imm_queue_peak.max(rhs.imm_queue_peak);
+    }
+}
+
+impl std::ops::Add for StatsSnapshot {
+    type Output = StatsSnapshot;
+    fn add(mut self, rhs: StatsSnapshot) -> StatsSnapshot {
+        self += rhs;
+        self
     }
 }
 
@@ -385,6 +462,37 @@ mod tests {
         assert_eq!(snap.imm_queue_peak, 3, "peak is a high-water mark");
         let later = s.snapshot();
         assert_eq!(later.since(&snap).imm_queue_peak, 3, "peak survives diffs");
+    }
+
+    #[test]
+    fn add_sums_counters_and_maxes_peak() {
+        let a = DbStats::new();
+        a.lookups.fetch_add(3, Ordering::Relaxed);
+        a.record_level_read(1, 10);
+        a.record_rotation(2);
+        let b = DbStats::new();
+        b.lookups.fetch_add(4, Ordering::Relaxed);
+        b.record_level_read(1, 5);
+        b.record_rotation(5);
+        b.record_stall(true, 70);
+
+        let sum = a.snapshot() + b.snapshot();
+        assert_eq!(sum.lookups, 7);
+        assert_eq!(sum.level_reads[1], 2);
+        assert_eq!(sum.level_read_ns[1], 15);
+        assert_eq!(sum.imm_rotations, 2);
+        assert_eq!(sum.imm_queue_peak, 5, "peak is a max, not a sum");
+        assert_eq!(sum.stall_stops, 1);
+        assert_eq!(sum.stall_ns, 70);
+
+        // The helper folds the live blocks the same way.
+        assert_eq!(DbStats::merged([&a, &b]), sum);
+        assert_eq!(StatsSnapshot::merged(&[a.snapshot(), b.snapshot()]), sum);
+        assert_eq!(
+            StatsSnapshot::merged(&[]),
+            StatsSnapshot::default(),
+            "empty merge is the zero snapshot"
+        );
     }
 
     #[test]

@@ -1,0 +1,550 @@
+//! Integration tests for the sharded engine: routing correctness at shard
+//! boundaries, cross-shard atomicity, coherent snapshots under concurrent
+//! background maintenance, merged-scan ordering, crash recovery through
+//! per-shard directories — plus the PR's two acceptance benchmarks
+//! (sharded write throughput and learned-routing balance).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use learned_index::IndexKind;
+use lsm_io::{MemStorage, Storage};
+use lsm_tree::sharding::imbalance;
+use lsm_tree::{
+    Db, Maintenance, Options, ShardRouter, ShardedDb, ShardedOptions, ShardingPolicy, WriteBatch,
+    WriteOptions,
+};
+use lsm_workloads::{Dataset, RequestDistribution};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn base_opts() -> Options {
+    let mut o = Options::small_for_tests();
+    o.index.kind = IndexKind::Pgm;
+    o
+}
+
+fn learned_opts(shards: usize, sample: Vec<u64>) -> ShardedOptions {
+    ShardedOptions::learned(shards, sample, base_opts())
+}
+
+/// Keys 0..4000 sampled → boundaries at 1000, 2000, 3000.
+fn dense_sample() -> Vec<u64> {
+    (0..4000u64).collect()
+}
+
+#[test]
+fn cross_shard_batch_roundtrip_and_reopen() {
+    let storage: Arc<dyn Storage> = Arc::new(MemStorage::new());
+    {
+        let db = ShardedDb::open(Arc::clone(&storage), learned_opts(4, dense_sample())).unwrap();
+        assert!(db.router().is_range());
+        // One batch spanning all four shards.
+        let mut batch = WriteBatch::new();
+        for k in (0..4000u64).step_by(100) {
+            batch.put(k, format!("v{k}").as_bytes());
+        }
+        let last = db.write(batch, &WriteOptions::default()).unwrap();
+        assert_eq!(last, 40, "one contiguous global sequence range");
+        assert_eq!(db.latest_visible_seq(), 40);
+        for k in (0..4000u64).step_by(100) {
+            assert_eq!(db.get(k).unwrap(), Some(format!("v{k}").into_bytes()));
+        }
+        db.flush().unwrap();
+        db.close().unwrap();
+    }
+    // Reopen from the same storage: the persisted router and the per-shard
+    // manifests/WALs must reconstruct the exact same database.
+    let db = ShardedDb::open(Arc::clone(&storage), learned_opts(4, dense_sample())).unwrap();
+    for k in (0..4000u64).step_by(100) {
+        assert_eq!(db.get(k).unwrap(), Some(format!("v{k}").into_bytes()));
+    }
+    assert!(db.latest_visible_seq() >= 40, "fence resumes past recovery");
+    // A different shard count must be refused, not silently misroute.
+    drop(db);
+    assert!(ShardedDb::open(storage, learned_opts(2, dense_sample())).is_err());
+}
+
+#[test]
+fn unflushed_synced_writes_survive_reopen() {
+    let storage: Arc<dyn Storage> = Arc::new(MemStorage::new());
+    {
+        let db = ShardedDb::open(Arc::clone(&storage), learned_opts(3, dense_sample())).unwrap();
+        let mut batch = WriteBatch::new();
+        for k in [10u64, 1500, 3900, 11, 1501] {
+            batch.put(k, b"durable");
+        }
+        db.write(batch, &WriteOptions::durable()).unwrap();
+        // Drop without flushing: recovery must come from per-shard WALs.
+    }
+    let db = ShardedDb::open(storage, learned_opts(3, dense_sample())).unwrap();
+    for k in [10u64, 1500, 3900, 11, 1501] {
+        assert_eq!(db.get(k).unwrap(), Some(b"durable".to_vec()), "key {k}");
+    }
+}
+
+#[test]
+fn boundary_adjacent_keys_stay_consistent() {
+    let db = ShardedDb::open_memory(learned_opts(4, dense_sample())).unwrap();
+    let ShardRouter::Range { boundaries, .. } = db.router() else {
+        panic!("expected a range router");
+    };
+    let boundaries = boundaries.clone();
+    assert_eq!(boundaries.len(), 3);
+    // Write keys exactly at, just below and just above every boundary.
+    let mut probes = Vec::new();
+    for &b in &boundaries {
+        probes.extend([b - 1, b, b + 1]);
+    }
+    for &k in &probes {
+        db.put(k, format!("probe{k}").as_bytes()).unwrap();
+    }
+    db.flush().unwrap();
+    for &k in &probes {
+        assert_eq!(
+            db.get(k).unwrap(),
+            Some(format!("probe{k}").into_bytes()),
+            "key {k}"
+        );
+    }
+    // A boundary key belongs to the right-hand shard; its predecessor to
+    // the left — and the data actually lives there.
+    for (i, &b) in boundaries.iter().enumerate() {
+        assert_eq!(db.router().shard_of(b), i + 1);
+        assert_eq!(db.router().shard_of(b - 1), i);
+        assert_eq!(
+            db.shard(i + 1).get(b).unwrap(),
+            Some(format!("probe{b}").into_bytes())
+        );
+        assert_eq!(db.shard(i).get(b).unwrap(), None, "no leakage across {b}");
+    }
+    // Merged scan crosses the boundaries in order without dup or loss.
+    let got = db.scan(0, usize::MAX).unwrap();
+    let keys: Vec<u64> = got.iter().map(|(k, _)| *k).collect();
+    let mut want = probes.clone();
+    want.sort_unstable();
+    assert_eq!(keys, want);
+}
+
+#[test]
+fn tombstones_mask_across_shards() {
+    let db = ShardedDb::open_memory(learned_opts(4, dense_sample())).unwrap();
+    for k in 0..4000u64 {
+        db.put(k, b"live").unwrap();
+    }
+    // One batch deleting a stripe of keys across every shard.
+    let mut batch = WriteBatch::new();
+    for k in (0..4000u64).step_by(3) {
+        batch.delete(k);
+    }
+    db.write(batch, &WriteOptions::default()).unwrap();
+    db.flush().unwrap();
+    assert_eq!(db.get(0).unwrap(), None);
+    assert_eq!(db.get(999).unwrap(), None, "shard-0 side of the boundary");
+    assert_eq!(
+        db.get(1000).unwrap(),
+        Some(b"live".to_vec()),
+        "boundary key"
+    );
+    assert_eq!(db.get(3999).unwrap(), None);
+    // The merged iterator must skip tombstoned keys in every shard.
+    let mut it = db.iter().unwrap();
+    it.seek_to_first();
+    let got = it.collect_up_to(usize::MAX).unwrap();
+    assert_eq!(got.len(), 4000 - 4000 / 3 - 1);
+    assert!(got.iter().all(|(k, _)| k % 3 != 0));
+    // Globally sorted, strictly increasing.
+    assert!(got.windows(2).all(|w| w[0].0 < w[1].0));
+}
+
+#[test]
+fn merged_iterator_global_order_hash_and_range() {
+    for policy in [
+        ShardingPolicy::Hash,
+        ShardingPolicy::LearnedRange {
+            sample: dense_sample(),
+            epsilon: 16,
+        },
+    ] {
+        let db = ShardedDb::open_memory(ShardedOptions {
+            shards: 4,
+            policy: policy.clone(),
+            base: base_opts(),
+        })
+        .unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut reference = std::collections::BTreeMap::new();
+        for _ in 0..3000 {
+            let k = rng.gen_range(0..4000u64);
+            let v = rng.gen::<u64>().to_le_bytes().to_vec();
+            db.put(k, &v).unwrap();
+            reference.insert(k, v);
+        }
+        db.flush().unwrap();
+        let mut it = db.iter().unwrap();
+        it.seek_to_first();
+        let got = it.collect_up_to(usize::MAX).unwrap();
+        let want: Vec<(u64, Vec<u8>)> = reference.into_iter().collect();
+        assert_eq!(got, want, "policy {policy:?}");
+        // Mid-range seek matches the reference too.
+        let mut it = db.iter().unwrap();
+        it.seek(2000).unwrap();
+        let tail = it.collect_up_to(10).unwrap();
+        let want_tail: Vec<(u64, Vec<u8>)> = want
+            .iter()
+            .filter(|(k, _)| *k >= 2000)
+            .take(10)
+            .cloned()
+            .collect();
+        assert_eq!(tail, want_tail, "policy {policy:?}");
+    }
+}
+
+fn background_sharded(shards: usize) -> ShardedDb {
+    let mut base = base_opts();
+    base.maintenance = Maintenance::background();
+    ShardedDb::open_memory(ShardedOptions::learned(shards, dense_sample(), base)).unwrap()
+}
+
+#[test]
+fn sharded_snapshot_is_coherent_and_pinned_across_maintenance() {
+    let db = background_sharded(4);
+    for k in 0..2000u64 {
+        db.put(k * 2, format!("old-{k}").as_bytes()).unwrap();
+    }
+    let snap = db.snapshot();
+    assert_eq!(db.live_snapshots(), 4, "one pin per shard");
+    let pinned: Vec<(u64, Vec<u8>)> = {
+        let mut it = db.iter_at(&snap).unwrap();
+        it.seek_to_first();
+        it.collect_up_to(usize::MAX).unwrap()
+    };
+    assert_eq!(pinned.len(), 2000);
+    // Churn: overwrite everything across several flush/compaction rounds
+    // while background workers run.
+    for round in 0..3u64 {
+        for k in 0..2000u64 {
+            db.put(k * 2, format!("new-{round}-{k}").as_bytes())
+                .unwrap();
+        }
+        db.flush().unwrap();
+    }
+    db.wait_for_maintenance();
+    assert_eq!(db.background_error(), None);
+    // The snapshot view is byte-identical despite the churn.
+    for k in (0..2000u64).step_by(41) {
+        assert_eq!(
+            db.get_at(k * 2, &snap).unwrap(),
+            Some(format!("old-{k}").into_bytes()),
+            "key {}",
+            k * 2
+        );
+    }
+    let mut it = db.iter_at(&snap).unwrap();
+    it.seek_to_first();
+    assert_eq!(it.collect_up_to(usize::MAX).unwrap(), pinned);
+    // The live view moved on.
+    assert_eq!(db.get(0).unwrap(), Some(b"new-2-0".to_vec()));
+    drop(snap);
+    assert_eq!(db.live_snapshots(), 0);
+}
+
+/// The fence test: a writer thread commits cross-shard batches where every
+/// batch writes the *same* round number to one marker key per shard. Any
+/// snapshot, taken at any moment, must observe the same round on all four
+/// markers — a mixed view would mean a partially visible batch.
+#[test]
+fn cross_shard_batches_are_all_or_nothing_visible() {
+    let db = Arc::new(background_sharded(4));
+    // One marker key per shard (dense_sample boundaries: 1000/2000/3000).
+    let markers = [500u64, 1500, 2500, 3500];
+    for &m in &markers {
+        assert_eq!(db.router().shard_of(m), (m / 1000) as usize);
+    }
+    let stop = Arc::new(AtomicBool::new(false));
+    let writer = {
+        let db = Arc::clone(&db);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut round: u64 = 0;
+            while !stop.load(Ordering::Relaxed) {
+                round += 1;
+                let mut batch = WriteBatch::new();
+                for &m in &markers {
+                    batch.put(m, &round.to_le_bytes());
+                }
+                // Filler traffic so flushes/rotations happen too — odd
+                // keys only, so it can never overwrite an (even) marker.
+                batch.put((round % 2000) * 2 + 1, b"filler-traffic-filler-traffic");
+                db.write(batch, &WriteOptions::default()).unwrap();
+            }
+            round
+        })
+    };
+    let mut coherent_checks = 0u32;
+    let deadline = Instant::now() + std::time::Duration::from_millis(400);
+    while Instant::now() < deadline {
+        let snap = db.snapshot();
+        let rounds: Vec<Option<Vec<u8>>> = markers
+            .iter()
+            .map(|&m| db.get_at(m, &snap).unwrap())
+            .collect();
+        if rounds[0].is_none() {
+            continue; // nothing committed yet
+        }
+        assert!(
+            rounds.iter().all(|r| *r == rounds[0]),
+            "snapshot at fence {} saw a torn cross-shard batch: {rounds:?}",
+            snap.seq()
+        );
+        coherent_checks += 1;
+    }
+    stop.store(true, Ordering::Relaxed);
+    let rounds_written = writer.join().unwrap();
+    assert!(rounds_written > 10, "writer made progress");
+    assert!(coherent_checks > 10, "checker made progress");
+    db.wait_for_maintenance();
+    assert_eq!(db.background_error(), None);
+    // Final state: all markers agree on the last round.
+    let last = db.get(markers[0]).unwrap().unwrap();
+    for &m in &markers {
+        assert_eq!(db.get(m).unwrap().unwrap(), last);
+    }
+}
+
+#[test]
+fn merged_stats_aggregate_shards() {
+    let db = ShardedDb::open_memory(learned_opts(4, dense_sample())).unwrap();
+    let mut batch = WriteBatch::new();
+    for k in (0..4000u64).step_by(10) {
+        batch.put(k, b"s");
+    }
+    db.write(batch, &WriteOptions::default()).unwrap();
+    let s = db.stats();
+    assert_eq!(s.write_entries, 400);
+    assert_eq!(
+        s.write_batches, 4,
+        "one group commit per touched shard for a cross-shard batch"
+    );
+    assert_eq!(s.wal_appends, 4);
+    for k in (0..4000u64).step_by(100) {
+        db.get(k).unwrap();
+    }
+    assert_eq!(db.stats().lookups, 40);
+    db.scan(0, 10).unwrap();
+    assert_eq!(db.stats().scans, 1);
+}
+
+// ------------------------------------------------------------ acceptance
+
+/// Acceptance: on a skewed (zipfian-sampled) key distribution, learned
+/// range routing keeps shard sizes within 20% of fair share — where naive
+/// uniform key-space cuts collapse almost everything into one shard — and
+/// the hash fallback stays balanced too.
+#[test]
+fn learned_routing_balances_zipfian_keys_within_20pct() {
+    // Distinct keys whose *density* follows a zipfian request stream:
+    // sample 300k zipf ranks over a 2^20 key space — the surviving
+    // distinct keys are dense near zero and sparse in the tail.
+    let chooser = RequestDistribution::Zipfian { theta: 0.99 }.chooser(1 << 20);
+    let mut rng = StdRng::seed_from_u64(0x21bf);
+    let mut keys: Vec<u64> = (0..300_000)
+        .map(|_| chooser.next(&mut rng) as u64)
+        .collect();
+    keys.sort_unstable();
+    keys.dedup();
+    assert!(keys.len() > 20_000, "enough distinct keys: {}", keys.len());
+
+    // Router trained on a thin sample (every 16th key), graded on all keys.
+    let sample: Vec<u64> = keys.iter().copied().step_by(16).collect();
+    let learned = ShardRouter::train(
+        4,
+        &ShardingPolicy::LearnedRange {
+            sample,
+            epsilon: 32,
+        },
+    );
+    assert!(learned.is_range(), "sample is large enough to cut");
+    let learned_imb = imbalance(&learned.partition_counts(&keys));
+    assert!(
+        learned_imb <= 0.20,
+        "learned range routing imbalance {learned_imb:.3} > 20%"
+    );
+
+    // Naive uniform key-space cuts on the same keys: heavily unbalanced.
+    let max = *keys.last().unwrap();
+    let uniform = ShardRouter::Range {
+        boundaries: (1..4u64).map(|i| i * (max / 4)).collect(),
+        model: None,
+        sample_len: 0,
+    };
+    let uniform_imb = imbalance(&uniform.partition_counts(&keys));
+    assert!(
+        uniform_imb > 2.0 * learned_imb.max(0.05),
+        "uniform cuts should be far worse: uniform {uniform_imb:.3} vs learned {learned_imb:.3}"
+    );
+
+    // The hash fallback balances too (it just can't serve range scans
+    // from a shard subset).
+    let hash = ShardRouter::train(4, &ShardingPolicy::Hash);
+    assert!(imbalance(&hash.partition_counts(&keys)) <= 0.20);
+
+    // End to end: load through a 4-shard ShardedDb and measure resident
+    // entries per shard.
+    let sample: Vec<u64> = keys.iter().copied().step_by(16).collect();
+    let db = ShardedDb::open_memory(ShardedOptions::learned(4, sample, base_opts())).unwrap();
+    for chunk in keys.chunks(512) {
+        let mut batch = WriteBatch::with_capacity(chunk.len());
+        for &k in chunk {
+            batch.put(k, b"zipf");
+        }
+        db.write(batch, &WriteOptions::default()).unwrap();
+    }
+    db.flush().unwrap();
+    let resident = db.shard_entry_counts();
+    let resident_imb = imbalance(&resident);
+    assert!(
+        resident_imb <= 0.20,
+        "resident imbalance {resident_imb:.3} > 20%: {resident:?}"
+    );
+}
+
+/// Acceptance: a 4-shard `ShardedDb` sustains ≥ 1.5× the write throughput
+/// of a single `Db` on the same YCSB-style load, background maintenance
+/// on, measured in the repo's standard machine-independent convention:
+/// **measured CPU + modeled I/O** on the simulated NVMe. The sharded win
+/// is structural, not scheduling luck:
+///
+/// * each shard's tree is shallower (¼ of the data), so compaction
+///   rewrites every entry fewer times — less write amplification, less
+///   modeled write I/O;
+/// * each shard's manifest names ¼ of the tables, so the per-maintenance
+///   manifest rewrite (inside the tree lock) shrinks 4×;
+/// * per-shard L0 pressure is ~4× lower, so the LevelDB slowdown/stop
+///   backpressure rarely brakes the writer.
+#[test]
+fn four_shards_sustain_1_5x_write_throughput() {
+    // Debug builds (tier-1 `cargo test -q`) pay ~10x the CPU per entry;
+    // a smaller load keeps the test quick there while release keeps the
+    // full-size workload. The structural gap (write amplification,
+    // manifest length, backpressure) holds at both sizes.
+    const KEYS: usize = if cfg!(debug_assertions) {
+        12_000
+    } else {
+        30_000
+    };
+    const BATCH: usize = 8;
+    fn tight_opts() -> Options {
+        let mut o = Options::small_for_tests();
+        o.index.kind = IndexKind::Pgm;
+        o.value_width = 64;
+        o.write_buffer_bytes = 8 << 10;
+        o.sstable_target_bytes = 4 << 10;
+        // Same *global* worker budget for both configurations. A single
+        // tree cannot exploit the second flush thread (L0 installation is
+        // strictly oldest-first, one claim at a time); four shards can.
+        o.maintenance = Maintenance::Background {
+            flush_threads: 2,
+            compaction_threads: 2,
+        };
+        o.l0_compaction_trigger = 2;
+        o.l0_slowdown_trigger = 6;
+        o.l0_stop_trigger = 20;
+        o.max_immutable_memtables = 4;
+        o
+    }
+    // YCSB load phase: the dataset keys in random order, batched writes.
+    let keys = Dataset::Random.generate(KEYS, 0x5eed);
+    let mut order: Vec<u64> = keys.clone();
+    let mut rng = StdRng::seed_from_u64(0x10ad);
+    for i in (1..order.len()).rev() {
+        order.swap(i, rng.gen_range(0..=i));
+    }
+    let value = vec![7u8; 64];
+
+    // Wall time of the load (stalls included) + the storage's modeled
+    // read/write nanoseconds — the same headline every bench in this repo
+    // reports.
+    let load = |order: &[u64],
+                write: &dyn Fn(WriteBatch) -> u64,
+                close: &dyn Fn() -> (u64, u64)|
+     -> (u128, u64) {
+        let wall = Instant::now();
+        for chunk in order.chunks(BATCH) {
+            let mut batch = WriteBatch::with_capacity(chunk.len());
+            for &k in chunk {
+                batch.put(k, &value);
+            }
+            write(batch);
+        }
+        let cpu = wall.elapsed().as_nanos();
+        let (io_ns, _) = close();
+        (cpu, io_ns)
+    };
+
+    let run_single = || -> (u128, u64) {
+        let db = Db::open_sim(tight_opts(), lsm_io::CostModel::default()).unwrap();
+        let wopts = WriteOptions::default();
+        let out = load(&order, &|b| db.write(b, &wopts).unwrap(), &|| {
+            let io = db.storage().stats().snapshot();
+            (io.sim_total_ns(), 0)
+        });
+        db.close().unwrap();
+        out
+    };
+    let run_sharded = || -> (u128, u64) {
+        // Identical per-shard options and the same shared 2+2 worker
+        // budget; boundaries learned from a sample of the keys.
+        let sample: Vec<u64> = keys.iter().copied().step_by(8).collect();
+        let db = ShardedDb::open_sim(
+            ShardedOptions::learned(4, sample, tight_opts()),
+            lsm_io::CostModel::default(),
+        )
+        .unwrap();
+        let wopts = WriteOptions::default();
+        let out = load(&order, &|b| db.write(b, &wopts).unwrap(), &|| {
+            let io = db.shard(0).storage().stats().snapshot();
+            (io.sim_total_ns(), 0)
+        });
+        db.close().unwrap();
+        out
+    };
+
+    // Median of three interleaved runs per configuration: one noisy
+    // outlier (CI neighbours, a parallel test hogging the core) must not
+    // decide the test.
+    let median = |xs: &mut Vec<f64>| -> f64 {
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        xs[xs.len() / 2]
+    };
+    let (mut singles, mut shardeds) = (Vec::new(), Vec::new());
+    let (mut single_parts, mut sharded_parts) = ((0, 0), (0, 0));
+    for _ in 0..3 {
+        let (cpu, io) = run_single();
+        singles.push(cpu as f64 + io as f64);
+        single_parts = (cpu, io);
+        let (cpu, io) = run_sharded();
+        shardeds.push(cpu as f64 + io as f64);
+        sharded_parts = (cpu, io);
+    }
+    let single_ns = median(&mut singles);
+    let sharded_ns = median(&mut shardeds);
+    let speedup = single_ns / sharded_ns;
+    eprintln!(
+        "sharded write throughput (cpu + modeled io): single {:.1} ms (cpu {:.1} + io {:.1}), \
+         4 shards {:.1} ms (cpu {:.1} + io {:.1}), speedup {speedup:.2}x",
+        single_ns / 1e6,
+        single_parts.0 as f64 / 1e6,
+        single_parts.1 as f64 / 1e6,
+        sharded_ns / 1e6,
+        sharded_parts.0 as f64 / 1e6,
+        sharded_parts.1 as f64 / 1e6,
+    );
+    assert!(
+        speedup >= 1.5,
+        "4-shard speedup {speedup:.2}x < 1.5x (single {:.2} ms, sharded {:.2} ms)",
+        single_ns / 1e6,
+        sharded_ns / 1e6
+    );
+}

@@ -140,6 +140,20 @@ impl YcsbWorkload {
         self.spec
     }
 
+    /// The loaded key set (sorted ascending; freshly inserted keys are
+    /// tracked separately). This is what a store must contain before the
+    /// run phase starts.
+    pub fn keys(&self) -> &[u64] {
+        &self.keys
+    }
+
+    /// Every `stride`-th loaded key — the thin key sample a sharded
+    /// engine's learned range router trains its CDF model on (the sampled
+    /// load is the router's view of the key distribution).
+    pub fn router_sample(&self, stride: usize) -> Vec<u64> {
+        self.keys.iter().copied().step_by(stride.max(1)).collect()
+    }
+
     fn pick_existing(&mut self) -> u64 {
         let pos = self.chooser.next(&mut self.rng);
         if matches!(self.chooser, KeyChooser::Latest(_)) {

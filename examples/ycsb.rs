@@ -7,21 +7,46 @@
 //! layered tree YCSB assumes, instead of a synthetic bulk load.
 //!
 //! ```sh
-//! cargo run --release --example ycsb [index-abbrev] [ops]
+//! cargo run --release --example ycsb [index-abbrev] [ops] [--shards N]
 //! ```
+//!
+//! With `--shards N` (N > 1) the six mixes instead run against the
+//! engine-level sharded facade (`ShardedDb`): learned range routing over a
+//! sampled key distribution, cross-shard atomic batches, and k-way merged
+//! scans, with background maintenance on a shared worker pool.
 
 use learned_lsm_repro::index::IndexKind;
 use learned_lsm_repro::testbed::{Granularity, Testbed, TestbedConfig};
 use learned_lsm_repro::workloads::{Dataset, YcsbSpec};
 
 fn main() {
+    let mut shards = 1usize;
+    let mut positional = Vec::new();
     let mut args = std::env::args().skip(1);
-    let kind = args
+    while let Some(a) = args.next() {
+        if a == "--shards" {
+            shards = args
+                .next()
+                .and_then(|v| v.parse().ok())
+                .expect("--shards needs a number");
+        } else {
+            positional.push(a);
+        }
+    }
+    let mut positional = positional.into_iter();
+    let kind = positional
         .next()
         .and_then(|s| IndexKind::from_abbrev(&s))
         .unwrap_or(IndexKind::Pgm);
-    let ops: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(20_000);
+    let ops: usize = positional
+        .next()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(20_000);
 
+    if shards > 1 {
+        run_sharded(kind, shards, ops);
+        return;
+    }
     println!("index={} ops-per-workload={ops}\n", kind.abbrev());
     println!(
         "{:>9} {:>14} {:>14}  mix",
@@ -51,6 +76,34 @@ fn main() {
             avg,
             tb.index_memory_bytes(),
             mix
+        );
+    }
+}
+
+/// The `--shards N` path: all six mixes against a `ShardedDb` via the
+/// bench runner (learned range routing, shared worker pool, modeled I/O).
+fn run_sharded(kind: IndexKind, shards: usize, ops: usize) {
+    use learned_lsm_repro::bench::{runner, Scale};
+
+    let mut scale = Scale::quick();
+    scale.ops = ops;
+    println!(
+        "sharded engine: index={} {shards} shards, ops-per-workload={ops}\n",
+        kind.abbrev()
+    );
+    println!(
+        "{:>9} {:>14} {:>16} {:>12}",
+        "workload", "avg op (µs)", "load imbalance", "stalls (ms)"
+    );
+    let records =
+        runner::ycsb_sharded(&scale, Dataset::Random, shards, kind, 0xfeed).expect("sharded ycsb");
+    for r in records {
+        println!(
+            "{:>9} {:>14.2} {:>15.1}% {:>12.2}",
+            format!("YCSB-{}", r.workload),
+            r.avg_op_us,
+            r.load_imbalance * 100.0,
+            r.stall_ms,
         );
     }
 }
