@@ -1,0 +1,270 @@
+//! Deterministic crash-point storage for recovery testing.
+//!
+//! [`CrashStorage`] wraps an in-memory file store and **halts the world**
+//! after a configurable number of mutating storage operations: the N-th
+//! and every later `create`/`append`/`sync`/`remove` fails with a
+//! "simulated crash" error, so the byte image freezes at an exact,
+//! reproducible operation boundary. [`CrashStorage::image`] then yields a
+//! deep copy of that frozen state — exactly what a real crash would leave
+//! on disk — which a test reopens as a fresh database, any number of
+//! times (including re-crashing the recovery itself via
+//! [`CrashStorage::over`]).
+//!
+//! This generalizes [`crate::FaultStorage`]: where the fault wrapper
+//! injects *recoverable* errors (a budget of writes, a poisoned name) to
+//! test clean failure paths, the crash storage models *termination* — no
+//! operation succeeds after the crash point, and recovery only ever sees
+//! the image. Because the index is an exact operation count rather than a
+//! byte budget spread across unrelated files, a test can enumerate every
+//! crash point of a protocol (`for n in 0..=total_ops`) instead of
+//! sampling, and two runs of the same deterministic workload crash at the
+//! same place — which is what lets the WAL stay enabled in
+//! failure-injection tests.
+//!
+//! Reads are never failed: they cannot change the image, and the
+//! in-process engine is expected to keep serving whatever it has in
+//! memory until the test discards it (matching a kernel that still runs
+//! while its disk went away).
+
+use std::io;
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::{IoStats, MemStorage, RandomAccessFile, Storage, WritableFile};
+
+/// Shared crash-point control handle.
+#[derive(Debug)]
+pub struct CrashControl {
+    /// Mutating operations performed so far.
+    ops: AtomicU64,
+    /// Mutating operations allowed before the world halts (negative =
+    /// disarmed, never crash).
+    limit: AtomicI64,
+    /// Set once the first operation has been refused.
+    crashed: AtomicBool,
+}
+
+impl Default for CrashControl {
+    fn default() -> Self {
+        Self {
+            ops: AtomicU64::new(0),
+            limit: AtomicI64::new(-1),
+            crashed: AtomicBool::new(false),
+        }
+    }
+}
+
+impl CrashControl {
+    /// Halt the world after `n` *further* successful mutating operations
+    /// past the current count: the `n+1`-th fails, and every one after it.
+    /// `crash_after(0)` halts immediately.
+    pub fn crash_after(&self, n: u64) {
+        let at = self.ops.load(Ordering::SeqCst) + n;
+        self.limit.store(at as i64, Ordering::SeqCst);
+    }
+
+    /// Disarm the crash point; operations succeed again ("the device came
+    /// back") — used by ported fault-injection tests to model
+    /// fail-then-heal with a deterministic failure index.
+    pub fn disarm(&self) {
+        self.limit.store(-1, Ordering::SeqCst);
+        self.crashed.store(false, Ordering::SeqCst);
+    }
+
+    /// Mutating operations performed so far (the crash-point coordinate
+    /// system: `crash_after(k)` halts at coordinate `ops() + k`).
+    pub fn ops(&self) -> u64 {
+        self.ops.load(Ordering::SeqCst)
+    }
+
+    /// Whether any operation has been refused since the last arm/disarm.
+    pub fn has_crashed(&self) -> bool {
+        self.crashed.load(Ordering::SeqCst)
+    }
+
+    /// Count one mutating operation, failing it if the world has halted.
+    /// Check-and-increment is a single CAS so concurrent writers can never
+    /// slip an operation past the limit.
+    fn tick(&self) -> io::Result<()> {
+        let limit = self.limit.load(Ordering::SeqCst);
+        let allowed = self
+            .ops
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |ops| {
+                (limit < 0 || ops < limit as u64).then_some(ops + 1)
+            })
+            .is_ok();
+        if !allowed {
+            self.crashed.store(true, Ordering::SeqCst);
+            return Err(io::Error::other("simulated crash: storage halted"));
+        }
+        Ok(())
+    }
+}
+
+/// In-memory storage that halts at an exact mutating-operation index.
+pub struct CrashStorage {
+    inner: MemStorage,
+    control: Arc<CrashControl>,
+}
+
+impl CrashStorage {
+    /// A fresh, empty crash-point store and its control handle.
+    pub fn new() -> (Arc<CrashStorage>, Arc<CrashControl>) {
+        Self::over(MemStorage::new())
+    }
+
+    /// A crash-point store over an existing byte image (e.g. one produced
+    /// by [`CrashStorage::image`]) — this is how a test crashes the
+    /// *recovery* of an earlier crash.
+    pub fn over(image: MemStorage) -> (Arc<CrashStorage>, Arc<CrashControl>) {
+        let control = Arc::new(CrashControl::default());
+        (
+            Arc::new(CrashStorage {
+                inner: image,
+                control: Arc::clone(&control),
+            }),
+            control,
+        )
+    }
+
+    /// The control handle (also returned by the constructors).
+    pub fn control(&self) -> &Arc<CrashControl> {
+        &self.control
+    }
+
+    /// A deep copy of the current byte image — what the "disk" holds at
+    /// this instant. After a crash the image is frozen (every mutation
+    /// fails), so repeated calls return identical contents.
+    pub fn image(&self) -> MemStorage {
+        self.inner.deep_clone()
+    }
+}
+
+/// Append side: every `append`/`sync` is one mutating operation.
+struct CrashWriter {
+    inner: Box<dyn WritableFile>,
+    control: Arc<CrashControl>,
+}
+
+impl WritableFile for CrashWriter {
+    fn append(&mut self, data: &[u8]) -> io::Result<()> {
+        self.control.tick()?;
+        self.inner.append(data)
+    }
+
+    fn sync(&mut self) -> io::Result<()> {
+        self.control.tick()?;
+        self.inner.sync()
+    }
+
+    fn written(&self) -> u64 {
+        self.inner.written()
+    }
+}
+
+impl Storage for CrashStorage {
+    fn open_read(&self, name: &str) -> io::Result<Arc<dyn RandomAccessFile>> {
+        self.inner.open_read(name)
+    }
+
+    fn create(&self, name: &str) -> io::Result<Box<dyn WritableFile>> {
+        self.control.tick()?;
+        Ok(Box::new(CrashWriter {
+            inner: self.inner.create(name)?,
+            control: Arc::clone(&self.control),
+        }))
+    }
+
+    fn remove(&self, name: &str) -> io::Result<()> {
+        self.control.tick()?;
+        self.inner.remove(name)
+    }
+
+    fn exists(&self, name: &str) -> bool {
+        self.inner.exists(name)
+    }
+
+    fn list(&self) -> io::Result<Vec<String>> {
+        self.inner.list()
+    }
+
+    fn size_of(&self, name: &str) -> io::Result<u64> {
+        self.inner.size_of(name)
+    }
+
+    fn stats(&self) -> &IoStats {
+        self.inner.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn world_halts_at_the_exact_op_index() {
+        let (s, ctl) = CrashStorage::new();
+        let mut w = s.create("f").unwrap(); // op 0
+        w.append(b"one").unwrap(); // op 1
+        ctl.crash_after(1);
+        w.append(b"two").unwrap(); // op 2: last allowed
+        assert!(w.append(b"three").is_err(), "world halted");
+        assert!(w.sync().is_err(), "stays halted");
+        assert!(s.create("g").is_err());
+        assert!(s.remove("f").is_err());
+        assert!(ctl.has_crashed());
+        assert_eq!(ctl.ops(), 3);
+        // The image froze with exactly the surviving bytes.
+        assert_eq!(crate::read_all(&s.image(), "f").unwrap(), b"onetwo");
+    }
+
+    #[test]
+    fn reads_survive_the_crash() {
+        let (s, ctl) = CrashStorage::new();
+        s.create("f").unwrap().append(b"data").unwrap();
+        ctl.crash_after(0);
+        let r = s.open_read("f").unwrap();
+        let mut buf = [0u8; 4];
+        r.read_exact_at(0, &mut buf).unwrap();
+        assert_eq!(&buf, b"data");
+        assert!(s.exists("f"));
+        assert_eq!(s.size_of("f").unwrap(), 4);
+    }
+
+    #[test]
+    fn image_is_deep_and_repeatable() {
+        let (s, ctl) = CrashStorage::new();
+        s.create("f").unwrap().append(b"abc").unwrap();
+        ctl.crash_after(0);
+        let img1 = s.image();
+        let img2 = s.image();
+        // Mutating one image touches neither the other nor the source.
+        img1.create("f").unwrap().append(b"zzzz").unwrap();
+        assert_eq!(crate::read_all(&img2, "f").unwrap(), b"abc");
+        assert_eq!(crate::read_all(&s.image(), "f").unwrap(), b"abc");
+    }
+
+    #[test]
+    fn over_an_image_recrashes_recovery() {
+        let (s, ctl) = CrashStorage::new();
+        s.create("f").unwrap().append(b"v1").unwrap();
+        ctl.crash_after(0);
+        let (s2, ctl2) = CrashStorage::over(s.image());
+        ctl2.crash_after(1);
+        let mut w = s2.create("g").unwrap(); // allowed
+        assert!(w.append(b"x").is_err(), "second crash");
+        assert_eq!(crate::read_all(&s2.image(), "f").unwrap(), b"v1");
+    }
+
+    #[test]
+    fn disarm_resumes_the_world() {
+        let (s, ctl) = CrashStorage::new();
+        let mut w = s.create("f").unwrap();
+        ctl.crash_after(0);
+        assert!(w.append(b"x").is_err());
+        ctl.disarm();
+        assert!(!ctl.has_crashed());
+        w.append(b"y").unwrap();
+        assert_eq!(s.size_of("f").unwrap(), 1);
+    }
+}

@@ -19,6 +19,7 @@
 //! `WritableFile` split because the testbed is a LevelDB-style system.
 
 pub mod cost;
+pub mod crash;
 pub mod fault;
 pub mod file;
 pub mod mem;
@@ -30,6 +31,7 @@ use std::io;
 use std::sync::Arc;
 
 pub use cost::{CostModel, DEFAULT_BLOCK_SIZE};
+pub use crash::{CrashControl, CrashStorage};
 pub use fault::{FaultControl, FaultStorage};
 pub use file::FileStorage;
 pub use mem::MemStorage;

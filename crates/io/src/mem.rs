@@ -28,6 +28,20 @@ impl MemStorage {
         self.files.read().get(name).cloned()
     }
 
+    /// A deep copy of every file's current contents — a point-in-time disk
+    /// image. The crash-point harness ([`crate::CrashStorage`]) hands these
+    /// out so a test can "reopen the machine" from the exact bytes a halted
+    /// world left behind, as many times as it likes.
+    pub fn deep_clone(&self) -> MemStorage {
+        let out = MemStorage::new();
+        let mut files = out.files.write();
+        for (name, data) in self.files.read().iter() {
+            files.insert(name.clone(), Arc::new(RwLock::new(data.read().clone())));
+        }
+        drop(files);
+        out
+    }
+
     pub(crate) fn insert_empty(&self, name: &str) -> Arc<RwLock<Vec<u8>>> {
         let buf = Arc::new(RwLock::new(Vec::new()));
         self.files

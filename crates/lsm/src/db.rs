@@ -31,10 +31,14 @@
 //! applies a batch all-or-nothing: a torn tail drops the whole batch, never
 //! a prefix.
 //!
-//! A minimal `MANIFEST` file (rewritten on every version edit) records the
-//! level structure **and every live WAL** — the active log plus one per
-//! queued immutable memtable — so a database directory can be reopened with
-//! no acknowledged write lost, even mid-maintenance.
+//! A minimal manifest records the level structure **and every live WAL** —
+//! the active log plus one per queued immutable memtable — so a database
+//! directory can be reopened with no acknowledged write lost, even
+//! mid-maintenance. Every version edit seals a **fresh** CRC-footed
+//! `MANIFEST-<epoch>` file and only then retires its predecessor, so a
+//! crash at any storage-operation boundary leaves at least one intact
+//! manifest; recovery picks the newest epoch that validates (falling back
+//! to the legacy unsealed `MANIFEST` name for old directories).
 
 use std::collections::{HashSet, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -59,8 +63,70 @@ use crate::wal::{self, WalWriter};
 use crate::{Error, Result};
 use lsm_io::{CostModel, MemStorage, SimStorage, Storage};
 
-/// Manifest file name.
-const MANIFEST: &str = "MANIFEST";
+/// Legacy manifest file name (pre-epoch layouts; still readable).
+const LEGACY_MANIFEST: &str = "MANIFEST";
+
+/// Epoch-numbered manifest prefix. Every rewrite goes to a **new** file
+/// (`MANIFEST-<epoch>`, CRC-sealed) and only then retires its predecessor,
+/// so a crash at any storage-operation boundary leaves at least one intact
+/// manifest — recovery picks the newest one that validates. In-place
+/// truncate-and-rewrite (the legacy scheme) has a window where the only
+/// manifest is empty, which the crash-point matrix found immediately.
+const MANIFEST_PREFIX: &str = "MANIFEST-";
+
+fn manifest_name(epoch: u64) -> String {
+    format!("{MANIFEST_PREFIX}{epoch:06}")
+}
+
+/// Read `name` and validate its CRC footer line; `Ok(None)` means the file
+/// is torn or unsealed (crash mid-write) and the caller should fall back
+/// to an older epoch.
+fn read_sealed_manifest(storage: &dyn Storage, name: &str) -> Result<Option<String>> {
+    let raw = lsm_io::read_all(storage, name)?;
+    let Ok(text) = String::from_utf8(raw) else {
+        return Ok(None);
+    };
+    // The footer is the final line: `crc <8 hex digits>` over every byte
+    // before it.
+    let Some(idx) = text
+        .rfind("crc ")
+        .filter(|&i| i == 0 || text.as_bytes()[i - 1] == b'\n')
+    else {
+        return Ok(None);
+    };
+    let footer = text[idx + 4..].trim_end();
+    let Ok(want) = u32::from_str_radix(footer, 16) else {
+        return Ok(None);
+    };
+    if wal::crc32(&text.as_bytes()[..idx]) != want {
+        return Ok(None);
+    }
+    Ok(Some(text))
+}
+
+/// The newest manifest that validates, as `(epoch, text)` — epoch 0 is the
+/// legacy unsealed `MANIFEST` file, accepted only when no epoch file
+/// validates. `None` means a fresh database.
+fn find_current_manifest(storage: &dyn Storage) -> Result<Option<(u64, String)>> {
+    let mut epochs: Vec<u64> = storage
+        .list()?
+        .into_iter()
+        .filter_map(|n| n.strip_prefix(MANIFEST_PREFIX)?.parse().ok())
+        .collect();
+    epochs.sort_unstable_by(|a, b| b.cmp(a));
+    for epoch in epochs {
+        if let Some(text) = read_sealed_manifest(storage, &manifest_name(epoch))? {
+            return Ok(Some((epoch, text)));
+        }
+    }
+    if storage.exists(LEGACY_MANIFEST) {
+        let raw = lsm_io::read_all(storage, LEGACY_MANIFEST)?;
+        let text = String::from_utf8(raw)
+            .map_err(|_| Error::Corruption("manifest is not UTF-8".into()))?;
+        return Ok(Some((0, text)));
+    }
+    Ok(None)
+}
 
 /// Per-write delay applied once L0 reaches the slowdown trigger (LevelDB
 /// sleeps the same 1 ms).
@@ -99,6 +165,16 @@ pub(crate) struct DbCore {
     /// Monotonic file-number allocator — atomic so background merges can
     /// name outputs without holding the tree lock.
     next_file_no: AtomicU64,
+    /// Epoch of the most recently sealed manifest (each rewrite bumps it
+    /// and writes `MANIFEST-<epoch+1>` before retiring the predecessor).
+    manifest_epoch: AtomicU64,
+    /// Set while the on-disk manifest does not name the live WAL set —
+    /// between a WAL rotation and the manifest write that records it, or
+    /// after a failed manifest write. While dirty, no write is
+    /// acknowledged until a manifest rewrite succeeds: an acknowledged
+    /// write into a WAL no manifest names would be silently lost by a
+    /// crash.
+    manifest_dirty: AtomicBool,
     /// Wakeup channel for workers and stalled writers.
     signal: Arc<MaintSignal>,
     /// Set once by `Db::close`/`Drop`; workers drain and exit.
@@ -108,6 +184,10 @@ pub(crate) struct DbCore {
     /// Most recent background worker error (also counted in
     /// `DbStats::bg_errors`).
     last_bg_error: Mutex<Option<String>>,
+    /// Set when this instance is a shard of a [`crate::sharding::ShardedDb`]:
+    /// public flushes serialize against (and respect the poison state of)
+    /// the owner's cross-shard commits.
+    coordination: Option<Arc<CommitCoordination>>,
 }
 
 /// An open LSM-tree database.
@@ -127,16 +207,73 @@ pub(crate) struct ExternalPool {
     pub shutdown: Arc<AtomicBool>,
 }
 
+/// Decides, during recovery, whether a replayed cross-shard **prepare**
+/// fragment committed (`Ok(true)`: apply + re-log it) or aborted
+/// (`Ok(false)`: suppress it). The sharding layer's recovery coordinator
+/// passes a closure resolving each tag against the per-database
+/// commit-marker log; it errors when the record itself is inconsistent
+/// (e.g. a fragment on a shard its participant set excludes).
+pub(crate) type BatchResolver<'a> = &'a dyn Fn(&wal::CrossBatchTag) -> Result<bool>;
+
+/// Cross-shard commit coordination shared between a [`crate::sharding::ShardedDb`]
+/// and every shard it owns. The sharding layer holds commits and coherent
+/// snapshots under `lock`; a shard-level [`Db::flush`] takes the same lock
+/// (and honours `poisoned`) so *no* flush path — not even one reached
+/// through [`crate::sharding::ShardedDb::shard`] — can push a
+/// not-yet-sealed prepare fragment into an SSTable, which would replay
+/// unconditionally and tear the batch across a crash.
+#[derive(Debug, Default)]
+pub(crate) struct CommitCoordination {
+    /// Serializes cross-shard commits, coherent snapshot pins, and every
+    /// rotate/flush of shard memtables (which may hold unsealed prepares).
+    pub lock: Mutex<()>,
+    /// Set when a commit failed after touching some shards: writes and
+    /// flushes are refused so the orphaned fragments can neither become
+    /// visible nor durable in this process (reopen to recover).
+    pub poisoned: AtomicBool,
+}
+
+impl CommitCoordination {
+    /// The single gate every commit/flush/shard-write path goes through:
+    /// take the commit lock, then verify the engine is not poisoned
+    /// (checked *under* the lock — a caller that was blocked here while a
+    /// commit failed must not proceed).
+    pub(crate) fn enter(&self) -> Result<parking_lot::MutexGuard<'_, ()>> {
+        let guard = self.lock.lock();
+        self.check_poisoned()?;
+        Ok(guard)
+    }
+
+    pub(crate) fn check_poisoned(&self) -> Result<()> {
+        if self.poisoned.load(Ordering::Acquire) {
+            return Err(Error::Corruption(
+                "a cross-shard commit failed mid-way; writes and flushes are \
+                 disabled (reopen to recover)"
+                    .into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
 impl Db {
     /// Open (or create) a database on `storage`.
+    ///
+    /// A standalone open applies every replayed WAL record, including
+    /// cross-shard prepare fragments (it has no marker log to resolve them
+    /// against) — shard directories belong behind
+    /// [`crate::sharding::ShardedDb::open`], whose coordinator resolves
+    /// prepares to committed/aborted before the fence resumes.
     pub fn open(storage: Arc<dyn Storage>, opts: Options) -> Result<Db> {
-        Self::open_internal(storage, opts, None)
+        Self::open_internal(storage, opts, None, None, None)
     }
 
     pub(crate) fn open_internal(
         storage: Arc<dyn Storage>,
         opts: Options,
         pool: Option<ExternalPool>,
+        resolver: Option<BatchResolver<'_>>,
+        coordination: Option<Arc<CommitCoordination>>,
     ) -> Result<Db> {
         let cache =
             (opts.block_cache_bytes > 0).then(|| Arc::new(BlockCache::new(opts.block_cache_bytes)));
@@ -152,27 +289,43 @@ impl Db {
             busy: HashSet::new(),
         };
         let mut next_file_no = 1u64;
-        let mut replayed: Vec<Entry> = Vec::new();
+        let mut manifest_epoch = 0u64;
+        let mut replayed: Vec<wal::ReplayedRecord> = Vec::new();
         let mut old_wals: Vec<String> = Vec::new();
-        if storage.exists(MANIFEST) {
+        if let Some((epoch, manifest_text)) = find_current_manifest(storage.as_ref())? {
+            manifest_epoch = epoch;
             let (version, recovered_next, seq, wal_names) =
-                DbCore::recover(storage.as_ref(), &opts, cache.as_ref())?;
+                DbCore::recover(&manifest_text, storage.as_ref(), &opts, cache.as_ref())?;
             inner.version = Arc::new(version);
             next_file_no = recovered_next;
             inner.seq = seq;
             // Replay unflushed batches from the previous generation's logs
             // — the active one plus one per immutable memtable that was
-            // still queued at the crash, oldest first.
+            // still queued at the crash, oldest first. Cross-shard prepare
+            // fragments are resolved through the caller's resolver:
+            // aborted fragments are suppressed here and never re-logged,
+            // which is exactly how an unsealed cross-shard batch vanishes
+            // from this shard. Their sequence numbers are not counted
+            // either — after every shard suppresses its fragment the range
+            // is unused everywhere and the fence may re-allocate it.
             for name in &wal_names {
-                let entries = wal::replay(storage.as_ref(), name)?;
-                for e in &entries {
-                    inner.seq = inner.seq.max(e.key.seq);
-                    match e.key.kind {
-                        EntryKind::Put => inner.mem.put(e.key.user_key, e.key.seq, &e.value),
-                        EntryKind::Delete => inner.mem.delete(e.key.user_key, e.key.seq),
+                for record in wal::replay_records(storage.as_ref(), name)? {
+                    let committed = match (&record.cross, resolver) {
+                        (Some(tag), Some(resolve)) => resolve(tag)?,
+                        _ => true,
+                    };
+                    if !committed {
+                        continue;
                     }
+                    for e in &record.entries {
+                        inner.seq = inner.seq.max(e.key.seq);
+                        match e.key.kind {
+                            EntryKind::Put => inner.mem.put(e.key.user_key, e.key.seq, &e.value),
+                            EntryKind::Delete => inner.mem.delete(e.key.user_key, e.key.seq),
+                        }
+                    }
+                    replayed.push(record);
                 }
-                replayed.extend(entries);
             }
             old_wals = wal_names;
         }
@@ -180,19 +333,15 @@ impl Db {
             let name = format!("{next_file_no:06}.wal");
             next_file_no += 1;
             let mut w = WalWriter::create(storage.as_ref(), &name)?;
-            // Re-log the replayed-but-unflushed entries into the fresh log,
-            // one batch record per contiguous sequence run, so a second
-            // crash before the next flush still loses nothing. (Runs split
-            // only where `disable_wal` writes left sequence gaps.)
-            let mut run_start = 0usize;
-            for i in 1..=replayed.len() {
-                let run_ends =
-                    i == replayed.len() || replayed[i].key.seq != replayed[i - 1].key.seq + 1;
-                if !run_ends {
-                    continue;
-                }
-                let run = &replayed[run_start..i];
-                let ops: Vec<crate::batch::BatchOp> = run
+            // Re-log the surviving records into the fresh log, one batch
+            // record each, so a second crash before the next flush still
+            // loses nothing. Resolved cross-shard fragments are re-logged
+            // as *plain* records: their commit markers may be pruned once
+            // every shard has re-opened, so the fragments must no longer
+            // depend on them.
+            for record in &replayed {
+                let ops: Vec<crate::batch::BatchOp> = record
+                    .entries
                     .iter()
                     .map(|e| crate::batch::BatchOp {
                         kind: e.key.kind,
@@ -200,8 +349,7 @@ impl Db {
                         value: e.value.clone(),
                     })
                     .collect();
-                w.append_batch(run[0].key.seq, &ops)?;
-                run_start = i;
+                w.append_batch(record.entries[0].key.seq, &ops)?;
             }
             if !replayed.is_empty() {
                 w.sync()?;
@@ -224,11 +372,14 @@ impl Db {
             cache,
             snapshots: SnapshotList::new(),
             next_file_no: AtomicU64::new(next_file_no),
+            manifest_epoch: AtomicU64::new(manifest_epoch),
+            manifest_dirty: AtomicBool::new(false),
             signal,
             shutdown,
             flush_paused: AtomicBool::new(false),
             compaction_paused: AtomicBool::new(false),
             last_bg_error: Mutex::new(None),
+            coordination,
         });
         {
             // Persist the fresh log's name so a reopen knows where to look.
@@ -241,6 +392,19 @@ impl Db {
         if core.opts.wal {
             for old in old_wals {
                 let _ = core.storage.remove(&old);
+            }
+        }
+        // Sweep manifests stranded by earlier crashes (an unsealed newer
+        // epoch, predecessors whose retirement never ran, the legacy
+        // unsealed file): the sealed manifest written above is now the
+        // single source of truth. Best-effort — a crash mid-sweep just
+        // leaves the next open to finish it.
+        let current = manifest_name(core.manifest_epoch.load(Ordering::Relaxed));
+        for name in core.storage.list()? {
+            let stale =
+                name != current && (name.starts_with(MANIFEST_PREFIX) || name == LEGACY_MANIFEST);
+            if stale {
+                let _ = core.storage.remove(&name);
             }
         }
         let scheduler = match core.opts.maintenance {
@@ -292,7 +456,20 @@ impl Db {
     /// blocked (L0 at the stop trigger / immutable queue full) before it is
     /// admitted.
     pub fn write(&self, batch: WriteBatch, wopts: &WriteOptions) -> Result<SeqNo> {
-        self.write_impl(batch, wopts, None)
+        // When this instance is a shard, a direct write must serialize
+        // with the owner's cross-shard commits and respect the poison
+        // state: its inline flush could otherwise persist a shard
+        // memtable holding a not-yet-sealed (or orphaned) prepare
+        // fragment into an SSTable, which replays unconditionally.
+        // (Direct shard writes remain off-protocol for sequence
+        // allocation — see [`crate::sharding::ShardedDb::shard`].)
+        let _guard = self
+            .core
+            .coordination
+            .as_ref()
+            .map(|c| c.enter())
+            .transpose()?;
+        self.write_impl(batch, wopts, None, None)
     }
 
     /// [`Db::write`] with an externally assigned first sequence number.
@@ -303,13 +480,20 @@ impl Db {
     /// and per-shard monotone. `first_seq` must exceed every sequence this
     /// instance has seen (the caller's allocator + commit lock guarantee
     /// it).
+    ///
+    /// When `cross` is set the fragment is logged as a **prepare** record
+    /// and the synchronous-mode inline flush is deferred: the fragment
+    /// must not reach an SSTable (which replays unconditionally) before
+    /// the batch's commit marker seals it — the sharding layer calls
+    /// [`Db::flush_deferred`] after sealing.
     pub(crate) fn write_assigned(
         &self,
         batch: WriteBatch,
         wopts: &WriteOptions,
         first_seq: SeqNo,
+        cross: Option<&wal::CrossBatchTag>,
     ) -> Result<SeqNo> {
-        self.write_impl(batch, wopts, Some(first_seq))
+        self.write_impl(batch, wopts, Some(first_seq), cross)
     }
 
     fn write_impl(
@@ -317,6 +501,7 @@ impl Db {
         batch: WriteBatch,
         wopts: &WriteOptions,
         assigned: Option<SeqNo>,
+        cross: Option<&wal::CrossBatchTag>,
     ) -> Result<SeqNo> {
         if batch.is_empty() {
             return Ok(self.core.inner.read().seq);
@@ -338,9 +523,23 @@ impl Db {
         // not have advanced the sequence counter or the write stats — the
         // batch then simply never happened.
         let first_seq = assigned.unwrap_or(inner.seq + 1);
+        // `rotate_wal` replaces the writer atomically, so with the WAL
+        // enabled there is always one to append to.
+        debug_assert!(
+            inner.wal.is_some() || !self.core.opts.wal,
+            "wal enabled but no writer — a rotation lost it"
+        );
+        // If an earlier maintenance failure left the on-disk manifest not
+        // naming the live WAL set (a flush that rotated the log but died
+        // before its manifest rewrite), repair it before acknowledging:
+        // this write's record would otherwise sit in a log a crash never
+        // replays. Failing the repair fails the write — unacknowledged.
+        if self.core.manifest_dirty.load(Ordering::Acquire) {
+            self.core.write_manifest(&inner)?;
+        }
         if !wopts.disable_wal {
             if let Some(w) = &mut inner.wal {
-                let framed = w.append_batch(first_seq, batch.ops())?;
+                let framed = w.append_batch_tagged(first_seq, batch.ops(), cross)?;
                 self.core.stats.wal_appends.fetch_add(1, Ordering::Relaxed);
                 self.core
                     .stats
@@ -375,10 +574,24 @@ impl Db {
                     .writes_during_maintenance
                     .fetch_add(1, Ordering::Relaxed);
             }
-        } else {
+        } else if cross.is_none() {
+            // Cross-shard fragments defer the inline flush until the
+            // batch's commit marker is durable ([`Db::flush_deferred`]).
             self.core.maybe_flush(&mut inner)?;
         }
         Ok(last_seq)
+    }
+
+    /// The deferred half of a cross-shard commit: flush the memtable if it
+    /// is over budget, now that the batch's marker has sealed it. Under
+    /// background maintenance this is a no-op — the next write's admission
+    /// control rotates the buffer at the same threshold.
+    pub(crate) fn flush_deferred(&self) -> Result<()> {
+        if self.core.opts.maintenance.is_background() {
+            return Ok(());
+        }
+        let mut inner = self.core.inner.write();
+        self.core.maybe_flush(&mut inner)
     }
 
     /// Insert or overwrite `key` (thin wrapper over [`Db::write`]).
@@ -565,6 +778,30 @@ impl Db {
     /// immutable queue (bypassing backpressure — an explicit flush is an
     /// order, not a write) and the call blocks until the queue drains.
     pub fn flush(&self) -> Result<()> {
+        {
+            // When this instance is a shard, serialize with (and respect
+            // the poison state of) the owner's cross-shard commits: the
+            // memtable may hold a prepare fragment whose marker is not yet
+            // sealed, and an SSTable replays unconditionally.
+            let _guard = self
+                .core
+                .coordination
+                .as_ref()
+                .map(|c| c.enter())
+                .transpose()?;
+            self.begin_flush()?;
+        }
+        self.finish_flush()
+    }
+
+    /// First half of a flush: push the active memtable toward the tables.
+    /// Synchronous mode flushes (and compacts) inline; background mode
+    /// rotates the buffer onto the immutable queue and returns without
+    /// waiting. The sharding layer calls this under its commit lock — a
+    /// rotation racing a cross-shard commit could flush an unsealed
+    /// prepare fragment into an SSTable, which replays unconditionally —
+    /// and does the (possibly long) wait outside it.
+    pub(crate) fn begin_flush(&self) -> Result<()> {
         if self.core.opts.maintenance.is_background() {
             {
                 let mut inner = self.core.inner.write();
@@ -573,14 +810,23 @@ impl Db {
                 }
             }
             self.core.signal.bump();
-            self.wait_flush_drain();
-            return self.check_background_error();
+            return Ok(());
         }
         let mut inner = self.core.inner.write();
         if inner.mem.is_empty() {
             return Ok(());
         }
         self.core.flush_locked(&mut inner)
+    }
+
+    /// Second half of a flush: wait for the background queues to drain and
+    /// surface any worker error. No-op under synchronous maintenance.
+    pub(crate) fn finish_flush(&self) -> Result<()> {
+        if self.core.opts.maintenance.is_background() {
+            self.wait_flush_drain();
+            return self.check_background_error();
+        }
+        Ok(())
     }
 
     /// Block until the immutable-memtable queue is empty and no flush is
@@ -822,13 +1068,11 @@ impl Drop for Db {
 
 impl DbCore {
     fn recover(
+        text: &str,
         storage: &dyn Storage,
         opts: &Options,
         cache: Option<&Arc<BlockCache>>,
     ) -> Result<(Version, u64, SeqNo, Vec<String>)> {
-        let raw = lsm_io::read_all(storage, MANIFEST)?;
-        let text = String::from_utf8(raw)
-            .map_err(|_| Error::Corruption("manifest is not UTF-8".into()))?;
         let sorted_levels = matches!(opts.compaction, CompactionPolicy::Leveling);
         let mut version = Version::with_layout(opts.max_levels, sorted_levels);
         let mut next_file_no = 1u64;
@@ -915,9 +1159,22 @@ impl DbCore {
                 text.push_str(&format!("table {level} {}\n", t.meta.name));
             }
         }
-        let mut f = self.storage.create(MANIFEST)?;
+        // Seal into a fresh epoch file, then retire the predecessor: the
+        // store always holds at least one intact manifest, whichever
+        // storage operation a crash lands on. (An unsealed `MANIFEST-<e>`
+        // from a crash mid-write fails CRC validation and recovery falls
+        // back to `<e-1>`.)
+        let epoch = self.manifest_epoch.fetch_add(1, Ordering::Relaxed) + 1;
+        text.push_str(&format!("crc {:08x}\n", wal::crc32(text.as_bytes())));
+        self.manifest_dirty.store(true, Ordering::Release);
+        let mut f = self.storage.create(&manifest_name(epoch))?;
         f.append(text.as_bytes())?;
         f.sync()?;
+        // Sealed: the on-disk manifest now names the live WAL set.
+        self.manifest_dirty.store(false, Ordering::Release);
+        if epoch > 1 {
+            let _ = self.storage.remove(&manifest_name(epoch - 1));
+        }
         Ok(())
     }
 
@@ -940,20 +1197,17 @@ impl DbCore {
         // durably references the new SSTable — until then a crash must
         // still find the old log named by the old manifest, or the flushed
         // writes would be lost.
-        let old_wal = if self.opts.wal {
-            let old = inner.wal.take().map(|w| w.name().to_string());
-            let fresh = format!(
-                "{:06}.wal",
-                self.next_file_no.fetch_add(1, Ordering::Relaxed)
-            );
-            inner.wal = Some(WalWriter::create(self.storage.as_ref(), &fresh)?);
-            old
-        } else {
-            None
-        };
+        let old_wal = self.rotate_wal(inner)?;
         self.stats.flushes.fetch_add(1, Ordering::Relaxed);
-        self.compact_until_stable(inner)?;
+        let retired_tables = self.compact_until_stable(inner)?;
         self.write_manifest(inner)?;
+        // Only now is the sealed manifest free of the merged inputs and
+        // the old log — a crash at any earlier boundary still finds a
+        // manifest whose files all exist. Open readers pinned by a live
+        // Snapshot's Version keep removed tables readable until released.
+        for name in retired_tables {
+            let _ = self.storage.remove(&name);
+        }
         if let Some(old) = old_wal {
             let _ = self.storage.remove(&old);
         }
@@ -991,8 +1245,16 @@ impl DbCore {
         Ok(Arc::new(TableHandle { meta, reader }))
     }
 
-    fn compact_until_stable(&self, inner: &mut Inner) -> Result<()> {
+    /// Run compactions until the tree satisfies its shape invariants,
+    /// returning the merged input tables' names. The caller removes them
+    /// **after** its manifest rewrite seals: until then the only sealed
+    /// manifest on disk still names these files, and unlinking them first
+    /// would leave a crash with a manifest pointing at nothing — an
+    /// unopenable database. (The background path, `compact_step`, orders
+    /// its removals the same way.)
+    fn compact_until_stable(&self, inner: &mut Inner) -> Result<Vec<String>> {
         let inner = &mut *inner;
+        let mut retired = Vec::new();
         while let Some(task) =
             pick_compaction_excluding(&inner.version, &self.opts, &inner.cursors, &inner.busy)
         {
@@ -1016,13 +1278,9 @@ impl DbCore {
                 &removed,
                 result.outputs,
             ));
-            // Unlink the merged inputs. Open readers pinned by a live
-            // Snapshot's Version keep their data readable until released.
-            for name in &removed {
-                let _ = self.storage.remove(name);
-            }
+            retired.extend(removed);
         }
-        Ok(())
+        Ok(retired)
     }
 
     // ------------------------------------------- background maintenance
@@ -1077,6 +1335,29 @@ impl DbCore {
         outcome
     }
 
+    /// Swap in a fresh WAL, returning the retiring log's name (`None`
+    /// when the WAL is off). The fresh log is **created before the old
+    /// writer is released**: a failed create leaves the engine still
+    /// logging to the old WAL, where take-then-create would leave
+    /// `inner.wal = None` and silently un-log every later write — which
+    /// under the cross-shard protocol would skip a prepare record while
+    /// its marker still seals the batch, tearing it across a crash.
+    fn rotate_wal(&self, inner: &mut Inner) -> Result<Option<String>> {
+        if !self.opts.wal {
+            return Ok(None);
+        }
+        let fresh = format!(
+            "{:06}.wal",
+            self.next_file_no.fetch_add(1, Ordering::Relaxed)
+        );
+        let w = WalWriter::create(self.storage.as_ref(), &fresh)?;
+        // Until a manifest rewrite records the fresh log, a crash would
+        // not replay it — hold back acknowledgements (see
+        // `manifest_dirty`) in case the caller's own rewrite fails.
+        self.manifest_dirty.store(true, Ordering::Release);
+        Ok(inner.wal.replace(w).map(|old| old.name().to_string()))
+    }
+
     /// Freeze the active memtable onto the immutable queue and open a
     /// fresh WAL. The manifest is rewritten first so a crash finds every
     /// live log. Caller signals the flush workers.
@@ -1084,17 +1365,7 @@ impl DbCore {
         if inner.mem.is_empty() {
             return Ok(());
         }
-        let old_wal = if self.opts.wal {
-            let old = inner.wal.take().map(|w| w.name().to_string());
-            let fresh = format!(
-                "{:06}.wal",
-                self.next_file_no.fetch_add(1, Ordering::Relaxed)
-            );
-            inner.wal = Some(WalWriter::create(self.storage.as_ref(), &fresh)?);
-            old
-        } else {
-            None
-        };
+        let old_wal = self.rotate_wal(inner)?;
         let imm = Arc::new(ImmutableMemTable::freeze(
             std::mem::take(&mut inner.mem),
             old_wal,

@@ -1,0 +1,156 @@
+//! The per-database commit-marker log — the "commit" half of the
+//! cross-shard prepare/commit protocol.
+//!
+//! A cross-shard [`crate::WriteBatch`] is made crash-atomic in two steps:
+//! every touched shard first logs its fragment as a **prepare** record
+//! (WAL format 2, tagged with the batch's global sequence range and
+//! participant set), and only when every prepare has been appended does
+//! the committer **seal** the batch by appending one marker record here —
+//! a single CRC-framed append at the database root, shared by all shards.
+//! The marker is the batch's commit point: present → the batch committed
+//! everywhere and every fragment replays; absent (including a torn or
+//! CRC-corrupt tail, i.e. a crash mid-seal) → the commit never finished
+//! and every fragment is suppressed on recovery. Either way, recovery is
+//! all-or-nothing.
+//!
+//! The log is truncated on every [`crate::sharding::ShardedDb::open`]
+//! *after* all shards have recovered: by then every committed fragment
+//! has been re-logged as a plain (unconditional) WAL record, so no marker
+//! is load-bearing any more. Within a process lifetime the fence never
+//! re-allocates a sequence range, so markers never collide.
+//!
+//! Record layout (little-endian), one per sealed batch:
+//!
+//! ```text
+//! frame   = [crc32 u32][payload_len u32][payload]
+//! payload = [version u8 = 1][global_first u64][global_last u64]
+//! ```
+
+use std::collections::HashSet;
+
+use crate::types::SeqNo;
+use crate::wal::{frame, intact_frames};
+use crate::{Error, Result};
+use lsm_io::{Storage, WritableFile};
+
+/// Marker log file name (at the sharded database's root, next to the
+/// router files — not inside any shard directory).
+pub(crate) const COMMIT_LOG: &str = "COMMIT";
+
+/// Marker payload version written by this build.
+const MARKER_VERSION: u8 = 1;
+
+/// Payload bytes of one marker.
+const MARKER_LEN: usize = 1 + 8 + 8;
+
+/// Append side of the marker log. One per [`crate::sharding::ShardedDb`],
+/// serialized by the commit lock.
+pub(crate) struct CommitLog {
+    file: Box<dyn WritableFile>,
+}
+
+impl CommitLog {
+    /// Create (truncating any previous log — the caller has already
+    /// resolved and re-logged everything the old markers covered).
+    pub(crate) fn create(storage: &dyn Storage) -> Result<CommitLog> {
+        Ok(CommitLog {
+            file: storage.create(COMMIT_LOG)?,
+        })
+    }
+
+    /// Seal the batch `global_first..=global_last`: its commit point.
+    pub(crate) fn seal(&mut self, global_first: SeqNo, global_last: SeqNo) -> Result<()> {
+        let mut payload = [0u8; MARKER_LEN];
+        payload[0] = MARKER_VERSION;
+        payload[1..9].copy_from_slice(&global_first.to_le_bytes());
+        payload[9..17].copy_from_slice(&global_last.to_le_bytes());
+        self.file.append(&frame(&payload))?;
+        Ok(())
+    }
+
+    /// Flush sealed markers to the storage medium (`WriteOptions::sync`).
+    pub(crate) fn sync(&mut self) -> Result<()> {
+        self.file.sync()?;
+        Ok(())
+    }
+}
+
+/// Read every sealed marker as a set of `(global_first, global_last)`
+/// ranges. A torn or CRC-corrupt tail ends the scan without error — an
+/// unsealed marker *is* an aborted batch. A malformed payload inside an
+/// intact frame is corruption.
+pub(crate) fn read_markers(storage: &dyn Storage) -> Result<HashSet<(SeqNo, SeqNo)>> {
+    let mut out = HashSet::new();
+    if !storage.exists(COMMIT_LOG) {
+        return Ok(out);
+    }
+    let data = lsm_io::read_all(storage, COMMIT_LOG)?;
+    // A torn or CRC-corrupt tail ends the frame scan cleanly: a marker
+    // that did not finish sealing *is* an aborted batch.
+    for body in intact_frames(&data) {
+        if body.len() != MARKER_LEN || body[0] != MARKER_VERSION {
+            return Err(Error::Corruption(format!(
+                "commit marker of {} bytes, version {}",
+                body.len(),
+                body.first().copied().unwrap_or(0)
+            )));
+        }
+        let first = SeqNo::from_le_bytes(body[1..9].try_into().unwrap());
+        let last = SeqNo::from_le_bytes(body[9..17].try_into().unwrap());
+        out.insert((first, last));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsm_io::MemStorage;
+
+    #[test]
+    fn seal_and_read_roundtrip() {
+        let storage = MemStorage::new();
+        let mut log = CommitLog::create(&storage).unwrap();
+        log.seal(1, 10).unwrap();
+        log.seal(11, 11).unwrap();
+        log.sync().unwrap();
+        drop(log);
+        let markers = read_markers(&storage).unwrap();
+        assert_eq!(markers.len(), 2);
+        assert!(markers.contains(&(1, 10)));
+        assert!(markers.contains(&(11, 11)));
+        assert!(!markers.contains(&(1, 11)));
+    }
+
+    #[test]
+    fn missing_log_is_empty() {
+        assert!(read_markers(&MemStorage::new()).unwrap().is_empty());
+    }
+
+    #[test]
+    fn torn_tail_marker_is_aborted_not_error() {
+        let storage = MemStorage::new();
+        let mut log = CommitLog::create(&storage).unwrap();
+        log.seal(1, 5).unwrap();
+        log.seal(6, 9).unwrap();
+        drop(log);
+        let full = lsm_io::read_all(&storage, COMMIT_LOG).unwrap();
+        // Tear one byte off the second marker: it must vanish cleanly.
+        let mut f = storage.create(COMMIT_LOG).unwrap();
+        f.append(&full[..full.len() - 1]).unwrap();
+        drop(f);
+        let markers = read_markers(&storage).unwrap();
+        assert_eq!(markers.len(), 1);
+        assert!(markers.contains(&(1, 5)));
+    }
+
+    #[test]
+    fn create_truncates_old_markers() {
+        let storage = MemStorage::new();
+        let mut log = CommitLog::create(&storage).unwrap();
+        log.seal(1, 2).unwrap();
+        drop(log);
+        let _fresh = CommitLog::create(&storage).unwrap();
+        assert!(read_markers(&storage).unwrap().is_empty());
+    }
+}

@@ -31,27 +31,66 @@
 //!   round-robins flush/compaction steps across all shards (no per-shard
 //!   pools), and all shards share one wakeup channel, so a 16-shard
 //!   engine does not spawn 32 threads.
-//! * **Independent crash recovery** — each shard keeps its own
-//!   `MANIFEST` + WALs in its own `shard-i/` directory
-//!   (`lsm_io::PrefixedStorage`), so recovery of one shard never reads
-//!   another's files.
+//! * **Coordinated crash recovery** — each shard keeps its own manifest +
+//!   WALs in its own `shard-i/` directory (`lsm_io::PrefixedStorage`),
+//!   and a recovery coordinator in [`ShardedDb::open`] resolves
+//!   cross-shard batches to committed/aborted before the fence resumes
+//!   (see below).
 //!
-//! ## Durability caveat (documented, not hidden)
+//! ## Crash atomicity: the prepare/commit protocol
+//!
+//! Per-shard WALs are independent, so without coordination a crash
+//! between two shards' appends would resurrect a torn batch after
+//! recovery. Cross-shard batches therefore commit in two steps:
+//!
+//! 1. **Prepare** — each touched shard's group-commit WAL record is
+//!    written as a *prepare* record (format 2), tagged with the batch's
+//!    global sequence range and participant set. A prepare replays only
+//!    if the batch is known committed.
+//! 2. **Commit** — after every prepare is appended, one marker record in
+//!    the per-database [`commit`] log (`COMMIT`, at the root next to the
+//!    router files) seals the batch. That single CRC-framed append is the
+//!    batch's commit point. Only then does the fence publish the batch.
+//!
+//! On [`ShardedDb::open`], the recovery coordinator reads the marker log
+//! once, then recovers every shard with a resolver: a replayed prepare
+//! whose marker is present is applied (and re-logged as a plain record);
+//! one whose marker is absent — the crash landed anywhere before the
+//! seal, including mid-marker (a torn marker is no marker) — is
+//! suppressed on every shard, so the batch aborts everywhere. Single
+//! crash, crash during recovery, crash during the recovery of *that*
+//! recovery: the resolution is idempotent, because markers are truncated
+//! only after every shard has re-opened and re-logged its surviving
+//! fragments as self-certifying plain records (and each shard's manifest
+//! is itself crash-atomic: epoch-numbered, CRC-sealed, predecessor
+//! retired only after the successor is durable). [`RecoveryReport`] says
+//! what the coordinator decided. The whole protocol is enumerated — a
+//! crash at *every* storage-operation boundary, plus a second crash at
+//! every boundary of the recovery — by the crash matrix in
+//! `crates/lsm/tests/sharding.rs` on `lsm_io::CrashStorage`.
+//!
+//! Three scope notes. Batches that touch a single shard skip the marker
+//! (their one WAL record is already all-or-nothing on replay). Unlogged
+//! batches (`WriteOptions::disable_wal`) make no durability promise at
+//! all, so they get no protocol — a crash can keep whichever fragments a
+//! flush happened to persist. And with `sync = false`, "crash" means the
+//! storage-operation prefix model the harness tests (an OS that reorders
+//! unsynced appends across files can still tear a batch — same caveat as
+//! LevelDB); `WriteOptions::durable` closes that too, syncing every
+//! prepare before the marker is sealed.
+//!
+//! ## Visibility (in-process)
 //!
 //! The fence makes cross-shard batches atomically visible **to multi-key
-//! views** — snapshots and merged scans — in a live process. Bare point
-//! [`ShardedDb::get`]s read the owning shard's latest applied state and
-//! make no cross-key promise (two separate `get`s are not a cut, with or
-//! without sharding; use a [`ShardedSnapshot`] for one). Cross-shard
-//! *crash* atomicity would need a distributed commit protocol (per-shard
-//! WALs are independent): a crash between two shards' WAL appends can
-//! surface a partial batch after recovery, exactly like a non-2PC
-//! distributed store. A storage error mid-commit poisons the write path
-//! (reads stay available), so no *later* commit can ever publish a fence
-//! past the orphaned sub-batches — snapshots and scans never see the
-//! partial batch for the life of the process, though bare `get`s may, and
-//! a reopen replays whatever each shard's WAL holds.
+//! views** — snapshots and merged scans. Bare point [`ShardedDb::get`]s
+//! read the owning shard's latest applied state and make no cross-key
+//! promise (two separate `get`s are not a cut, with or without sharding;
+//! use a [`ShardedSnapshot`] for one). A storage error mid-commit poisons
+//! the write path (reads stay available), so no *later* commit can ever
+//! publish a fence past the orphaned sub-batches — and since the batch
+//! was never sealed, a reopen aborts it everywhere.
 
+pub mod commit;
 pub mod merge;
 pub mod router;
 pub mod split;
@@ -66,12 +105,13 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 
 use crate::batch::WriteBatch;
-use crate::db::{Db, DbCore, ExternalPool};
+use crate::db::{CommitCoordination, Db, DbCore, ExternalPool};
 use crate::options::{Maintenance, ReadOptions, ShardedOptions, WriteOptions};
 use crate::scheduler::{MaintSignal, Scheduler, Step};
 use crate::snapshot::Snapshot;
 use crate::stats::{DbStats, StatsSnapshot};
 use crate::types::SeqNo;
+use crate::wal::CrossBatchTag;
 use crate::{Error, Result};
 use lsm_io::{CostModel, MemStorage, PrefixedStorage, SimStorage, Storage};
 
@@ -111,18 +151,36 @@ impl ShardedSnapshot {
     }
 }
 
+/// What the recovery coordinator resolved during [`ShardedDb::open`]:
+/// how many replayed cross-shard prepare fragments were applied (their
+/// batch's commit marker was sealed) versus suppressed (unsealed — the
+/// batch aborted on every shard).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Prepare fragments whose batch was sealed: replayed.
+    pub committed_fragments: u64,
+    /// Fragments of unsealed batches: suppressed everywhere.
+    pub aborted_fragments: u64,
+}
+
 /// An open sharded database. See the [module docs](self) for the design.
 pub struct ShardedDb {
     shards: Vec<Db>,
     router: ShardRouter,
     fence: SeqFence,
-    /// Serializes cross-shard commits (the fence publishes in allocation
-    /// order because of it).
-    commit_lock: Mutex<()>,
-    /// Set when a commit failed after touching some shards: further writes
-    /// are refused so the partial batch can never become visible in this
-    /// process.
-    poisoned: AtomicBool,
+    /// The commit lock (serializes cross-shard commits — the fence
+    /// publishes in allocation order because of it) and the poison flag
+    /// (set when a commit failed after touching some shards: writes and
+    /// flushes are refused so the partial batch can neither become
+    /// visible nor durable in this process). Shared with every shard so
+    /// even a flush through [`ShardedDb::shard`] honours both.
+    coordination: Arc<CommitCoordination>,
+    /// Commit-marker log sealing cross-shard batches (`None` when the WAL
+    /// is disabled — nothing to seal). Appends happen under the commit
+    /// lock; the inner mutex only satisfies `&self` mutability.
+    commit_log: Option<Mutex<commit::CommitLog>>,
+    /// What recovery resolved when this handle was opened.
+    recovery: RecoveryReport,
     /// Shared wakeup channel: every shard's rotations/installs bump it,
     /// the global workers and stalled writers wait on it.
     signal: Arc<MaintSignal>,
@@ -159,6 +217,16 @@ impl ShardedDb {
         let background = opts.base.maintenance.is_background();
         let signal = Arc::new(MaintSignal::default());
         let shutdown = Arc::new(AtomicBool::new(false));
+        let coordination = Arc::new(CommitCoordination::default());
+
+        // Recovery coordination: read the commit-marker log once, then
+        // recover every shard with a resolver that applies a replayed
+        // cross-shard prepare fragment only if its batch was sealed. A
+        // crash anywhere before the seal aborts the batch on every shard.
+        let markers = commit::read_markers(storage.as_ref())?;
+        let committed_fragments = AtomicU64::new(0);
+        let aborted_fragments = AtomicU64::new(0);
+
         let mut shards = Vec::with_capacity(router.shards());
         for i in 0..router.shards() {
             let dir: Arc<dyn Storage> = Arc::new(PrefixedStorage::new(
@@ -169,8 +237,53 @@ impl ShardedDb {
                 signal: Arc::clone(&signal),
                 shutdown: Arc::clone(&shutdown),
             });
-            shards.push(Db::open_internal(dir, opts.base.clone(), pool)?);
+            let shard_idx = i as u16;
+            let resolver = |tag: &CrossBatchTag| -> Result<bool> {
+                // A prepare can only legitimately sit on a shard its
+                // participant set names — anything else means a log file
+                // landed in the wrong shard directory (or was tampered
+                // with), and silently resolving it would apply sequence
+                // numbers the fence never routed here.
+                if !tag.participants.contains(&shard_idx) {
+                    return Err(Error::Corruption(format!(
+                        "shard {shard_idx} replayed a prepare for batch \
+                         {}..={} whose participant set {:?} excludes it",
+                        tag.global_first, tag.global_last, tag.participants
+                    )));
+                }
+                let sealed = markers.contains(&(tag.global_first, tag.global_last));
+                let counter = if sealed {
+                    &committed_fragments
+                } else {
+                    &aborted_fragments
+                };
+                counter.fetch_add(1, Ordering::Relaxed);
+                Ok(sealed)
+            };
+            shards.push(Db::open_internal(
+                dir,
+                opts.base.clone(),
+                pool,
+                Some(&resolver),
+                Some(Arc::clone(&coordination)),
+            )?);
         }
+
+        // Every shard has re-opened: surviving fragments were re-logged as
+        // plain (self-certifying) records, so no marker is load-bearing
+        // any more. Truncate the log — this is also what keeps recovery
+        // idempotent if *this* open crashes: until the line above
+        // completes for all shards, the markers stay on disk for the next
+        // attempt to resolve the remaining prepares identically.
+        let commit_log = if opts.base.wal {
+            Some(Mutex::new(commit::CommitLog::create(storage.as_ref())?))
+        } else {
+            None
+        };
+        let recovery = RecoveryReport {
+            committed_fragments: committed_fragments.load(Ordering::Relaxed),
+            aborted_fragments: aborted_fragments.load(Ordering::Relaxed),
+        };
 
         // The fence resumes from the highest sequence any shard recovered.
         let max_seq = shards.iter().map(Db::latest_seq).max().unwrap_or(0);
@@ -211,8 +324,9 @@ impl ShardedDb {
             shards,
             router,
             fence,
-            commit_lock: Mutex::new(()),
-            poisoned: AtomicBool::new(false),
+            coordination,
+            commit_log,
+            recovery,
             signal,
             shutdown,
             scheduler,
@@ -237,46 +351,106 @@ impl ShardedDb {
     /// the shared fence: one contiguous global sequence range, one
     /// group-commit WAL record per touched shard, and the published
     /// ceiling advances only after the last shard applied — readers never
-    /// observe a partially applied cross-shard batch. Returns the last
-    /// sequence number of the batch.
+    /// observe a partially applied cross-shard batch. A batch touching
+    /// two or more shards additionally runs the prepare/commit protocol
+    /// (see the [module docs](self)): each shard's record is a tagged
+    /// prepare, and one marker append to the [`commit`] log seals the
+    /// batch before the fence publishes it, making the batch
+    /// all-or-nothing across crashes too. Returns the last sequence
+    /// number of the batch.
+    ///
+    /// An error *before* the seal aborts the batch and poisons the write
+    /// path (the allocated sequence range must never be reissued in this
+    /// process; a reopen rolls the fragments back). An error *after* the
+    /// seal — a deferred flush failing — leaves the batch committed and
+    /// published; it is an ordinary retryable maintenance error, fixed by
+    /// calling [`ShardedDb::flush`] once the storage heals.
     pub fn write(&self, batch: WriteBatch, wopts: &WriteOptions) -> Result<SeqNo> {
         if batch.is_empty() {
             return Ok(self.fence.visible.load(Ordering::Acquire));
         }
         let len = batch.len() as SeqNo;
         let parts = split_batch(batch, &self.router);
+        let touched: Vec<u16> = parts
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| !p.is_empty())
+            .map(|(i, _)| i as u16)
+            .collect();
 
-        let _commit = self.commit_lock.lock();
-        // Checked *under* the lock: a writer that was blocked here while
-        // another commit failed must not proceed — it would re-allocate
-        // the failed batch's sequence range and could publish a fence past
-        // the orphaned sub-batches.
-        if self.poisoned.load(Ordering::Acquire) {
-            return Err(Error::Corruption(
-                "a cross-shard commit failed mid-way; writes are disabled (reopen to recover)"
-                    .into(),
-            ));
-        }
+        // Poison is checked under the lock: a writer that was blocked
+        // here while another commit failed must not proceed — it would
+        // re-allocate the failed batch's sequence range and could publish
+        // a fence past the orphaned sub-batches.
+        let _commit = self.coordination.enter()?;
         let first = self.fence.next.load(Ordering::Relaxed) + 1;
         let last = first + len - 1;
+        // Single-shard batches are already crash-atomic through their one
+        // WAL record; unlogged batches have nothing to seal.
+        let tag =
+            (touched.len() > 1 && self.commit_log.is_some() && !wopts.disable_wal).then(|| {
+                CrossBatchTag {
+                    global_first: first,
+                    global_last: last,
+                    participants: touched.clone(),
+                }
+            });
         let mut next = first;
         for (shard, part) in parts.into_iter().enumerate() {
             if part.is_empty() {
                 continue;
             }
             let part_len = part.len() as SeqNo;
-            if let Err(e) = self.shards[shard].write_assigned(part, wopts, next) {
+            if let Err(e) = self.shards[shard].write_assigned(part, wopts, next, tag.as_ref()) {
                 // Poison unconditionally — even a first-shard failure can
                 // leave state behind (e.g. the WAL frame was appended and
                 // only the sync failed), so the allocated range must never
                 // be handed out again in this process.
-                self.poisoned.store(true, Ordering::Release);
+                self.coordination.poisoned.store(true, Ordering::Release);
                 return Err(e);
             }
             next += part_len;
         }
+        if let Some(tag) = &tag {
+            // The commit point: sealing the marker is what makes the
+            // prepared fragments replayable. Under `sync` the seal is
+            // flushed too, so an acknowledged durable batch stays
+            // committed through power loss.
+            let sealed = {
+                let mut log = self
+                    .commit_log
+                    .as_ref()
+                    .expect("tag implies commit log")
+                    .lock();
+                log.seal(tag.global_first, tag.global_last).and_then(|()| {
+                    if wopts.sync {
+                        log.sync()
+                    } else {
+                        Ok(())
+                    }
+                })
+            };
+            if let Err(e) = sealed {
+                self.coordination.poisoned.store(true, Ordering::Release);
+                return Err(e);
+            }
+        }
         self.fence.next.store(last, Ordering::Relaxed);
         self.fence.visible.store(last, Ordering::Release);
+        if tag.is_some() {
+            // Deferred maintenance: inline flushes were withheld while the
+            // fragments were unsealed prepares (an SSTable replays
+            // unconditionally — flushing first would leak a torn batch
+            // past a crash). Sealed now, the shards may flush. We are
+            // past the commit point: a flush error here leaves the batch
+            // committed, durable and published, so it surfaces as a
+            // *retryable* maintenance error ([`ShardedDb::flush`] again
+            // once the storage heals) — never as commit poison, exactly
+            // like the single-`Db` inline-flush error path.
+            for &shard in &touched {
+                self.shards[shard as usize].flush_deferred()?;
+            }
+        }
         Ok(last)
     }
 
@@ -335,7 +509,7 @@ impl ShardedDb {
     /// the window — the lock closes it.) Snapshot acquisition therefore
     /// serializes briefly with writes; reads through the handle never do.
     pub fn snapshot(&self) -> ShardedSnapshot {
-        let _commit = self.commit_lock.lock();
+        let _commit = self.coordination.lock.lock();
         let seq = self.fence.visible.load(Ordering::Acquire);
         ShardedSnapshot {
             seq,
@@ -389,8 +563,22 @@ impl ShardedDb {
     /// Flush every shard's memtable (and, under background maintenance,
     /// wait for the queues to drain).
     pub fn flush(&self) -> Result<()> {
+        {
+            // Under the commit lock: a flush racing a cross-shard commit
+            // could push a not-yet-sealed prepare fragment into an
+            // SSTable, which replays unconditionally — tearing the batch
+            // across a crash. Same reason the poison check matters: after
+            // a failed commit the memtables hold orphaned unsealed
+            // fragments that must never become durable. Only the (fast)
+            // rotate/flush half holds the lock; the drain wait below runs
+            // outside it.
+            let _commit = self.coordination.enter()?;
+            for db in &self.shards {
+                db.begin_flush()?;
+            }
+        }
         for db in &self.shards {
-            db.flush()?;
+            db.finish_flush()?;
         }
         Ok(())
     }
@@ -456,7 +644,11 @@ impl ShardedDb {
     }
 
     /// One shard's engine (read-only introspection; writing through a
-    /// shard directly would bypass the fence).
+    /// shard directly bypasses the fence's sequence allocation and is
+    /// not supported). Shard-level [`Db::flush`] and [`Db::write`] do
+    /// serialize against cross-shard commits and refuse while the write
+    /// path is poisoned, so even a misuse can never persist an unsealed
+    /// prepare fragment into an SSTable.
     pub fn shard(&self, i: usize) -> &Db {
         &self.shards[i]
     }
@@ -477,6 +669,12 @@ impl ShardedDb {
     /// Last sequence number published by the fence.
     pub fn latest_visible_seq(&self) -> SeqNo {
         self.fence.visible.load(Ordering::Acquire)
+    }
+
+    /// What the recovery coordinator resolved when this handle was opened
+    /// (all zeros after a clean shutdown or a fresh create).
+    pub fn recovery_report(&self) -> RecoveryReport {
+        self.recovery
     }
 
     /// Engine counters summed across every shard (peaks take the max) —

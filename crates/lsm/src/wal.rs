@@ -14,23 +14,64 @@
 //! ```text
 //! frame   = [crc32 u32][payload_len u32][payload]
 //! payload = [format u8 = 1][first_seq u64][count u32] count × op
+//!         | [format u8 = 2][first_seq u64][count u32]
+//!           [global_first u64][global_last u64]
+//!           [participant_count u16] participant_count × [shard u16]
+//!           count × op                                   (cross-shard)
 //! op      = [kind u8][user_key u64][value_len u32][value bytes]
 //! ```
 //!
 //! Operation `i` of a record receives sequence number `first_seq + i`, so a
 //! batch occupies one contiguous sequence range. The `format` byte versions
 //! the payload encoding; replay rejects formats it does not understand.
+//!
+//! Format 2 is the **cross-shard prepare record**: the fragment of a
+//! multi-shard batch that landed on this shard, tagged with the batch's
+//! *global* sequence range and the set of participant shards. A prepare
+//! record is not self-certifying — whether it replays is decided by the
+//! recovery coordinator against the per-database `COMMIT` marker log (see
+//! [`crate::sharding`]): marker present → the batch committed everywhere,
+//! apply; marker absent → the commit never sealed, suppress the fragment.
+//! Format-1 records always apply (single-shard commits are sealed by their
+//! own frame CRC).
 
 use crate::batch::BatchOp;
 use crate::types::{Entry, EntryKind, InternalKey, SeqNo};
 use crate::{Error, Result};
 use lsm_io::{Storage, WritableFile};
 
-/// WAL payload format version written by this build.
+/// WAL payload format for plain (single-shard) batches.
 pub const BATCH_FORMAT: u8 = 1;
+
+/// WAL payload format for cross-shard prepare records.
+pub const CROSS_BATCH_FORMAT: u8 = 2;
 
 /// Fixed bytes of a batch payload before its operations.
 const BATCH_HEADER: usize = 1 + 8 + 4;
+
+/// Extra fixed bytes of a cross-shard payload before its participant list.
+const CROSS_HEADER: usize = 8 + 8 + 2;
+
+/// The cross-shard identity of a prepare record: which global batch this
+/// fragment belongs to and which shards participate in it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CrossBatchTag {
+    /// First sequence number of the *whole* batch (across all shards).
+    pub global_first: SeqNo,
+    /// Last sequence number of the whole batch.
+    pub global_last: SeqNo,
+    /// Shard indexes the batch touches (sorted, unique).
+    pub participants: Vec<u16>,
+}
+
+/// One decoded WAL record: the fragment's entries plus, for cross-shard
+/// prepare records, the tag the recovery coordinator resolves against the
+/// commit-marker log.
+#[derive(Debug, Clone)]
+pub struct ReplayedRecord {
+    pub entries: Vec<Entry>,
+    pub cross: Option<CrossBatchTag>,
+}
 
 /// Fixed bytes of one operation before its value payload.
 const OP_HEADER: usize = 1 + 8 + 4;
@@ -66,6 +107,53 @@ pub fn crc32(data: &[u8]) -> u32 {
     !crc
 }
 
+/// Frame one record payload for a CRC-framed log:
+/// `[crc32 u32][payload_len u32][payload]`. Shared by the WAL and the
+/// sharding layer's commit-marker log so both encode (and therefore
+/// crash-tear) identically.
+pub(crate) fn frame(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8 + payload.len());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Iterator over the **intact** frame payloads of a log byte stream. The
+/// scan ends cleanly (no error, no item) at the first torn or CRC-corrupt
+/// frame — a crash mid-append is expected, and everything behind the tear
+/// is by definition unsealed. What an intact payload *means* is the
+/// caller's business.
+pub(crate) struct FrameIter<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Iterator for FrameIter<'a> {
+    type Item = &'a [u8];
+
+    fn next(&mut self) -> Option<&'a [u8]> {
+        if self.pos + 8 > self.data.len() {
+            return None;
+        }
+        let crc = u32::from_le_bytes(self.data[self.pos..self.pos + 4].try_into().unwrap());
+        let len =
+            u32::from_le_bytes(self.data[self.pos + 4..self.pos + 8].try_into().unwrap()) as usize;
+        let body_start = self.pos + 8;
+        let body = self.data.get(body_start..body_start + len)?; // torn tail
+        if crc32(body) != crc {
+            return None; // corrupt tail
+        }
+        self.pos = body_start + len;
+        Some(body)
+    }
+}
+
+/// The intact frames of `data`, in append order.
+pub(crate) fn intact_frames(data: &[u8]) -> FrameIter<'_> {
+    FrameIter { data, pos: 0 }
+}
+
 /// Append side of the write-ahead log.
 pub struct WalWriter {
     file: Box<dyn WritableFile>,
@@ -96,6 +184,19 @@ impl WalWriter {
     /// length prefixes would write an undecodable frame and lose every
     /// batch behind it on replay.
     pub fn append_batch(&mut self, first_seq: SeqNo, ops: &[BatchOp]) -> Result<u64> {
+        self.append_batch_tagged(first_seq, ops, None)
+    }
+
+    /// [`WalWriter::append_batch`], optionally tagging the record as a
+    /// cross-shard **prepare** (format 2): replay hands the tag to the
+    /// recovery coordinator instead of applying the fragment
+    /// unconditionally.
+    pub fn append_batch_tagged(
+        &mut self,
+        first_seq: SeqNo,
+        ops: &[BatchOp],
+        cross: Option<&CrossBatchTag>,
+    ) -> Result<u64> {
         debug_assert!(!ops.is_empty(), "empty batches are not logged");
         if ops.len() > u32::MAX as usize {
             return Err(Error::Corruption(format!(
@@ -103,7 +204,13 @@ impl WalWriter {
                 ops.len()
             )));
         }
-        let payload: usize = BATCH_HEADER
+        if cross.is_some_and(|t| t.participants.len() > u16::MAX as usize) {
+            return Err(Error::Corruption(
+                "wal cross-shard tag exceeds the record format".into(),
+            ));
+        }
+        let header = BATCH_HEADER + cross.map_or(0, |t| CROSS_HEADER + 2 * t.participants.len());
+        let payload: usize = header
             + ops
                 .iter()
                 .map(|op| {
@@ -120,10 +227,23 @@ impl WalWriter {
             )));
         }
         self.buf.clear();
-        self.buf.push(BATCH_FORMAT);
+        self.buf.push(if cross.is_some() {
+            CROSS_BATCH_FORMAT
+        } else {
+            BATCH_FORMAT
+        });
         self.buf.extend_from_slice(&first_seq.to_le_bytes());
         self.buf
             .extend_from_slice(&(ops.len() as u32).to_le_bytes());
+        if let Some(tag) = cross {
+            self.buf.extend_from_slice(&tag.global_first.to_le_bytes());
+            self.buf.extend_from_slice(&tag.global_last.to_le_bytes());
+            self.buf
+                .extend_from_slice(&(tag.participants.len() as u16).to_le_bytes());
+            for &shard in &tag.participants {
+                self.buf.extend_from_slice(&shard.to_le_bytes());
+            }
+        }
         for op in ops {
             self.buf.push(op.kind.tag());
             self.buf.extend_from_slice(&op.key.to_le_bytes());
@@ -132,13 +252,9 @@ impl WalWriter {
             self.buf.extend_from_slice(&op.value);
         }
 
-        let crc = crc32(&self.buf);
-        let mut frame = Vec::with_capacity(8 + self.buf.len());
-        frame.extend_from_slice(&crc.to_le_bytes());
-        frame.extend_from_slice(&(self.buf.len() as u32).to_le_bytes());
-        frame.extend_from_slice(&self.buf);
-        self.file.append(&frame)?;
-        Ok(frame.len() as u64)
+        let framed = frame(&self.buf);
+        self.file.append(&framed)?;
+        Ok(framed.len() as u64)
     }
 
     /// Append one single-operation record (convenience for tests).
@@ -166,17 +282,18 @@ impl WalWriter {
     }
 }
 
-/// Decode the operations of one intact batch payload into entries.
-fn decode_batch(body: &[u8]) -> Result<Vec<Entry>> {
+/// Decode one intact batch payload into its entries and, for cross-shard
+/// prepare records, its resolution tag.
+fn decode_batch(body: &[u8]) -> Result<ReplayedRecord> {
     if body.len() < BATCH_HEADER {
         return Err(Error::Corruption(format!(
             "wal batch header too short: {}",
             body.len()
         )));
     }
-    if body[0] != BATCH_FORMAT {
+    if body[0] != BATCH_FORMAT && body[0] != CROSS_BATCH_FORMAT {
         return Err(Error::Corruption(format!(
-            "wal batch format {} unsupported (expected {BATCH_FORMAT})",
+            "wal batch format {} unsupported (expected {BATCH_FORMAT} or {CROSS_BATCH_FORMAT})",
             body[0]
         )));
     }
@@ -185,17 +302,51 @@ fn decode_batch(body: &[u8]) -> Result<Vec<Entry>> {
     if count == 0 {
         return Err(Error::Corruption("wal batch with zero operations".into()));
     }
+    let mut pos = BATCH_HEADER;
+    let cross = if body[0] == CROSS_BATCH_FORMAT {
+        if body.len() < pos + CROSS_HEADER {
+            return Err(Error::Corruption(format!(
+                "wal cross-shard header too short: {}",
+                body.len()
+            )));
+        }
+        let global_first = SeqNo::from_le_bytes(body[pos..pos + 8].try_into().unwrap());
+        let global_last = SeqNo::from_le_bytes(body[pos + 8..pos + 16].try_into().unwrap());
+        let nparts = u16::from_le_bytes(body[pos + 16..pos + 18].try_into().unwrap()) as usize;
+        pos += CROSS_HEADER;
+        if body.len() < pos + 2 * nparts {
+            return Err(Error::Corruption(format!(
+                "wal cross-shard record claims {nparts} participants in a {}-byte record",
+                body.len()
+            )));
+        }
+        if global_last < global_first {
+            return Err(Error::Corruption(format!(
+                "wal cross-shard record with inverted range {global_first}..{global_last}"
+            )));
+        }
+        let participants = (0..nparts)
+            .map(|i| u16::from_le_bytes(body[pos + 2 * i..pos + 2 * i + 2].try_into().unwrap()))
+            .collect();
+        pos += 2 * nparts;
+        Some(CrossBatchTag {
+            global_first,
+            global_last,
+            participants,
+        })
+    } else {
+        None
+    };
     // Bound the claimed count by what the body could possibly hold before
     // allocating — a CRC-valid but malformed record must produce a clean
     // corruption error, not a giant allocation.
-    if count > (body.len() - BATCH_HEADER) / OP_HEADER {
+    if count > (body.len() - pos) / OP_HEADER {
         return Err(Error::Corruption(format!(
             "wal batch claims {count} ops in a {}-byte record",
             body.len()
         )));
     }
     let mut out = Vec::with_capacity(count);
-    let mut pos = BATCH_HEADER;
     for i in 0..count {
         if pos + OP_HEADER > body.len() {
             return Err(Error::Corruption(format!(
@@ -228,38 +379,38 @@ fn decode_batch(body: &[u8]) -> Result<Vec<Entry>> {
             body.len() - pos
         )));
     }
-    Ok(out)
+    Ok(ReplayedRecord {
+        entries: out,
+        cross,
+    })
 }
 
-/// Replay a log file into entries, batch-atomically.
+/// Replay a log file into its records, batch-atomically.
 ///
-/// Returns the decoded records in append order. A torn or CRC-corrupt tail
-/// frame terminates the replay without error (a crash mid-append is
-/// expected) and drops that frame's **entire batch** — recovery never
-/// applies a batch prefix. A malformed payload *inside* an intact frame is
-/// reported as corruption, since the CRC passing means real damage.
-pub fn replay(storage: &dyn Storage, name: &str) -> Result<Vec<Entry>> {
+/// Returns the decoded records in append order, each carrying its
+/// cross-shard tag when present — recovery resolves tagged fragments
+/// against the commit-marker log before applying them. A torn or
+/// CRC-corrupt tail frame terminates the replay without error (a crash
+/// mid-append is expected) and drops that frame's **entire batch** —
+/// recovery never applies a batch prefix. A malformed payload *inside* an
+/// intact frame is reported as corruption, since the CRC passing means
+/// real damage.
+pub fn replay_records(storage: &dyn Storage, name: &str) -> Result<Vec<ReplayedRecord>> {
     if !storage.exists(name) {
         return Ok(Vec::new());
     }
     let data = lsm_io::read_all(storage, name)?;
-    let mut out = Vec::new();
-    let mut pos = 0usize;
-    while pos + 8 <= data.len() {
-        let crc = u32::from_le_bytes(data[pos..pos + 4].try_into().unwrap());
-        let len = u32::from_le_bytes(data[pos + 4..pos + 8].try_into().unwrap()) as usize;
-        let body_start = pos + 8;
-        if body_start + len > data.len() {
-            break; // torn tail: crash mid-append, whole batch dropped
-        }
-        let body = &data[body_start..body_start + len];
-        if crc32(body) != crc {
-            break; // corrupt tail record: whole batch dropped
-        }
-        out.extend(decode_batch(body)?);
-        pos = body_start + len;
-    }
-    Ok(out)
+    intact_frames(&data).map(decode_batch).collect()
+}
+
+/// [`replay_records`] flattened to entries, applying every record
+/// unconditionally — for callers outside the sharded recovery protocol
+/// (and for tests).
+pub fn replay(storage: &dyn Storage, name: &str) -> Result<Vec<Entry>> {
+    Ok(replay_records(storage, name)?
+        .into_iter()
+        .flat_map(|r| r.entries)
+        .collect())
 }
 
 #[cfg(test)]
@@ -432,6 +583,65 @@ mod tests {
         f.append(&frame).unwrap();
         drop(f);
         assert!(replay(&storage, "wal").is_err());
+    }
+
+    #[test]
+    fn cross_record_roundtrips_tag_and_entries() {
+        let storage = MemStorage::new();
+        let mut w = WalWriter::create(&storage, "wal").unwrap();
+        let tag = CrossBatchTag {
+            global_first: 100,
+            global_last: 111,
+            participants: vec![0, 2, 5],
+        };
+        let ops = vec![
+            BatchOp {
+                kind: EntryKind::Put,
+                key: 7,
+                value: b"frag".to_vec(),
+            },
+            BatchOp {
+                kind: EntryKind::Delete,
+                key: 8,
+                value: vec![],
+            },
+        ];
+        // This shard's fragment holds seqs 103..=104 of the global batch.
+        w.append_batch_tagged(103, &ops, Some(&tag)).unwrap();
+        w.append(9, 105, EntryKind::Put, b"plain").unwrap();
+        drop(w);
+
+        let records = replay_records(&storage, "wal").unwrap();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].cross.as_ref(), Some(&tag));
+        assert_eq!(records[0].entries.len(), 2);
+        assert_eq!(records[0].entries[0].key.seq, 103);
+        assert_eq!(records[0].entries[1].key.kind, EntryKind::Delete);
+        assert_eq!(records[1].cross, None);
+        assert_eq!(records[1].entries[0].value, b"plain");
+        // The flattened view applies everything.
+        assert_eq!(replay(&storage, "wal").unwrap().len(), 3);
+    }
+
+    #[test]
+    fn cross_record_malformed_headers_are_corruption() {
+        // An intact CRC with a cross header whose participant list overruns
+        // the record must error cleanly.
+        let mut body = vec![CROSS_BATCH_FORMAT];
+        body.extend_from_slice(&1u64.to_le_bytes()); // first_seq
+        body.extend_from_slice(&1u32.to_le_bytes()); // count
+        body.extend_from_slice(&1u64.to_le_bytes()); // global_first
+        body.extend_from_slice(&2u64.to_le_bytes()); // global_last
+        body.extend_from_slice(&u16::MAX.to_le_bytes()); // absurd participants
+        let mut frame = Vec::new();
+        frame.extend_from_slice(&crc32(&body).to_le_bytes());
+        frame.extend_from_slice(&(body.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&body);
+        let storage = MemStorage::new();
+        let mut f = storage.create("wal").unwrap();
+        f.append(&frame).unwrap();
+        drop(f);
+        assert!(replay_records(&storage, "wal").is_err());
     }
 
     #[test]

@@ -6,12 +6,24 @@
 //! every read must agree, under every index kind. Halfway through, a
 //! [`Snapshot`] is taken and held across the remaining churn — at the end
 //! its full contents must still equal the oracle state at that midpoint.
+//!
+//! The sharded extension mirrors random *cross-shard* batches into the
+//! model while periodically crashing the storage at a seeded random
+//! operation index (`lsm_io::CrashStorage`) and reopening from the frozen
+//! image — recovery must agree with the model key-for-key, with the one
+//! ambiguous in-flight batch resolved all-or-nothing. Set
+//! `LSM_CRASH_SEED` to replay a schedule; the seed is printed on entry so
+//! a failure names it.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use learned_index::IndexKind;
-use lsm_tree::{Db, Options, ReadOptions, WriteBatch, WriteOptions};
+use lsm_io::{CrashStorage, Storage};
+use lsm_tree::{Db, Options, ReadOptions, ShardedDb, ShardedOptions, WriteBatch, WriteOptions};
 use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 #[derive(Debug, Clone)]
 enum OpSpec {
@@ -160,6 +172,119 @@ fn all_kinds_deterministic_smoke() {
     for kind in IndexKind::ALL {
         run_against_oracle(kind, &ops).unwrap();
     }
+}
+
+// ----------------------------------------------- sharded + crash points
+
+/// One buffered operation of a random cross-shard batch: `Some` puts,
+/// `None` deletes.
+type NetOps = BTreeMap<u64, Option<Vec<u8>>>;
+
+fn sharded_opts() -> ShardedOptions {
+    let mut base = Options::small_for_tests();
+    base.index.kind = IndexKind::Pgm;
+    ShardedOptions::learned(3, (0..4000u64).collect(), base)
+}
+
+/// Random cross-shard batches mirrored into a `BTreeMap`, with periodic
+/// crash/reopen at seeded random storage-operation indexes. Every write is
+/// durable, so `Ok` ⇒ in the image; the single batch in flight at the
+/// crash is ambiguous (the marker may or may not have sealed) and is
+/// resolved by observation — but it must be all-or-nothing, and every
+/// *other* key must match the model exactly.
+#[test]
+fn sharded_crash_recovery_matches_btreemap() {
+    let seed: u64 = std::env::var("LSM_CRASH_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0xC0FFEE);
+    // Printed even on success so CI logs always name the schedule.
+    eprintln!("sharded crash oracle: LSM_CRASH_SEED={seed}");
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    let (mut storage, mut ctl) = CrashStorage::new();
+    let mut db = ShardedDb::open(Arc::clone(&storage) as Arc<dyn Storage>, sharded_opts()).unwrap();
+    let mut model: BTreeMap<u64, Vec<u8>> = BTreeMap::new();
+    let mut batch_id = 0u64;
+    let mut crashes = 0u32;
+
+    for round in 0..40u32 {
+        // Arm a crash somewhere inside this round's burst of commits.
+        ctl.crash_after(rng.gen_range(1..80));
+        let mut ambiguous: Option<NetOps> = None;
+        for _ in 0..rng.gen_range(4..16) {
+            batch_id += 1;
+            let mut batch = WriteBatch::new();
+            let mut net: NetOps = BTreeMap::new();
+            for _ in 0..rng.gen_range(1..12usize) {
+                let k = rng.gen_range(0..4000u64);
+                if rng.gen_range(0..5u8) == 0 {
+                    batch.delete(k);
+                    net.insert(k, None);
+                } else {
+                    let v = format!("b{batch_id}-k{k}").into_bytes();
+                    batch.put(k, &v);
+                    net.insert(k, Some(v));
+                }
+            }
+            match db.write(batch, &WriteOptions::durable()) {
+                Ok(_) => {
+                    for (k, v) in net {
+                        match v {
+                            Some(v) => model.insert(k, v),
+                            None => model.remove(&k),
+                        };
+                    }
+                }
+                Err(_) => {
+                    ambiguous = Some(net);
+                    break;
+                }
+            }
+        }
+        match ambiguous {
+            None => ctl.disarm(), // burst ended before the crash point
+            Some(net) => {
+                crashes += 1;
+                drop(db);
+                let (s2, c2) = CrashStorage::over(storage.image());
+                storage = s2;
+                ctl = c2;
+                db = ShardedDb::open(Arc::clone(&storage) as Arc<dyn Storage>, sharded_opts())
+                    .unwrap();
+                // Resolve the in-flight batch by observation: the image
+                // either holds all of its net effect or none of it.
+                let matches_without = net
+                    .iter()
+                    .all(|(k, _)| db.get(*k).unwrap().as_ref() == model.get(k));
+                let matches_with = net
+                    .iter()
+                    .all(|(k, v)| db.get(*k).unwrap().as_ref() == v.as_ref());
+                assert!(
+                    matches_without || matches_with,
+                    "seed {seed} round {round}: torn in-flight batch after crash \
+                     (neither committed nor aborted cleanly): {net:?}"
+                );
+                if matches_with && !matches_without {
+                    for (k, v) in net {
+                        match v {
+                            Some(v) => model.insert(k, v),
+                            None => model.remove(&k),
+                        };
+                    }
+                }
+            }
+        }
+        // Full-scan equivalence after every round.
+        let got = db.scan(0, usize::MAX).unwrap();
+        let want: Vec<(u64, Vec<u8>)> = model.iter().map(|(k, v)| (*k, v.clone())).collect();
+        assert_eq!(got, want, "seed {seed} round {round}: scan diverged");
+    }
+    assert!(
+        crashes >= 5,
+        "seed {seed}: schedule produced only {crashes} crashes"
+    );
+    assert!(!model.is_empty(), "seed {seed}: workload wrote nothing");
 }
 
 /// Full-database iteration equals the oracle's full ordered contents.

@@ -1,15 +1,17 @@
 //! Integration tests for the sharded engine: routing correctness at shard
 //! boundaries, cross-shard atomicity, coherent snapshots under concurrent
 //! background maintenance, merged-scan ordering, crash recovery through
-//! per-shard directories — plus the PR's two acceptance benchmarks
-//! (sharded write throughput and learned-routing balance).
+//! per-shard directories, the exhaustive cross-shard crash-point matrix
+//! (every storage-operation boundary of a 3-shard commit, with a second
+//! crash at every boundary of the recovery) — plus two acceptance
+//! benchmarks (sharded write throughput and learned-routing balance).
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
 use learned_index::IndexKind;
-use lsm_io::{MemStorage, Storage};
+use lsm_io::{CrashStorage, MemStorage, Storage};
 use lsm_tree::sharding::imbalance;
 use lsm_tree::{
     Db, Maintenance, Options, ShardRouter, ShardedDb, ShardedOptions, ShardingPolicy, WriteBatch,
@@ -334,6 +336,297 @@ fn merged_stats_aggregate_shards() {
     assert_eq!(db.stats().lookups, 40);
     db.scan(0, 10).unwrap();
     assert_eq!(db.stats().scans, 1);
+}
+
+// ------------------------------------------------------ crash atomicity
+
+/// Keys owned by shards 0/1/2 under `dense_sample()` 3-shard boundaries
+/// (≈1333 / ≈2666): two per shard, disjoint from every baseline key.
+const TARGET_KEYS: [u64; 6] = [700, 701, 1850, 1851, 3650, 3651];
+
+/// Baseline keys are `k * 300` for `k` in this range (all ≡ 0 mod 300;
+/// every other key set avoids multiples of 300).
+const BASE_KEYS: std::ops::Range<u64> = 0..13;
+const PENDING_KEYS: [u64; 3] = [650, 1750, 3550];
+
+fn crash_opts() -> ShardedOptions {
+    learned_opts(3, dense_sample())
+}
+
+/// Committed state every crash image must preserve: flushed single-shard
+/// data plus a sealed-but-unflushed cross-shard batch (so recovery also
+/// exercises the committed-prepare path).
+fn write_baseline(db: &ShardedDb) {
+    for k in BASE_KEYS {
+        db.put(k * 300, b"base").unwrap();
+    }
+    db.flush().unwrap();
+    let mut batch = WriteBatch::new();
+    for k in PENDING_KEYS {
+        batch.put(k, b"pending");
+    }
+    db.write(batch, &WriteOptions::durable()).unwrap();
+}
+
+fn target_batch() -> WriteBatch {
+    let mut batch = WriteBatch::new();
+    for k in TARGET_KEYS {
+        batch.put(k, b"target");
+    }
+    batch
+}
+
+/// All-or-nothing + fence + usability checks on a recovered database.
+fn check_recovered(db: &ShardedDb, acked: bool, label: &str) {
+    // Committed state is intact.
+    for k in BASE_KEYS {
+        assert_eq!(
+            db.get(k * 300).unwrap(),
+            Some(b"base".to_vec()),
+            "{label}: lost flushed baseline key {}",
+            k * 300
+        );
+    }
+    for k in PENDING_KEYS {
+        assert_eq!(
+            db.get(k).unwrap(),
+            Some(b"pending".to_vec()),
+            "{label}: lost committed cross-shard key {k}"
+        );
+    }
+    // The target batch is all-or-nothing.
+    let present: Vec<bool> = TARGET_KEYS
+        .iter()
+        .map(|&k| db.get(k).unwrap() == Some(b"target".to_vec()))
+        .collect();
+    let all = present.iter().all(|&p| p);
+    let none = present.iter().all(|&p| !p);
+    assert!(
+        all || none,
+        "{label}: torn cross-shard batch after recovery: {present:?}"
+    );
+    if acked {
+        assert!(all, "{label}: acknowledged durable batch lost");
+    }
+    // Fence consistency: a snapshot at the recovered fence observes the
+    // same verdict (everything replayed sits at or below the fence).
+    let snap = db.snapshot();
+    for &k in &TARGET_KEYS {
+        assert_eq!(
+            db.get_at(k, &snap).unwrap(),
+            db.get(k).unwrap(),
+            "{label}: fence {} does not cover recovered key {k}",
+            snap.seq()
+        );
+    }
+    drop(snap);
+    // The engine is fully usable: a fresh cross-shard commit (which
+    // re-allocates the aborted sequence range when the batch aborted)
+    // lands atomically.
+    let mut probe = WriteBatch::new();
+    for k in [950u64, 1950, 3850] {
+        probe.put(k, b"probe");
+    }
+    db.write(probe, &WriteOptions::durable())
+        .unwrap_or_else(|e| panic!("{label}: recovered engine refused writes: {e}"));
+    for k in [950u64, 1950, 3850] {
+        assert_eq!(db.get(k).unwrap(), Some(b"probe".to_vec()), "{label}");
+    }
+}
+
+/// The exhaustive matrix: crash at **every** storage-operation boundary of
+/// a 3-shard durable commit, reopen from the frozen image, and require the
+/// batch to be all-or-nothing — then re-crash the *recovery* at every one
+/// of its own operation boundaries and require the same from a third open.
+/// No sampling: every `N` and every `(N, M)` pair runs.
+#[test]
+fn crash_matrix_every_op_boundary_is_all_or_nothing() {
+    // Dry run: how many storage operations one commit spans.
+    let (storage, ctl) = CrashStorage::new();
+    let db = ShardedDb::open(storage, crash_opts()).unwrap();
+    write_baseline(&db);
+    let start = ctl.ops();
+    db.write(target_batch(), &WriteOptions::durable()).unwrap();
+    let total = ctl.ops() - start;
+    drop(db);
+    assert!(
+        total >= 8,
+        "a 3-shard durable commit should span ≥ 8 storage ops (3×append + 3×sync \
+         + marker append + marker sync), got {total}"
+    );
+
+    for n in 0..=total {
+        let (storage, ctl) = CrashStorage::new();
+        let db = ShardedDb::open(Arc::clone(&storage) as Arc<dyn Storage>, crash_opts()).unwrap();
+        write_baseline(&db);
+        ctl.crash_after(n);
+        let acked = db.write(target_batch(), &WriteOptions::durable()).is_ok();
+        assert_eq!(
+            acked,
+            n >= total,
+            "crash point {n}/{total}: ack iff every commit op ran"
+        );
+        drop(db);
+
+        // Plain recovery from the frozen image.
+        let recovered = ShardedDb::open(Arc::new(storage.image()), crash_opts()).unwrap();
+        check_recovered(&recovered, acked, &format!("crash at op {n}/{total}"));
+        drop(recovered);
+
+        // Second crash: halt the recovery itself at every boundary M, and
+        // require the follow-up (unimpeded) open of the twice-crashed
+        // image to reach the same all-or-nothing verdict.
+        let mut m = 0u64;
+        loop {
+            assert!(m < 10_000, "recovery never completed (crash {n})");
+            let (s2, ctl2) = CrashStorage::over(storage.image());
+            ctl2.crash_after(m);
+            match ShardedDb::open(Arc::clone(&s2) as Arc<dyn Storage>, crash_opts()) {
+                Ok(db2) => {
+                    ctl2.disarm();
+                    check_recovered(&db2, acked, &format!("crash {n}, recovery used {m}+ ops"));
+                    break;
+                }
+                Err(_) => {
+                    let db3 = ShardedDb::open(Arc::new(s2.image()), crash_opts()).unwrap();
+                    check_recovered(
+                        &db3,
+                        acked,
+                        &format!("crash {n}, then recovery crash at op {m}"),
+                    );
+                }
+            }
+            m += 1;
+        }
+        eprintln!("crash point {n}/{total}: recovery spans {m} storage ops, all verified");
+    }
+}
+
+/// A failed cross-shard commit leaves orphaned **unsealed** prepare
+/// fragments in the touched shards' memtables. Every flush path — the
+/// sharded one and a shard-level `flush` reached through
+/// [`ShardedDb::shard`] — must refuse to persist them while the write
+/// path is poisoned (an SSTable replays unconditionally, so flushing
+/// would bake the torn batch into durable state), and a reopen must
+/// abort the batch everywhere.
+#[test]
+fn flush_after_poisoned_commit_cannot_persist_orphan_fragments() {
+    let (storage, ctl) = CrashStorage::new();
+    let db = ShardedDb::open(Arc::clone(&storage) as Arc<dyn Storage>, crash_opts()).unwrap();
+    write_baseline(&db);
+    // Fail the commit right after the first shard's prepare landed, then
+    // heal the storage: the process lives on, poisoned.
+    ctl.crash_after(1);
+    assert!(db.write(target_batch(), &WriteOptions::durable()).is_err());
+    ctl.disarm();
+    assert!(
+        db.flush().is_err(),
+        "sharded flush must refuse while poisoned"
+    );
+    assert!(
+        db.shard(0).flush().is_err(),
+        "shard-level flush must refuse while poisoned"
+    );
+    assert!(
+        db.shard(0).put(5, b"x").is_err(),
+        "shard-level writes must refuse while poisoned (their inline \
+         flush could persist the orphan fragment)"
+    );
+    assert!(db.put(1, b"x").is_err(), "writes stay refused");
+    drop(db);
+    // Reopen: the unsealed fragment aborted on every shard.
+    let db = ShardedDb::open(Arc::new(storage.image()), crash_opts()).unwrap();
+    for &k in &TARGET_KEYS {
+        assert_eq!(
+            db.get(k).unwrap(),
+            None,
+            "orphan fragment leaked via key {k}"
+        );
+    }
+    check_recovered(&db, false, "poisoned-flush image");
+}
+
+/// A prepare record's participant set is load-bearing at recovery: a
+/// fragment replayed by a shard the set excludes means a WAL landed in
+/// the wrong shard directory (or was tampered with), and resolving it
+/// would apply sequence numbers the fence never routed there — the open
+/// must fail with corruption instead.
+#[test]
+fn misplaced_prepare_record_is_detected_as_corruption() {
+    let storage: Arc<dyn Storage> = Arc::new(MemStorage::new());
+    {
+        let db = ShardedDb::open(Arc::clone(&storage), crash_opts()).unwrap();
+        // A batch touching shards 0 and 1 only — participants [0, 1].
+        let mut batch = WriteBatch::new();
+        batch.put(100, b"s0");
+        batch.put(1700, b"s1");
+        db.write(batch, &WriteOptions::durable()).unwrap();
+        // Crash without flush: the prepares sit in the live WALs.
+    }
+    // Misplace shard-0's log into shard-2's active-WAL slot.
+    let frag = lsm_io::read_all(storage.as_ref(), "shard-0/000001.wal").unwrap();
+    let mut f = storage.create("shard-2/000001.wal").unwrap();
+    f.append(&frag).unwrap();
+    drop(f);
+    let err = ShardedDb::open(storage, crash_opts())
+        .err()
+        .expect("misplaced prepare must fail the open");
+    match err {
+        lsm_tree::Error::Corruption(msg) => {
+            assert!(msg.contains("participant set"), "unexpected message: {msg}");
+        }
+        e => panic!("expected corruption, got: {e}"),
+    }
+}
+
+/// A snapshot pinned at fence `F` before a crash defines the committed
+/// prefix: after the crash (mid-way through the next cross-shard commit)
+/// and recovery, the fence must resume at exactly `F` and a fresh snapshot
+/// must observe byte-for-byte the pinned contents — nothing of the torn
+/// batch, nothing missing.
+#[test]
+fn snapshot_fence_is_the_committed_prefix_across_recovery() {
+    let (storage, ctl) = CrashStorage::new();
+    let db = ShardedDb::open(Arc::clone(&storage) as Arc<dyn Storage>, crash_opts()).unwrap();
+    write_baseline(&db);
+    let snap = db.snapshot();
+    let fence = snap.seq();
+    let pinned: Vec<(u64, Vec<u8>)> = {
+        let mut it = db.iter_at(&snap).unwrap();
+        it.seek_to_first();
+        it.collect_up_to(usize::MAX).unwrap()
+    };
+    assert_eq!(pinned.len(), BASE_KEYS.end as usize + PENDING_KEYS.len());
+
+    // Crash after the first shard's prepare landed: a torn commit.
+    ctl.crash_after(1);
+    assert!(db.write(target_batch(), &WriteOptions::durable()).is_err());
+    drop(snap);
+    drop(db);
+
+    let db = ShardedDb::open(Arc::new(storage.image()), crash_opts()).unwrap();
+    assert_eq!(
+        db.recovery_report(),
+        lsm_tree::RecoveryReport {
+            committed_fragments: PENDING_KEYS.len() as u64,
+            aborted_fragments: 1,
+        },
+        "recovery must re-commit the baseline prepares and abort the torn one"
+    );
+    assert_eq!(
+        db.latest_visible_seq(),
+        fence,
+        "the fence resumes at the committed prefix (aborted seqs are not replayed)"
+    );
+    let snap = db.snapshot();
+    assert_eq!(snap.seq(), fence);
+    let mut it = db.iter_at(&snap).unwrap();
+    it.seek_to_first();
+    assert_eq!(
+        it.collect_up_to(usize::MAX).unwrap(),
+        pinned,
+        "snapshot at fence {fence} after recovery must equal the pre-crash view"
+    );
 }
 
 // ------------------------------------------------------------ acceptance
