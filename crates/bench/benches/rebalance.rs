@@ -1,0 +1,55 @@
+//! Criterion bench: live shard rebalancing under a skewed insert stream.
+//!
+//! A zipfian-density insert stream lands on a 2-shard learned-range
+//! engine whose initial boundary was trained on a *uniform* sample — the
+//! worst case live splitting exists for. The bench compares the stream
+//! with splits **off** (frozen topology: one shard swallows everything,
+//! deep compaction debt) against splits **on** (the topology grows
+//! online: drains + dual-write windows included in the measured cost).
+//! The headline metric is the repo's standard "measured CPU + modeled
+//! I/O" per-insert latency; the summary prints the split counts and the
+//! final resident imbalance both ways.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use lsm_bench::{runner, Scale};
+
+const SEED: u64 = 0x9eba;
+
+fn bench_rebalance(c: &mut Criterion) {
+    let scale = Scale::smoke();
+    let mut g = c.benchmark_group("rebalance_smoke");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(scale.keys as u64));
+    for splits_on in [false, true] {
+        let label = if splits_on { "splits-on" } else { "splits-off" };
+        g.bench_with_input(
+            BenchmarkId::from_parameter(label),
+            &splits_on,
+            |b, &splits_on| {
+                b.iter(|| {
+                    let record = runner::rebalance_stream(&scale, splits_on, SEED)
+                        .expect("rebalance stream");
+                    std::hint::black_box(record)
+                })
+            },
+        );
+    }
+    g.finish();
+
+    println!("\nrebalance summary (smoke scale):");
+    for splits_on in [false, true] {
+        let r = runner::rebalance_stream(&scale, splits_on, SEED).expect("rebalance summary");
+        println!(
+            "  splits {}  {:8.2} µs/insert  {} splits → {} shards  resident imbalance {:5.1}%  stalls {:6.2} ms",
+            if r.splits_on { "on " } else { "off" },
+            r.avg_insert_us,
+            r.splits,
+            r.final_shards,
+            r.resident_imbalance * 100.0,
+            r.stall_ms,
+        );
+    }
+}
+
+criterion_group!(benches, bench_rebalance);
+criterion_main!(benches);

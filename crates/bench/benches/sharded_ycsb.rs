@@ -25,9 +25,15 @@ fn bench_sharded_ycsb(c: &mut Criterion) {
             &shards,
             |b, &shards| {
                 b.iter(|| {
-                    let records =
-                        runner::ycsb_sharded(&scale, Dataset::Random, shards, IndexKind::Pgm, SEED)
-                            .expect("ycsb");
+                    let records = runner::ycsb_sharded(
+                        &scale,
+                        Dataset::Random,
+                        shards,
+                        IndexKind::Pgm,
+                        SEED,
+                        None,
+                    )
+                    .expect("ycsb");
                     std::hint::black_box(records)
                 })
             },
@@ -37,7 +43,7 @@ fn bench_sharded_ycsb(c: &mut Criterion) {
 
     // One summary pass: the six mixes at 4 shards, with router balance.
     println!("\nsharded YCSB summary (4 shards, smoke scale):");
-    for r in runner::ycsb_sharded(&scale, Dataset::Random, 4, IndexKind::Pgm, SEED)
+    for r in runner::ycsb_sharded(&scale, Dataset::Random, 4, IndexKind::Pgm, SEED, None)
         .expect("ycsb summary")
     {
         println!(

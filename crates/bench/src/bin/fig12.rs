@@ -4,6 +4,8 @@
 //! With `--shards N` (N > 1) the six mixes instead run against an
 //! `N`-shard `ShardedDb` (learned range routing, shared worker pool) —
 //! the engine-level sharding scenario rather than the paper's figure.
+//! Add `--max-shards M` (and optionally `--split-threshold F`) to let
+//! the topology split hot shards live during the runs.
 
 use lsm_bench::{runner, Cli};
 
@@ -16,16 +18,20 @@ fn main() {
             cli.shards,
             learned_index::IndexKind::Pgm,
             0x5eed,
+            runner::Rebalance::from_flags(cli.max_shards, cli.split_threshold),
         )
         .expect("sharded ycsb experiment");
         println!("# YCSB A–F on a {}-shard ShardedDb", cli.shards);
         for r in &records {
             println!(
-                "YCSB-{}  shards={}  avg-op={:9.2}us  load-imbalance={:5.1}%  stalls={:8.2}ms",
+                "YCSB-{}  shards={}→{}  avg-op={:9.2}us  load-imbalance={:5.1}%  \
+                 splits={}  stalls={:8.2}ms",
                 r.workload,
                 r.shards,
+                r.final_shards,
                 r.avg_op_us,
                 r.load_imbalance * 100.0,
+                r.splits,
                 r.stall_ms
             );
         }

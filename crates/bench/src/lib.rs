@@ -69,6 +69,12 @@ pub struct Cli {
     /// `--shards N`: run against an `N`-shard `ShardedDb` where the
     /// runner supports it (YCSB); 1 = the single-`Db` path.
     pub shards: usize,
+    /// `--max-shards N`: allow live shard splitting up to `N` shards
+    /// (0 = frozen topology, the default).
+    pub max_shards: usize,
+    /// `--split-threshold F`: resident-bytes overshoot (fraction of the
+    /// fair target share) past which a shard is split live.
+    pub split_threshold: f64,
 }
 
 impl Cli {
@@ -84,6 +90,8 @@ impl Cli {
         let mut all_datasets = false;
         let mut out = None;
         let mut shards = 1usize;
+        let mut max_shards = 0usize;
+        let mut split_threshold = 0.2f64;
         let mut it = args.into_iter();
         while let Some(arg) = it.next() {
             let mut next_usize = |what: &str| -> usize {
@@ -97,6 +105,13 @@ impl Cli {
                 "--keys" => scale.keys = next_usize("--keys"),
                 "--ops" => scale.ops = next_usize("--ops"),
                 "--shards" => shards = next_usize("--shards").max(1),
+                "--max-shards" => max_shards = next_usize("--max-shards"),
+                "--split-threshold" => {
+                    split_threshold = it
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| die("--split-threshold needs a number"));
+                }
                 "--dataset" => {
                     let name = it.next().unwrap_or_else(|| die("--dataset needs a name"));
                     dataset = Dataset::from_name(&name)
@@ -106,7 +121,7 @@ impl Cli {
                 "--out" => out = Some(it.next().unwrap_or_else(|| die("--out needs a path"))),
                 "--help" | "-h" => {
                     eprintln!(
-                        "flags: --full | --smoke | --keys N | --ops N | --shards N | --dataset NAME | --all-datasets | --out PATH"
+                        "flags: --full | --smoke | --keys N | --ops N | --shards N | --max-shards N | --split-threshold F | --dataset NAME | --all-datasets | --out PATH"
                     );
                     std::process::exit(0);
                 }
@@ -119,6 +134,8 @@ impl Cli {
             all_datasets,
             out,
             shards,
+            max_shards,
+            split_threshold,
         }
     }
 

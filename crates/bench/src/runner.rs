@@ -361,6 +361,39 @@ pub struct ShardedYcsbRecord {
     pub load_imbalance: f64,
     /// Writer stall time accumulated during load + run, ms.
     pub stall_ms: f64,
+    /// Live shard splits performed (0 with a frozen topology).
+    pub splits: u64,
+    /// Shard count at the end of the run (== `shards` when frozen).
+    pub final_shards: usize,
+}
+
+/// Live-rebalancing knobs for the sharded runners: `None` freezes the
+/// topology (PR 3 behaviour); `Some` enables online splits up to
+/// `max_shards` at `split_threshold` overshoot of the fair share.
+#[derive(Debug, Clone, Copy)]
+pub struct Rebalance {
+    pub max_shards: usize,
+    pub split_threshold: f64,
+}
+
+impl Rebalance {
+    /// From CLI flags: `--max-shards 0` means frozen.
+    pub fn from_flags(max_shards: usize, split_threshold: f64) -> Option<Rebalance> {
+        (max_shards > 0).then_some(Rebalance {
+            max_shards,
+            split_threshold,
+        })
+    }
+
+    fn apply(knobs: Option<Rebalance>, mut opts: ShardedOptions) -> ShardedOptions {
+        if let Some(r) = knobs {
+            let min_split = opts.base.write_buffer_bytes as u64;
+            opts = opts
+                .with_max_shards(r.max_shards)
+                .with_split_trigger(r.split_threshold, min_split);
+        }
+        opts
+    }
 }
 
 /// Engine options for the sharded YCSB runs: background maintenance with
@@ -388,15 +421,19 @@ pub fn ycsb_sharded(
     shards: usize,
     kind: IndexKind,
     seed: u64,
+    rebalance: Option<Rebalance>,
 ) -> Result<Vec<ShardedYcsbRecord>> {
     let mut out = Vec::new();
     let keys = dataset.generate(scale.keys, seed);
     for spec in YcsbSpec::ALL {
         let mut workload = YcsbWorkload::new(spec, keys.clone(), seed ^ 0xfc);
-        let opts = ShardedOptions::learned(
-            shards,
-            workload.router_sample(16),
-            sharded_ycsb_opts(scale, kind),
+        let opts = Rebalance::apply(
+            rebalance,
+            ShardedOptions::learned(
+                shards,
+                workload.router_sample(16),
+                sharded_ycsb_opts(scale, kind),
+            ),
         );
         let db = ShardedDb::open_sim(opts, lsm_io::CostModel::default())?;
 
@@ -447,10 +484,90 @@ pub fn ycsb_sharded(
             avg_op_us: (cpu_ns + io.sim_total_ns()) as f64 / ops.max(1) as f64 / 1_000.0,
             load_imbalance,
             stall_ms: stats.stall_ns as f64 / 1e6,
+            splits: stats.shard_splits,
+            final_shards: db.shard_count(),
         });
         db.close()?;
     }
     Ok(out)
+}
+
+// ------------------------------------------------------- live rebalancing
+
+/// One measurement of the live-rebalancing scenario: a skewed insert
+/// stream against a 2-shard engine whose initial boundaries were cut for
+/// a uniform distribution.
+#[derive(Debug, Serialize)]
+pub struct RebalanceRecord {
+    /// Whether live splitting was enabled.
+    pub splits_on: bool,
+    /// Per-insert latency, µs (measured CPU + modeled I/O).
+    pub avg_insert_us: f64,
+    /// Live splits performed.
+    pub splits: u64,
+    /// Final shard count.
+    pub final_shards: usize,
+    /// Resident-bytes imbalance (`max/mean - 1`) at the end.
+    pub resident_imbalance: f64,
+    /// Writer stall time, ms.
+    pub stall_ms: f64,
+}
+
+/// The rebalance scenario behind the `rebalance` criterion bench: insert
+/// `scale.keys` zipfian-density keys (dense near zero, sparse tail) into
+/// a 2-shard learned-range engine whose boundary was trained on a
+/// *uniform* sample — with live splitting on or off — and report the
+/// cost and the final balance. Splits-off measures the cost of the
+/// mismatch (one shard swallows the stream); splits-on measures what the
+/// online topology pays to fix it.
+pub fn rebalance_stream(scale: &Scale, splits_on: bool, seed: u64) -> Result<RebalanceRecord> {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    let uniform_sample: Vec<u64> = (0..4096u64).map(|i| i << 32).collect();
+    let mut opts =
+        ShardedOptions::learned(2, uniform_sample, sharded_ycsb_opts(scale, IndexKind::Pgm));
+    if splits_on {
+        opts = opts
+            .with_max_shards(16)
+            .with_split_trigger(0.2, 2 * scale.write_buffer_bytes as u64);
+    }
+    let db = ShardedDb::open_sim(opts, lsm_io::CostModel::default())?;
+    let chooser = RequestDistribution::Zipfian { theta: 0.99 }.chooser(1 << 20);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let value = vec![7u8; scale.value_width];
+    let wall = std::time::Instant::now();
+    let mut batch = WriteBatch::with_capacity(64);
+    for _ in 0..scale.keys {
+        let k = ((chooser.next(&mut rng) as u64) << 24) | rng.gen_range(0..1u64 << 24);
+        batch.put(k, &value);
+        if batch.len() >= 64 {
+            db.write(std::mem::take(&mut batch), &WriteOptions::default())?;
+        }
+    }
+    db.write(batch, &WriteOptions::default())?;
+    db.flush()?;
+    if splits_on {
+        // Quiesce: drive the trigger until no shard is over target — the
+        // cost of the drains is part of what this bench measures. (Under
+        // a longer-lived stream the worker pool does this on its own;
+        // the smoke-scale stream finishes in milliseconds.)
+        while db.rebalance()? {}
+    }
+    let cpu_ns = wall.elapsed().as_nanos() as u64;
+    let io = db.shard(0).storage().stats().snapshot();
+    let stats = db.stats();
+    let sharded = db.sharded_stats();
+    let record = RebalanceRecord {
+        splits_on,
+        avg_insert_us: (cpu_ns + io.sim_total_ns()) as f64 / scale.keys.max(1) as f64 / 1_000.0,
+        splits: stats.shard_splits,
+        final_shards: db.shard_count(),
+        resident_imbalance: sharded.resident_imbalance,
+        stall_ms: stats.stall_ns as f64 / 1e6,
+    };
+    db.close()?;
+    Ok(record)
 }
 
 /// Figure 12: six YCSB workloads, each index at several memory budgets

@@ -244,6 +244,21 @@ impl CommitCoordination {
         Ok(guard)
     }
 
+    /// Non-blocking [`CommitCoordination::enter`]: `Ok(None)` when the
+    /// commit lock is contended. Background workers MUST use this — a
+    /// worker blocking on the commit lock can deadlock against a writer
+    /// that holds it while stalled on backpressure the worker itself
+    /// would have relieved.
+    pub(crate) fn try_enter(&self) -> Result<Option<parking_lot::MutexGuard<'_, ()>>> {
+        match self.lock.try_lock() {
+            None => Ok(None),
+            Some(guard) => {
+                self.check_poisoned()?;
+                Ok(Some(guard))
+            }
+        }
+    }
+
     pub(crate) fn check_poisoned(&self) -> Result<()> {
         if self.poisoned.load(Ordering::Acquire) {
             return Err(Error::Corruption(
@@ -947,6 +962,23 @@ impl Db {
     /// Number of rotated-but-unflushed immutable memtables queued.
     pub fn immutable_memtables(&self) -> usize {
         self.core.inner.read().imms.len()
+    }
+
+    /// Approximate resident bytes: every level's table bytes plus the
+    /// active and queued memtables — the load metric the sharding layer's
+    /// split trigger compares across shards.
+    pub fn resident_bytes(&self) -> u64 {
+        let inner = self.core.inner.read();
+        let tables: u64 = (0..inner.version.levels.len())
+            .map(|l| inner.version.level_bytes(l))
+            .sum();
+        tables
+            + inner.mem.approximate_bytes() as u64
+            + inner
+                .imms
+                .iter()
+                .map(|imm| imm.approximate_bytes() as u64)
+                .sum::<u64>()
     }
 
     /// A clone of the current version (level structure snapshot).

@@ -82,7 +82,10 @@ pub use options::{
     CompactionPolicy, IndexChoice, Maintenance, Options, ReadOptions, SearchStrategy,
     ShardedOptions, ShardingPolicy, WriteOptions,
 };
-pub use sharding::{RecoveryReport, ShardRouter, ShardedDb, ShardedDbIterator, ShardedSnapshot};
+pub use sharding::{
+    RecoveryReport, RoutingState, ShardRouter, ShardedDb, ShardedDbIterator, ShardedSnapshot,
+    ShardedStats, Topology, TrafficSampler,
+};
 pub use snapshot::Snapshot;
 pub use stats::{CompactionBreakdown, DbStats, LookupBreakdown, StatsSnapshot};
 pub use types::{Entry, EntryKind, InternalKey, SeqNo};

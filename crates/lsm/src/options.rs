@@ -234,34 +234,83 @@ pub enum ShardingPolicy {
 /// and compactions (no per-shard pools).
 #[derive(Debug, Clone)]
 pub struct ShardedOptions {
-    /// Number of shards (≥ 1).
+    /// Number of shards (≥ 1) for a **fresh** database. An existing
+    /// directory reopens with whatever its last sealed topology says —
+    /// the shard count is a dynamic property of the data, not of the
+    /// open call.
     pub shards: usize,
     /// Key-space partitioning policy.
     pub policy: ShardingPolicy,
+    /// Ceiling on the shard count for live splitting. `0` (the default)
+    /// freezes the topology: no shard ever splits, which keeps the paper
+    /// experiments byte-identical. Set above the initial count to let a
+    /// range-partitioned engine split hot shards online.
+    pub max_shards: usize,
+    /// Evaluate the split trigger automatically (in the write path under
+    /// synchronous maintenance, on the shared worker pool under
+    /// background maintenance). Off, splits only run through the
+    /// explicit `rebalance` hooks. [`ShardedOptions::with_max_shards`]
+    /// turns this on.
+    pub auto_split: bool,
+    /// Resident-bytes imbalance (`max/mean - 1` across shards) past which
+    /// the hottest shard is proposed for a split. `0.2` means "split once
+    /// one shard holds 20% more than its fair share".
+    pub split_imbalance: f64,
+    /// A shard is never split while its resident bytes are below this
+    /// floor — splitting a near-empty shard only multiplies fixed costs.
+    pub min_split_bytes: u64,
+    /// Commit-marker log size (bytes) past which a runtime checkpoint is
+    /// triggered: every shard is flushed and markers below the flush
+    /// watermark are dropped, bounding the log without a reopen. `0`
+    /// disables runtime checkpointing (reopen still truncates).
+    pub commit_log_checkpoint_bytes: u64,
     /// Engine options applied to every shard.
     pub base: Options,
 }
 
 impl ShardedOptions {
-    /// `shards` hash-partitioned shards over `base` options.
-    pub fn hash(shards: usize, base: Options) -> Self {
+    fn with_policy(shards: usize, policy: ShardingPolicy, base: Options) -> Self {
         Self {
             shards,
-            policy: ShardingPolicy::Hash,
+            policy,
+            max_shards: 0,
+            auto_split: false,
+            split_imbalance: 0.2,
+            min_split_bytes: 4 * base.write_buffer_bytes as u64,
+            commit_log_checkpoint_bytes: 1 << 20,
             base,
         }
     }
 
+    /// `shards` hash-partitioned shards over `base` options.
+    pub fn hash(shards: usize, base: Options) -> Self {
+        Self::with_policy(shards, ShardingPolicy::Hash, base)
+    }
+
     /// `shards` learned-range shards, boundaries fitted over `sample`.
     pub fn learned(shards: usize, sample: Vec<u64>, base: Options) -> Self {
-        Self {
+        Self::with_policy(
             shards,
-            policy: ShardingPolicy::LearnedRange {
+            ShardingPolicy::LearnedRange {
                 sample,
                 epsilon: 32,
             },
             base,
-        }
+        )
+    }
+
+    /// Enable automatic live splitting up to `max_shards` shards.
+    pub fn with_max_shards(mut self, max_shards: usize) -> Self {
+        self.max_shards = max_shards;
+        self.auto_split = true;
+        self
+    }
+
+    /// Override the split trigger (imbalance threshold + size floor).
+    pub fn with_split_trigger(mut self, imbalance: f64, min_bytes: u64) -> Self {
+        self.split_imbalance = imbalance;
+        self.min_split_bytes = min_bytes;
+        self
     }
 }
 

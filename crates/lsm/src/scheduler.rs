@@ -21,9 +21,17 @@
 //! The pool is deliberately decoupled from any one tree: a step function is
 //! just a closure returning a `Step`. A single `Db` passes its own
 //! flush/compact steps; a [`crate::sharding::ShardedDb`] passes closures
-//! that round-robin one step over *every* shard's core, so `N` shards share
-//! one global thread budget and one wakeup channel instead of spawning `N`
-//! pools (see `Db::open_internal`'s `ExternalPool`).
+//! that round-robin one step over *every* shard's core — re-reading the
+//! core list each pass, so a live split's children join the rotation and a
+//! retired parent leaves it without restarting the pool — and its
+//! compaction closure doubles as the **split step**: when no merge is due
+//! anywhere, it evaluates the rebalance trigger (live splitting is tree
+//! maintenance like any other). Steps running on this pool must never
+//! *block* on the sharding layer's commit lock (only try-lock): a worker
+//! parked on it can deadlock against a writer that holds the lock while
+//! stalled on backpressure this very pool is supposed to relieve. `N`
+//! shards share one global thread budget and one wakeup channel instead of
+//! spawning `N` pools (see `Db::open_internal`'s `ExternalPool`).
 //!
 //! Shutdown (`Scheduler::shutdown`, invoked by `Db::close`/`Drop`) wakes
 //! all workers and flips them into *drain* mode: flush workers keep

@@ -8,6 +8,12 @@
 //! cross-shard deduplication, only ordering. Under range partitioning the
 //! heap degenerates to shard concatenation; under hash partitioning it
 //! does real interleaving. Either way the output is one ascending scan.
+//!
+//! The sources are **epoch-pinned**: [`super::ShardedDb::iter_at`] builds
+//! them from the shard set of the [`super::ShardedSnapshot`]'s own topology
+//! epoch, so a live split publishing a new topology mid-scan can neither
+//! drop a source nor double one — the merge keeps reading the parent it
+//! pinned, never a half-populated child.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;

@@ -1,4 +1,5 @@
-//! The shard router: which shard owns a key.
+//! The shard router: which shard owns a key — and how its boundaries are
+//! (re-)learned from traffic.
 //!
 //! Range partitioning needs boundaries that balance *data*, not key space —
 //! on a skewed distribution (zipfian, lognormal) equal key-space slices put
@@ -10,25 +11,29 @@
 //! error against the exact boundaries, the same predict-then-bounded-search
 //! contract every learned index in `learned-index` follows.
 //!
+//! The boundaries are **not** frozen at creation. A [`TrafficSampler`]
+//! keeps a decaying sample of routed keys, driving the split trigger's
+//! observability and the model refresh; when a live split cuts a hot
+//! shard ([`crate::sharding::ShardedDb`]), the new boundary is an exact
+//! quantile of the shard's own pinned data (peel-or-halve) and the CDF
+//! model is retrained over the sampler contents
+//! ([`ShardRouter::with_boundaries`] + `train_cdf_model`) — the learned
+//! layout adapts under inserts instead of being retrained offline.
+//!
 //! When no sample is available (unknown distribution) the router falls
 //! back to multiplicative hashing, which balances any key set but gives up
-//! range locality.
+//! range locality. Routing answers a *position* (0-based slot in the
+//! current topology); the sharding layer maps positions to stable shard
+//! ids and directories.
 
 use learned_index::{IndexConfig, IndexKind, SegmentIndex};
-use lsm_io::Storage;
 
 use crate::options::ShardingPolicy;
-use crate::{Error, Result};
 
-/// Router state file (text; boundaries + policy).
-pub(crate) const ROUTER_FILE: &str = "SHARDING";
-/// Serialized CDF model (binary, `learned-index` codec).
-pub(crate) const ROUTER_MODEL_FILE: &str = "SHARDING.model";
-
-/// Routes user keys to shards. Built once per [`super::ShardedDb`] from a
-/// [`ShardingPolicy`], persisted next to the shard directories so a reopen
-/// routes identically (a boundary drift would strand keys in the wrong
-/// shard).
+/// Routes user keys to shard *positions*. Built per topology epoch by
+/// [`crate::sharding::ShardedDb`]; the boundary set is persisted in the
+/// epoch'd `SHARDING-<epoch>` topology file so a reopen routes identically
+/// (a boundary drift would strand keys in the wrong shard).
 pub enum ShardRouter {
     /// Multiplicative-hash partitioning (fallback).
     Hash {
@@ -80,6 +85,25 @@ fn mix64(mut k: u64) -> u64 {
     k ^ (k >> 33)
 }
 
+/// Fit the router's CDF accelerator (a PLR over the sorted, deduplicated
+/// sample). Returns `None` when the sample is too thin to model — routing
+/// then binary-searches the exact boundaries, same answers.
+pub(crate) fn train_cdf_model(
+    sample: &mut Vec<u64>,
+    epsilon: usize,
+) -> Option<(Box<dyn SegmentIndex>, usize)> {
+    sample.sort_unstable();
+    sample.dedup();
+    if sample.len() < 4 {
+        return None;
+    }
+    let config = IndexConfig {
+        epsilon: epsilon.max(1),
+        ..IndexConfig::default()
+    };
+    Some((IndexKind::Plr.build(sample, &config), sample.len()))
+}
+
 impl ShardRouter {
     /// Build a router for `shards` shards under `policy`.
     ///
@@ -101,17 +125,29 @@ impl ShardRouter {
                 // Quantile cuts: boundary i is the first key of shard i+1,
                 // so each shard receives ≈ n/shards of the sampled mass.
                 let boundaries: Vec<u64> = (1..shards).map(|i| sample[i * n / shards]).collect();
-                let config = IndexConfig {
-                    epsilon: (*epsilon).max(1),
-                    ..IndexConfig::default()
-                };
-                let model = IndexKind::Plr.build(&sample, &config);
+                let model = train_cdf_model(&mut sample, *epsilon).map(|(m, _)| m);
                 ShardRouter::Range {
                     boundaries,
-                    model: Some(model),
+                    model,
                     sample_len: n,
                 }
             }
+        }
+    }
+
+    /// A range router over an explicit (already validated, strictly
+    /// ascending) boundary set — how a topology epoch materializes its
+    /// router after a reopen or a live split.
+    pub fn with_boundaries(
+        boundaries: Vec<u64>,
+        model: Option<Box<dyn SegmentIndex>>,
+        sample_len: usize,
+    ) -> ShardRouter {
+        debug_assert!(boundaries.windows(2).all(|w| w[0] < w[1]));
+        ShardRouter::Range {
+            boundaries,
+            model,
+            sample_len,
         }
     }
 
@@ -126,6 +162,27 @@ impl ShardRouter {
     /// Whether this is (learned) range partitioning.
     pub fn is_range(&self) -> bool {
         matches!(self, ShardRouter::Range { .. })
+    }
+
+    /// The boundary set (empty for hash routing).
+    pub fn boundaries(&self) -> &[u64] {
+        match self {
+            ShardRouter::Hash { .. } => &[],
+            ShardRouter::Range { boundaries, .. } => boundaries,
+        }
+    }
+
+    /// The key range owned by shard position `pos`:
+    /// `(inclusive lower, exclusive upper)` with `None` at the unbounded
+    /// ends.
+    pub fn shard_range(&self, pos: usize) -> (Option<u64>, Option<u64>) {
+        match self {
+            ShardRouter::Hash { .. } => (None, None),
+            ShardRouter::Range { boundaries, .. } => (
+                pos.checked_sub(1).map(|i| boundaries[i]),
+                boundaries.get(pos).copied(),
+            ),
+        }
     }
 
     /// The shard that owns `key`.
@@ -170,104 +227,6 @@ impl ShardRouter {
         }
         counts
     }
-
-    // ------------------------------------------------------- persistence
-
-    /// Persist the router at the storage root (next to the shard
-    /// directories): boundaries/policy as text, the CDF model via the
-    /// `learned-index` codec.
-    pub(crate) fn save(&self, storage: &dyn Storage) -> Result<()> {
-        let mut text = format!("shards {}\n", self.shards());
-        match self {
-            ShardRouter::Hash { .. } => text.push_str("policy hash\n"),
-            ShardRouter::Range {
-                boundaries,
-                model,
-                sample_len,
-            } => {
-                text.push_str("policy range\n");
-                text.push_str(&format!("sample_len {sample_len}\n"));
-                for b in boundaries {
-                    text.push_str(&format!("boundary {b}\n"));
-                }
-                if let Some(m) = model {
-                    let mut f = storage.create(ROUTER_MODEL_FILE)?;
-                    f.append(&m.encode())?;
-                    f.sync()?;
-                }
-            }
-        }
-        let mut f = storage.create(ROUTER_FILE)?;
-        f.append(text.as_bytes())?;
-        f.sync()?;
-        Ok(())
-    }
-
-    /// Load a previously saved router. A missing or corrupt model file
-    /// degrades to boundary binary search (identical routing); a corrupt
-    /// text file is an error — routing *boundaries* must never be guessed.
-    pub(crate) fn load(storage: &dyn Storage) -> Result<ShardRouter> {
-        let raw = lsm_io::read_all(storage, ROUTER_FILE)?;
-        let text = String::from_utf8(raw)
-            .map_err(|_| Error::Corruption("sharding file is not UTF-8".into()))?;
-        let mut shards = 0usize;
-        let mut is_range = false;
-        let mut sample_len = 0usize;
-        let mut boundaries = Vec::new();
-        for (lineno, line) in text.lines().enumerate() {
-            let corrupt = || Error::Corruption(format!("sharding file line {lineno}"));
-            let mut parts = line.split_whitespace();
-            match parts.next() {
-                Some("shards") => {
-                    shards = parts
-                        .next()
-                        .and_then(|s| s.parse().ok())
-                        .ok_or_else(corrupt)?;
-                }
-                Some("policy") => {
-                    is_range = match parts.next() {
-                        Some("range") => true,
-                        Some("hash") => false,
-                        _ => return Err(corrupt()),
-                    };
-                }
-                Some("sample_len") => {
-                    sample_len = parts
-                        .next()
-                        .and_then(|s| s.parse().ok())
-                        .ok_or_else(corrupt)?;
-                }
-                Some("boundary") => {
-                    boundaries.push(
-                        parts
-                            .next()
-                            .and_then(|s| s.parse().ok())
-                            .ok_or_else(corrupt)?,
-                    );
-                }
-                _ => {}
-            }
-        }
-        if shards == 0 {
-            return Err(Error::Corruption("sharding file: no shard count".into()));
-        }
-        if !is_range {
-            return Ok(ShardRouter::Hash { shards });
-        }
-        if boundaries.len() + 1 != shards || !boundaries.windows(2).all(|w| w[0] < w[1]) {
-            return Err(Error::Corruption("sharding file: bad boundaries".into()));
-        }
-        let model = storage
-            .exists(ROUTER_MODEL_FILE)
-            .then(|| lsm_io::read_all(storage, ROUTER_MODEL_FILE))
-            .transpose()?
-            .and_then(|bytes| IndexKind::decode(&bytes).ok());
-        Ok(ShardRouter::Range {
-            boundaries,
-            model,
-            sample_len,
-        })
-    }
 }
 
 /// Relative imbalance of a partition: `max/mean - 1` (0 = perfectly even;
@@ -285,10 +244,77 @@ pub fn imbalance(counts: &[u64]) -> f64 {
     }
 }
 
+/// A decaying sample of routed keys — the router's view of live traffic.
+///
+/// A fixed-size ring records every `stride`-th routed key: the window
+/// holds the most recent `capacity × stride` keys, so old traffic decays
+/// out naturally and the sample tracks the *current* distribution, which
+/// is exactly what boundary re-learning needs (splitting by a stale
+/// distribution would re-create the imbalance). Sampling happens under the
+/// sharding layer's commit lock, so the ring needs no synchronization of
+/// its own beyond that mutex.
+#[derive(Debug)]
+pub struct TrafficSampler {
+    ring: Vec<u64>,
+    /// Next slot to overwrite once the ring is full.
+    head: usize,
+    /// Keys seen since the last recorded one.
+    skipped: u32,
+    stride: u32,
+    total: u64,
+}
+
+/// Ring capacity: enough resolution for a median cut, small enough that a
+/// full retrain of the CDF model is trivially cheap.
+const SAMPLE_CAPACITY: usize = 4096;
+
+/// Record every 8th routed key: at the default capacity the window spans
+/// the last ~32k keys of traffic.
+const SAMPLE_STRIDE: u32 = 8;
+
+impl Default for TrafficSampler {
+    fn default() -> Self {
+        Self {
+            ring: Vec::with_capacity(SAMPLE_CAPACITY),
+            head: 0,
+            skipped: 0,
+            stride: SAMPLE_STRIDE,
+            total: 0,
+        }
+    }
+}
+
+impl TrafficSampler {
+    /// Observe one routed key.
+    pub fn observe(&mut self, key: u64) {
+        self.total += 1;
+        self.skipped += 1;
+        if self.skipped < self.stride {
+            return;
+        }
+        self.skipped = 0;
+        if self.ring.len() < SAMPLE_CAPACITY {
+            self.ring.push(key);
+        } else {
+            self.ring[self.head] = key;
+            self.head = (self.head + 1) % SAMPLE_CAPACITY;
+        }
+    }
+
+    /// The current window of observed keys (unordered).
+    pub fn observed(&self) -> &[u64] {
+        &self.ring
+    }
+
+    /// Keys observed over the sampler's lifetime (not just the window).
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use lsm_io::MemStorage;
 
     fn skewed_keys(n: usize) -> Vec<u64> {
         // Quadratic spacing: dense at the low end, sparse at the top —
@@ -321,11 +347,7 @@ mod tests {
         // Uniform key-space cuts on the same keys: terribly unbalanced —
         // the learned quantile cuts are doing real work.
         let max = *keys.last().unwrap();
-        let uniform = ShardRouter::Range {
-            boundaries: (1..4).map(|i| i * max / 4).collect(),
-            model: None,
-            sample_len: 0,
-        };
+        let uniform = ShardRouter::with_boundaries((1..4).map(|i| i * max / 4).collect(), None, 0);
         assert!(imbalance(&uniform.partition_counts(&keys)) > 0.5);
     }
 
@@ -365,11 +387,7 @@ mod tests {
         else {
             panic!("expected range router");
         };
-        let plain = ShardRouter::Range {
-            boundaries: boundaries.clone(),
-            model: None,
-            sample_len: *sample_len,
-        };
+        let plain = ShardRouter::with_boundaries(boundaries.clone(), None, *sample_len);
         for k in sample.iter().step_by(7) {
             assert_eq!(r.shard_of(*k), plain.shard_of(*k), "key {k}");
         }
@@ -392,40 +410,11 @@ mod tests {
     }
 
     #[test]
-    fn save_load_roundtrip_routes_identically() {
-        let storage = MemStorage::new();
-        let keys = skewed_keys(20_000);
-        let r = ShardRouter::train(
-            4,
-            &ShardingPolicy::LearnedRange {
-                sample: keys.clone(),
-                epsilon: 32,
-            },
-        );
-        r.save(&storage).unwrap();
-        let loaded = ShardRouter::load(&storage).unwrap();
-        assert_eq!(loaded.shards(), 4);
-        for k in keys.iter().step_by(11) {
-            assert_eq!(r.shard_of(*k), loaded.shard_of(*k), "key {k}");
-        }
-        // Losing the model file degrades to boundary search, same answers.
-        storage.remove(ROUTER_MODEL_FILE).unwrap();
-        let degraded = ShardRouter::load(&storage).unwrap();
-        for k in keys.iter().step_by(11) {
-            assert_eq!(r.shard_of(*k), degraded.shard_of(*k), "key {k}");
-        }
-    }
-
-    #[test]
-    fn hash_save_load_roundtrip() {
-        let storage = MemStorage::new();
-        let r = ShardRouter::train(6, &ShardingPolicy::Hash);
-        r.save(&storage).unwrap();
-        let loaded = ShardRouter::load(&storage).unwrap();
-        assert!(!loaded.is_range());
-        for k in (0..1000u64).map(|i| i * 77) {
-            assert_eq!(r.shard_of(k), loaded.shard_of(k));
-        }
+    fn shard_range_bounds() {
+        let r = ShardRouter::with_boundaries(vec![100, 200], None, 0);
+        assert_eq!(r.shard_range(0), (None, Some(100)));
+        assert_eq!(r.shard_range(1), (Some(100), Some(200)));
+        assert_eq!(r.shard_range(2), (Some(200), None));
     }
 
     #[test]
@@ -434,5 +423,18 @@ mod tests {
         assert!((imbalance(&[10, 5, 5, 0]) - 1.0).abs() < 1e-12);
         assert_eq!(imbalance(&[]), 0.0);
         assert_eq!(imbalance(&[0, 0]), 0.0);
+    }
+
+    #[test]
+    fn sampler_window_decays_old_traffic() {
+        let mut s = TrafficSampler::default();
+        for k in 0..100_000u64 {
+            s.observe(k);
+        }
+        assert_eq!(s.total(), 100_000);
+        let window = s.observed();
+        assert_eq!(window.len(), SAMPLE_CAPACITY);
+        // Early traffic has decayed out entirely.
+        assert!(window.iter().all(|&k| k > 60_000), "stale keys survived");
     }
 }

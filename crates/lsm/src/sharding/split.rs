@@ -22,6 +22,23 @@ pub fn split_batch(batch: WriteBatch, router: &ShardRouter) -> Vec<WriteBatch> {
     out
 }
 
+/// Split one shard's sub-batch at a single cut key — the dual-write half
+/// of a live shard split: ops with `key < cut` go left, the rest right,
+/// preserving application order on both sides (per-key order is all that
+/// "later op wins" needs, and a key lands on exactly one side).
+pub fn split_by_cut(batch: &WriteBatch, cut: u64) -> (WriteBatch, WriteBatch) {
+    let mut left = WriteBatch::new();
+    let mut right = WriteBatch::new();
+    for op in batch.ops() {
+        if op.key < cut {
+            left.extend(std::iter::once(op.clone()));
+        } else {
+            right.extend(std::iter::once(op.clone()));
+        }
+    }
+    (left, right)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -55,6 +72,22 @@ mod tests {
         assert_eq!(parts[1].len(), 0, "untouched shard gets an empty batch");
         assert_eq!(parts[2].ops()[0].key, 2500);
         assert_eq!(parts[3].ops()[0].key, 3999);
+    }
+
+    #[test]
+    fn cut_split_partitions_and_keeps_order() {
+        let mut batch = WriteBatch::new();
+        batch.put(10, b"a");
+        batch.put(2500, b"b");
+        batch.delete(10);
+        batch.put(999, b"c");
+        let (l, r) = split_by_cut(&batch, 1000);
+        assert_eq!(l.len(), 3);
+        assert_eq!(r.len(), 1);
+        assert_eq!(l.ops()[0].key, 10);
+        assert_eq!(l.ops()[1].kind, EntryKind::Delete, "order kept");
+        assert_eq!(l.ops()[2].key, 999);
+        assert_eq!(r.ops()[0].key, 2500);
     }
 
     #[test]

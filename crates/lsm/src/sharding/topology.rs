@@ -1,0 +1,483 @@
+//! The epoch'd routing topology: which shards exist, in what key order,
+//! and how that set changes crash-atomically at runtime.
+//!
+//! PR 3 froze the shard set at creation (`SHARDING` was written once and a
+//! reopen with a different count was refused). Live splitting makes the
+//! topology a *versioned* artifact instead:
+//!
+//! * Every shard has a **stable id** — the number in its `shard-<id>/`
+//!   directory — that never changes across topology epochs. Cross-shard
+//!   prepare records and their participant sets name stable ids, so a
+//!   prepare written at epoch `e` still resolves correctly after any
+//!   number of splits shifted routing positions around.
+//! * The topology itself (epoch, routing order of stable ids, boundary
+//!   set, id allocator) is persisted as a CRC-sealed `SHARDING-<epoch>`
+//!   file, exactly like the per-shard epoch'd manifests: a change writes
+//!   a **fresh** sealed file and only then retires its predecessor, so a
+//!   crash at any storage-operation boundary leaves at least one intact
+//!   topology and recovery adopts the newest one that validates. Sealing
+//!   the new epoch **is** a split's cutover point: before it, the last
+//!   sealed topology still names the parent (split children are orphans
+//!   and are discarded); after it, the children own the range (and the
+//!   parent directory is the orphan).
+//! * The legacy unsealed `SHARDING` file (PR 3 layouts) is still readable
+//!   as epoch 0 with stable ids `0..shards`.
+//!
+//! The CDF model acceleration is persisted separately (`SHARDING.model`,
+//! best-effort): losing it degrades routing to boundary binary search —
+//! same answers — and the degradation is surfaced explicitly through
+//! [`crate::sharding::RecoveryReport`] instead of being silent.
+
+use learned_index::{IndexKind, SegmentIndex};
+use lsm_io::Storage;
+
+use crate::wal;
+use crate::{Error, Result};
+
+/// Legacy router state file (PR 3; unsealed text). Readable as epoch 0.
+pub(crate) const LEGACY_ROUTER_FILE: &str = "SHARDING";
+/// Epoch-numbered topology prefix (CRC-sealed).
+pub(crate) const TOPOLOGY_PREFIX: &str = "SHARDING-";
+/// Serialized CDF model (binary, `learned-index` codec; best-effort).
+pub(crate) const ROUTER_MODEL_FILE: &str = "SHARDING.model";
+
+pub(crate) fn topology_name(epoch: u64) -> String {
+    format!("{TOPOLOGY_PREFIX}{epoch:06}")
+}
+
+/// One persisted routing topology: the shard set at one epoch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Topology {
+    /// Epoch number; bumped by exactly one per published change.
+    pub epoch: u64,
+    /// Stable shard ids in routing order (`ids[pos]` owns range slot
+    /// `pos`). Directories are `shard-<id>/`.
+    pub ids: Vec<u16>,
+    /// Ascending cut points for range routing (`ids.len() - 1` of them);
+    /// empty for hash routing.
+    pub boundaries: Vec<u64>,
+    /// Whether this topology range-partitions (hash otherwise).
+    pub range: bool,
+    /// Next stable id to allocate for a split child.
+    pub next_id: u16,
+    /// Training-sample size behind the persisted CDF model (position →
+    /// CDF denominator); 0 when no model was ever fitted.
+    pub sample_len: usize,
+}
+
+impl Topology {
+    /// A fresh epoch-1 topology for `shards` shards with stable ids
+    /// `0..shards`.
+    pub(crate) fn fresh(
+        shards: usize,
+        range: bool,
+        boundaries: Vec<u64>,
+        sample_len: usize,
+    ) -> Self {
+        let shards = shards.max(1);
+        Topology {
+            epoch: 1,
+            ids: (0..shards as u16).collect(),
+            boundaries: if range { boundaries } else { Vec::new() },
+            range,
+            next_id: shards as u16,
+            sample_len,
+        }
+    }
+
+    /// Number of shards at this epoch.
+    pub fn shards(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Directory prefix of the shard with stable id `id`.
+    pub fn shard_dir(id: u16) -> String {
+        format!("shard-{id}/")
+    }
+
+    /// The topology after splitting the shard at routing position `pos`
+    /// at `cut`: the caller's two child ids replace the parent, the cut
+    /// becomes a boundary, and the epoch advances by one. The ids are
+    /// the **caller's** (the sharding layer's in-process allocator may
+    /// have burned ids on aborted splits, so `next_id` here can lag the
+    /// directories actually created — recording allocator-issued ids is
+    /// what keeps the sealed topology pointing at the real child
+    /// directories).
+    pub(crate) fn with_split(&self, pos: usize, cut: u64, left: u16, right: u16) -> Topology {
+        debug_assert!(self.range, "hash topologies do not split");
+        debug_assert!(left >= self.next_id && right > left);
+        let mut ids = self.ids.clone();
+        ids.splice(pos..=pos, [left, right]);
+        let mut boundaries = self.boundaries.clone();
+        boundaries.insert(pos, cut);
+        Topology {
+            epoch: self.epoch + 1,
+            ids,
+            boundaries,
+            range: true,
+            next_id: right + 1,
+            sample_len: self.sample_len,
+        }
+    }
+
+    // ------------------------------------------------------- persistence
+
+    /// Seal this topology as `SHARDING-<epoch>` (fresh file, CRC footer,
+    /// synced), then retire the predecessor epoch and the legacy file —
+    /// the single storage-visible cutover of a topology change.
+    pub(crate) fn save(&self, storage: &dyn Storage) -> Result<()> {
+        let mut text = format!("epoch {}\n", self.epoch);
+        text.push_str(&format!(
+            "policy {}\n",
+            if self.range { "range" } else { "hash" }
+        ));
+        text.push_str(&format!("next_id {}\n", self.next_id));
+        text.push_str(&format!("sample_len {}\n", self.sample_len));
+        for id in &self.ids {
+            text.push_str(&format!("shard {id}\n"));
+        }
+        for b in &self.boundaries {
+            text.push_str(&format!("boundary {b}\n"));
+        }
+        text.push_str(&format!("crc {:08x}\n", wal::crc32(text.as_bytes())));
+        let mut f = storage.create(&topology_name(self.epoch))?;
+        f.append(text.as_bytes())?;
+        f.sync()?;
+        // Sealed: older epochs (and the legacy file) are superseded.
+        if self.epoch > 1 {
+            let _ = storage.remove(&topology_name(self.epoch - 1));
+        }
+        let _ = storage.remove(LEGACY_ROUTER_FILE);
+        Ok(())
+    }
+
+    /// Load the newest sealed topology: the highest `SHARDING-<epoch>`
+    /// whose CRC footer validates, falling back to the legacy `SHARDING`
+    /// file (epoch 0) for pre-topology directories. `Ok(None)` means a
+    /// fresh database.
+    pub(crate) fn load(storage: &dyn Storage) -> Result<Option<Topology>> {
+        let mut epochs: Vec<u64> = storage
+            .list()?
+            .into_iter()
+            .filter_map(|n| n.strip_prefix(TOPOLOGY_PREFIX)?.parse().ok())
+            .collect();
+        epochs.sort_unstable_by(|a, b| b.cmp(a));
+        for epoch in epochs {
+            let raw = lsm_io::read_all(storage, &topology_name(epoch))?;
+            let Ok(text) = String::from_utf8(raw) else {
+                continue; // unsealed garbage from a crash mid-write
+            };
+            let Some(idx) = text
+                .rfind("crc ")
+                .filter(|&i| i == 0 || text.as_bytes()[i - 1] == b'\n')
+            else {
+                continue;
+            };
+            let Ok(want) = u32::from_str_radix(text[idx + 4..].trim_end(), 16) else {
+                continue;
+            };
+            if wal::crc32(&text.as_bytes()[..idx]) != want {
+                continue; // torn seal: fall back to the previous epoch
+            }
+            return Ok(Some(Self::parse(&text, epoch)?));
+        }
+        if storage.exists(LEGACY_ROUTER_FILE) {
+            let raw = lsm_io::read_all(storage, LEGACY_ROUTER_FILE)?;
+            let text = String::from_utf8(raw)
+                .map_err(|_| Error::Corruption("sharding file is not UTF-8".into()))?;
+            return Ok(Some(Self::parse_legacy(&text)?));
+        }
+        Ok(None)
+    }
+
+    fn parse(text: &str, epoch: u64) -> Result<Topology> {
+        let mut topo = Topology {
+            epoch,
+            ids: Vec::new(),
+            boundaries: Vec::new(),
+            range: false,
+            next_id: 0,
+            sample_len: 0,
+        };
+        for (lineno, line) in text.lines().enumerate() {
+            let corrupt = || Error::Corruption(format!("topology file line {lineno}"));
+            let mut parts = line.split_whitespace();
+            let field = parts.next();
+            let value = parts.next();
+            match field {
+                Some("epoch") => {
+                    let e: u64 = value.and_then(|s| s.parse().ok()).ok_or_else(corrupt)?;
+                    if e != epoch {
+                        return Err(Error::Corruption(format!(
+                            "topology file {} claims epoch {e}",
+                            topology_name(epoch)
+                        )));
+                    }
+                }
+                Some("policy") => {
+                    topo.range = match value {
+                        Some("range") => true,
+                        Some("hash") => false,
+                        _ => return Err(corrupt()),
+                    };
+                }
+                Some("next_id") => {
+                    topo.next_id = value.and_then(|s| s.parse().ok()).ok_or_else(corrupt)?;
+                }
+                Some("sample_len") => {
+                    topo.sample_len = value.and_then(|s| s.parse().ok()).ok_or_else(corrupt)?;
+                }
+                Some("shard") => {
+                    topo.ids
+                        .push(value.and_then(|s| s.parse().ok()).ok_or_else(corrupt)?);
+                }
+                Some("boundary") => {
+                    topo.boundaries
+                        .push(value.and_then(|s| s.parse().ok()).ok_or_else(corrupt)?);
+                }
+                _ => {}
+            }
+        }
+        topo.validate()?;
+        Ok(topo)
+    }
+
+    /// The PR 3 `SHARDING` format: `shards N`, `policy`, `sample_len`,
+    /// `boundary` lines — stable ids are implicitly `0..N`.
+    fn parse_legacy(text: &str) -> Result<Topology> {
+        let mut shards = 0usize;
+        let mut range = false;
+        let mut sample_len = 0usize;
+        let mut boundaries = Vec::new();
+        for (lineno, line) in text.lines().enumerate() {
+            let corrupt = || Error::Corruption(format!("sharding file line {lineno}"));
+            let mut parts = line.split_whitespace();
+            match parts.next() {
+                Some("shards") => {
+                    shards = parts
+                        .next()
+                        .and_then(|s| s.parse().ok())
+                        .ok_or_else(corrupt)?;
+                }
+                Some("policy") => {
+                    range = match parts.next() {
+                        Some("range") => true,
+                        Some("hash") => false,
+                        _ => return Err(corrupt()),
+                    };
+                }
+                Some("sample_len") => {
+                    sample_len = parts
+                        .next()
+                        .and_then(|s| s.parse().ok())
+                        .ok_or_else(corrupt)?;
+                }
+                Some("boundary") => {
+                    boundaries.push(
+                        parts
+                            .next()
+                            .and_then(|s| s.parse().ok())
+                            .ok_or_else(corrupt)?,
+                    );
+                }
+                _ => {}
+            }
+        }
+        if shards == 0 {
+            return Err(Error::Corruption("sharding file: no shard count".into()));
+        }
+        let topo = Topology {
+            epoch: 0,
+            ids: (0..shards as u16).collect(),
+            boundaries: if range { boundaries } else { Vec::new() },
+            range,
+            next_id: shards as u16,
+            sample_len,
+        };
+        topo.validate()?;
+        Ok(topo)
+    }
+
+    fn validate(&self) -> Result<()> {
+        if self.ids.is_empty() {
+            return Err(Error::Corruption("topology with no shards".into()));
+        }
+        let mut seen = std::collections::HashSet::new();
+        if !self.ids.iter().all(|id| seen.insert(*id)) {
+            return Err(Error::Corruption("topology with duplicate shard id".into()));
+        }
+        if self.ids.iter().any(|&id| id >= self.next_id) {
+            return Err(Error::Corruption(
+                "topology id allocator behind a live shard id".into(),
+            ));
+        }
+        if self.range {
+            if self.boundaries.len() + 1 != self.ids.len()
+                || !self.boundaries.windows(2).all(|w| w[0] < w[1])
+            {
+                return Err(Error::Corruption("topology: bad boundaries".into()));
+            }
+        } else if !self.boundaries.is_empty() {
+            return Err(Error::Corruption("hash topology with boundaries".into()));
+        }
+        Ok(())
+    }
+
+    /// Remove stale topology epochs (anything but this one) and orphaned
+    /// shard directories (stable ids this topology does not name) — the
+    /// debris of crashes mid-publish: an aborted split's children, or a
+    /// completed split's parent. Best-effort; a crash mid-sweep leaves
+    /// the next open to finish it. Returns the orphaned ids swept.
+    pub(crate) fn sweep_stale(&self, storage: &dyn Storage) -> Result<Vec<u16>> {
+        let current = topology_name(self.epoch);
+        let live: std::collections::HashSet<u16> = self.ids.iter().copied().collect();
+        let mut orphans = std::collections::HashSet::new();
+        for name in storage.list()? {
+            if (name.starts_with(TOPOLOGY_PREFIX) && name != current) || name == LEGACY_ROUTER_FILE
+            {
+                let _ = storage.remove(&name);
+                continue;
+            }
+            if let Some(rest) = name.strip_prefix("shard-") {
+                if let Some((id, _)) = rest.split_once('/') {
+                    if let Ok(id) = id.parse::<u16>() {
+                        if !live.contains(&id) {
+                            orphans.insert(id);
+                            let _ = storage.remove(&name);
+                        }
+                    }
+                }
+            }
+        }
+        let mut orphans: Vec<u16> = orphans.into_iter().collect();
+        orphans.sort_unstable();
+        Ok(orphans)
+    }
+}
+
+/// Persist the router's CDF model (best-effort acceleration; the
+/// boundaries in the sealed topology are the source of truth).
+pub(crate) fn save_model(storage: &dyn Storage, model: &dyn SegmentIndex) -> Result<()> {
+    let mut f = storage.create(ROUTER_MODEL_FILE)?;
+    f.append(&model.encode())?;
+    f.sync()?;
+    Ok(())
+}
+
+/// Load the persisted CDF model. `Ok(None)` when missing **or** corrupt —
+/// the caller reports the degradation and routes by boundary binary
+/// search (identical answers).
+pub(crate) fn load_model(storage: &dyn Storage) -> Option<Box<dyn SegmentIndex>> {
+    if !storage.exists(ROUTER_MODEL_FILE) {
+        return None;
+    }
+    lsm_io::read_all(storage, ROUTER_MODEL_FILE)
+        .ok()
+        .and_then(|bytes| IndexKind::decode(&bytes).ok())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsm_io::MemStorage;
+
+    fn range_topology() -> Topology {
+        Topology::fresh(4, true, vec![100, 200, 300], 4000)
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let storage = MemStorage::new();
+        let t = range_topology();
+        t.save(&storage).unwrap();
+        assert_eq!(Topology::load(&storage).unwrap(), Some(t));
+    }
+
+    #[test]
+    fn newest_sealed_epoch_wins_and_torn_seal_falls_back() {
+        let storage = MemStorage::new();
+        let t1 = range_topology();
+        t1.save(&storage).unwrap();
+        let t2 = t1.with_split(0, 50, t1.next_id, t1.next_id + 1);
+        t2.save(&storage).unwrap();
+        assert_eq!(Topology::load(&storage).unwrap(), Some(t2.clone()));
+        // A torn epoch-3 file (no valid CRC) must fall back to epoch 2.
+        let mut f = storage.create(&topology_name(3)).unwrap();
+        f.append(b"epoch 3\npolicy range\ngarbage").unwrap();
+        drop(f);
+        assert_eq!(Topology::load(&storage).unwrap(), Some(t2));
+    }
+
+    #[test]
+    fn split_splices_ids_and_boundaries() {
+        let t = range_topology();
+        let s = t.with_split(1, 150, 4, 5);
+        assert_eq!(s.epoch, t.epoch + 1);
+        assert_eq!(s.ids, vec![0, 4, 5, 2, 3]);
+        assert_eq!(s.boundaries, vec![100, 150, 200, 300]);
+        assert_eq!(s.next_id, 6);
+        s.validate().unwrap();
+    }
+
+    #[test]
+    fn legacy_sharding_file_reads_as_epoch_zero() {
+        let storage = MemStorage::new();
+        let mut f = storage.create(LEGACY_ROUTER_FILE).unwrap();
+        f.append(b"shards 3\npolicy range\nsample_len 99\nboundary 10\nboundary 20\n")
+            .unwrap();
+        drop(f);
+        let t = Topology::load(&storage).unwrap().unwrap();
+        assert_eq!(t.epoch, 0);
+        assert_eq!(t.ids, vec![0, 1, 2]);
+        assert_eq!(t.boundaries, vec![10, 20]);
+        assert_eq!(t.next_id, 3);
+        assert_eq!(t.sample_len, 99);
+    }
+
+    #[test]
+    fn bad_boundaries_are_corruption() {
+        let storage = MemStorage::new();
+        let mut t = range_topology();
+        t.boundaries = vec![200, 100, 300];
+        t.save(&storage).unwrap();
+        assert!(Topology::load(&storage).is_err(), "unordered boundaries");
+    }
+
+    #[test]
+    fn sweep_removes_orphan_dirs_and_stale_epochs() {
+        let storage = MemStorage::new();
+        let t1 = range_topology();
+        t1.save(&storage).unwrap();
+        let t2 = t1.with_split(0, 50, t1.next_id, t1.next_id + 1);
+        t2.save(&storage).unwrap();
+        // Orphans: the split parent (id 0) plus a stray aborted child.
+        for name in ["shard-0/MANIFEST-000001", "shard-9/000001.wal"] {
+            let mut f = storage.create(name).unwrap();
+            f.append(b"x").unwrap();
+        }
+        let mut f = storage.create("shard-4/keep").unwrap();
+        f.append(b"live").unwrap();
+        drop(f);
+        let orphans = t2.sweep_stale(&storage).unwrap();
+        assert_eq!(orphans, vec![0, 9]);
+        assert!(!storage.exists("shard-0/MANIFEST-000001"));
+        assert!(!storage.exists("shard-9/000001.wal"));
+        assert!(storage.exists("shard-4/keep"), "live shard untouched");
+        assert!(storage.exists(&topology_name(2)));
+    }
+
+    #[test]
+    fn model_roundtrip_and_corruption_degrade() {
+        let storage = MemStorage::new();
+        assert!(load_model(&storage).is_none());
+        let mut sample: Vec<u64> = (0..1000u64).map(|i| i * 3).collect();
+        let (model, _) = crate::sharding::router::train_cdf_model(&mut sample, 16).unwrap();
+        save_model(&storage, model.as_ref()).unwrap();
+        assert!(load_model(&storage).is_some());
+        // Corrupt model: silently unusable, not an error.
+        let mut f = storage.create(ROUTER_MODEL_FILE).unwrap();
+        f.append(b"\x00\x01garbage").unwrap();
+        drop(f);
+        assert!(load_model(&storage).is_none());
+    }
+}

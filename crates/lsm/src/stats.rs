@@ -70,6 +70,13 @@ pub struct DbStats {
     /// Writes that completed while at least one background worker was busy
     /// — the counter that proves foreground/maintenance overlap.
     pub writes_during_maintenance: AtomicU64,
+    /// Live shard splits completed by the sharding layer (counted on the
+    /// [`crate::sharding::ShardedDb`]'s own stats block, merged into
+    /// `ShardedDb::stats()`).
+    pub shard_splits: AtomicU64,
+    /// Runtime commit-marker log checkpoints (markers below the flush
+    /// watermark dropped without a reopen).
+    pub commit_checkpoints: AtomicU64,
     /// Gauge: background workers currently executing a flush or compaction
     /// (not part of [`StatsSnapshot`]; read via
     /// [`DbStats::active_background_workers`]).
@@ -192,6 +199,8 @@ impl DbStats {
             bg_compact_ns: self.bg_compact_ns.load(Ordering::Relaxed),
             bg_errors: self.bg_errors.load(Ordering::Relaxed),
             writes_during_maintenance: self.writes_during_maintenance.load(Ordering::Relaxed),
+            shard_splits: self.shard_splits.load(Ordering::Relaxed),
+            commit_checkpoints: self.commit_checkpoints.load(Ordering::Relaxed),
         }
     }
 }
@@ -235,6 +244,8 @@ pub struct StatsSnapshot {
     pub bg_compact_ns: u64,
     pub bg_errors: u64,
     pub writes_during_maintenance: u64,
+    pub shard_splits: u64,
+    pub commit_checkpoints: u64,
 }
 
 impl StatsSnapshot {
@@ -278,6 +289,8 @@ impl StatsSnapshot {
         out.bg_compact_ns -= earlier.bg_compact_ns;
         out.bg_errors -= earlier.bg_errors;
         out.writes_during_maintenance -= earlier.writes_during_maintenance;
+        out.shard_splits -= earlier.shard_splits;
+        out.commit_checkpoints -= earlier.commit_checkpoints;
         out
     }
 
@@ -352,6 +365,8 @@ impl std::ops::AddAssign for StatsSnapshot {
             bg_compact_ns,
             bg_errors,
             writes_during_maintenance,
+            shard_splits,
+            commit_checkpoints,
         );
         for i in 0..MAX_LEVELS {
             self.level_reads[i] += rhs.level_reads[i];

@@ -60,7 +60,11 @@ pub struct CrossBatchTag {
     pub global_first: SeqNo,
     /// Last sequence number of the whole batch.
     pub global_last: SeqNo,
-    /// Shard indexes the batch touches (sorted, unique).
+    /// **Stable shard ids** (the numbers in `shard-<id>/` directory
+    /// names) the batch touches, sorted and unique. Stable ids — not
+    /// routing positions — because the routing topology can change
+    /// between the prepare and its recovery (a live split shifts
+    /// positions around), while a shard's id and directory never move.
     pub participants: Vec<u16>,
 }
 

@@ -183,7 +183,14 @@ type NetOps = BTreeMap<u64, Option<Vec<u8>>>;
 fn sharded_opts() -> ShardedOptions {
     let mut base = Options::small_for_tests();
     base.index.kind = IndexKind::Pgm;
+    // Splits enabled: the workload's resident bytes outgrow the fair
+    // share as rounds accumulate, so live splits (and crashes landing
+    // anywhere inside them — begin, drain, cutover) interleave with the
+    // crash/reopen schedule. Reopens adopt whatever topology epoch the
+    // image holds.
     ShardedOptions::learned(3, (0..4000u64).collect(), base)
+        .with_max_shards(6)
+        .with_split_trigger(0.2, 1 << 10)
 }
 
 /// Random cross-shard batches mirrored into a `BTreeMap`, with periodic
@@ -285,6 +292,12 @@ fn sharded_crash_recovery_matches_btreemap() {
         "seed {seed}: schedule produced only {crashes} crashes"
     );
     assert!(!model.is_empty(), "seed {seed}: workload wrote nothing");
+    assert!(
+        db.shard_count() > 3,
+        "seed {seed}: the schedule never grew the topology \
+         ({} shards) — splits are part of what this oracle exercises",
+        db.shard_count()
+    );
 }
 
 /// Full-database iteration equals the oracle's full ordered contents.

@@ -41,7 +41,7 @@ fn cross_shard_batch_roundtrip_and_reopen() {
     let storage: Arc<dyn Storage> = Arc::new(MemStorage::new());
     {
         let db = ShardedDb::open(Arc::clone(&storage), learned_opts(4, dense_sample())).unwrap();
-        assert!(db.router().is_range());
+        assert!(db.routing().router().is_range());
         // One batch spanning all four shards.
         let mut batch = WriteBatch::new();
         for k in (0..4000u64).step_by(100) {
@@ -63,9 +63,15 @@ fn cross_shard_batch_roundtrip_and_reopen() {
         assert_eq!(db.get(k).unwrap(), Some(format!("v{k}").into_bytes()));
     }
     assert!(db.latest_visible_seq() >= 40, "fence resumes past recovery");
-    // A different shard count must be refused, not silently misroute.
+    // Reopening with a *different* requested count adopts the persisted
+    // topology — the shard count is a property of the data, not of the
+    // open call (requested counts only size a fresh database).
     drop(db);
-    assert!(ShardedDb::open(storage, learned_opts(2, dense_sample())).is_err());
+    let db = ShardedDb::open(storage, learned_opts(2, dense_sample())).unwrap();
+    assert_eq!(db.shard_count(), 4, "persisted topology wins");
+    for k in (0..4000u64).step_by(100) {
+        assert_eq!(db.get(k).unwrap(), Some(format!("v{k}").into_bytes()));
+    }
 }
 
 #[test]
@@ -89,7 +95,8 @@ fn unflushed_synced_writes_survive_reopen() {
 #[test]
 fn boundary_adjacent_keys_stay_consistent() {
     let db = ShardedDb::open_memory(learned_opts(4, dense_sample())).unwrap();
-    let ShardRouter::Range { boundaries, .. } = db.router() else {
+    let routing = db.routing();
+    let ShardRouter::Range { boundaries, .. } = routing.router() else {
         panic!("expected a range router");
     };
     let boundaries = boundaries.clone();
@@ -113,8 +120,8 @@ fn boundary_adjacent_keys_stay_consistent() {
     // A boundary key belongs to the right-hand shard; its predecessor to
     // the left — and the data actually lives there.
     for (i, &b) in boundaries.iter().enumerate() {
-        assert_eq!(db.router().shard_of(b), i + 1);
-        assert_eq!(db.router().shard_of(b - 1), i);
+        assert_eq!(routing.router().shard_of(b), i + 1);
+        assert_eq!(routing.router().shard_of(b - 1), i);
         assert_eq!(
             db.shard(i + 1).get(b).unwrap(),
             Some(format!("probe{b}").into_bytes())
@@ -169,12 +176,9 @@ fn merged_iterator_global_order_hash_and_range() {
             epsilon: 16,
         },
     ] {
-        let db = ShardedDb::open_memory(ShardedOptions {
-            shards: 4,
-            policy: policy.clone(),
-            base: base_opts(),
-        })
-        .unwrap();
+        let mut opts = ShardedOptions::hash(4, base_opts());
+        opts.policy = policy.clone();
+        let db = ShardedDb::open_memory(opts).unwrap();
         let mut rng = StdRng::seed_from_u64(7);
         let mut reference = std::collections::BTreeMap::new();
         for _ in 0..3000 {
@@ -262,7 +266,7 @@ fn cross_shard_batches_are_all_or_nothing_visible() {
     // One marker key per shard (dense_sample boundaries: 1000/2000/3000).
     let markers = [500u64, 1500, 2500, 3500];
     for &m in &markers {
-        assert_eq!(db.router().shard_of(m), (m / 1000) as usize);
+        assert_eq!(db.routing().router().shard_of(m), (m / 1000) as usize);
     }
     let stop = Arc::new(AtomicBool::new(false));
     let writer = {
@@ -610,6 +614,8 @@ fn snapshot_fence_is_the_committed_prefix_across_recovery() {
         lsm_tree::RecoveryReport {
             committed_fragments: PENDING_KEYS.len() as u64,
             aborted_fragments: 1,
+            topology_epoch: 1,
+            ..Default::default()
         },
         "recovery must re-commit the baseline prepares and abort the torn one"
     );
@@ -627,6 +633,479 @@ fn snapshot_fence_is_the_committed_prefix_across_recovery() {
         pinned,
         "snapshot at fence {fence} after recovery must equal the pre-crash view"
     );
+}
+
+// ------------------------------------------------------- live rebalancing
+
+/// Acceptance: a zipfian insert stream against a 2-shard `ShardedDb`
+/// whose initial boundaries were cut for a *uniform* distribution must
+/// trigger live splits (the resident-bytes trigger fires, shards drain
+/// into children online) and end with the re-learned boundary set routing
+/// the observed traffic within 20% of fair share.
+#[test]
+fn zipfian_stream_triggers_live_splits_and_rebalances_within_20pct() {
+    // Boundaries trained on a uniform sample over the full key space;
+    // the insert stream is zipfian-dense near zero, so nearly everything
+    // initially routes to shard 0.
+    let uniform_sample: Vec<u64> = (0..4096u64).map(|i| i << 32).collect();
+    let opts = ShardedOptions::learned(2, uniform_sample, base_opts())
+        .with_max_shards(20)
+        .with_split_trigger(0.10, 128 << 10);
+    let storage: Arc<dyn Storage> = Arc::new(MemStorage::new());
+    let db = ShardedDb::open(Arc::clone(&storage), opts.clone()).unwrap();
+    assert_eq!(db.shard_count(), 2);
+
+    // Zipfian *insert* stream: every key is fresh, the key-space density
+    // follows the zipfian rank distribution (rank buckets of 2^24 keys,
+    // dense at the bottom, ever sparser in the tail).
+    let chooser = RequestDistribution::Zipfian { theta: 0.99 }.chooser(1 << 20);
+    let mut rng = StdRng::seed_from_u64(0x511);
+    let mut reference = std::collections::BTreeMap::new();
+    let mut batch = WriteBatch::new();
+    for i in 0..25_000u64 {
+        let k = ((chooser.next(&mut rng) as u64) << 24) | rng.gen_range(0..1u64 << 24);
+        let v = i.to_le_bytes().to_vec();
+        batch.put(k, &v);
+        reference.insert(k, v);
+        if batch.len() >= 8 {
+            db.write(std::mem::take(&mut batch), &WriteOptions::default())
+                .unwrap();
+        }
+    }
+    db.write(batch, &WriteOptions::default()).unwrap();
+
+    // Splits must have fired *live*, mid-stream, from the write path.
+    let live = db.sharded_stats();
+    assert!(
+        live.merged.shard_splits >= 1,
+        "no live split fired during the stream: {live:?}"
+    );
+    assert!(db.shard_count() > 2);
+
+    // The stream has stopped; let the trigger quiesce (under background
+    // maintenance the worker pool would do this on its own — this is the
+    // synchronous-mode equivalent).
+    while db.rebalance().unwrap() {}
+
+    let stats = db.sharded_stats();
+    assert_eq!(db.topology_epoch(), 1 + stats.merged.shard_splits);
+    assert_eq!(db.background_error(), None);
+    assert!(
+        stats.resident_imbalance <= 0.20,
+        "resident imbalance {:.3} > 20%: {:?}",
+        stats.resident_imbalance,
+        stats.resident_bytes
+    );
+
+    // The acceptance bar: the re-learned boundaries route the observed
+    // key population within 20% of fair share.
+    let keys: Vec<u64> = reference.keys().copied().collect();
+    let routing = db.routing();
+    let imb = imbalance(&routing.router().partition_counts(&keys));
+    assert!(
+        imb <= 0.20,
+        "router imbalance {imb:.3} > 20% after {} splits over {} shards",
+        stats.merged.shard_splits,
+        db.shard_count()
+    );
+
+    // Nothing was lost or duplicated across any number of drains.
+    let got = db.scan(0, usize::MAX).unwrap();
+    let want: Vec<(u64, Vec<u8>)> = reference.iter().map(|(k, v)| (*k, v.clone())).collect();
+    assert_eq!(got, want, "split drains must preserve the exact contents");
+
+    // The grown topology survives a reopen verbatim — contents, shard
+    // count and epoch all come back from the sealed topology.
+    let shard_count = db.shard_count();
+    let epoch = db.topology_epoch();
+    drop(db);
+    let db = ShardedDb::open(storage, opts).unwrap();
+    assert_eq!(db.shard_count(), shard_count);
+    assert_eq!(db.topology_epoch(), epoch);
+    assert_eq!(db.recovery_report().topology_epoch, epoch);
+    let got = db.scan(0, usize::MAX).unwrap();
+    assert_eq!(got, want, "reopen after splits lost data");
+}
+
+/// Split crash matrix: crash at **every** storage-operation boundary of a
+/// full live split (begin → drain → cutover), reopen from the frozen
+/// image, and require all-or-nothing topology cutover — the store is
+/// either entirely pre-split (children swept) or entirely post-split
+/// (parent swept), with every committed key readable either way. Then
+/// re-crash the *recovery* at every one of its own boundaries and require
+/// the same from a third open.
+#[test]
+fn split_crash_matrix_topology_cutover_is_all_or_nothing() {
+    fn split_opts() -> ShardedOptions {
+        let mut o = learned_opts(2, dense_sample())
+            .with_max_shards(4)
+            .with_split_trigger(0.1, 1 << 10);
+        // Manual splits only: the matrix drives the split explicitly so
+        // the crash point count is deterministic.
+        o.auto_split = false;
+        o
+    }
+    // Committed state: flushed skew into shard 0 (the split candidate), a
+    // sealed-but-unflushed cross-shard batch (so recovery also resolves a
+    // prepare across the split), and an unflushed single-shard write.
+    fn write_split_baseline(db: &ShardedDb) -> std::collections::BTreeMap<u64, Vec<u8>> {
+        let mut expect = std::collections::BTreeMap::new();
+        let mut batch = WriteBatch::new();
+        for k in (0..1900u64).step_by(5) {
+            batch.put(k, b"hot");
+            expect.insert(k, b"hot".to_vec());
+        }
+        db.write(batch, &WriteOptions::default()).unwrap();
+        db.put(3100, b"cold").unwrap();
+        expect.insert(3100, b"cold".to_vec());
+        db.flush().unwrap();
+        let mut pending = WriteBatch::new();
+        for k in [901u64, 2901] {
+            pending.put(k, b"pending");
+            expect.insert(k, b"pending".to_vec());
+        }
+        db.write(pending, &WriteOptions::durable()).unwrap();
+        db.put(903, b"unflushed").unwrap();
+        expect.insert(903, b"unflushed".to_vec());
+        db.flush().unwrap();
+        expect
+    }
+    fn check_split_recovered(
+        db: &ShardedDb,
+        expect: &std::collections::BTreeMap<u64, Vec<u8>>,
+        split_published: Option<bool>,
+        label: &str,
+    ) {
+        let shards = db.shard_count();
+        assert!(
+            shards == 2 || shards == 3,
+            "{label}: torn topology ({shards} shards)"
+        );
+        // An acknowledged cutover must survive. The reverse is not
+        // required: a crash between the topology append and its sync can
+        // leave the sealed file in the image (unsynced data *may* survive
+        // a crash), so an unacknowledged cutover legitimately resolves to
+        // either side — as long as it is exactly one side, with all
+        // committed contents intact (asserted below).
+        if split_published == Some(true) {
+            assert_eq!(shards, 3, "{label}: acknowledged cutover lost");
+        }
+        let got = db.scan(0, usize::MAX).unwrap();
+        let want: Vec<(u64, Vec<u8>)> = expect.iter().map(|(k, v)| (*k, v.clone())).collect();
+        assert_eq!(got, want, "{label}: contents diverged after recovery");
+        // The engine stays fully usable: a fresh cross-shard durable
+        // batch lands atomically whichever topology won.
+        let mut probe = WriteBatch::new();
+        for k in [955u64, 2955] {
+            probe.put(k, b"probe");
+        }
+        db.write(probe, &WriteOptions::durable())
+            .unwrap_or_else(|e| panic!("{label}: recovered engine refused writes: {e}"));
+        for k in [955u64, 2955] {
+            assert_eq!(db.get(k).unwrap(), Some(b"probe".to_vec()), "{label}");
+        }
+    }
+
+    // Dry run: how many storage operations one full split spans.
+    let (storage, ctl) = CrashStorage::new();
+    let db = ShardedDb::open(storage, split_opts()).unwrap();
+    write_split_baseline(&db);
+    let start = ctl.ops();
+    assert!(db.rebalance().unwrap(), "dry run must split");
+    let total = ctl.ops() - start;
+    assert_eq!(db.shard_count(), 3);
+    drop(db);
+    assert!(total >= 10, "a split should span many storage ops: {total}");
+
+    for n in 0..=total {
+        let (storage, ctl) = CrashStorage::new();
+        let db = ShardedDb::open(Arc::clone(&storage) as Arc<dyn Storage>, split_opts()).unwrap();
+        let expect = write_split_baseline(&db);
+        ctl.crash_after(n);
+        let published = db.rebalance().is_ok_and(|split| split);
+        if n >= total {
+            assert!(
+                published,
+                "crash point {n}/{total}: unimpeded split must ack"
+            );
+        }
+        drop(db);
+
+        // Plain recovery from the frozen image.
+        let recovered = ShardedDb::open(Arc::new(storage.image()), split_opts()).unwrap();
+        check_split_recovered(
+            &recovered,
+            &expect,
+            Some(published),
+            &format!("split crash at op {n}/{total}"),
+        );
+        drop(recovered);
+
+        // Second crash: halt the recovery itself at every boundary M; the
+        // follow-up unimpeded open of the twice-crashed image must reach
+        // a consistent verdict (the topology side may legitimately differ
+        // from the first recovery's only in that recovery's own probe
+        // writes are absent — so only contents + usability are asserted).
+        let mut m = 0u64;
+        loop {
+            assert!(m < 10_000, "recovery never completed (crash {n})");
+            let (s2, ctl2) = CrashStorage::over(storage.image());
+            ctl2.crash_after(m);
+            match ShardedDb::open(Arc::clone(&s2) as Arc<dyn Storage>, split_opts()) {
+                Ok(db2) => {
+                    ctl2.disarm();
+                    check_split_recovered(
+                        &db2,
+                        &expect,
+                        Some(published),
+                        &format!("split crash {n}, recovery used {m}+ ops"),
+                    );
+                    break;
+                }
+                Err(_) => {
+                    let db3 = ShardedDb::open(Arc::new(s2.image()), split_opts()).unwrap();
+                    check_split_recovered(
+                        &db3,
+                        &expect,
+                        Some(published),
+                        &format!("split crash {n}, then recovery crash at op {m}"),
+                    );
+                }
+            }
+            m += 1;
+        }
+    }
+}
+
+/// The dual-write window, staged: between `begin_rebalance` (children
+/// drained, window open) and `complete_rebalance` (cutover), writes land
+/// on both sides, reads and snapshots resolve through the parent, and a
+/// crash at any boundary of the cutover leaves one self-sufficient side.
+#[test]
+fn dual_write_window_crash_matrix_and_epoch_pinned_snapshots() {
+    fn window_opts() -> ShardedOptions {
+        let mut o = learned_opts(2, dense_sample())
+            .with_max_shards(4)
+            .with_split_trigger(0.1, 1 << 10);
+        o.auto_split = false; // the window is staged explicitly
+        o
+    }
+    fn build_window(db: &ShardedDb) -> std::collections::BTreeMap<u64, Vec<u8>> {
+        let mut oracle = std::collections::BTreeMap::new();
+        let mut batch = WriteBatch::new();
+        for k in (0..1900u64).step_by(3) {
+            batch.put(k, b"seed");
+            oracle.insert(k, b"seed".to_vec());
+        }
+        db.write(batch, &WriteOptions::default()).unwrap();
+        db.flush().unwrap();
+        assert!(db.begin_rebalance().unwrap(), "window must open");
+        assert_eq!(db.shard_count(), 2, "no cutover yet");
+        // Dual-write traffic: overwrites, fresh keys and deletes in the
+        // splitting range, plus a cross-shard durable batch.
+        let mut win = WriteBatch::new();
+        win.put(6, b"window");
+        win.put(1204, b"window");
+        win.delete(9);
+        win.put(2904, b"window");
+        db.write(win, &WriteOptions::durable()).unwrap();
+        oracle.insert(6, b"window".to_vec());
+        oracle.insert(1204, b"window".to_vec());
+        oracle.remove(&9);
+        oracle.insert(2904, b"window".to_vec());
+        oracle
+    }
+
+    // Mid-window reads + snapshots match a single-Db oracle fed the same
+    // operations, and a snapshot pinned mid-window survives the cutover
+    // byte-for-byte (it resolves through its pinned epoch — the parent).
+    let db = ShardedDb::open_memory(window_opts()).unwrap();
+    let oracle_map = build_window(&db);
+    let single = Db::open_memory(base_opts()).unwrap();
+    for (k, v) in &oracle_map {
+        single.put(*k, v).unwrap();
+    }
+    for k in [0u64, 6, 9, 1204, 1899, 2904, 4000] {
+        assert_eq!(
+            db.get(k).unwrap(),
+            single.get(k).unwrap(),
+            "mid-split get({k})"
+        );
+    }
+    let pinned = db.snapshot();
+    let epoch_before = pinned.epoch();
+    let mid_view: Vec<(u64, Vec<u8>)> = {
+        let mut it = db.iter_at(&pinned).unwrap();
+        it.seek_to_first();
+        it.collect_up_to(usize::MAX).unwrap()
+    };
+    let want: Vec<(u64, Vec<u8>)> = oracle_map.iter().map(|(k, v)| (*k, v.clone())).collect();
+    assert_eq!(mid_view, want, "mid-split merged scan matches the oracle");
+    assert!(db.complete_rebalance().unwrap());
+    assert_eq!(db.shard_count(), 3);
+    assert!(db.topology_epoch() > epoch_before);
+    // The pinned snapshot still reads through its epoch (the parent).
+    let mut it = db.iter_at(&pinned).unwrap();
+    it.seek_to_first();
+    assert_eq!(it.collect_up_to(usize::MAX).unwrap(), mid_view);
+    assert_eq!(db.get_at(6, &pinned).unwrap(), Some(b"window".to_vec()));
+    drop(pinned);
+    // Post-cutover, the live view agrees with the oracle too.
+    assert_eq!(db.scan(0, usize::MAX).unwrap(), want);
+    drop(db);
+
+    // Crash matrix over the cutover alone, with the window populated.
+    let (storage, ctl) = CrashStorage::new();
+    let db = ShardedDb::open(Arc::clone(&storage) as Arc<dyn Storage>, window_opts()).unwrap();
+    build_window(&db);
+    let start = ctl.ops();
+    assert!(db.complete_rebalance().unwrap());
+    let total = ctl.ops() - start;
+    drop(db);
+
+    for n in 0..=total {
+        let (storage, ctl) = CrashStorage::new();
+        let db = ShardedDb::open(Arc::clone(&storage) as Arc<dyn Storage>, window_opts()).unwrap();
+        let oracle_map = build_window(&db);
+        ctl.crash_after(n);
+        let published = db.complete_rebalance().is_ok_and(|s| s);
+        drop(db);
+        let recovered = ShardedDb::open(Arc::new(storage.image()), window_opts()).unwrap();
+        let shards = recovered.shard_count();
+        assert!(
+            shards == 2 || shards == 3,
+            "cutover crash {n}/{total}: torn topology"
+        );
+        if published {
+            assert_eq!(shards, 3, "acked cutover lost (crash {n}/{total})");
+        }
+        let got = recovered.scan(0, usize::MAX).unwrap();
+        let want: Vec<(u64, Vec<u8>)> = oracle_map.iter().map(|(k, v)| (*k, v.clone())).collect();
+        assert_eq!(
+            got, want,
+            "cutover crash {n}/{total}: dual-write-window invariant broken \
+             (the surviving side is not self-sufficient)"
+        );
+    }
+}
+
+/// A child-side write failure during the dual-write window abandons the
+/// split (the children are incomplete) without failing the client's
+/// commit or the engine: the parent applied the batch, the children are
+/// discarded, and a later rebalance can start over.
+#[test]
+fn child_write_failure_cancels_split_without_losing_the_commit() {
+    let mut opts = learned_opts(2, dense_sample())
+        .with_max_shards(4)
+        .with_split_trigger(0.1, 1 << 10);
+    opts.auto_split = false; // drive the window by hand
+    let (storage, ctl) = CrashStorage::new();
+    let db = ShardedDb::open(Arc::clone(&storage) as Arc<dyn Storage>, opts.clone()).unwrap();
+    let mut batch = WriteBatch::new();
+    for k in (0..1900u64).step_by(3) {
+        batch.put(k, b"seed");
+    }
+    db.write(batch, &WriteOptions::default()).unwrap();
+    db.flush().unwrap();
+    assert!(db.begin_rebalance().unwrap());
+    // Fail storage for exactly the child mirror: the parent write is op 1
+    // (WAL append), the mirror needs more.
+    ctl.crash_after(1);
+    db.put(10, b"survives").unwrap();
+    ctl.disarm();
+    assert_eq!(db.get(10).unwrap(), Some(b"survives".to_vec()));
+    assert!(
+        !db.complete_rebalance().unwrap(),
+        "cancelled split must refuse to cut over"
+    );
+    assert_eq!(db.shard_count(), 2);
+    // The engine is healthy: a fresh split succeeds end-to-end.
+    assert!(db.rebalance().unwrap());
+    assert_eq!(db.shard_count(), 3);
+    assert_eq!(db.get(10).unwrap(), Some(b"survives".to_vec()));
+    let expect = db.scan(0, usize::MAX).unwrap();
+    drop(db);
+    // Regression: the aborted split burned shard ids in the in-process
+    // allocator; the sealed topology must name the directories the
+    // successful split *actually* created (not the burned ids), or this
+    // reopen would open empty shards and sweep the real children.
+    let db = ShardedDb::open(Arc::new(storage.image()), opts).unwrap();
+    assert_eq!(db.shard_count(), 3, "reopen adopts the split topology");
+    assert_eq!(
+        db.scan(0, usize::MAX).unwrap(),
+        expect,
+        "reopened children must hold the drained data"
+    );
+    assert_eq!(db.get(10).unwrap(), Some(b"survives".to_vec()));
+}
+
+/// Runtime commit-marker checkpointing: heavy cross-shard traffic with a
+/// small checkpoint threshold keeps the marker log bounded (checkpoints
+/// fire, live markers stay few) and loses nothing across a reopen.
+#[test]
+fn commit_marker_log_is_checkpointed_at_runtime() {
+    let mut opts = learned_opts(3, dense_sample());
+    opts.commit_log_checkpoint_bytes = 512;
+    let storage: Arc<dyn Storage> = Arc::new(MemStorage::new());
+    let db = ShardedDb::open(Arc::clone(&storage), opts.clone()).unwrap();
+    for i in 0..300u64 {
+        let mut batch = WriteBatch::new();
+        batch.put(i % 1300, &i.to_le_bytes());
+        batch.put(1400 + i % 1200, &i.to_le_bytes());
+        batch.put(2800 + i % 1200, &i.to_le_bytes());
+        db.write(batch, &WriteOptions::durable()).unwrap();
+    }
+    let stats = db.sharded_stats();
+    assert!(
+        stats.merged.commit_checkpoints >= 1,
+        "no checkpoint fired: {stats:?}"
+    );
+    assert!(
+        stats.live_commit_markers < 300,
+        "marker log unbounded: {} live markers",
+        stats.live_commit_markers
+    );
+    assert_eq!(db.background_error(), None);
+    // An explicit checkpoint drains to zero once everything is flushed.
+    assert!(db.checkpoint_commit_markers().unwrap());
+    assert_eq!(db.sharded_stats().live_commit_markers, 0);
+    drop(db);
+    // Reopen: every acknowledged durable batch survived the truncations.
+    let db = ShardedDb::open(storage, opts).unwrap();
+    for i in 270..300u64 {
+        assert_eq!(
+            db.get(1400 + i % 1200).unwrap(),
+            Some(i.to_le_bytes().to_vec())
+        );
+    }
+}
+
+/// Reopening a range-sharded database whose `SHARDING.model` file is
+/// missing (or corrupt) must fall back to boundary binary search
+/// **explicitly** — surfaced through the recovery report — and route
+/// identically.
+#[test]
+fn missing_router_model_is_reported_not_silent() {
+    let storage: Arc<dyn Storage> = Arc::new(MemStorage::new());
+    let opts = learned_opts(3, dense_sample());
+    {
+        let db = ShardedDb::open(Arc::clone(&storage), opts.clone()).unwrap();
+        for k in (0..4000u64).step_by(40) {
+            db.put(k, b"v").unwrap();
+        }
+        db.flush().unwrap();
+        assert!(!db.recovery_report().router_model_degraded);
+    }
+    storage.remove("SHARDING.model").unwrap();
+    let db = ShardedDb::open(Arc::clone(&storage), opts).unwrap();
+    assert!(
+        db.recovery_report().router_model_degraded,
+        "model loss must be reported through the recovery report"
+    );
+    assert!(db.routing().router().is_range(), "no silent hash fallback");
+    for k in (0..4000u64).step_by(40) {
+        assert_eq!(db.get(k).unwrap(), Some(b"v".to_vec()), "key {k}");
+    }
 }
 
 // ------------------------------------------------------------ acceptance

@@ -7,13 +7,17 @@
 //! layered tree YCSB assumes, instead of a synthetic bulk load.
 //!
 //! ```sh
-//! cargo run --release --example ycsb [index-abbrev] [ops] [--shards N]
+//! cargo run --release --example ycsb [index-abbrev] [ops] [--shards N] \
+//!     [--max-shards M] [--split-threshold F]
 //! ```
 //!
 //! With `--shards N` (N > 1) the six mixes instead run against the
 //! engine-level sharded facade (`ShardedDb`): learned range routing over a
 //! sampled key distribution, cross-shard atomic batches, and k-way merged
-//! scans, with background maintenance on a shared worker pool.
+//! scans, with background maintenance on a shared worker pool. Adding
+//! `--max-shards M` lets the topology split hot shards live during the
+//! runs (`--split-threshold F` tunes the resident-bytes overshoot that
+//! triggers a split; default 0.2).
 
 use learned_lsm_repro::index::IndexKind;
 use learned_lsm_repro::testbed::{Granularity, Testbed, TestbedConfig};
@@ -21,16 +25,31 @@ use learned_lsm_repro::workloads::{Dataset, YcsbSpec};
 
 fn main() {
     let mut shards = 1usize;
+    let mut max_shards = 0usize;
+    let mut split_threshold = 0.2f64;
     let mut positional = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
-        if a == "--shards" {
-            shards = args
-                .next()
-                .and_then(|v| v.parse().ok())
-                .expect("--shards needs a number");
-        } else {
-            positional.push(a);
+        match a.as_str() {
+            "--shards" => {
+                shards = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--shards needs a number");
+            }
+            "--max-shards" => {
+                max_shards = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--max-shards needs a number");
+            }
+            "--split-threshold" => {
+                split_threshold = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--split-threshold needs a number");
+            }
+            _ => positional.push(a),
         }
     }
     let mut positional = positional.into_iter();
@@ -44,7 +63,7 @@ fn main() {
         .unwrap_or(20_000);
 
     if shards > 1 {
-        run_sharded(kind, shards, ops);
+        run_sharded(kind, shards, ops, max_shards, split_threshold);
         return;
     }
     println!("index={} ops-per-workload={ops}\n", kind.abbrev());
@@ -81,28 +100,48 @@ fn main() {
 }
 
 /// The `--shards N` path: all six mixes against a `ShardedDb` via the
-/// bench runner (learned range routing, shared worker pool, modeled I/O).
-fn run_sharded(kind: IndexKind, shards: usize, ops: usize) {
+/// bench runner (learned range routing, shared worker pool, modeled I/O;
+/// optional live splitting when `--max-shards` is set).
+fn run_sharded(
+    kind: IndexKind,
+    shards: usize,
+    ops: usize,
+    max_shards: usize,
+    split_threshold: f64,
+) {
     use learned_lsm_repro::bench::{runner, Scale};
 
     let mut scale = Scale::quick();
     scale.ops = ops;
     println!(
-        "sharded engine: index={} {shards} shards, ops-per-workload={ops}\n",
-        kind.abbrev()
+        "sharded engine: index={} {shards} shards{}, ops-per-workload={ops}\n",
+        kind.abbrev(),
+        if max_shards > 0 {
+            format!(" (live splits up to {max_shards})")
+        } else {
+            String::new()
+        }
     );
     println!(
-        "{:>9} {:>14} {:>16} {:>12}",
-        "workload", "avg op (µs)", "load imbalance", "stalls (ms)"
+        "{:>9} {:>14} {:>16} {:>8} {:>12}",
+        "workload", "avg op (µs)", "load imbalance", "splits", "stalls (ms)"
     );
-    let records =
-        runner::ycsb_sharded(&scale, Dataset::Random, shards, kind, 0xfeed).expect("sharded ycsb");
+    let records = runner::ycsb_sharded(
+        &scale,
+        Dataset::Random,
+        shards,
+        kind,
+        0xfeed,
+        runner::Rebalance::from_flags(max_shards, split_threshold),
+    )
+    .expect("sharded ycsb");
     for r in records {
         println!(
-            "{:>9} {:>14.2} {:>15.1}% {:>12.2}",
+            "{:>9} {:>14.2} {:>15.1}% {:>8} {:>12.2}",
             format!("YCSB-{}", r.workload),
             r.avg_op_us,
             r.load_imbalance * 100.0,
+            r.splits,
             r.stall_ms,
         );
     }
