@@ -1,0 +1,69 @@
+//! Criterion bench: YCSB mixes through the `lsm-server` network front end.
+//!
+//! Where `sharded_ycsb` measures the engine called in-process, this bench
+//! drives the same six mixes through the full request path — frame
+//! encode/decode, the in-memory duplex transport, reader threads,
+//! admission control, the shared worker pool, and the pipelined client —
+//! at a fixed open-loop arrival rate. The summary pass prints the
+//! coordinated-omission-free latency quantiles per mix plus the
+//! admission-control shed counts, and ends with the engine's
+//! sharded-stats report fetched through the `STATS` opcode.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use learned_index::IndexKind;
+use lsm_bench::{runner, Scale};
+use lsm_workloads::Dataset;
+
+const SEED: u64 = 0x5e12;
+
+fn bench_server_ycsb(c: &mut Criterion) {
+    let scale = Scale::smoke();
+    let mut g = c.benchmark_group("server_ycsb_smoke");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(scale.ops as u64));
+    for shards in [1usize, 4] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{shards}-shard")),
+            &shards,
+            |b, &shards| {
+                b.iter(|| {
+                    let out = runner::ycsb_server(
+                        &scale,
+                        Dataset::Random,
+                        shards,
+                        IndexKind::Pgm,
+                        SEED,
+                        None,
+                    )
+                    .expect("server ycsb");
+                    std::hint::black_box(out)
+                })
+            },
+        );
+    }
+    g.finish();
+
+    // One summary pass: the six mixes at 4 shards through the wire.
+    println!("\nserver YCSB summary (4 shards, smoke scale, open-loop):");
+    let (records, stats) =
+        runner::ycsb_server(&scale, Dataset::Random, 4, IndexKind::Pgm, SEED, None)
+            .expect("server ycsb summary");
+    for r in records {
+        println!(
+            "  YCSB-{:1}  rate {:8.0}/s (achieved {:8.0}/s)  p50 {:8.1} µs  \
+             p99 {:8.1} µs  p99.9 {:8.1} µs  shed {:4}  errors {:2}",
+            r.workload,
+            r.target_rate,
+            r.achieved_rate,
+            r.p50_us,
+            r.p99_us,
+            r.p999_us,
+            r.shed,
+            r.errors,
+        );
+    }
+    println!("  stats via STATS opcode: {stats}");
+}
+
+criterion_group!(benches, bench_server_ycsb);
+criterion_main!(benches);

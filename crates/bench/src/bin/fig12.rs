@@ -6,11 +6,48 @@
 //! the engine-level sharding scenario rather than the paper's figure.
 //! Add `--max-shards M` (and optionally `--split-threshold F`) to let
 //! the topology split hot shards live during the runs.
+//!
+//! With `--server` the six mixes are driven through the `lsm-server`
+//! network front end at a fixed open-loop arrival rate (`--rate R`;
+//! default auto-calibrates), reporting coordinated-omission-free latency
+//! quantiles and admission-control sheds instead of closed-loop averages.
 
 use lsm_bench::{runner, Cli};
 
 fn main() {
     let cli = Cli::parse();
+    if cli.server {
+        let (records, stats) = runner::ycsb_server(
+            &cli.scale,
+            cli.dataset,
+            cli.shards,
+            learned_index::IndexKind::Pgm,
+            0x5eed,
+            cli.rate,
+        )
+        .expect("server ycsb experiment");
+        println!(
+            "# YCSB A–F through lsm-server ({} shard(s), open-loop)",
+            cli.shards
+        );
+        for r in &records {
+            println!(
+                "YCSB-{}  rate={:8.0}/s (achieved {:8.0}/s)  p50={:9.1}us  \
+                 p99={:9.1}us  p99.9={:9.1}us  shed={}  errors={}",
+                r.workload,
+                r.target_rate,
+                r.achieved_rate,
+                r.p50_us,
+                r.p99_us,
+                r.p999_us,
+                r.shed,
+                r.errors
+            );
+        }
+        println!("\nsharded stats (last mix, via STATS):\n{stats}");
+        cli.maybe_write(&learned_lsm::report::to_json(&records));
+        return;
+    }
     if cli.shards > 1 {
         let records = runner::ycsb_sharded(
             &cli.scale,

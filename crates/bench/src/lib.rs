@@ -75,6 +75,14 @@ pub struct Cli {
     /// `--split-threshold F`: resident-bytes overshoot (fraction of the
     /// fair target share) past which a shard is split live.
     pub split_threshold: f64,
+    /// `--server`: drive the workload through the `lsm-server` network
+    /// front end (frame protocol, admission control, open-loop arrivals)
+    /// instead of calling the engine directly.
+    pub server: bool,
+    /// `--rate R`: open-loop arrival rate, requests/s, for `--server`
+    /// runs. `None` (the default) calibrates per mix from a closed-loop
+    /// burst.
+    pub rate: Option<f64>,
 }
 
 impl Cli {
@@ -92,6 +100,8 @@ impl Cli {
         let mut shards = 1usize;
         let mut max_shards = 0usize;
         let mut split_threshold = 0.2f64;
+        let mut server = false;
+        let mut rate = None;
         let mut it = args.into_iter();
         while let Some(arg) = it.next() {
             let mut next_usize = |what: &str| -> usize {
@@ -112,6 +122,15 @@ impl Cli {
                         .and_then(|v| v.parse().ok())
                         .unwrap_or_else(|| die("--split-threshold needs a number"));
                 }
+                "--server" => server = true,
+                "--rate" => {
+                    let r: f64 = it
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| die("--rate needs a number"));
+                    // 0 = auto-calibrate, same as omitting the flag.
+                    rate = (r > 0.0).then_some(r);
+                }
                 "--dataset" => {
                     let name = it.next().unwrap_or_else(|| die("--dataset needs a name"));
                     dataset = Dataset::from_name(&name)
@@ -121,7 +140,7 @@ impl Cli {
                 "--out" => out = Some(it.next().unwrap_or_else(|| die("--out needs a path"))),
                 "--help" | "-h" => {
                     eprintln!(
-                        "flags: --full | --smoke | --keys N | --ops N | --shards N | --max-shards N | --split-threshold F | --dataset NAME | --all-datasets | --out PATH"
+                        "flags: --full | --smoke | --keys N | --ops N | --shards N | --max-shards N | --split-threshold F | --server | --rate R | --dataset NAME | --all-datasets | --out PATH"
                     );
                     std::process::exit(0);
                 }
@@ -136,6 +155,8 @@ impl Cli {
             shards,
             max_shards,
             split_threshold,
+            server,
+            rate,
         }
     }
 
@@ -204,6 +225,17 @@ mod tests {
         assert_eq!(parse(&[]).shards, 1);
         assert_eq!(parse(&["--shards", "4"]).shards, 4);
         assert_eq!(parse(&["--shards", "0"]).shards, 1, "clamped to >= 1");
+    }
+
+    #[test]
+    fn server_and_rate_flags_parse() {
+        let c = parse(&[]);
+        assert!(!c.server);
+        assert_eq!(c.rate, None);
+        let c = parse(&["--server", "--rate", "5000"]);
+        assert!(c.server);
+        assert_eq!(c.rate, Some(5000.0));
+        assert_eq!(parse(&["--rate", "0"]).rate, None, "0 = auto-calibrate");
     }
 
     #[test]

@@ -492,6 +492,166 @@ pub fn ycsb_sharded(
     Ok(out)
 }
 
+// ---------------------------------------------------------- YCSB / server
+
+/// One YCSB mix driven through the network front end (`--server`): the
+/// open-loop arrival schedule plus the latency quantiles it measured.
+#[derive(Debug, Serialize)]
+pub struct ServerYcsbRecord {
+    pub workload: String,
+    pub index: String,
+    pub shards: usize,
+    /// Requests on the wire (read-modify-write expands to two arrivals).
+    pub requests: u64,
+    /// Scheduled arrival rate, requests/s (calibrated when `--rate 0`).
+    pub target_rate: f64,
+    /// Completions per second actually achieved.
+    pub achieved_rate: f64,
+    /// Scheduled-arrival-to-response latency quantiles, µs — measured
+    /// from the *schedule*, so queueing delay is never omitted.
+    pub p50_us: f64,
+    pub p99_us: f64,
+    pub p999_us: f64,
+    pub mean_us: f64,
+    pub max_us: f64,
+    /// Admission-control sheds (`RETRY_AFTER` answers) during the run.
+    pub shed: u64,
+    /// Other typed server errors during the run.
+    pub errors: u64,
+}
+
+fn client_err(e: lsm_server::ClientError) -> lsm_tree::Error {
+    lsm_tree::Error::Io(std::io::Error::other(format!("server client: {e}")))
+}
+
+/// Expand one YCSB op into wire requests. Read-modify-write becomes two
+/// arrivals (the client really does send a GET and then a PUT).
+fn push_requests(reqs: &mut Vec<lsm_server::Request>, op: Op, value_width: usize) {
+    use lsm_server::Request;
+    match op {
+        Op::Read(k) => reqs.push(Request::Get { key: k }),
+        Op::Update(k) | Op::Insert(k) => reqs.push(Request::Put {
+            key: k,
+            value: value_for_key(k, value_width),
+            durable: false,
+        }),
+        Op::Scan(k, len) => reqs.push(Request::Scan {
+            start: k,
+            limit: len.min(lsm_server::MAX_SCAN_LIMIT) as u32,
+        }),
+        Op::ReadModifyWrite(k) => {
+            reqs.push(Request::Get { key: k });
+            reqs.push(Request::Put {
+                key: k,
+                value: value_for_key(k ^ 1, value_width),
+                durable: false,
+            });
+        }
+    }
+}
+
+/// Run all six YCSB mixes through the full network request path: a
+/// [`lsm_server::Server`] over an `N`-shard [`ShardedDb`] on the simulated
+/// NVMe, driven by the pipelined client at a fixed open-loop arrival rate.
+///
+/// `rate` is arrivals per second; `None` calibrates per mix by measuring
+/// a short closed-loop burst through the same wire and scheduling at 70 %
+/// of it, so the open loop runs loaded but not saturated. Latencies are
+/// measured from *scheduled* arrival (coordinated-omission-free), and
+/// admission-control sheds are counted, not hidden.
+///
+/// Returns the per-mix records plus the last mix's sharded-stats report,
+/// fetched through the `STATS` opcode like any other request.
+pub fn ycsb_server(
+    scale: &Scale,
+    dataset: Dataset,
+    shards: usize,
+    kind: IndexKind,
+    seed: u64,
+    rate: Option<f64>,
+) -> Result<(Vec<ServerYcsbRecord>, String)> {
+    use lsm_server::{Client, MemTransport, Server, ServerOptions};
+    use std::sync::Arc;
+
+    let mut out = Vec::new();
+    let mut stats_json = String::new();
+    let keys = dataset.generate(scale.keys, seed);
+    for spec in YcsbSpec::ALL {
+        let mut workload = YcsbWorkload::new(spec, keys.clone(), seed ^ 0xc5);
+        let opts = ShardedOptions::learned(
+            shards,
+            workload.router_sample(16),
+            sharded_ycsb_opts(scale, kind),
+        );
+        let db = ShardedDb::open_sim(opts, lsm_io::CostModel::default())?;
+
+        // YCSB load phase: batched writes straight into the engine (setup,
+        // not measurement — the measured mix goes through the wire).
+        let wopts = WriteOptions::default();
+        for chunk in workload.keys().chunks(512) {
+            let mut batch = WriteBatch::with_capacity(chunk.len());
+            for &k in chunk {
+                batch.put(k, &value_for_key(k, scale.value_width));
+            }
+            db.write(batch, &wopts)?;
+        }
+        db.flush()?;
+
+        let (connector, listener) = MemTransport::endpoint();
+        let server = Server::start(db, Arc::new(listener), ServerOptions::default());
+        let client = Client::new(connector.connect()?);
+
+        let ops = if matches!(spec, YcsbSpec::E) {
+            scale.ops / 10
+        } else {
+            scale.ops
+        };
+        let mut reqs = Vec::with_capacity(ops + ops / 2);
+        for _ in 0..ops {
+            push_requests(&mut reqs, workload.next_op(), scale.value_width);
+        }
+
+        let target_rate = match rate {
+            Some(r) => r,
+            None => {
+                // Closed-loop calibration through the same wire: measure
+                // what one at-a-time traffic sustains, schedule at 70 %.
+                let calib = (reqs.len() / 10).clamp(100, 2_000);
+                let t = std::time::Instant::now();
+                for i in 0..calib {
+                    let id = client.submit(&reqs[i % reqs.len()]).map_err(client_err)?;
+                    client.wait(id).map_err(client_err)?;
+                }
+                let measured = calib as f64 / t.elapsed().as_secs_f64().max(1e-9);
+                (0.7 * measured).max(100.0)
+            }
+        };
+
+        let summary =
+            lsm_server::run_open_loop(&client, target_rate, reqs.len(), |i| reqs[i].clone())
+                .map_err(client_err)?;
+        stats_json = client.stats_json().map_err(client_err)?;
+
+        out.push(ServerYcsbRecord {
+            workload: spec.name().to_string(),
+            index: kind.abbrev().to_string(),
+            shards,
+            requests: summary.ops as u64,
+            target_rate,
+            achieved_rate: summary.achieved_rate(),
+            p50_us: summary.latency_at(0.50) as f64 / 1e3,
+            p99_us: summary.latency_at(0.99) as f64 / 1e3,
+            p999_us: summary.latency_at(0.999) as f64 / 1e3,
+            mean_us: summary.hist.mean() as f64 / 1e3,
+            max_us: summary.hist.max() as f64 / 1e3,
+            shed: summary.shed as u64,
+            errors: summary.errors as u64,
+        });
+        server.close()?;
+    }
+    Ok((out, stats_json))
+}
+
 // ------------------------------------------------------- live rebalancing
 
 /// One measurement of the live-rebalancing scenario: a skewed insert

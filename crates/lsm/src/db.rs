@@ -132,6 +132,20 @@ fn find_current_manifest(storage: &dyn Storage) -> Result<Option<(u64, String)>>
 /// sleeps the same 1 ms).
 const SLOWDOWN_DELAY: Duration = Duration::from_millis(1);
 
+/// What the write-path admission triggers would do to the next write —
+/// see [`Db::write_pressure`]. Ordered by severity (`Clear < Slowdown <
+/// Stop`), so a front end can take the max across shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum WritePressure {
+    /// No backpressure: a write proceeds undelayed.
+    Clear,
+    /// L0 is at the slowdown trigger: each write is delayed ~1 ms.
+    Slowdown,
+    /// A write that needs to rotate the buffer would block until
+    /// maintenance drains L0 or the immutable queue.
+    Stop,
+}
+
 struct Inner {
     mem: MemTable,
     /// Rotated-but-unflushed buffers, oldest at the front (background
@@ -957,6 +971,39 @@ impl Db {
     /// versions; queued immutable memtables not included).
     pub fn memtable_len(&self) -> usize {
         self.core.inner.read().mem.len()
+    }
+
+    /// What the LevelDB admission triggers would do to the *next* write —
+    /// the probe a front end uses to shed load before a writer thread
+    /// commits to (and possibly blocks in) [`Db::write`].
+    ///
+    /// * [`WritePressure::Stop`] — the write buffer is full and rotation
+    ///   is blocked (L0 at [`Options::l0_stop_trigger`] or the immutable
+    ///   queue full): a write would stall until maintenance catches up.
+    /// * [`WritePressure::Slowdown`] — L0 is at
+    ///   [`Options::l0_slowdown_trigger`]: each write is braked ~1 ms.
+    /// * [`WritePressure::Clear`] — no backpressure.
+    ///
+    /// Under [`Maintenance::Synchronous`] there is no backpressure
+    /// (flushes run inline), so this always reports `Clear`.
+    pub fn write_pressure(&self) -> WritePressure {
+        if !self.core.opts.maintenance.is_background() {
+            return WritePressure::Clear;
+        }
+        let inner = self.core.inner.read();
+        let opts = &self.core.opts;
+        let l0 = inner.version.levels[0].len();
+        let buffer_full = inner.mem.approximate_bytes() >= opts.write_buffer_bytes;
+        if buffer_full
+            && (l0 >= opts.l0_stop_trigger
+                || inner.imms.len() >= opts.max_immutable_memtables.max(1))
+        {
+            WritePressure::Stop
+        } else if l0 >= opts.l0_slowdown_trigger {
+            WritePressure::Slowdown
+        } else {
+            WritePressure::Clear
+        }
     }
 
     /// Number of rotated-but-unflushed immutable memtables queued.

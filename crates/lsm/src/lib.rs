@@ -76,7 +76,7 @@ pub mod wal;
 
 pub use batch::{BatchOp, WriteBatch};
 pub use cache::{BlockCache, BlockKey};
-pub use db::Db;
+pub use db::{Db, WritePressure};
 pub use iter::DbIterator;
 pub use options::{
     CompactionPolicy, IndexChoice, Maintenance, Options, ReadOptions, SearchStrategy,
@@ -99,6 +99,11 @@ pub enum Error {
     Io(std::io::Error),
     /// A persisted structure failed validation.
     Corruption(String),
+    /// The operation could not be served right now and should be retried
+    /// by the caller — e.g. an unpinned read whose routing topology kept
+    /// changing underneath it. Nothing is corrupt and no data was lost;
+    /// a front end maps this to its retry-after backoff.
+    Unavailable(String),
 }
 
 impl fmt::Display for Error {
@@ -106,6 +111,7 @@ impl fmt::Display for Error {
         match self {
             Error::Io(e) => write!(f, "io error: {e}"),
             Error::Corruption(msg) => write!(f, "corruption: {msg}"),
+            Error::Unavailable(msg) => write!(f, "unavailable: {msg}"),
         }
     }
 }

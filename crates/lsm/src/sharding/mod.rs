@@ -178,6 +178,14 @@ use crate::wal::CrossBatchTag;
 use crate::{Error, Result};
 use lsm_io::{CostModel, MemStorage, PrefixedStorage, SimStorage, Storage};
 
+/// Epoch-change retries a bare [`ShardedDb::get`] absorbs before giving
+/// up with [`Error::Unavailable`]. A retry only happens when a split's
+/// cutover published a new topology *between* the read resolving and its
+/// epoch re-check, so consecutive retries require consecutive cutovers —
+/// more than a handful in one read means the topology is churning faster
+/// than reads can land, and spinning further just adds load.
+pub const MAX_GET_RETRIES: usize = 8;
+
 /// The shared sequence fence: one global allocator + one published
 /// visibility ceiling for all shards.
 ///
@@ -702,17 +710,22 @@ impl ShardedDb {
     /// [`ShardedDb::snapshot`] / [`ShardedDb::iter`] provide. The read
     /// re-checks the topology epoch after resolving: if a split cut over
     /// mid-read, it retries against the new shard set, so it never
-    /// returns a retired shard's stale state.
+    /// returns a retired shard's stale state. Retries are capped at
+    /// [`MAX_GET_RETRIES`]; past that the read fails with
+    /// [`Error::Unavailable`] instead of spinning against a topology that
+    /// keeps churning (retry, or pin a [`ShardedDb::snapshot`], which
+    /// never retries).
     pub fn get(&self, key: u64) -> Result<Option<Vec<u8>>> {
-        loop {
-            let state = self.core.current_state();
-            let v = state
-                .shard(state.router.shard_of(key))
-                .get_with(key, &ReadOptions::new())?;
-            if self.core.state_epoch() == state.epoch {
-                return Ok(v);
-            }
-        }
+        self.get_with_retries(key, MAX_GET_RETRIES)
+    }
+
+    /// [`ShardedDb::get`] with an explicit epoch-change retry budget:
+    /// `retries == 0` means "one attempt, fail on any concurrent
+    /// cutover". Exposed so callers with their own retry discipline (a
+    /// network front end that would rather shed than spin) can tighten
+    /// the cap.
+    pub fn get_with_retries(&self, key: u64, retries: usize) -> Result<Option<Vec<u8>>> {
+        self.core.get_with_retries(key, retries)
     }
 
     /// Point lookup through a pinned [`ShardedSnapshot`] — routed through
@@ -1038,6 +1051,28 @@ impl ShardedDb {
                 .map_or(0, |l| l.lock().live_markers()),
         }
     }
+
+    /// The worst [`WritePressure`](crate::WritePressure) across the
+    /// current topology's shards — a cross-shard batch stalls on its most
+    /// pressured participant, so this is what a front end's admission
+    /// control should consult before accepting a write.
+    pub fn write_pressure(&self) -> crate::WritePressure {
+        let state = self.core.current_state();
+        state
+            .shards
+            .iter()
+            .map(|d| d.write_pressure())
+            .max()
+            .unwrap_or(crate::WritePressure::Clear)
+    }
+
+    /// Whether a cross-shard commit failed mid-way in this process:
+    /// writes and flushes are refused (with a typed error) until the
+    /// database is reopened, which resolves the partial batch through
+    /// recovery. Reads keep working.
+    pub fn poisoned(&self) -> bool {
+        self.core.coordination.poisoned.load(Ordering::Acquire)
+    }
 }
 
 impl Drop for ShardedDb {
@@ -1053,6 +1088,28 @@ impl ShardedCore {
 
     fn state_epoch(&self) -> u64 {
         self.state.read().epoch
+    }
+
+    /// Unpinned point lookup with a bounded epoch-change retry budget
+    /// (see [`ShardedDb::get`] for the consistency argument).
+    fn get_with_retries(&self, key: u64, retries: usize) -> Result<Option<Vec<u8>>> {
+        let mut attempts = 0usize;
+        loop {
+            let state = self.current_state();
+            let v = state
+                .shard(state.router.shard_of(key))
+                .get_with(key, &ReadOptions::new())?;
+            if self.state_epoch() == state.epoch {
+                return Ok(v);
+            }
+            attempts += 1;
+            if attempts > retries {
+                return Err(Error::Unavailable(format!(
+                    "get({key}) lost an epoch race {attempts} times (topology \
+                     churning); retry or read through a pinned snapshot"
+                )));
+            }
+        }
     }
 
     fn worker_cores(&self) -> Arc<Vec<Arc<DbCore>>> {
@@ -1800,4 +1857,74 @@ fn round_robin(cores: &[Arc<DbCore>], rr: &AtomicUsize, step: impl Fn(&DbCore) -
         }
     }
     Step::Idle
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::options::Options;
+
+    /// The bare-`get` retry budget is a hard cap: under a topology that
+    /// changes epoch faster than a read can land, the read fails with
+    /// `Error::Unavailable` instead of spinning forever; once the churn
+    /// stops, reads succeed again.
+    #[test]
+    fn capped_get_retries_surface_unavailable_under_epoch_churn() {
+        let db = ShardedDb::open_memory(ShardedOptions::hash(2, Options::small_for_tests()))
+            .expect("open");
+        db.put(7, b"seven").expect("put");
+
+        // Simulated cutover churn: keep republishing the same shard set at
+        // a bumped epoch, which is exactly what `get`'s re-check observes
+        // when a real split cuts over mid-read.
+        let core = Arc::clone(&db.core);
+        let stop = Arc::new(AtomicBool::new(false));
+        let churn = {
+            let core = Arc::clone(&core);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    let bumped = {
+                        let cur = core.state.read();
+                        Arc::new(RoutingState {
+                            epoch: cur.epoch + 1,
+                            ids: cur.ids.clone(),
+                            router: ShardRouter::Hash {
+                                shards: cur.shards.len(),
+                            },
+                            shards: cur.shards.clone(),
+                        })
+                    };
+                    *core.state.write() = bumped;
+                }
+            })
+        };
+
+        // With a zero retry budget and the epoch advancing continuously,
+        // some read must lose the race and surface the typed error (one
+        // attempt is overwhelmingly likely to; we allow many).
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        let mut saw_unavailable = false;
+        while std::time::Instant::now() < deadline {
+            match db.get_with_retries(7, 0) {
+                Err(Error::Unavailable(msg)) => {
+                    assert!(msg.contains("epoch race"), "unexpected message: {msg}");
+                    saw_unavailable = true;
+                    break;
+                }
+                Ok(v) => assert_eq!(v.as_deref(), Some(&b"seven"[..])),
+                Err(e) => panic!("unexpected error under churn: {e}"),
+            }
+        }
+        stop.store(true, Ordering::Relaxed);
+        churn.join().unwrap();
+        assert!(
+            saw_unavailable,
+            "zero-budget get never lost an epoch race against continuous churn"
+        );
+
+        // Churn stopped: the same bare read succeeds with the default cap.
+        assert_eq!(db.get(7).expect("get").as_deref(), Some(&b"seven"[..]));
+        db.close().expect("close");
+    }
 }

@@ -1,0 +1,712 @@
+//! The wire protocol: length-prefixed binary frames, one request or
+//! response per frame, symmetric in both directions.
+//!
+//! ## Frame layout
+//!
+//! ```text
+//! u32 LE   len      — bytes that follow (id + tag + payload); ≥ 9
+//! u64 LE   id       — request id, echoed verbatim in the response
+//! u8       tag      — opcode (request) or status (response)
+//! [u8]     payload  — tag-specific body, all integers little-endian
+//! ```
+//!
+//! Request ids are chosen by the client (monotonically increasing in the
+//! shipped [`Client`](crate::Client)); the server echoes them, never
+//! interprets them, and may answer out of order — that is what makes
+//! per-connection pipelining work.
+//!
+//! ## Opcodes and payloads
+//!
+//! | opcode              | request payload                                   |
+//! |---------------------|---------------------------------------------------|
+//! | `GET` (0x01)        | `key u64`                                         |
+//! | `PUT` (0x02)        | `flags u8, key u64, vlen u32, value`              |
+//! | `DELETE` (0x03)     | `flags u8, key u64`                               |
+//! | `WRITE_BATCH`(0x04) | `flags u8, count u32, count × entry`              |
+//! | `SCAN` (0x05)       | `start u64, limit u32`                            |
+//! | `SNAPSHOT_SCAN`(0x06)| `start u64, limit u32`                           |
+//! | `STATS` (0x07)      | (empty)                                           |
+//!
+//! A batch `entry` is `kind u8` (0 = put, 1 = delete), `key u64`, and for
+//! puts `vlen u32, value`. `flags` bit 0 requests a durable (synced)
+//! commit before the acknowledgement.
+//!
+//! ## Status codes and payloads
+//!
+//! | status                    | response payload                          |
+//! |---------------------------|-------------------------------------------|
+//! | `OK_VALUE` (0x00)         | `present u8, [vlen u32, value]`           |
+//! | `OK_COMMITTED` (0x01)     | `seq u64`                                 |
+//! | `OK_ENTRIES` (0x02)       | `has_snap u8, [snap_seq u64], count u32, count × (key u64, vlen u32, value)` |
+//! | `OK_STATS` (0x03)         | `jlen u32, json`                          |
+//! | `ERR_RETRY_AFTER` (0x10)  | `retry_ms u32` — shed by admission control: back off and resend |
+//! | `ERR_POISONED` (0x11)     | `mlen u32, msg` — a cross-shard commit failed mid-way; the engine refuses writes until reopened |
+//! | `ERR_BAD_REQUEST` (0x12)  | `mlen u32, msg` — unknown opcode or malformed payload |
+//! | `ERR_SERVER` (0x13)       | `mlen u32, msg` — engine I/O or corruption error |
+//! | `ERR_SHUTTING_DOWN` (0x14)| `mlen u32, msg` — the server is draining; the connection will close |
+//!
+//! Framing violations (a declared length above the server's cap, or a
+//! stream that ends mid-frame) are not answerable — the stream can no
+//! longer be trusted — so the peer disconnects instead of responding.
+
+use std::io::{self, Read, Write};
+
+/// Smallest legal frame body: id (8) + tag (1).
+pub const MIN_FRAME: usize = 9;
+
+/// Default ceiling on a frame body; the server
+/// ([`ServerOptions::max_frame`](crate::ServerOptions)) and the client
+/// both default to it.
+pub const DEFAULT_MAX_FRAME: usize = 8 << 20;
+
+/// Request flag bit 0: sync the WAL before acknowledging.
+pub const FLAG_DURABLE: u8 = 1;
+
+// ------------------------------------------------------------- tag bytes
+
+pub const OP_GET: u8 = 0x01;
+pub const OP_PUT: u8 = 0x02;
+pub const OP_DELETE: u8 = 0x03;
+pub const OP_WRITE_BATCH: u8 = 0x04;
+pub const OP_SCAN: u8 = 0x05;
+pub const OP_SNAPSHOT_SCAN: u8 = 0x06;
+pub const OP_STATS: u8 = 0x07;
+
+pub const ST_OK_VALUE: u8 = 0x00;
+pub const ST_OK_COMMITTED: u8 = 0x01;
+pub const ST_OK_ENTRIES: u8 = 0x02;
+pub const ST_OK_STATS: u8 = 0x03;
+pub const ST_ERR_RETRY_AFTER: u8 = 0x10;
+pub const ST_ERR_POISONED: u8 = 0x11;
+pub const ST_ERR_BAD_REQUEST: u8 = 0x12;
+pub const ST_ERR_SERVER: u8 = 0x13;
+pub const ST_ERR_SHUTTING_DOWN: u8 = 0x14;
+
+// ---------------------------------------------------------------- types
+
+/// One entry of a [`Request::WriteBatch`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BatchEntry {
+    Put(u64, Vec<u8>),
+    Delete(u64),
+}
+
+/// A decoded request frame body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    Get {
+        key: u64,
+    },
+    Put {
+        key: u64,
+        value: Vec<u8>,
+        durable: bool,
+    },
+    Delete {
+        key: u64,
+        durable: bool,
+    },
+    WriteBatch {
+        entries: Vec<BatchEntry>,
+        durable: bool,
+    },
+    Scan {
+        start: u64,
+        limit: u32,
+    },
+    SnapshotScan {
+        start: u64,
+        limit: u32,
+    },
+    Stats,
+}
+
+impl Request {
+    /// Whether this request mutates the database — the class admission
+    /// control sheds under write backpressure.
+    pub fn is_write(&self) -> bool {
+        matches!(
+            self,
+            Request::Put { .. } | Request::Delete { .. } | Request::WriteBatch { .. }
+        )
+    }
+}
+
+/// A typed server-side error, carried in an error-status response frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServerError {
+    /// Shed by admission control; retry after the given backoff.
+    RetryAfter { ms: u32 },
+    /// The engine is poisoned by a failed cross-shard commit; writes are
+    /// refused until the database is reopened.
+    Poisoned(String),
+    /// Unknown opcode or malformed payload.
+    BadRequest(String),
+    /// Engine I/O or corruption error.
+    Server(String),
+    /// The server is draining for shutdown.
+    ShuttingDown(String),
+}
+
+impl std::fmt::Display for ServerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServerError::RetryAfter { ms } => write!(f, "retry after {ms} ms"),
+            ServerError::Poisoned(m) => write!(f, "engine poisoned: {m}"),
+            ServerError::BadRequest(m) => write!(f, "bad request: {m}"),
+            ServerError::Server(m) => write!(f, "server error: {m}"),
+            ServerError::ShuttingDown(m) => write!(f, "shutting down: {m}"),
+        }
+    }
+}
+
+/// A decoded response frame body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// `GET` result.
+    Value(Option<Vec<u8>>),
+    /// Write acknowledgement: the last sequence number of the commit.
+    Committed { seq: u64 },
+    /// `SCAN` / `SNAPSHOT_SCAN` result; `snapshot_seq` is the pinned
+    /// fence for snapshot scans, `None` for plain scans.
+    Entries {
+        snapshot_seq: Option<u64>,
+        pairs: Vec<(u64, Vec<u8>)>,
+    },
+    /// `STATS` result: the engine's sharded stats as a JSON document.
+    Stats { json: String },
+    /// Any error status.
+    Error(ServerError),
+}
+
+/// Why a frame could not be read; distinguishes "peer went away cleanly"
+/// from "the stream is garbage".
+#[derive(Debug)]
+pub enum FrameError {
+    /// Clean EOF on a frame boundary — the peer closed.
+    Closed,
+    /// The stream died mid-frame (truncated length prefix or body).
+    Truncated,
+    /// The declared length is below [`MIN_FRAME`] or above the cap —
+    /// framing can no longer be trusted.
+    BadLength(u32),
+    /// Underlying transport error.
+    Io(io::Error),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Closed => write!(f, "connection closed"),
+            FrameError::Truncated => write!(f, "stream truncated mid-frame"),
+            FrameError::BadLength(n) => write!(f, "bad frame length {n}"),
+            FrameError::Io(e) => write!(f, "io: {e}"),
+        }
+    }
+}
+
+impl From<FrameError> for io::Error {
+    fn from(e: FrameError) -> io::Error {
+        match e {
+            FrameError::Io(e) => e,
+            FrameError::Closed => io::Error::new(io::ErrorKind::UnexpectedEof, "closed"),
+            other => io::Error::new(io::ErrorKind::InvalidData, other.to_string()),
+        }
+    }
+}
+
+// ------------------------------------------------------------- encoding
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_bytes(out: &mut Vec<u8>, b: &[u8]) {
+    put_u32(out, b.len() as u32);
+    out.extend_from_slice(b);
+}
+
+/// Encode one frame (either direction) into `out`.
+fn encode_frame(out: &mut Vec<u8>, id: u64, tag: u8, payload: &[u8]) {
+    put_u32(out, (8 + 1 + payload.len()) as u32);
+    put_u64(out, id);
+    out.push(tag);
+    out.extend_from_slice(payload);
+}
+
+/// Encode a request frame.
+pub fn encode_request(out: &mut Vec<u8>, id: u64, req: &Request) {
+    let mut p = Vec::new();
+    let tag = match req {
+        Request::Get { key } => {
+            put_u64(&mut p, *key);
+            OP_GET
+        }
+        Request::Put {
+            key,
+            value,
+            durable,
+        } => {
+            p.push(if *durable { FLAG_DURABLE } else { 0 });
+            put_u64(&mut p, *key);
+            put_bytes(&mut p, value);
+            OP_PUT
+        }
+        Request::Delete { key, durable } => {
+            p.push(if *durable { FLAG_DURABLE } else { 0 });
+            put_u64(&mut p, *key);
+            OP_DELETE
+        }
+        Request::WriteBatch { entries, durable } => {
+            p.push(if *durable { FLAG_DURABLE } else { 0 });
+            put_u32(&mut p, entries.len() as u32);
+            for e in entries {
+                match e {
+                    BatchEntry::Put(k, v) => {
+                        p.push(0);
+                        put_u64(&mut p, *k);
+                        put_bytes(&mut p, v);
+                    }
+                    BatchEntry::Delete(k) => {
+                        p.push(1);
+                        put_u64(&mut p, *k);
+                    }
+                }
+            }
+            OP_WRITE_BATCH
+        }
+        Request::Scan { start, limit } => {
+            put_u64(&mut p, *start);
+            put_u32(&mut p, *limit);
+            OP_SCAN
+        }
+        Request::SnapshotScan { start, limit } => {
+            put_u64(&mut p, *start);
+            put_u32(&mut p, *limit);
+            OP_SNAPSHOT_SCAN
+        }
+        Request::Stats => OP_STATS,
+    };
+    encode_frame(out, id, tag, &p);
+}
+
+/// Encode a response frame.
+pub fn encode_response(out: &mut Vec<u8>, id: u64, resp: &Response) {
+    let mut p = Vec::new();
+    let tag = match resp {
+        Response::Value(v) => {
+            match v {
+                Some(v) => {
+                    p.push(1);
+                    put_bytes(&mut p, v);
+                }
+                None => p.push(0),
+            }
+            ST_OK_VALUE
+        }
+        Response::Committed { seq } => {
+            put_u64(&mut p, *seq);
+            ST_OK_COMMITTED
+        }
+        Response::Entries {
+            snapshot_seq,
+            pairs,
+        } => {
+            match snapshot_seq {
+                Some(s) => {
+                    p.push(1);
+                    put_u64(&mut p, *s);
+                }
+                None => p.push(0),
+            }
+            put_u32(&mut p, pairs.len() as u32);
+            for (k, v) in pairs {
+                put_u64(&mut p, *k);
+                put_bytes(&mut p, v);
+            }
+            ST_OK_ENTRIES
+        }
+        Response::Stats { json } => {
+            put_bytes(&mut p, json.as_bytes());
+            ST_OK_STATS
+        }
+        Response::Error(e) => match e {
+            ServerError::RetryAfter { ms } => {
+                put_u32(&mut p, *ms);
+                ST_ERR_RETRY_AFTER
+            }
+            ServerError::Poisoned(m) => {
+                put_bytes(&mut p, m.as_bytes());
+                ST_ERR_POISONED
+            }
+            ServerError::BadRequest(m) => {
+                put_bytes(&mut p, m.as_bytes());
+                ST_ERR_BAD_REQUEST
+            }
+            ServerError::Server(m) => {
+                put_bytes(&mut p, m.as_bytes());
+                ST_ERR_SERVER
+            }
+            ServerError::ShuttingDown(m) => {
+                put_bytes(&mut p, m.as_bytes());
+                ST_ERR_SHUTTING_DOWN
+            }
+        },
+    };
+    encode_frame(out, id, tag, &p);
+}
+
+// ------------------------------------------------------------- decoding
+
+/// Bounds-checked little-endian cursor over a frame payload.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Cursor { buf, pos: 0 }
+    }
+
+    fn u8(&mut self) -> Result<u8, String> {
+        let b = *self.buf.get(self.pos).ok_or("payload truncated")?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn u32(&mut self) -> Result<u32, String> {
+        let end = self.pos.checked_add(4).filter(|&e| e <= self.buf.len());
+        let end = end.ok_or("payload truncated")?;
+        let v = u32::from_le_bytes(self.buf[self.pos..end].try_into().unwrap());
+        self.pos = end;
+        Ok(v)
+    }
+
+    fn u64(&mut self) -> Result<u64, String> {
+        let end = self.pos.checked_add(8).filter(|&e| e <= self.buf.len());
+        let end = end.ok_or("payload truncated")?;
+        let v = u64::from_le_bytes(self.buf[self.pos..end].try_into().unwrap());
+        self.pos = end;
+        Ok(v)
+    }
+
+    fn bytes(&mut self) -> Result<Vec<u8>, String> {
+        let len = self.u32()? as usize;
+        let end = self.pos.checked_add(len).filter(|&e| e <= self.buf.len());
+        let end = end.ok_or("declared byte length overruns payload")?;
+        let v = self.buf[self.pos..end].to_vec();
+        self.pos = end;
+        Ok(v)
+    }
+
+    fn finish(self) -> Result<(), String> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(format!(
+                "{} trailing bytes after payload",
+                self.buf.len() - self.pos
+            ))
+        }
+    }
+}
+
+/// Decode a request payload. `Err` carries a human-readable reason for
+/// the `ERR_BAD_REQUEST` response.
+pub fn decode_request(opcode: u8, payload: &[u8]) -> Result<Request, String> {
+    let mut c = Cursor::new(payload);
+    let req = match opcode {
+        OP_GET => Request::Get { key: c.u64()? },
+        OP_PUT => {
+            let flags = c.u8()?;
+            Request::Put {
+                key: c.u64()?,
+                value: c.bytes()?,
+                durable: flags & FLAG_DURABLE != 0,
+            }
+        }
+        OP_DELETE => {
+            let flags = c.u8()?;
+            Request::Delete {
+                key: c.u64()?,
+                durable: flags & FLAG_DURABLE != 0,
+            }
+        }
+        OP_WRITE_BATCH => {
+            let flags = c.u8()?;
+            let count = c.u32()? as usize;
+            // An honest batch needs ≥ 9 bytes per entry; a declared count
+            // past that is a lie about data that cannot be present.
+            if count > payload.len() / 9 + 1 {
+                return Err(format!("batch count {count} overruns payload"));
+            }
+            let mut entries = Vec::with_capacity(count);
+            for _ in 0..count {
+                entries.push(match c.u8()? {
+                    0 => BatchEntry::Put(c.u64()?, c.bytes()?),
+                    1 => BatchEntry::Delete(c.u64()?),
+                    k => return Err(format!("unknown batch entry kind {k}")),
+                });
+            }
+            Request::WriteBatch {
+                entries,
+                durable: flags & FLAG_DURABLE != 0,
+            }
+        }
+        OP_SCAN => Request::Scan {
+            start: c.u64()?,
+            limit: c.u32()?,
+        },
+        OP_SNAPSHOT_SCAN => Request::SnapshotScan {
+            start: c.u64()?,
+            limit: c.u32()?,
+        },
+        OP_STATS => Request::Stats,
+        op => return Err(format!("unknown opcode 0x{op:02x}")),
+    };
+    c.finish()?;
+    Ok(req)
+}
+
+/// Decode a response payload.
+pub fn decode_response(status: u8, payload: &[u8]) -> Result<Response, String> {
+    let mut c = Cursor::new(payload);
+    let resp = match status {
+        ST_OK_VALUE => Response::Value(match c.u8()? {
+            0 => None,
+            _ => Some(c.bytes()?),
+        }),
+        ST_OK_COMMITTED => Response::Committed { seq: c.u64()? },
+        ST_OK_ENTRIES => {
+            let snapshot_seq = match c.u8()? {
+                0 => None,
+                _ => Some(c.u64()?),
+            };
+            let count = c.u32()? as usize;
+            if count > payload.len() / 12 + 1 {
+                return Err(format!("entry count {count} overruns payload"));
+            }
+            let mut pairs = Vec::with_capacity(count);
+            for _ in 0..count {
+                let k = c.u64()?;
+                pairs.push((k, c.bytes()?));
+            }
+            Response::Entries {
+                snapshot_seq,
+                pairs,
+            }
+        }
+        ST_OK_STATS => Response::Stats {
+            json: String::from_utf8(c.bytes()?).map_err(|_| "stats json is not UTF-8")?,
+        },
+        ST_ERR_RETRY_AFTER => Response::Error(ServerError::RetryAfter { ms: c.u32()? }),
+        ST_ERR_POISONED => Response::Error(ServerError::Poisoned(msg(&mut c)?)),
+        ST_ERR_BAD_REQUEST => Response::Error(ServerError::BadRequest(msg(&mut c)?)),
+        ST_ERR_SERVER => Response::Error(ServerError::Server(msg(&mut c)?)),
+        ST_ERR_SHUTTING_DOWN => Response::Error(ServerError::ShuttingDown(msg(&mut c)?)),
+        s => return Err(format!("unknown status 0x{s:02x}")),
+    };
+    c.finish()?;
+    Ok(resp)
+}
+
+fn msg(c: &mut Cursor<'_>) -> Result<String, String> {
+    String::from_utf8(c.bytes()?).map_err(|_| "error message is not UTF-8".into())
+}
+
+// --------------------------------------------------------------- framing
+
+/// Read one frame: `(id, tag, payload)`.
+pub fn read_frame(r: &mut dyn Read, max_frame: usize) -> Result<(u64, u8, Vec<u8>), FrameError> {
+    let mut len_buf = [0u8; 4];
+    match read_exact_or_eof(r, &mut len_buf) {
+        Ok(true) => {}
+        Ok(false) => return Err(FrameError::Closed),
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Err(FrameError::Truncated),
+        Err(e) => return Err(FrameError::Io(e)),
+    }
+    let len = u32::from_le_bytes(len_buf);
+    if (len as usize) < MIN_FRAME || len as usize > max_frame {
+        return Err(FrameError::BadLength(len));
+    }
+    let mut body = vec![0u8; len as usize];
+    match r.read_exact(&mut body) {
+        Ok(()) => {}
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Err(FrameError::Truncated),
+        Err(e) => return Err(FrameError::Io(e)),
+    }
+    let id = u64::from_le_bytes(body[..8].try_into().unwrap());
+    let tag = body[8];
+    body.drain(..MIN_FRAME);
+    Ok((id, tag, body))
+}
+
+/// `read_exact`, but a clean EOF before the *first* byte returns
+/// `Ok(false)` instead of an error (frame-boundary close).
+fn read_exact_or_eof(r: &mut dyn Read, buf: &mut [u8]) -> io::Result<bool> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) if filled == 0 => return Ok(false),
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "eof mid-frame",
+                ))
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(true)
+}
+
+/// Encode and write one frame, flushing the writer.
+pub fn write_frame(w: &mut dyn Write, buf: &[u8]) -> io::Result<()> {
+    w.write_all(buf)?;
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_req(req: Request) {
+        let mut buf = Vec::new();
+        encode_request(&mut buf, 42, &req);
+        let mut r = &buf[..];
+        let (id, tag, payload) = read_frame(&mut r, DEFAULT_MAX_FRAME).expect("frame");
+        assert_eq!(id, 42);
+        assert_eq!(decode_request(tag, &payload).expect("decode"), req);
+    }
+
+    fn roundtrip_resp(resp: Response) {
+        let mut buf = Vec::new();
+        encode_response(&mut buf, 7, &resp);
+        let mut r = &buf[..];
+        let (id, tag, payload) = read_frame(&mut r, DEFAULT_MAX_FRAME).expect("frame");
+        assert_eq!(id, 7);
+        assert_eq!(decode_response(tag, &payload).expect("decode"), resp);
+    }
+
+    #[test]
+    fn requests_roundtrip() {
+        roundtrip_req(Request::Get { key: u64::MAX });
+        roundtrip_req(Request::Put {
+            key: 1,
+            value: b"v".to_vec(),
+            durable: true,
+        });
+        roundtrip_req(Request::Delete {
+            key: 2,
+            durable: false,
+        });
+        roundtrip_req(Request::WriteBatch {
+            entries: vec![
+                BatchEntry::Put(3, vec![0xab; 100]),
+                BatchEntry::Delete(4),
+                BatchEntry::Put(5, Vec::new()),
+            ],
+            durable: true,
+        });
+        roundtrip_req(Request::Scan {
+            start: 0,
+            limit: 10,
+        });
+        roundtrip_req(Request::SnapshotScan { start: 9, limit: 0 });
+        roundtrip_req(Request::Stats);
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        roundtrip_resp(Response::Value(None));
+        roundtrip_resp(Response::Value(Some(b"x".to_vec())));
+        roundtrip_resp(Response::Committed { seq: 99 });
+        roundtrip_resp(Response::Entries {
+            snapshot_seq: Some(12),
+            pairs: vec![(1, b"a".to_vec()), (2, Vec::new())],
+        });
+        roundtrip_resp(Response::Entries {
+            snapshot_seq: None,
+            pairs: Vec::new(),
+        });
+        roundtrip_resp(Response::Stats {
+            json: "{\"x\":1}".into(),
+        });
+        roundtrip_resp(Response::Error(ServerError::RetryAfter { ms: 20 }));
+        roundtrip_resp(Response::Error(ServerError::Poisoned("p".into())));
+        roundtrip_resp(Response::Error(ServerError::BadRequest("b".into())));
+        roundtrip_resp(Response::Error(ServerError::Server("s".into())));
+        roundtrip_resp(Response::Error(ServerError::ShuttingDown("d".into())));
+    }
+
+    #[test]
+    fn framing_violations_are_typed() {
+        // Truncated length prefix.
+        let mut r: &[u8] = &[1, 0];
+        assert!(matches!(
+            read_frame(&mut r, DEFAULT_MAX_FRAME),
+            Err(FrameError::Truncated)
+        ));
+        // Oversized declared length.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(1u32 << 30).to_le_bytes());
+        let mut r = &buf[..];
+        assert!(matches!(
+            read_frame(&mut r, DEFAULT_MAX_FRAME),
+            Err(FrameError::BadLength(_))
+        ));
+        // Undersized declared length (cannot even hold id + tag).
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&3u32.to_le_bytes());
+        buf.extend_from_slice(&[0, 0, 0]);
+        let mut r = &buf[..];
+        assert!(matches!(
+            read_frame(&mut r, DEFAULT_MAX_FRAME),
+            Err(FrameError::BadLength(3))
+        ));
+        // Clean EOF on a boundary.
+        let mut r: &[u8] = &[];
+        assert!(matches!(
+            read_frame(&mut r, DEFAULT_MAX_FRAME),
+            Err(FrameError::Closed)
+        ));
+        // Body shorter than declared.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&100u32.to_le_bytes());
+        buf.extend_from_slice(&[0u8; 20]);
+        let mut r = &buf[..];
+        assert!(matches!(
+            read_frame(&mut r, DEFAULT_MAX_FRAME),
+            Err(FrameError::Truncated)
+        ));
+    }
+
+    #[test]
+    fn garbage_payloads_decode_to_errors_not_panics() {
+        // Declared value length overruns the payload.
+        let mut p = vec![0u8]; // flags
+        p.extend_from_slice(&1u64.to_le_bytes());
+        p.extend_from_slice(&u32::MAX.to_le_bytes()); // vlen lie
+        assert!(decode_request(OP_PUT, &p).is_err());
+        // Unknown opcode.
+        assert!(decode_request(0x7f, &[]).is_err());
+        // Trailing junk.
+        let mut buf = Vec::new();
+        encode_request(&mut buf, 1, &Request::Get { key: 5 });
+        let mut r = &buf[..];
+        let (_, tag, mut payload) = read_frame(&mut r, DEFAULT_MAX_FRAME).unwrap();
+        payload.push(0xee);
+        assert!(decode_request(tag, &payload).is_err());
+        // Batch count lie.
+        let mut p = vec![0u8];
+        p.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(decode_request(OP_WRITE_BATCH, &p).is_err());
+    }
+}

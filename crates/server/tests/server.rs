@@ -1,0 +1,384 @@
+//! End-to-end tests of the server: every opcode over the in-memory
+//! transport, pipelined out-of-order completion, graceful shutdown
+//! durability, corrupt-frame handling, admission-control shedding under
+//! a stopped engine, and a TCP smoke test.
+
+use std::io::{Read, Write};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use lsm_io::{MemStorage, Storage};
+use lsm_server::protocol::{encode_request, MIN_FRAME};
+use lsm_server::{
+    tcp_connect, BatchEntry, Client, ClientError, MemTransport, Request, Response, Server,
+    ServerError, ServerOptions, TcpTransport,
+};
+use lsm_tree::sharding::ShardedDb;
+use lsm_tree::{Maintenance, Options, ShardedOptions};
+use rand::{RngCore, SeedableRng, StdRng};
+
+fn mem_server(shards: usize) -> (Server, lsm_server::MemConnector) {
+    let db = ShardedDb::open_memory(ShardedOptions::hash(shards, Options::small_for_tests()))
+        .expect("open");
+    let (connector, listener) = MemTransport::endpoint();
+    let server = Server::start(db, Arc::new(listener), ServerOptions::default());
+    (server, connector)
+}
+
+#[test]
+fn every_opcode_roundtrips() {
+    let (server, connector) = mem_server(2);
+    let client = Client::new(connector.connect().expect("dial"));
+
+    assert_eq!(client.get(1).expect("get missing"), None);
+    let seq1 = client.put(1, b"one", false).expect("put");
+    let seq2 = client.put(2, b"two", true).expect("durable put");
+    assert!(seq2 > seq1, "commit sequences advance");
+    assert_eq!(client.get(1).expect("get"), Some(b"one".to_vec()));
+
+    client
+        .write_batch(
+            vec![
+                BatchEntry::Put(3, b"three".to_vec()),
+                BatchEntry::Put(4, b"four".to_vec()),
+                BatchEntry::Delete(1),
+            ],
+            false,
+        )
+        .expect("batch");
+    assert_eq!(client.get(1).expect("get deleted"), None);
+
+    let pairs = client.scan(0, 10).expect("scan");
+    assert_eq!(
+        pairs.iter().map(|(k, _)| *k).collect::<Vec<_>>(),
+        vec![2, 3, 4]
+    );
+
+    let (snap_seq, pairs) = client.snapshot_scan(3, 10).expect("snapshot scan");
+    assert!(snap_seq > 0);
+    assert_eq!(
+        pairs.iter().map(|(k, _)| *k).collect::<Vec<_>>(),
+        vec![3, 4]
+    );
+
+    client.delete(2, false).expect("delete");
+    assert_eq!(client.get(2).expect("get"), None);
+
+    let stats = client.stats_json().expect("stats");
+    assert!(
+        stats.contains("\"topology_epoch\"") && stats.contains("\"resident_bytes\""),
+        "stats JSON should carry sharded fields: {stats}"
+    );
+
+    server.close().expect("close");
+}
+
+#[test]
+fn pipelined_responses_match_out_of_order_waits() {
+    let (server, connector) = mem_server(2);
+    let client = Client::new(connector.connect().expect("dial"));
+
+    // Fill the store, then submit a burst of gets without waiting and
+    // collect the responses in reverse submission order: the stash must
+    // hand every id its own answer.
+    for k in 0..50u64 {
+        client
+            .put(k, format!("v{k}").as_bytes(), false)
+            .expect("put");
+    }
+    let ids: Vec<(u64, u64)> = (0..50u64)
+        .map(|k| (k, client.submit(&Request::Get { key: k }).expect("submit")))
+        .collect();
+    for (k, id) in ids.into_iter().rev() {
+        match client.wait(id).expect("wait") {
+            Response::Value(Some(v)) => assert_eq!(v, format!("v{k}").into_bytes()),
+            other => panic!("get {k} answered {other:?}"),
+        }
+    }
+    server.close().expect("close");
+}
+
+#[test]
+fn graceful_close_persists_every_acknowledged_durable_write() {
+    let storage: Arc<dyn Storage> = Arc::new(MemStorage::new());
+    let opts = || ShardedOptions::hash(2, Options::small_for_tests());
+    let db = ShardedDb::open(Arc::clone(&storage), opts()).expect("open");
+    let (connector, listener) = MemTransport::endpoint();
+    let server = Server::start(db, Arc::new(listener), ServerOptions::default());
+    let client = Client::new(connector.connect().expect("dial"));
+
+    for k in 0..200u64 {
+        client
+            .put(k, format!("durable-{k}").as_bytes(), true)
+            .expect("acknowledged durable put");
+    }
+    // Acknowledged means applied: close drains in-flight work, then
+    // releases the engine cleanly.
+    server.close().expect("graceful close");
+
+    let reopened = ShardedDb::open(storage, opts()).expect("reopen");
+    for k in 0..200u64 {
+        assert_eq!(
+            reopened.get(k).expect("get"),
+            Some(format!("durable-{k}").into_bytes()),
+            "acknowledged write to key {k} must survive close + reopen"
+        );
+    }
+    reopened.close().expect("close reopened");
+}
+
+#[test]
+fn close_answers_in_flight_requests_before_releasing_the_engine() {
+    let (server, connector) = mem_server(1);
+    let client = Arc::new(Client::new(connector.connect().expect("dial")));
+
+    // Pipeline a pile of writes, then close concurrently. The in-memory
+    // pipe delivers buffered frames before EOF, so the server reads all
+    // of them even mid-shutdown — each must get a typed conclusion
+    // (Committed if admitted before the drain began, ShuttingDown if
+    // after), never silence or a torn frame.
+    let ids: Vec<u64> = (0..100u64)
+        .map(|k| {
+            client
+                .submit(&Request::Put {
+                    key: k,
+                    value: vec![b'x'; 16],
+                    durable: false,
+                })
+                .expect("submit")
+        })
+        .collect();
+    let closer = std::thread::spawn(move || server.close().expect("close"));
+    let mut concluded = 0;
+    for id in ids {
+        match client.wait(id) {
+            Ok(Response::Committed { .. }) | Ok(Response::Error(ServerError::ShuttingDown(_))) => {
+                concluded += 1
+            }
+            Ok(other) => panic!("unexpected response {other:?}"),
+            Err(e) => panic!("unexpected client error {e}"),
+        }
+    }
+    closer.join().expect("closer panicked");
+    assert_eq!(concluded, 100, "every request gets a typed conclusion");
+}
+
+#[test]
+fn corrupt_frames_get_typed_errors_or_clean_disconnects() {
+    let (server, connector) = mem_server(1);
+
+    // Unknown opcode, intact framing: typed BAD_REQUEST, connection
+    // survives.
+    {
+        let conn = connector.connect().expect("dial");
+        let mut w = conn.writer;
+        let mut body = Vec::new();
+        body.extend_from_slice(&((MIN_FRAME + 1) as u32).to_le_bytes());
+        body.extend_from_slice(&77u64.to_le_bytes());
+        body.push(0x6f); // no such opcode
+        body.push(0x00);
+        w.write_all(&body).expect("send");
+        let client = Client::from_halves(conn.reader, w);
+        match client.wait(77) {
+            Ok(Response::Error(ServerError::BadRequest(_))) => {}
+            other => panic!("bad opcode answered {other:?}"),
+        }
+        // Still serviceable afterwards.
+        let id = client.submit(&Request::Get { key: 0 }).expect("submit");
+        assert!(matches!(client.wait(id), Ok(Response::Value(None))));
+    }
+
+    // Garbage payload under a valid opcode: typed BAD_REQUEST.
+    {
+        let conn = connector.connect().expect("dial");
+        let mut w = conn.writer;
+        let mut payload = vec![0u8]; // flags
+        payload.extend_from_slice(&1u64.to_le_bytes());
+        payload.extend_from_slice(&u32::MAX.to_le_bytes()); // value-length lie
+        let mut body = Vec::new();
+        body.extend_from_slice(&((MIN_FRAME + payload.len()) as u32).to_le_bytes());
+        body.extend_from_slice(&5u64.to_le_bytes());
+        body.push(0x02); // PUT
+        body.extend_from_slice(&payload);
+        w.write_all(&body).expect("send");
+        let client = Client::from_halves(conn.reader, w);
+        match client.wait(5) {
+            Ok(Response::Error(ServerError::BadRequest(_))) => {}
+            other => panic!("garbage payload answered {other:?}"),
+        }
+    }
+
+    // Oversized declared length: framing is untrustworthy, the server
+    // must disconnect (EOF on our read side), not hang or panic.
+    {
+        let conn = connector.connect().expect("dial");
+        let mut w = conn.writer;
+        w.write_all(&u32::MAX.to_le_bytes()).expect("send");
+        w.write_all(&[0u8; 64]).expect("send");
+        let mut r = conn.reader;
+        let mut buf = [0u8; 16];
+        assert_eq!(r.read(&mut buf).expect("read"), 0, "expected clean EOF");
+    }
+
+    // Truncated frame then writer close: server must just drop the
+    // connection.
+    {
+        let conn = connector.connect().expect("dial");
+        let teardown = conn.both_shutdown_handle();
+        let mut w = conn.writer;
+        let mut body = Vec::new();
+        body.extend_from_slice(&100u32.to_le_bytes());
+        body.extend_from_slice(&[1, 2, 3]); // 3 of the declared 100 bytes
+        w.write_all(&body).expect("send");
+        teardown();
+    }
+
+    // Seeded random garbage: whatever happens per connection, the server
+    // neither panics nor wedges.
+    let mut rng = StdRng::seed_from_u64(0xF00D);
+    for _ in 0..32 {
+        let conn = connector.connect().expect("dial");
+        let teardown = conn.both_shutdown_handle();
+        let mut w = conn.writer;
+        let n = (rng.next_u64() % 256 + 1) as usize;
+        let mut junk = vec![0u8; n];
+        for b in &mut junk {
+            *b = rng.next_u64() as u8;
+        }
+        let _ = w.write_all(&junk);
+        teardown();
+    }
+
+    // After all that abuse a fresh connection still works end to end.
+    let client = Client::new(connector.connect().expect("dial"));
+    client.put(9, b"alive", false).expect("put");
+    assert_eq!(client.get(9).expect("get"), Some(b"alive".to_vec()));
+    server.close().expect("close");
+}
+
+#[test]
+fn stopped_engine_sheds_writes_with_retry_after_instead_of_stalling() {
+    // Background maintenance with flushes paused: applied writes pile up
+    // memtables until the engine would hard-stall its writers. The
+    // server must convert that into RETRY_AFTER sheds at the edge.
+    let mut base = Options::small_for_tests();
+    base.maintenance = Maintenance::background();
+    base.max_immutable_memtables = 1;
+    let db = ShardedDb::open_memory(ShardedOptions::hash(1, base)).expect("open");
+    let (connector, listener) = MemTransport::endpoint();
+    let server = Server::start(
+        db,
+        Arc::new(listener),
+        ServerOptions {
+            workers: 2,
+            ..ServerOptions::default()
+        },
+    );
+    server.db().pause_flushes();
+
+    let client = Client::new(connector.connect().expect("dial"));
+    // Must fit the 32-byte table value slot of `small_for_tests`, or the
+    // resumed flush itself would fail.
+    let value = vec![0xABu8; 32];
+
+    // Closed-loop writes (one at a time, so no request can be admitted
+    // before the pressure it causes is visible): the write buffer is
+    // 16 KiB in test options, so a few hundred 32-byte puts fill the
+    // active memtable and the (paused) immutable queue. The put that
+    // would have stalled inside the engine must come back as a typed
+    // RETRY_AFTER within the deadline instead — shed, not stall.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let mut shed = 0u64;
+    let mut committed = 0u64;
+    let mut key = 0u64;
+    while shed == 0 {
+        assert!(
+            Instant::now() < deadline,
+            "no RETRY_AFTER shed observed ({committed} puts committed)"
+        );
+        match client.put(key, &value, false) {
+            Ok(_) => committed += 1,
+            Err(ClientError::Remote(ServerError::RetryAfter { ms })) => {
+                assert!(ms > 0, "retry hint must be positive");
+                shed += 1;
+            }
+            Err(e) => panic!("unexpected put failure: {e}"),
+        }
+        key += 1;
+    }
+    assert!(committed > 0, "puts before the stop must succeed");
+    assert!(server.shed_count() > 0, "server must count its sheds");
+
+    // Un-pause: the engine drains, and retrying eventually succeeds — a
+    // shed was a backoff signal, not a failure.
+    server.db().resume_flushes();
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        match client.put(u64::MAX, b"after", false) {
+            Ok(_) => break,
+            Err(ClientError::Remote(ServerError::RetryAfter { ms })) => {
+                assert!(
+                    Instant::now() < deadline,
+                    "engine never recovered after resume_flushes"
+                );
+                std::thread::sleep(Duration::from_millis(u64::from(ms).max(5)));
+            }
+            Err(e) => panic!("post-recovery put failed: {e}"),
+        }
+    }
+    assert_eq!(
+        client.get(u64::MAX).expect("get"),
+        Some(b"after".to_vec()),
+        "recovered write must be readable"
+    );
+    server.close().expect("close");
+}
+
+#[test]
+fn tcp_transport_smoke() {
+    let db =
+        ShardedDb::open_memory(ShardedOptions::hash(2, Options::small_for_tests())).expect("open");
+    let transport = TcpTransport::bind("127.0.0.1:0").expect("bind");
+    let addr = transport.local_addr().to_string();
+    let server = Server::start(db, Arc::new(transport), ServerOptions::default());
+
+    let client = Client::new(tcp_connect(&addr).expect("dial"));
+    client.put(42, b"over tcp", true).expect("put");
+    assert_eq!(client.get(42).expect("get"), Some(b"over tcp".to_vec()));
+    assert_eq!(client.scan(0, 10).expect("scan").len(), 1);
+    server.close().expect("close");
+}
+
+#[test]
+fn requests_after_frame_cap_are_rejected_not_buffered() {
+    // A frame larger than the server cap must kill the connection before
+    // the server allocates for it.
+    let db =
+        ShardedDb::open_memory(ShardedOptions::hash(1, Options::small_for_tests())).expect("open");
+    let (connector, listener) = MemTransport::endpoint();
+    let server = Server::start(
+        db,
+        Arc::new(listener),
+        ServerOptions {
+            max_frame: 1 << 10,
+            ..ServerOptions::default()
+        },
+    );
+    let conn = connector.connect().expect("dial");
+    let mut w = conn.writer;
+    let mut buf = Vec::new();
+    encode_request(
+        &mut buf,
+        1,
+        &Request::Put {
+            key: 1,
+            value: vec![0u8; 4 << 10],
+            durable: false,
+        },
+    );
+    w.write_all(&buf).expect("send");
+    let mut r = conn.reader;
+    let mut byte = [0u8; 1];
+    assert_eq!(r.read(&mut byte).expect("read"), 0, "expected disconnect");
+    server.close().expect("close");
+}

@@ -8,7 +8,7 @@
 //!
 //! ```sh
 //! cargo run --release --example ycsb [index-abbrev] [ops] [--shards N] \
-//!     [--max-shards M] [--split-threshold F]
+//!     [--max-shards M] [--split-threshold F] [--server] [--rate R]
 //! ```
 //!
 //! With `--shards N` (N > 1) the six mixes instead run against the
@@ -18,6 +18,14 @@
 //! `--max-shards M` lets the topology split hot shards live during the
 //! runs (`--split-threshold F` tunes the resident-bytes overshoot that
 //! triggers a split; default 0.2).
+//!
+//! With `--server` the six mixes are driven through the `lsm-server`
+//! network front end instead: frame protocol, pipelined client, admission
+//! control, and a fixed open-loop arrival rate (`--rate R` requests/s;
+//! omitted or 0 auto-calibrates from a closed-loop burst). The report
+//! shows coordinated-omission-free p50/p99/p99.9 and the sheds the
+//! server's backpressure mapping answered with `RETRY_AFTER`, then dumps
+//! the engine's sharded-stats JSON fetched through the `STATS` opcode.
 
 use learned_lsm_repro::index::IndexKind;
 use learned_lsm_repro::testbed::{Granularity, Testbed, TestbedConfig};
@@ -27,6 +35,8 @@ fn main() {
     let mut shards = 1usize;
     let mut max_shards = 0usize;
     let mut split_threshold = 0.2f64;
+    let mut server = false;
+    let mut rate = None;
     let mut positional = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -49,6 +59,14 @@ fn main() {
                     .and_then(|v| v.parse().ok())
                     .expect("--split-threshold needs a number");
             }
+            "--server" => server = true,
+            "--rate" => {
+                let r: f64 = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--rate needs a number");
+                rate = (r > 0.0).then_some(r);
+            }
             _ => positional.push(a),
         }
     }
@@ -62,6 +80,10 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(20_000);
 
+    if server {
+        run_server(kind, shards, ops, rate);
+        return;
+    }
     if shards > 1 {
         run_sharded(kind, shards, ops, max_shards, split_threshold);
         return;
@@ -97,6 +119,51 @@ fn main() {
             mix
         );
     }
+}
+
+/// The `--server` path: all six mixes through the `lsm-server` front end
+/// at an open-loop arrival rate, ending with the engine's sharded-stats
+/// report fetched through the wire (the `STATS` opcode).
+fn run_server(kind: IndexKind, shards: usize, ops: usize, rate: Option<f64>) {
+    use learned_lsm_repro::bench::{runner, Scale};
+
+    let mut scale = Scale::quick();
+    scale.ops = ops;
+    println!(
+        "lsm-server front end: index={} {shards} shard(s), open-loop {}, ops-per-workload={ops}\n",
+        kind.abbrev(),
+        match rate {
+            Some(r) => format!("{r:.0} req/s"),
+            None => "auto-calibrated rate".to_string(),
+        }
+    );
+    println!(
+        "{:>9} {:>11} {:>11} {:>10} {:>10} {:>10} {:>7} {:>7}",
+        "workload",
+        "rate (r/s)",
+        "ach. (r/s)",
+        "p50 (µs)",
+        "p99 (µs)",
+        "p99.9(µs)",
+        "shed",
+        "errors"
+    );
+    let (records, stats) = runner::ycsb_server(&scale, Dataset::Random, shards, kind, 0xfeed, rate)
+        .expect("server ycsb");
+    for r in records {
+        println!(
+            "{:>9} {:>11.0} {:>11.0} {:>10.1} {:>10.1} {:>10.1} {:>7} {:>7}",
+            format!("YCSB-{}", r.workload),
+            r.target_rate,
+            r.achieved_rate,
+            r.p50_us,
+            r.p99_us,
+            r.p999_us,
+            r.shed,
+            r.errors,
+        );
+    }
+    println!("\nsharded stats (last mix, via STATS):\n{stats}");
 }
 
 /// The `--shards N` path: all six mixes against a `ShardedDb` via the

@@ -12,6 +12,9 @@
 //! * [`lsm`] — the LevelDB-style engine with pluggable table indexes,
 //!   exposing LevelDB's API quartet: atomic `WriteBatch` group commit,
 //!   RAII `Snapshot` handles, and `ReadOptions`/`WriteOptions` knobs;
+//! * [`server`] — the network front end: length-prefixed frame protocol,
+//!   pipelined client, admission control mapped onto engine backpressure,
+//!   and an open-loop (coordinated-omission-free) latency driver;
 //! * [`testbed`] — the paper's configuration space and workload runners.
 //!
 //! ```
@@ -43,5 +46,6 @@ pub use learned_lsm as testbed;
 pub use learned_unclustered as unclustered;
 pub use lsm_bench as bench;
 pub use lsm_io as io;
+pub use lsm_server as server;
 pub use lsm_tree as lsm;
 pub use lsm_workloads as workloads;
