@@ -27,6 +27,15 @@ pub struct CostModel {
     /// Added cost per block written, nanoseconds. Sequential writes are
     /// cheaper than random reads on NVMe.
     pub write_block_ns: u64,
+    /// Flush (`sync`) latency, nanoseconds. Unlike the counted read/write
+    /// costs above, this one is **realized**: [`crate::SimStorage`] actually
+    /// sleeps the calling thread for this long on every `sync`, because the
+    /// interesting behaviour of a durable commit path — writers piling into
+    /// the commit queue while the leader is stuck in `fsync`, letting the
+    /// next leader fuse them into one record — only emerges when the leader
+    /// is genuinely blocked. `0` (the default) keeps `sync` free and
+    /// instant, preserving the pre-existing pure-virtual-clock behaviour.
+    pub sync_ns: u64,
 }
 
 impl Default for CostModel {
@@ -37,6 +46,7 @@ impl Default for CostModel {
             read_block_ns: 600,
             write_base_ns: 400,
             write_block_ns: 250,
+            sync_ns: 0,
         }
     }
 }
@@ -51,6 +61,17 @@ impl CostModel {
             read_block_ns: 0,
             write_base_ns: 0,
             write_block_ns: 0,
+            sync_ns: 0,
+        }
+    }
+
+    /// The default model plus a realized flush latency of `sync_ns`
+    /// nanoseconds per `sync` call — loosely an NVMe FLUSH (tens of µs).
+    /// See [`CostModel::sync_ns`] for why this one actually sleeps.
+    pub fn with_sync_latency(sync_ns: u64) -> Self {
+        Self {
+            sync_ns,
+            ..Self::default()
         }
     }
 

@@ -72,7 +72,16 @@ impl WritableFile for SimWriter {
     }
 
     fn sync(&mut self) -> io::Result<()> {
-        self.inner.sync()
+        self.inner.sync()?;
+        if self.model.sync_ns > 0 {
+            // Realized latency, not just a counted one: block the caller
+            // like a real FLUSH would, so commit-queue dynamics (group
+            // fusion behind a syncing leader) are physically reproduced.
+            // See `CostModel::sync_ns`.
+            self.stats.record_sync(self.model.sync_ns);
+            std::thread::sleep(std::time::Duration::from_nanos(self.model.sync_ns));
+        }
+        Ok(())
     }
 
     fn written(&self) -> u64 {

@@ -61,6 +61,12 @@ impl IoStats {
         c.sim_write_ns.fetch_add(sim_ns, Ordering::Relaxed);
     }
 
+    /// Record a `sync` call with `sim_ns` modeled nanoseconds. Charged to
+    /// the write clock; moves no bytes and counts no write call.
+    pub fn record_sync(&self, sim_ns: u64) {
+        self.inner.sim_write_ns.fetch_add(sim_ns, Ordering::Relaxed);
+    }
+
     /// Capture the current counter values.
     pub fn snapshot(&self) -> IoStatsSnapshot {
         let c = &*self.inner;

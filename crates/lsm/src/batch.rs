@@ -1,10 +1,12 @@
 //! Atomic write batches (LevelDB's `WriteBatch`).
 //!
 //! A [`WriteBatch`] buffers puts and deletes client-side; [`crate::Db::write`]
-//! applies the whole batch under **one** write-lock acquisition, assigns it
-//! **one** contiguous sequence-number range, and frames it as **one**
-//! CRC-protected WAL record (group commit). Recovery applies a batch
-//! all-or-nothing: a torn tail drops the entire batch, never a prefix.
+//! assigns the whole batch **one** contiguous sequence-number range and logs
+//! it inside **one** CRC-protected WAL record — possibly fused with other
+//! concurrently queued batches (pipelined group commit; see the
+//! [`crate::db`] module docs). Recovery applies a record all-or-nothing: a
+//! torn tail drops the entire record, never a prefix; readers likewise
+//! never see a partially applied batch (the fence-publish ceiling).
 
 use crate::types::EntryKind;
 

@@ -23,13 +23,38 @@
 //!   memtable, then the immutable queue (newest first), then the
 //!   [`Version`] — so rotated-but-unflushed writes stay visible.
 //!
-//! ## Group commit
+//! ## Pipelined group commit
 //!
-//! A [`WriteBatch`] is applied under **one** write-lock acquisition, gets
-//! **one** contiguous sequence range, and is framed as **one** CRC-protected
-//! WAL record (`DbStats::wal_appends` counts exactly one per batch). Replay
-//! applies a batch all-or-nothing: a torn tail drops the whole batch, never
-//! a prefix.
+//! Concurrent writers do not contend on the tree lock: each enqueues its
+//! batch onto a **writer queue** and one of them — the *leader*, always the
+//! queue's front — claims a contiguous sequence range covering the whole
+//! queued run, appends **one fused** CRC-protected WAL record for the group
+//! (`DbStats::wal_appends` counts one per *group*; see
+//! `DbStats::write_groups`), and hands every member its sub-range. The
+//! members then insert into the concurrent skiplist memtable **in
+//! parallel, outside every lock**, while the next leader is already logging
+//! the next group — WAL append and memtable apply of successive groups
+//! overlap (the pipeline).
+//!
+//! Two refinements: a writer that finds the queue empty with no active
+//! leader (and is unsynced, or the only writer in flight) takes a **solo
+//! fast path**, committing directly without the slot/wakeup machinery; and
+//! a leader about to pay a real `sync` waits a bounded **commit window**
+//! (`COMMIT_WINDOW`, 50 µs, yielding — never blocking followers' enqueue) for
+//! the other in-flight writers to join, so a flush-bound load fuses into
+//! maximal groups and the flush count drops by the writer count. A lone
+//! writer never waits.
+//!
+//! Visibility follows the **fence-publish discipline**: reads see exactly
+//! the prefix `seq <= visible`, and a group bumps `visible` to its last
+//! sequence only after *every* member has finished inserting — and only in
+//! queue (= sequence) order, so the published ceiling never exposes a
+//! half-applied batch or a gap. A single batch therefore stays atomic to
+//! readers even while its entries land one by one.
+//!
+//! Replay applies a WAL record all-or-nothing: a torn tail drops the whole
+//! record — for a fused record, the whole group, each batch of which was
+//! unacknowledged — never a prefix.
 //!
 //! A minimal manifest records the level structure **and every live WAL** —
 //! the active log plus one per queued immutable memtable — so a database
@@ -41,23 +66,24 @@
 //! to the legacy unsealed `MANIFEST` name for old directories).
 
 use std::collections::{HashSet, VecDeque};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::sync::{Condvar, Mutex as StdMutex};
 use std::time::{Duration, Instant};
 
 use parking_lot::{Mutex, RwLock};
 
-use crate::batch::WriteBatch;
+use crate::batch::{BatchOp, WriteBatch};
 use crate::cache::BlockCache;
 use crate::compaction::{advance_cursor, pick_compaction_excluding, run_compaction, KeyRetention};
 use crate::iter::{db_iter_over, DbIterator};
-use crate::memtable::{search_sorted_run, ImmutableMemTable, MemTable};
+use crate::memtable::{ImmutableMemTable, MemRun, MemTable, ENTRY_OVERHEAD};
 use crate::options::{CompactionPolicy, Maintenance, Options, ReadOptions, WriteOptions};
 use crate::scheduler::{MaintSignal, Scheduler, Step};
 use crate::snapshot::{Snapshot, SnapshotList};
 use crate::sstable::{TableBuilder, TableReader};
 use crate::stats::DbStats;
-use crate::types::{Entry, EntryKind, SeqNo, MAX_SEQ};
+use crate::types::{Entry, EntryKind, SeqNo};
 use crate::version::{TableHandle, Version};
 use crate::wal::{self, WalWriter};
 use crate::{Error, Result};
@@ -173,6 +199,26 @@ pub(crate) struct DbCore {
     opts: Options,
     storage: Arc<dyn Storage>,
     inner: RwLock<Inner>,
+    /// Published sequence ceiling: reads observe exactly the writes with
+    /// `seq <= visible`. Lags `Inner::seq` by the commit groups whose
+    /// members are still inserting; advanced only by
+    /// [`DbCore::publish_groups`], in group order.
+    visible: AtomicU64,
+    /// The writer queue (pipelined group commit — see the module docs).
+    /// `std` primitives on purpose: the vendored `parking_lot` shim has no
+    /// `Condvar`.
+    write_queue: StdMutex<WriteQueue>,
+    write_queue_cv: Condvar,
+    /// Writers currently inside [`Db::write`] (enqueued, leading, applying,
+    /// or awaiting publication). The leader's commit window uses this as
+    /// its fusion target: when a *synced* group is about to commit and
+    /// other writers are demonstrably in flight, the leader briefly yields
+    /// for them to join the queue so one flush covers all of them. A lone
+    /// writer never waits (queue length already equals the count).
+    writers_in_flight: AtomicUsize,
+    /// Committed groups awaiting full application, sequence order.
+    publish: StdMutex<PublishQueue>,
+    publish_cv: Condvar,
     stats: Arc<DbStats>,
     cache: Option<Arc<BlockCache>>,
     snapshots: Arc<SnapshotList>,
@@ -285,6 +331,112 @@ impl CommitCoordination {
     }
 }
 
+// ------------------------------------------------- writer queue (group commit)
+
+/// Cap on batches fused into one commit group. Bounds how much work a
+/// single leader does under the tree lock (LevelDB caps similarly).
+const MAX_GROUP_BATCHES: usize = 128;
+
+/// Cap on a commit group's payload bytes — keeps one fused WAL record (and
+/// the latency of the batches riding it) bounded.
+const MAX_GROUP_BYTES: usize = 1 << 20;
+
+/// Upper bound on how long a leader yields for in-flight writers to join a
+/// *synced* group before flushing without them (see [`DbCore::lead_group`]).
+/// Well under any real flush latency, so the window can only shrink the
+/// number of flushes, never dominate commit latency.
+const COMMIT_WINDOW: Duration = Duration::from_micros(50);
+
+/// One queued write. Shared between the submitting thread (which waits on
+/// `slot`) and whichever thread becomes the commit leader (which fills it).
+struct WriteRequest {
+    ops: Vec<BatchOp>,
+    /// The ops' WAL region, pre-encoded by the submitting thread *outside*
+    /// the commit path ([`wal::encode_ops`]) so the leader's serial
+    /// section only concatenates member regions. Empty when this write
+    /// will not be logged (WAL off / `disable_wal`) or logs through the
+    /// cross-shard prepare format.
+    encoded: Vec<u8>,
+    sync: bool,
+    disable_wal: bool,
+    /// Externally assigned first sequence number (the sharding fence).
+    /// Such a write commits as a singleton group: its range is not ours to
+    /// extend.
+    assigned: Option<SeqNo>,
+    /// Cross-shard prepare tag — also forces a singleton group, since the
+    /// prepare record's framing differs from a plain one.
+    cross: Option<wal::CrossBatchTag>,
+    slot: StdMutex<SlotState>,
+}
+
+/// Where a queued write is in its lifecycle. The submitter owns the
+/// transition *out of* `Claimed`/`Failed`; the leader owns the transition
+/// *into* them.
+enum SlotState {
+    /// Still on the queue (or being committed right now).
+    Queued,
+    /// Logged and sequenced; the submitter must now apply its ops to `mem`
+    /// and report into the group ticket.
+    Claimed(ClaimedWrite),
+    /// The group's WAL/manifest step failed before any sequence was
+    /// consumed; the write never happened.
+    Failed(Error),
+}
+
+/// A member's share of a committed group: its own first sequence number,
+/// the buffer generation its ops must land in (pinned by handle — a
+/// rotation cannot swap it out from under the applier), and the group
+/// ticket it reports completion to.
+struct ClaimedWrite {
+    first_seq: SeqNo,
+    mem: MemTable,
+    group: Arc<GroupTicket>,
+}
+
+/// Completion tracking for one commit group, queued FIFO on
+/// [`DbCore::publish`]: when `remaining` hits zero the group is `done`,
+/// and once every *earlier* group is done too, `visible` advances to
+/// `last_seq` — the fence-publish discipline.
+struct GroupTicket {
+    last_seq: SeqNo,
+    remaining: AtomicUsize,
+    done: AtomicBool,
+}
+
+#[derive(Default)]
+struct WriteQueue {
+    queue: VecDeque<Arc<WriteRequest>>,
+    /// A leader is mid-commit; followers wait instead of electing another.
+    leader_active: bool,
+}
+
+#[derive(Default)]
+struct PublishQueue {
+    /// Committed-but-not-yet-fully-applied groups, claim (= sequence) order.
+    pending: VecDeque<Arc<GroupTicket>>,
+}
+
+/// Decrements [`DbCore::writers_in_flight`] on scope exit, covering every
+/// return path out of `write_impl` (success, admission failure, group
+/// failure).
+struct InFlightGuard<'a>(&'a AtomicUsize);
+
+impl Drop for InFlightGuard<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// [`Error`] carries `std::io::Error` and so is not `Clone`; a group
+/// failure must be delivered to every member, so approximate.
+fn clone_error(e: &Error) -> Error {
+    match e {
+        Error::Io(io) => Error::Io(std::io::Error::new(io.kind(), io.to_string())),
+        Error::Corruption(msg) => Error::Corruption(msg.clone()),
+        Error::Unavailable(msg) => Error::Unavailable(msg.clone()),
+    }
+}
+
 impl Db {
     /// Open (or create) a database on `storage`.
     ///
@@ -393,10 +545,17 @@ impl Db {
                 Arc::new(AtomicBool::new(false)),
             ),
         };
+        let start_seq = inner.seq;
         let core = Arc::new(DbCore {
             opts,
             storage,
             inner: RwLock::new(inner),
+            visible: AtomicU64::new(start_seq),
+            write_queue: StdMutex::new(WriteQueue::default()),
+            write_queue_cv: Condvar::new(),
+            writers_in_flight: AtomicUsize::new(0),
+            publish: StdMutex::new(PublishQueue::default()),
+            publish_cv: Condvar::new(),
             stats: Arc::new(DbStats::new()),
             cache,
             snapshots: SnapshotList::new(),
@@ -474,16 +633,43 @@ impl Db {
 
     /// Apply `batch` atomically — the single write entry point.
     ///
-    /// The batch is applied under one write-lock acquisition, receives one
-    /// contiguous sequence range, and (unless the WAL is off or
-    /// [`WriteOptions::disable_wal`] is set) is logged as **one** CRC-framed
-    /// WAL record — group commit. Returns the last sequence number assigned
-    /// to the batch.
+    /// The batch joins the writer queue, receives one contiguous sequence
+    /// range, and (unless the WAL is off or [`WriteOptions::disable_wal`]
+    /// is set) is logged inside **one** CRC-framed WAL record — possibly
+    /// fused with other concurrently queued batches (pipelined group
+    /// commit; see the module docs). The call returns the last sequence
+    /// number assigned to the batch, after the batch — and every batch
+    /// sequenced before it — is fully visible to readers.
     ///
     /// Under background maintenance this is also where backpressure
     /// applies: the write may be delayed (L0 at the slowdown trigger) or
     /// blocked (L0 at the stop trigger / immutable queue full) before it is
     /// admitted.
+    ///
+    /// ```rust
+    /// use lsm_tree::{Db, Options, WriteBatch, WriteOptions};
+    ///
+    /// let db = Db::open_memory(Options::small_for_tests()).unwrap();
+    ///
+    /// // One batch, atomic to readers, one (possibly fused) WAL record.
+    /// let mut batch = WriteBatch::new();
+    /// batch.put(1, b"one");
+    /// batch.put(2, b"two");
+    /// batch.delete(3);
+    /// let seq = db.write(batch, &WriteOptions::default()).unwrap();
+    ///
+    /// // The returned sequence is the batch's last — and it is already
+    /// // visible: no separate "wait for apply" step exists in the API.
+    /// assert_eq!(db.latest_seq(), seq);
+    /// assert_eq!(db.get(2).unwrap().as_deref(), Some(&b"two"[..]));
+    /// assert_eq!(db.get(3).unwrap(), None);
+    ///
+    /// // `durable()` additionally syncs the fused WAL record before
+    /// // acknowledging (one flush per *group*, not per batch).
+    /// let mut batch = WriteBatch::new();
+    /// batch.put(4, b"four");
+    /// db.write(batch, &WriteOptions::durable()).unwrap();
+    /// ```
     pub fn write(&self, batch: WriteBatch, wopts: &WriteOptions) -> Result<SeqNo> {
         // When this instance is a shard, a direct write must serialize
         // with the owner's cross-shard commits and respect the poison
@@ -525,6 +711,20 @@ impl Db {
         self.write_impl(batch, wopts, Some(first_seq), cross)
     }
 
+    /// The writer-queue protocol. Every write — plain, assigned-sequence,
+    /// cross-shard — rides the same queue:
+    ///
+    /// 1. enqueue a [`WriteRequest`] and wait on its slot;
+    /// 2. whichever waiter finds itself at the queue front (with no leader
+    ///    active) becomes **leader**: it claims the sequence range for a
+    ///    maximal run of compatible queued batches and appends one fused
+    ///    WAL record for all of them ([`DbCore::lead_group`]);
+    /// 3. every member — leader included — then applies its own ops to the
+    ///    concurrent memtable *outside all locks*, in parallel with the
+    ///    other members and with the next group's WAL append;
+    /// 4. the last member to finish marks the group done, and
+    ///    [`DbCore::publish_groups`] advances the `visible` ceiling in
+    ///    group order; each member returns once its group is visible.
     fn write_impl(
         &self,
         batch: WriteBatch,
@@ -533,80 +733,144 @@ impl Db {
         cross: Option<&wal::CrossBatchTag>,
     ) -> Result<SeqNo> {
         if batch.is_empty() {
-            return Ok(self.core.inner.read().seq);
+            return Ok(self.core.visible.load(Ordering::Acquire));
         }
-        let background = self.core.opts.maintenance.is_background();
-        let mut inner = self.core.inner.write();
+        let core = &self.core;
+        core.writers_in_flight.fetch_add(1, Ordering::Relaxed);
+        let _in_flight = InFlightGuard(&core.writers_in_flight);
+        let background = core.opts.maintenance.is_background();
         if background {
-            // Fast path: no L0 pressure and room in the buffer — skip the
-            // admission machinery (its extra lock + signal-epoch mutex).
-            let needs_room = inner.version.levels[0].len() >= self.core.opts.l0_slowdown_trigger
-                || inner.mem.approximate_bytes() >= self.core.opts.write_buffer_bytes;
+            // Admission control runs *before* queueing, so a stalled write
+            // never blocks the leader pipeline. Fast path: no L0 pressure
+            // and room in the buffer — skip the machinery entirely. The
+            // probe is `try_read`: when the tree lock is write-held (a
+            // leader mid-commit, maintenance installing a version),
+            // blocking here would serialize admission behind the commit
+            // pipeline and keep this writer out of the very group whose
+            // flush could cover it. Skipping a contended probe admits at
+            // most one extra group's worth of data; the next uncontended
+            // probe sees the pressure and stalls as usual.
+            let needs_room = core.inner.try_read().is_some_and(|inner| {
+                inner.version.levels[0].len() >= core.opts.l0_slowdown_trigger
+                    || inner.mem.approximate_bytes() >= core.opts.write_buffer_bytes
+            });
             if needs_room {
-                drop(inner);
-                self.core.make_room()?;
-                inner = self.core.inner.write();
+                core.make_room()?;
             }
         }
-        // Log first: a failed append (storage error, oversized batch) must
-        // not have advanced the sequence counter or the write stats — the
-        // batch then simply never happened.
-        let first_seq = assigned.unwrap_or(inner.seq + 1);
-        // `rotate_wal` replaces the writer atomically, so with the WAL
-        // enabled there is always one to append to.
-        debug_assert!(
-            inner.wal.is_some() || !self.core.opts.wal,
-            "wal enabled but no writer — a rotation lost it"
-        );
-        // If an earlier maintenance failure left the on-disk manifest not
-        // naming the live WAL set (a flush that rotated the log but died
-        // before its manifest rewrite), repair it before acknowledging:
-        // this write's record would otherwise sit in a log a crash never
-        // replays. Failing the repair fails the write — unacknowledged.
-        if self.core.manifest_dirty.load(Ordering::Acquire) {
-            self.core.write_manifest(&inner)?;
-        }
-        if !wopts.disable_wal {
-            if let Some(w) = &mut inner.wal {
-                let framed = w.append_batch_tagged(first_seq, batch.ops(), cross)?;
-                self.core.stats.wal_appends.fetch_add(1, Ordering::Relaxed);
-                self.core
-                    .stats
-                    .wal_bytes
-                    .fetch_add(framed, Ordering::Relaxed);
-                if wopts.sync {
-                    w.sync()?;
-                    self.core.stats.wal_syncs.fetch_add(1, Ordering::Relaxed);
+        let ops = batch.into_ops();
+        // Encode the WAL region here, on the submitting thread, so the
+        // leader's serial section does no per-op byte shuffling.
+        let encoded = if core.opts.wal && !wopts.disable_wal && cross.is_none() {
+            wal::encode_ops(&ops)
+        } else {
+            Vec::new()
+        };
+        let req = Arc::new(WriteRequest {
+            ops,
+            encoded,
+            sync: wopts.sync,
+            disable_wal: wopts.disable_wal,
+            assigned,
+            cross: cross.cloned(),
+            slot: StdMutex::new(SlotState::Queued),
+        });
+        {
+            let mut q = core.write_queue.lock().unwrap();
+            // Uncontended fast path: an empty queue with no leader active
+            // means this writer IS the group — commit solo and skip the
+            // slot/wakeup machinery (the queue is the price of concurrency;
+            // a lone writer shouldn't pay it). Synced writes with other
+            // writers in flight decline the shortcut: they enqueue so the
+            // leader's commit window can fuse them under one flush.
+            let solo_ok = !req.sync || core.writers_in_flight.load(Ordering::Relaxed) <= 1;
+            if q.queue.is_empty() && !q.leader_active && solo_ok {
+                q.leader_active = true;
+                drop(q);
+                let result = {
+                    let mut inner = core.inner.write();
+                    core.commit_group(&mut inner, std::slice::from_ref(&req))
+                };
+                let mut q = core.write_queue.lock().unwrap();
+                q.leader_active = false;
+                core.write_queue_cv.notify_all();
+                drop(q);
+                match result {
+                    Ok(mut claims) => {
+                        let claim = claims.pop().expect("solo group has one claim");
+                        return self.finish_write(&req, claim, background, cross);
+                    }
+                    Err(e) => return Err(e),
                 }
             }
+            q.queue.push_back(Arc::clone(&req));
+            core.write_queue_cv.notify_all();
         }
-        let last_seq = first_seq + batch.len() as SeqNo - 1;
-        inner.seq = inner.seq.max(last_seq);
-        self.core
-            .stats
-            .write_batches
-            .fetch_add(1, Ordering::Relaxed);
-        self.core
-            .stats
-            .write_entries
-            .fetch_add(batch.len() as u64, Ordering::Relaxed);
+        let claim = 'wait: loop {
+            let mut q = core.write_queue.lock().unwrap();
+            loop {
+                {
+                    let mut slot = req.slot.lock().unwrap();
+                    match std::mem::replace(&mut *slot, SlotState::Queued) {
+                        SlotState::Claimed(c) => break 'wait c,
+                        SlotState::Failed(e) => return Err(e),
+                        SlotState::Queued => {}
+                    }
+                }
+                let should_lead =
+                    !q.leader_active && q.queue.front().is_some_and(|f| Arc::ptr_eq(f, &req));
+                if should_lead {
+                    q.leader_active = true;
+                    drop(q);
+                    core.lead_group();
+                    // Our own slot is now Claimed or Failed; loop to pick
+                    // it up through the common path.
+                    continue 'wait;
+                }
+                q = core.write_queue_cv.wait(q).unwrap();
+            }
+        };
+        self.finish_write(&req, claim, background, cross)
+    }
 
-        for (i, op) in batch.ops().iter().enumerate() {
-            inner.mem.apply(op, first_seq + i as SeqNo);
+    /// The member half of a commit: apply the claimed ops, publish when the
+    /// group completes, and block until the fence admits them. Shared by
+    /// the queued path and the solo fast path.
+    fn finish_write(
+        &self,
+        req: &WriteRequest,
+        claim: ClaimedWrite,
+        background: bool,
+        cross: Option<&wal::CrossBatchTag>,
+    ) -> Result<SeqNo> {
+        let core = &self.core;
+        // Apply outside every lock: group members insert into the shared
+        // skiplist in parallel, while the next leader is already logging.
+        claim.mem.apply_batch(&req.ops, claim.first_seq);
+        claim.mem.finish_applier();
+        if claim.group.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            claim.group.done.store(true, Ordering::Release);
+            core.publish_groups();
         }
+        // Fence-publish: do not acknowledge until the whole group (and
+        // every earlier group) is readable — an ack'd write must be
+        // immediately visible to the writer, and the ceiling must never
+        // expose another member's half-applied batch.
+        core.wait_visible(claim.group.last_seq);
+        let last_seq = claim.first_seq + req.ops.len() as SeqNo - 1;
         if background {
             // The overlap witness: this write completed while a background
             // worker was mid-flush or mid-compaction.
-            if self.core.stats.active_background_workers() > 0 {
-                self.core
-                    .stats
+            if core.stats.active_background_workers() > 0 {
+                core.stats
                     .writes_during_maintenance
                     .fetch_add(1, Ordering::Relaxed);
             }
         } else if cross.is_none() {
             // Cross-shard fragments defer the inline flush until the
             // batch's commit marker is durable ([`Db::flush_deferred`]).
-            self.core.maybe_flush(&mut inner)?;
+            let mut inner = core.inner.write();
+            core.maybe_flush(&mut inner)?;
         }
         Ok(last_seq)
     }
@@ -660,8 +924,11 @@ impl Db {
     /// [`ReadOptions::at`] — are stable until the handle drops.
     pub fn snapshot(&self) -> Snapshot {
         let inner = self.core.inner.read();
+        // Pin the *published* ceiling, not `inner.seq`: sequences above
+        // `visible` belong to commit groups whose members may still be
+        // inserting, and a snapshot must never see half a batch.
         self.core.snapshots.acquire(
-            inner.seq,
+            self.core.visible.load(Ordering::Acquire),
             Arc::clone(&inner.version),
             Self::mem_stack(&inner),
         )
@@ -683,13 +950,15 @@ impl Db {
             .acquire(seq, Arc::clone(&inner.version), Self::mem_stack(&inner))
     }
 
-    /// The memtable stack, newest run first: active buffer copy, then
+    /// The memtable stack, newest run first: a shared handle to the live
+    /// buffer (no copy — the concurrent skiplist is safe to read while
+    /// growing, and sequence filtering hides post-pin entries), then
     /// queued immutable memtables newest to oldest.
-    fn mem_stack(inner: &Inner) -> Vec<Arc<Vec<Entry>>> {
+    fn mem_stack(inner: &Inner) -> Vec<MemRun> {
         let mut mems = Vec::with_capacity(1 + inner.imms.len());
-        mems.push(Arc::new(inner.mem.iter_all().collect()));
+        mems.push(MemRun::Live(inner.mem.clone()));
         for imm in inner.imms.iter().rev() {
-            mems.push(Arc::clone(imm.entries()));
+            mems.push(MemRun::Frozen(Arc::clone(imm.entries())));
         }
         mems
     }
@@ -699,7 +968,7 @@ impl Db {
         self.core.snapshots.len()
     }
 
-    /// Sequence ceiling of the oldest live snapshot ([`MAX_SEQ`] when no
+    /// Sequence ceiling of the oldest live snapshot (`MAX_SEQ` when no
     /// snapshots are held) — the garbage-collection watermark.
     pub fn oldest_snapshot_seq(&self) -> SeqNo {
         self.core.snapshots.smallest()
@@ -732,7 +1001,7 @@ impl Db {
         if let Some(snap) = ropts.snapshot {
             // Pinned path: the snapshot's own memtable stack + version.
             for mem in snap.mems() {
-                if let Some(hit) = search_sorted_run(mem, key, snap.seq()) {
+                if let Some(hit) = mem.get(key, snap.seq()) {
                     stats.memtable_hits.fetch_add(1, Ordering::Relaxed);
                     return Ok(hit.map(|v| v.to_vec()));
                 }
@@ -745,8 +1014,10 @@ impl Db {
                 None => Ok(None),
             };
         }
+        // Live path reads at the published ceiling — never into a commit
+        // group that is still applying (fence-publish).
         let inner = self.core.inner.read();
-        let seq = ropts.effective_seq(MAX_SEQ);
+        let seq = ropts.effective_seq(self.core.visible.load(Ordering::Acquire));
         if let Some(hit) = inner.mem.get(key, seq) {
             stats.memtable_hits.fetch_add(1, Ordering::Relaxed);
             return Ok(hit.map(|v| v.to_vec()));
@@ -795,7 +1066,7 @@ impl Db {
             ));
         }
         let inner = self.core.inner.read();
-        let seq = ropts.effective_seq(inner.seq);
+        let seq = ropts.effective_seq(self.core.visible.load(Ordering::Acquire));
         Ok(db_iter_over(Self::mem_stack(&inner), &inner.version, seq))
     }
 
@@ -1070,9 +1341,11 @@ impl Db {
         self.core.cache.as_ref()
     }
 
-    /// Current write sequence number.
+    /// Current *published* write sequence number: the ceiling reads
+    /// observe. May momentarily trail the internal allocator while commit
+    /// groups are still applying.
     pub fn latest_seq(&self) -> SeqNo {
-        self.core.inner.read().seq
+        self.core.visible.load(Ordering::Acquire)
     }
 
     /// Build and install a fully-loaded database in bulk: entries stream
@@ -1135,6 +1408,9 @@ impl Db {
         let mut version = Version::with_layout(core.opts.max_levels, sorted);
         version.levels[level] = tables;
         inner.version = Arc::new(version);
+        // Bulk-loaded entries bypass the writer queue; publish their range
+        // directly so reads (and the sharding fence) see them.
+        core.visible.store(inner.seq, Ordering::Release);
         core.write_manifest(&inner)
     }
 }
@@ -1257,6 +1533,225 @@ impl DbCore {
         Ok(())
     }
 
+    // --------------------------------------------- pipelined group commit
+
+    /// Run one commit group as leader. Called by the writer that found
+    /// itself at the queue front with `leader_active` freshly set; on
+    /// return every popped member's slot (the leader's own included) holds
+    /// `Claimed` or `Failed`, and `leader_active` is cleared.
+    ///
+    /// Lock order: the tree lock is taken **before** the queue lock —
+    /// popping members under the tree lock means the WAL append order of
+    /// successive groups is their queue order, so sequence ranges in the
+    /// log are monotone.
+    fn lead_group(&self) {
+        let mut inner = self.inner.write();
+        let mut q = self.write_queue.lock().unwrap();
+        // Commit window: if the head batch wants a flush and other writers
+        // are in flight but not yet queued, yield briefly so they join and
+        // one `sync` covers the lot. The wait is evidence-driven — a lone
+        // writer satisfies the target instantly and never waits — and
+        // bounded, so a straggler stuck in admission can only delay a
+        // group by `COMMIT_WINDOW`, never park it.
+        if q.queue
+            .front()
+            .is_some_and(|h| h.sync && h.assigned.is_none() && h.cross.is_none())
+        {
+            let deadline = Instant::now() + COMMIT_WINDOW;
+            loop {
+                let target = self
+                    .writers_in_flight
+                    .load(Ordering::Relaxed)
+                    .min(MAX_GROUP_BATCHES);
+                if q.queue.len() >= target || Instant::now() >= deadline {
+                    break;
+                }
+                drop(q);
+                std::thread::yield_now();
+                q = self.write_queue.lock().unwrap();
+            }
+        }
+        let members: Vec<Arc<WriteRequest>> = {
+            let mut members: Vec<Arc<WriteRequest>> = Vec::new();
+            if let Some(head) = q.queue.pop_front() {
+                // The head defines the group. Assigned-sequence and
+                // cross-shard prepares commit alone; plain batches fuse
+                // with following plain batches of the same WAL-ness, up to
+                // the group caps.
+                let exclusive = head.assigned.is_some() || head.cross.is_some();
+                let disable_wal = head.disable_wal;
+                let mut bytes: usize = head
+                    .ops
+                    .iter()
+                    .map(|o| ENTRY_OVERHEAD + o.value.len())
+                    .sum();
+                members.push(head);
+                while !exclusive && members.len() < MAX_GROUP_BATCHES && bytes < MAX_GROUP_BYTES {
+                    match q.queue.front() {
+                        Some(next)
+                            if next.assigned.is_none()
+                                && next.cross.is_none()
+                                && next.disable_wal == disable_wal =>
+                        {
+                            let next = q.queue.pop_front().expect("front just checked");
+                            bytes += next
+                                .ops
+                                .iter()
+                                .map(|o| ENTRY_OVERHEAD + o.value.len())
+                                .sum::<usize>();
+                            members.push(next);
+                        }
+                        _ => break,
+                    }
+                }
+            }
+            members
+        };
+        drop(q);
+        debug_assert!(!members.is_empty(), "a leader always has its own request");
+        let result = self.commit_group(&mut inner, &members);
+        drop(inner);
+        let mut q = self.write_queue.lock().unwrap();
+        match result {
+            Ok(claims) => {
+                for (req, claim) in members.iter().zip(claims) {
+                    *req.slot.lock().unwrap() = SlotState::Claimed(claim);
+                }
+            }
+            Err(e) => {
+                // The group failed before consuming any sequence number:
+                // deliver the error to every member (approximated — `Error`
+                // is not `Clone`); none of the writes happened.
+                for req in &members {
+                    *req.slot.lock().unwrap() = SlotState::Failed(clone_error(&e));
+                }
+            }
+        }
+        q.leader_active = false;
+        self.write_queue_cv.notify_all();
+    }
+
+    /// Sequence + log one commit group under the tree lock. On success the
+    /// group's ops are *claimed but not yet applied*: each returned
+    /// [`ClaimedWrite`] is registered as an applier on the current buffer
+    /// (so a rotation will quiesce on it) and the group's ticket is queued
+    /// for publication. Every failure point comes *before* the sequence
+    /// counter advances, so a failed group simply never happened.
+    fn commit_group(
+        &self,
+        inner: &mut Inner,
+        members: &[Arc<WriteRequest>],
+    ) -> Result<Vec<ClaimedWrite>> {
+        // If an earlier maintenance failure left the on-disk manifest not
+        // naming the live WAL set (a flush that rotated the log but died
+        // before its manifest rewrite), repair it before acknowledging:
+        // this group's record would otherwise sit in a log a crash never
+        // replays. Failing the repair fails the group — unacknowledged.
+        if self.manifest_dirty.load(Ordering::Acquire) {
+            self.write_manifest(inner)?;
+        }
+        let head = &members[0];
+        let first_seq = head.assigned.unwrap_or(inner.seq + 1);
+        let total: usize = members.iter().map(|m| m.ops.len()).sum();
+        let last_seq = first_seq + total as SeqNo - 1;
+        // `rotate_wal` replaces the writer atomically, so with the WAL
+        // enabled there is always one to append to.
+        debug_assert!(
+            inner.wal.is_some() || !self.opts.wal,
+            "wal enabled but no writer — a rotation lost it"
+        );
+        if !head.disable_wal {
+            if let Some(w) = &mut inner.wal {
+                // One fused, CRC-framed record for the whole group; replay
+                // is all-or-nothing and indistinguishable from one large
+                // batch, which is safe because no member was acknowledged
+                // unless the whole record landed. Members pre-encoded
+                // their regions off-path; only cross-shard prepares (whose
+                // record format differs) encode here.
+                let framed = if head.cross.is_some() {
+                    w.append_batch_tagged(first_seq, &head.ops, head.cross.as_ref())?
+                } else {
+                    let parts: Vec<&[u8]> = members.iter().map(|m| m.encoded.as_slice()).collect();
+                    w.append_encoded_group(first_seq, total, &parts)?
+                };
+                self.stats.wal_appends.fetch_add(1, Ordering::Relaxed);
+                self.stats.wal_bytes.fetch_add(framed, Ordering::Relaxed);
+                if members.iter().any(|m| m.sync) {
+                    w.sync()?;
+                    self.stats.wal_syncs.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        inner.seq = inner.seq.max(last_seq);
+        self.stats.write_groups.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .write_batches
+            .fetch_add(members.len() as u64, Ordering::Relaxed);
+        self.stats
+            .write_entries
+            .fetch_add(total as u64, Ordering::Relaxed);
+        let group = Arc::new(GroupTicket {
+            last_seq,
+            remaining: AtomicUsize::new(members.len()),
+            done: AtomicBool::new(false),
+        });
+        // Queue the ticket while still under the tree lock: claim order ==
+        // publication order == sequence order.
+        self.publish
+            .lock()
+            .unwrap()
+            .pending
+            .push_back(Arc::clone(&group));
+        let mut claims = Vec::with_capacity(members.len());
+        let mut next_seq = first_seq;
+        for m in members {
+            // Registered under the tree lock, so a rotation (which also
+            // holds it) either sees this applier and waits for it, or
+            // completes entirely before this claim — never in between.
+            inner.mem.register_applier();
+            claims.push(ClaimedWrite {
+                first_seq: next_seq,
+                mem: inner.mem.clone(),
+                group: Arc::clone(&group),
+            });
+            next_seq += m.ops.len() as SeqNo;
+        }
+        Ok(claims)
+    }
+
+    /// Advance the `visible` ceiling over every fully-applied group at the
+    /// front of the publication queue. Publication is strictly FIFO: a
+    /// done group behind a still-applying one stays unpublished, so the
+    /// ceiling never jumps a gap.
+    fn publish_groups(&self) {
+        let mut p = self.publish.lock().unwrap();
+        let mut published = false;
+        while let Some(front) = p.pending.front() {
+            if !front.done.load(Ordering::Acquire) {
+                break;
+            }
+            let ticket = p.pending.pop_front().expect("front just checked");
+            self.visible.fetch_max(ticket.last_seq, Ordering::Release);
+            published = true;
+        }
+        if published {
+            self.publish_cv.notify_all();
+        }
+    }
+
+    /// Block until the `visible` ceiling covers `seq`. The check-then-wait
+    /// races nothing: `publish_groups` stores `visible` while holding the
+    /// publish lock, which this reacquires before every re-check.
+    fn wait_visible(&self, seq: SeqNo) {
+        if self.visible.load(Ordering::Acquire) >= seq {
+            return;
+        }
+        let mut p = self.publish.lock().unwrap();
+        while self.visible.load(Ordering::Acquire) < seq {
+            p = self.publish_cv.wait(p).unwrap();
+        }
+    }
+
     // ------------------------------------------- synchronous maintenance
 
     /// Flush the memtable if it exceeds the write buffer (synchronous
@@ -1269,6 +1764,11 @@ impl DbCore {
     }
 
     fn flush_locked(&self, inner: &mut Inner) -> Result<()> {
+        // Quiesce first: commit-group members may still be inserting into
+        // this buffer (they registered under the tree lock we now hold, so
+        // no *new* appliers can appear). The flushed table must contain
+        // every sequence its WAL says it does.
+        inner.mem.wait_quiescent();
         let handle = self.build_l0_table(inner.mem.iter_all())?;
         inner.version = Arc::new(inner.version.with_l0_table(handle));
         inner.mem = MemTable::new();
@@ -1441,6 +1941,11 @@ impl DbCore {
     /// fresh WAL. The manifest is rewritten first so a crash finds every
     /// live log. Caller signals the flush workers.
     fn rotate_memtable(&self, inner: &mut Inner) -> Result<()> {
+        // Quiesce before freezing (and before the emptiness probe): a
+        // claimed-but-unapplied commit group must finish inserting, or the
+        // frozen run would miss sequences its WAL covers. New appliers
+        // cannot register while we hold the tree lock.
+        inner.mem.wait_quiescent();
         if inner.mem.is_empty() {
             return Ok(());
         }

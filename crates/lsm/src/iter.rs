@@ -13,23 +13,25 @@
 
 use std::sync::Arc;
 
+use crate::memtable::{MemCursor, MemRun};
 use crate::sstable::{TableIter, TableReader};
 use crate::types::{Entry, EntryKind, InternalKey, SeqNo};
 use crate::version::Version;
 use crate::Result;
 
 /// Build a snapshot-consistent [`DbIterator`] over the read path's three
-/// layers: a memtable stack (active buffer copy plus queued immutable
-/// memtables, each an already-sorted shared run), then every SSTable of
+/// layers: a memtable stack (the live concurrent buffer plus queued
+/// immutable memtables, each an already-sorted run), then every SSTable of
 /// `version`. Newer sources come first so same-key ties resolve newest.
-pub(crate) fn db_iter_over(
-    mems: Vec<Arc<Vec<Entry>>>,
-    version: &Version,
-    seq: SeqNo,
-) -> DbIterator {
+/// Entries the live buffer receives after this call carry sequence numbers
+/// above `seq` and are filtered by the iterator's visibility rule.
+pub(crate) fn db_iter_over(mems: Vec<MemRun>, version: &Version, seq: SeqNo) -> DbIterator {
     let mut sources = Vec::with_capacity(mems.len() + 1 + version.levels.len());
     for mem in mems {
-        sources.push(MergeSource::buffered_shared(mem));
+        sources.push(match mem {
+            MemRun::Live(m) => MergeSource::Mem(m.cursor()),
+            MemRun::Frozen(entries) => MergeSource::buffered_shared(entries),
+        });
     }
     for t in &version.levels[0] {
         sources.push(MergeSource::table(Arc::clone(&t.reader)));
@@ -131,13 +133,17 @@ pub enum MergeSource {
     Table(TableIter),
     /// A sorted level of non-overlapping tables.
     Level(LevelIter),
-    /// A buffered, sorted run of entries (memtable snapshot). Shared via
+    /// A buffered, sorted run of entries (frozen memtable). Shared via
     /// `Arc` so snapshot iterators reuse the pinned copy instead of
     /// deep-cloning a write buffer per iterator.
     Buffered {
         entries: Arc<Vec<Entry>>,
         pos: usize,
     },
+    /// A cursor over the **live** concurrent memtable (no copy at all —
+    /// the cursor walks the shared skiplist, which is insert-only and so
+    /// safe to traverse under concurrent writes).
+    Mem(MemCursor),
 }
 
 impl MergeSource {
@@ -170,6 +176,10 @@ impl MergeSource {
                 *pos = entries.partition_point(|e| e.key < InternalKey::seek_to(key));
                 Ok(())
             }
+            MergeSource::Mem(c) => {
+                c.seek(key);
+                Ok(())
+            }
         }
     }
 
@@ -178,6 +188,7 @@ impl MergeSource {
             MergeSource::Table(it) => it.seek_to_first(),
             MergeSource::Level(it) => it.seek_to_first(),
             MergeSource::Buffered { pos, .. } => *pos = 0,
+            MergeSource::Mem(c) => c.seek_to_first(),
         }
     }
 
@@ -186,6 +197,7 @@ impl MergeSource {
             MergeSource::Table(it) => Ok(it.current()?.map(|e| e.key)),
             MergeSource::Level(it) => Ok(it.current_entry()?.map(|e| e.key)),
             MergeSource::Buffered { entries, pos } => Ok(entries.get(*pos).map(|e| e.key)),
+            MergeSource::Mem(c) => Ok(c.current_key()),
         }
     }
 
@@ -194,6 +206,7 @@ impl MergeSource {
             MergeSource::Table(it) => Ok(it.current()?.cloned()),
             MergeSource::Level(it) => Ok(it.current_entry()?.cloned()),
             MergeSource::Buffered { entries, pos } => Ok(entries.get(*pos).cloned()),
+            MergeSource::Mem(c) => Ok(c.take_current()),
         }
     }
 
@@ -202,6 +215,7 @@ impl MergeSource {
             MergeSource::Table(it) => it.advance(),
             MergeSource::Level(it) => it.advance(),
             MergeSource::Buffered { pos, .. } => *pos += 1,
+            MergeSource::Mem(c) => c.advance(),
         }
     }
 }

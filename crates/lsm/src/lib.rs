@@ -23,10 +23,11 @@
 //! The engine exposes LevelDB's four-piece interface:
 //!
 //! * [`WriteBatch`] + [`Db::write`]`(batch, &`[`WriteOptions`]`)` — the single
-//!   write entry point. A batch is applied under one lock acquisition, one
-//!   contiguous sequence range, and **one** CRC-framed WAL record (group
-//!   commit); recovery applies it all-or-nothing. `put`/`delete`/`put_batch`
-//!   are thin wrappers.
+//!   write entry point. A batch joins the writer queue, receives one
+//!   contiguous sequence range, and is framed inside **one** CRC-framed WAL
+//!   record — possibly fused with other concurrently queued batches
+//!   (pipelined group commit; see [`db`]'s module docs); recovery applies a
+//!   record all-or-nothing. `put`/`delete`/`put_batch` are thin wrappers.
 //! * [`Snapshot`] — an RAII handle pinning a point-in-time view across
 //!   concurrent writes, flushes and compactions.
 //! * [`ReadOptions`] — per-read knobs (`snapshot`, `fill_cache`) for
@@ -67,6 +68,7 @@ pub mod memtable;
 pub mod options;
 pub mod scheduler;
 pub mod sharding;
+pub mod skiplist;
 pub mod snapshot;
 pub mod sstable;
 pub mod stats;

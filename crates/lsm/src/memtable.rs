@@ -1,9 +1,18 @@
 //! In-memory write buffer.
 //!
-//! A sorted map over [`InternalKey`] — key ascending, sequence descending —
-//! so a flush streams entries in exactly the order the SSTable builder needs.
-//! The paper's write buffer is 64 MB for the compaction experiment; size is
-//! tracked approximately (key slot + metadata + value bytes).
+//! A concurrent sorted run over [`InternalKey`] — key ascending, sequence
+//! descending — so a flush streams entries in exactly the order the SSTable
+//! builder needs. The paper's write buffer is 64 MB for the compaction
+//! experiment; size is tracked approximately (key slot + metadata + value
+//! bytes).
+//!
+//! Since the pipelined group commit ([`crate::db`]) landed, the buffer is a
+//! lock-free [`SkipList`] shared via `Arc`:
+//! commit-group members clone the handle under the write lock, then insert
+//! **in parallel outside it**. The `appliers` gate counts in-flight group
+//! members so rotation/flush can wait for the buffer to quiesce
+//! (`MemTable::wait_quiescent`) before freezing it — a frozen buffer must
+//! contain every sequence number the WAL says it does.
 //!
 //! Under background maintenance a full buffer is **frozen** into an
 //! [`ImmutableMemTable`] — a sorted, shareable run that sits on the flush
@@ -11,10 +20,10 @@
 //! buffer), and remembers which WAL file made it durable so the log can be
 //! retired once the flush lands.
 
-use std::collections::BTreeMap;
-use std::ops::Bound;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
+use crate::skiplist::{Node, SkipList};
 use crate::types::{Entry, EntryKind, InternalKey, SeqNo};
 
 /// Approximate per-entry bookkeeping overhead, matching the on-disk entry
@@ -22,11 +31,23 @@ use crate::types::{Entry, EntryKind, InternalKey, SeqNo};
 /// `WriteBatch::approximate_bytes` so batch sizing matches buffer sizing.
 pub(crate) const ENTRY_OVERHEAD: usize = 36;
 
-/// Sorted in-memory buffer of recent writes.
 #[derive(Debug, Default)]
+struct MemShared {
+    list: SkipList,
+    /// Commit-group members currently inserting. Guarded by the protocol in
+    /// `db.rs`: registration happens under the DB write lock, so once a
+    /// rotation (holding that lock) observes zero it stays zero.
+    appliers: AtomicUsize,
+}
+
+/// Concurrent sorted in-memory buffer of recent writes.
+///
+/// Cloning is cheap (an `Arc` bump) and clones share the same buffer —
+/// this is what lets commit-group members keep inserting into a buffer the
+/// writer lock has already moved on from.
+#[derive(Debug, Clone, Default)]
 pub struct MemTable {
-    map: BTreeMap<InternalKey, Vec<u8>>,
-    approx_bytes: usize,
+    shared: Arc<MemShared>,
 }
 
 impl MemTable {
@@ -36,36 +57,73 @@ impl MemTable {
     }
 
     /// Insert a put record.
-    pub fn put(&mut self, user_key: u64, seq: SeqNo, value: &[u8]) {
-        self.approx_bytes += ENTRY_OVERHEAD + value.len();
-        self.map.insert(
+    pub fn put(&self, user_key: u64, seq: SeqNo, value: &[u8]) {
+        self.shared.list.insert(
             InternalKey {
                 user_key,
                 seq,
                 kind: EntryKind::Put,
             },
             value.to_vec(),
+            ENTRY_OVERHEAD + value.len(),
         );
     }
 
     /// Apply one batched operation at `seq`.
-    pub fn apply(&mut self, op: &crate::batch::BatchOp, seq: SeqNo) {
+    pub fn apply(&self, op: &crate::batch::BatchOp, seq: SeqNo) {
         match op.kind {
             EntryKind::Put => self.put(op.key, seq, &op.value),
             EntryKind::Delete => self.delete(op.key, seq),
         }
     }
 
+    /// Apply a whole batch whose first operation commits at `first_seq`
+    /// (operation `i` at `first_seq + i`). Inserts are quiet — the shared
+    /// `len`/`approx_bytes` counters are settled once per batch, not twice
+    /// per entry, so parallel commit-group appliers don't serialize on the
+    /// counter cache line.
+    pub fn apply_batch(&self, ops: &[crate::batch::BatchOp], first_seq: SeqNo) {
+        let mut bytes = 0usize;
+        for (i, op) in ops.iter().enumerate() {
+            let seq = first_seq + i as SeqNo;
+            match op.kind {
+                EntryKind::Put => {
+                    bytes += ENTRY_OVERHEAD + op.value.len();
+                    self.shared.list.insert_quiet(
+                        InternalKey {
+                            user_key: op.key,
+                            seq,
+                            kind: EntryKind::Put,
+                        },
+                        op.value.to_vec(),
+                    );
+                }
+                EntryKind::Delete => {
+                    bytes += ENTRY_OVERHEAD;
+                    self.shared.list.insert_quiet(
+                        InternalKey {
+                            user_key: op.key,
+                            seq,
+                            kind: EntryKind::Delete,
+                        },
+                        Vec::new(),
+                    );
+                }
+            }
+        }
+        self.shared.list.add_stats(ops.len(), bytes);
+    }
+
     /// Insert a tombstone.
-    pub fn delete(&mut self, user_key: u64, seq: SeqNo) {
-        self.approx_bytes += ENTRY_OVERHEAD;
-        self.map.insert(
+    pub fn delete(&self, user_key: u64, seq: SeqNo) {
+        self.shared.list.insert(
             InternalKey {
                 user_key,
                 seq,
                 kind: EntryKind::Delete,
             },
             Vec::new(),
+            ENTRY_OVERHEAD,
         );
     }
 
@@ -78,15 +136,18 @@ impl MemTable {
             seq: snapshot,
             kind: EntryKind::Put,
         };
-        let (k, v) = self
-            .map
-            .range((Bound::Included(from), Bound::Unbounded))
-            .next()?;
-        if k.user_key != user_key {
+        let node = self.shared.list.find_ge(&from);
+        if node.is_null() {
             return None;
         }
-        match k.kind {
-            EntryKind::Put => Some(Some(v.as_slice())),
+        // SAFETY: nodes live as long as the list; the list lives at least as
+        // long as this `&self` borrow (it is inside our `Arc`).
+        let n = unsafe { &*node };
+        if n.key().user_key != user_key {
+            return None;
+        }
+        match n.key().kind {
+            EntryKind::Put => Some(Some(n.value())),
             EntryKind::Delete => Some(None),
         }
     }
@@ -94,35 +155,135 @@ impl MemTable {
     /// Iterate all records (key asc, seq desc) starting at `seek` (inclusive
     /// by internal-key order).
     pub fn range_from(&self, seek: InternalKey) -> impl Iterator<Item = Entry> + '_ {
-        self.map
-            .range((Bound::Included(seek), Bound::Unbounded))
-            .map(|(k, v)| Entry {
-                key: *k,
-                value: v.clone(),
-            })
+        self.shared.list.iter_from(seek)
     }
 
     /// Iterate everything, flush order.
     pub fn iter_all(&self) -> impl Iterator<Item = Entry> + '_ {
-        self.map.iter().map(|(k, v)| Entry {
-            key: *k,
-            value: v.clone(),
-        })
+        self.shared.list.iter()
+    }
+
+    /// A raw cursor over the live buffer for merge iteration. The cursor
+    /// holds its own `Arc` to the buffer, so it outlives rotations.
+    pub fn cursor(&self) -> MemCursor {
+        MemCursor {
+            mem: self.clone(),
+            node: std::ptr::null(),
+        }
     }
 
     /// Approximate resident bytes.
     pub fn approximate_bytes(&self) -> usize {
-        self.approx_bytes
+        self.shared.list.approximate_bytes()
     }
 
     /// Number of records (versions, not distinct keys).
     pub fn len(&self) -> usize {
-        self.map.len()
+        self.shared.list.len()
     }
 
     /// Whether the buffer holds no records.
     pub fn is_empty(&self) -> bool {
-        self.map.is_empty()
+        self.shared.list.is_empty()
+    }
+
+    /// Announce one commit-group member that will insert into this buffer.
+    /// Must be called under the DB write lock (see `db.rs`) so that
+    /// [`MemTable::wait_quiescent`], also under that lock, cannot race a
+    /// late registration.
+    pub(crate) fn register_applier(&self) {
+        self.shared.appliers.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// The matching release for [`MemTable::register_applier`]; called after
+    /// the member's inserts are all in the list.
+    pub(crate) fn finish_applier(&self) {
+        self.shared.appliers.fetch_sub(1, Ordering::AcqRel);
+    }
+
+    /// Spin until no commit-group member is mid-insert. Callers hold the DB
+    /// write lock, which blocks new registrations, so this terminates.
+    pub(crate) fn wait_quiescent(&self) {
+        while self.shared.appliers.load(Ordering::Acquire) != 0 {
+            std::thread::yield_now();
+        }
+    }
+}
+
+/// Cursor over a live [`MemTable`] for the merge stack: unlike the iterator
+/// adapters it is `'static` (owns an `Arc` to the buffer) and supports
+/// re-seeking, which is what `MergeSource` needs.
+pub struct MemCursor {
+    mem: MemTable,
+    /// Current node, null when exhausted / unpositioned.
+    node: *const Node,
+}
+
+// SAFETY: the raw pointer targets a node kept alive by `mem`'s `Arc`; nodes
+// are immutable after linking.
+unsafe impl Send for MemCursor {}
+
+impl MemCursor {
+    /// Position at the first record with user key ≥ `key`.
+    pub fn seek(&mut self, key: u64) {
+        self.node = self.mem.shared.list.find_ge(&InternalKey::seek_to(key));
+    }
+
+    /// Position at the smallest record.
+    pub fn seek_to_first(&mut self) {
+        self.node = self.mem.shared.list.front();
+    }
+
+    /// Key under the cursor, if any.
+    pub fn current_key(&self) -> Option<InternalKey> {
+        if self.node.is_null() {
+            return None;
+        }
+        // SAFETY: non-null nodes are live for the list's lifetime.
+        Some(unsafe { *(*self.node).key() })
+    }
+
+    /// Clone out the record under the cursor, if any.
+    pub fn take_current(&self) -> Option<Entry> {
+        if self.node.is_null() {
+            return None;
+        }
+        // SAFETY: as above.
+        let n = unsafe { &*self.node };
+        Some(Entry {
+            key: *n.key(),
+            value: n.value().to_vec(),
+        })
+    }
+
+    /// Step forward one record.
+    pub fn advance(&mut self) {
+        if !self.node.is_null() {
+            // SAFETY: as above.
+            self.node = unsafe { (*self.node).next0() };
+        }
+    }
+}
+
+/// One layer of the in-memory read stack: the live buffer (shared skiplist)
+/// or a frozen run pinned by a snapshot. Snapshots hold `Live` handles
+/// directly — sequence filtering at read time makes the growing buffer safe
+/// to share, and the `Arc` keeps it alive across rotations.
+#[derive(Debug, Clone)]
+pub enum MemRun {
+    /// The active buffer (or a former active buffer pinned by a snapshot).
+    Live(MemTable),
+    /// A frozen immutable run (flush queue), shared via `Arc`.
+    Frozen(Arc<Vec<Entry>>),
+}
+
+impl MemRun {
+    /// Newest version of `key` visible at `seq` (see [`MemTable::get`]).
+    pub fn get(&self, key: u64, seq: SeqNo) -> Option<Option<&[u8]>> {
+        match self {
+            MemRun::Live(mem) => mem.get(key, seq),
+            MemRun::Frozen(entries) => search_sorted_run(entries, key, seq),
+        }
     }
 }
 
@@ -161,7 +322,8 @@ pub struct ImmutableMemTable {
 }
 
 impl ImmutableMemTable {
-    /// Freeze `mem`, remembering the log (`wal`) that covers it.
+    /// Freeze `mem`, remembering the log (`wal`) that covers it. The caller
+    /// must have quiesced the buffer first (`MemTable::wait_quiescent`).
     pub fn freeze(mem: MemTable, wal: Option<String>) -> Self {
         Self {
             approx_bytes: mem.approximate_bytes(),
@@ -197,7 +359,7 @@ mod tests {
 
     #[test]
     fn newest_version_wins() {
-        let mut m = MemTable::new();
+        let m = MemTable::new();
         m.put(5, 1, b"old");
         m.put(5, 3, b"new");
         assert_eq!(m.get(5, u64::MAX >> 8), Some(Some(&b"new"[..])));
@@ -205,7 +367,7 @@ mod tests {
 
     #[test]
     fn snapshot_reads_see_past() {
-        let mut m = MemTable::new();
+        let m = MemTable::new();
         m.put(5, 1, b"v1");
         m.put(5, 5, b"v5");
         assert_eq!(m.get(5, 1), Some(Some(&b"v1"[..])));
@@ -216,7 +378,7 @@ mod tests {
 
     #[test]
     fn tombstone_reported_as_deleted() {
-        let mut m = MemTable::new();
+        let m = MemTable::new();
         m.put(7, 1, b"x");
         m.delete(7, 2);
         assert_eq!(m.get(7, u64::MAX >> 8), Some(None));
@@ -231,7 +393,7 @@ mod tests {
 
     #[test]
     fn flush_order_is_key_asc_seq_desc() {
-        let mut m = MemTable::new();
+        let m = MemTable::new();
         m.put(2, 1, b"a");
         m.put(1, 2, b"b");
         m.put(1, 9, b"c");
@@ -241,7 +403,7 @@ mod tests {
 
     #[test]
     fn size_tracks_values() {
-        let mut m = MemTable::new();
+        let m = MemTable::new();
         assert_eq!(m.approximate_bytes(), 0);
         m.put(1, 1, &[0u8; 100]);
         assert_eq!(m.approximate_bytes(), 136);
@@ -251,8 +413,34 @@ mod tests {
     }
 
     #[test]
+    fn clones_share_one_buffer() {
+        let a = MemTable::new();
+        let b = a.clone();
+        b.put(1, 1, b"via-clone");
+        assert_eq!(a.get(1, u64::MAX >> 8), Some(Some(&b"via-clone"[..])));
+        assert_eq!(a.len(), b.len());
+    }
+
+    #[test]
+    fn cursor_survives_handle_drop() {
+        let m = MemTable::new();
+        m.put(1, 1, b"a");
+        m.put(2, 2, b"b");
+        let mut c = m.cursor();
+        drop(m);
+        c.seek_to_first();
+        assert_eq!(c.current_key().map(|k| k.user_key), Some(1));
+        c.advance();
+        assert_eq!(c.take_current().map(|e| e.value), Some(b"b".to_vec()));
+        c.advance();
+        assert!(c.current_key().is_none());
+        c.seek(2);
+        assert_eq!(c.current_key().map(|k| k.user_key), Some(2));
+    }
+
+    #[test]
     fn freeze_preserves_contents_and_wal_name() {
-        let mut m = MemTable::new();
+        let m = MemTable::new();
         m.put(1, 5, b"v5");
         m.put(1, 2, b"v2");
         m.delete(9, 7);
@@ -271,7 +459,7 @@ mod tests {
 
     #[test]
     fn range_from_seeks_mid_key() {
-        let mut m = MemTable::new();
+        let m = MemTable::new();
         for k in 0..10u64 {
             m.put(k, k + 1, b"v");
         }
@@ -280,5 +468,31 @@ mod tests {
             .next()
             .expect("entries from 5");
         assert_eq!(first.key.user_key, 5);
+    }
+
+    #[test]
+    fn parallel_appliers_land_every_record() {
+        let m = MemTable::new();
+        let threads: Vec<_> = (0..4u64)
+            .map(|t| {
+                let mem = m.clone();
+                mem.register_applier();
+                std::thread::spawn(move || {
+                    for i in 0..500u64 {
+                        mem.put(i * 4 + t, i * 4 + t + 1, b"v");
+                    }
+                    mem.finish_applier();
+                })
+            })
+            .collect();
+        m.wait_quiescent();
+        for h in threads {
+            h.join().unwrap();
+        }
+        assert_eq!(m.len(), 2000);
+        let entries: Vec<Entry> = m.iter_all().collect();
+        for w in entries.windows(2) {
+            assert!(w[0].key < w[1].key, "sorted after concurrent inserts");
+        }
     }
 }

@@ -38,6 +38,20 @@
 //! Within a process lifetime the fence never re-allocates a sequence
 //! range, so markers never collide.
 //!
+//! ## The states, compactly
+//!
+//! What recovery does with a cross-shard batch's fragments is a pure
+//! function of what survived the crash:
+//!
+//! | prepares on shards | marker here | outcome |
+//! |--------------------|-------------|---------|
+//! | none / some / all  | absent or torn | **abort**: every replayed prepare is suppressed |
+//! | all                | intact      | **commit**: every replayed prepare is applied |
+//! | fragment already flushed to SSTables (WAL retired) | either | already durable as plain data; its marker is no longer load-bearing and may be checkpointed away |
+//!
+//! There is no in-between: the marker append is a single CRC-framed
+//! write, so it is either intact or not a marker.
+//!
 //! Record layout (little-endian), one per sealed batch:
 //!
 //! ```text

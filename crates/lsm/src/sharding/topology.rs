@@ -23,6 +23,22 @@
 //! * The legacy unsealed `SHARDING` file (PR 3 layouts) is still readable
 //!   as epoch 0 with stable ids `0..shards`.
 //!
+//! ## Epoch lifecycle, compactly
+//!
+//! 1. **Born** — a fresh store seals `SHARDING-000001` (a legacy
+//!    `SHARDING` file reads as epoch 0).
+//! 2. **Advanced** — every published change (a split's cutover) seals
+//!    `SHARDING-<epoch+1>` and only then retires the predecessor; the
+//!    seal *is* the change's single storage-visible commit point.
+//! 3. **Recovered** — reopen adopts the newest sealed file that passes
+//!    its CRC; shard directories it does not name are orphans (an
+//!    unsealed split's children, or a cut-over split's parent) and are
+//!    swept.
+//! 4. **Pinned** — snapshots resolve reads through the epoch they were
+//!    created under, so a later cutover cannot reroute what they see;
+//!    cross-shard commit markers are stamped with their routing epoch
+//!    and validated against the last sealed one on recovery.
+//!
 //! The CDF model acceleration is persisted separately (`SHARDING.model`,
 //! best-effort): losing it degrades routing to boundary binary search —
 //! same answers — and the degradation is surfaced explicitly through

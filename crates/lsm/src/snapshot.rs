@@ -8,11 +8,14 @@
 //! * the **level structure** — an `Arc` of the copy-on-write [`Version`],
 //!   which keeps every pre-snapshot SSTable reader alive even after later
 //!   compactions replace and unlink those files;
-//! * the **memtable stack** — a sorted copy of the active write buffer
-//!   plus shared handles to every queued immutable memtable (background
-//!   maintenance), so a later flush (which rebuilds the buffer and dedups
-//!   versions into an SSTable) cannot disturb the snapshot's view of
-//!   unflushed writes.
+//! * the **memtable stack** — a shared handle to the active write buffer
+//!   (the concurrent skiplist, see [`crate::memtable::MemRun`]) plus shared
+//!   handles to every queued immutable memtable (background maintenance).
+//!   The live buffer keeps receiving entries after the snapshot, but they
+//!   carry sequence numbers above the ceiling and are filtered at read
+//!   time; the `Arc` keeps the buffer alive across later rotations, so a
+//!   flush (which rebuilds the buffer and dedups versions into an SSTable)
+//!   cannot disturb the snapshot's view of unflushed writes.
 //!
 //! Reads through the handle (`Db::get_with` / `Db::iter_with` with
 //! [`crate::ReadOptions::at`]) therefore return identical results no matter
@@ -30,7 +33,8 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use crate::types::{Entry, SeqNo, MAX_SEQ};
+use crate::memtable::MemRun;
+use crate::types::{SeqNo, MAX_SEQ};
 use crate::version::Version;
 
 /// Shared registry of live snapshot sequence numbers (multiset: several
@@ -48,13 +52,13 @@ impl SnapshotList {
     }
 
     /// Register a snapshot pinning `seq` over `version` + the memtable
-    /// stack `mems` (newest first: active buffer copy, then queued
+    /// stack `mems` (newest first: the live buffer handle, then queued
     /// immutable memtables newest to oldest).
     pub(crate) fn acquire(
         self: &Arc<Self>,
         seq: SeqNo,
         version: Arc<Version>,
-        mems: Vec<Arc<Vec<Entry>>>,
+        mems: Vec<MemRun>,
     ) -> Snapshot {
         *self.live.lock().entry(seq).or_insert(0) += 1;
         Snapshot {
@@ -89,13 +93,34 @@ impl SnapshotList {
 
 /// A pinned point-in-time view of the database. Obtained from
 /// [`crate::Db::snapshot`]; dropping the handle releases the pin.
+///
+/// ```rust
+/// use lsm_tree::{Db, Options, ReadOptions};
+///
+/// let db = Db::open_memory(Options::small_for_tests()).unwrap();
+/// db.put(7, b"before").unwrap();
+///
+/// let snap = db.snapshot();
+/// db.put(7, b"after").unwrap();
+/// db.delete(8).unwrap();
+///
+/// // Current reads see the later write; the snapshot does not — and
+/// // keeps not seeing it across any flushes or compactions that run
+/// // while the handle is alive.
+/// assert_eq!(db.get(7).unwrap().as_deref(), Some(&b"after"[..]));
+/// assert_eq!(
+///     db.get_with(7, &ReadOptions::at(&snap)).unwrap().as_deref(),
+///     Some(&b"before"[..]),
+/// );
+/// assert!(snap.seq() < db.latest_seq());
+/// ```
 #[derive(Debug)]
 pub struct Snapshot {
     seq: SeqNo,
     version: Arc<Version>,
     /// Memtable stack at creation (newest first), each run in internal-key
-    /// order: the active buffer copy, then any queued immutable memtables.
-    mems: Vec<Arc<Vec<Entry>>>,
+    /// order: the live buffer handle, then any queued immutable memtables.
+    mems: Vec<MemRun>,
     list: Arc<SnapshotList>,
 }
 
@@ -112,7 +137,7 @@ impl Snapshot {
 
     /// The pinned memtable stack, newest run first (each in internal-key
     /// order).
-    pub(crate) fn mems(&self) -> &[Arc<Vec<Entry>>] {
+    pub(crate) fn mems(&self) -> &[MemRun] {
         &self.mems
     }
 }
@@ -128,7 +153,11 @@ mod tests {
     use super::*;
 
     fn pin(list: &Arc<SnapshotList>, seq: SeqNo) -> Snapshot {
-        list.acquire(seq, Arc::new(Version::new(2)), vec![Arc::new(Vec::new())])
+        list.acquire(
+            seq,
+            Arc::new(Version::new(2)),
+            vec![MemRun::Frozen(Arc::new(Vec::new()))],
+        )
     }
 
     #[test]

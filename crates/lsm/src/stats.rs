@@ -27,11 +27,15 @@ pub struct DbStats {
     pub level_reads: [AtomicU64; MAX_LEVELS],
     pub level_read_ns: [AtomicU64; MAX_LEVELS],
     pub memtable_hits: AtomicU64,
-    // Write path / group commit. One `Db::write` = one batch = (at most)
-    // one WAL append, regardless of how many entries the batch carries —
-    // `wal_appends` is the counter that asserts the group-commit contract.
+    // Write path / group commit. One `Db::write` = one batch; the writer
+    // queue fuses the batches of concurrent writers into **commit groups**
+    // (`write_groups`), each logged as one WAL record — so `wal_appends`
+    // equals `write_groups` (not `write_batches`) and the gap between
+    // `write_batches` and `write_groups` measures how much fusing the
+    // queue achieved under concurrency.
     pub write_batches: AtomicU64,
     pub write_entries: AtomicU64,
+    pub write_groups: AtomicU64,
     pub wal_appends: AtomicU64,
     pub wal_bytes: AtomicU64,
     pub wal_syncs: AtomicU64,
@@ -177,6 +181,7 @@ impl DbStats {
             memtable_hits: self.memtable_hits.load(Ordering::Relaxed),
             write_batches: self.write_batches.load(Ordering::Relaxed),
             write_entries: self.write_entries.load(Ordering::Relaxed),
+            write_groups: self.write_groups.load(Ordering::Relaxed),
             wal_appends: self.wal_appends.load(Ordering::Relaxed),
             wal_bytes: self.wal_bytes.load(Ordering::Relaxed),
             wal_syncs: self.wal_syncs.load(Ordering::Relaxed),
@@ -220,6 +225,7 @@ pub struct StatsSnapshot {
     pub memtable_hits: u64,
     pub write_batches: u64,
     pub write_entries: u64,
+    pub write_groups: u64,
     pub wal_appends: u64,
     pub wal_bytes: u64,
     pub wal_syncs: u64,
@@ -266,6 +272,7 @@ impl StatsSnapshot {
         out.memtable_hits -= earlier.memtable_hits;
         out.write_batches -= earlier.write_batches;
         out.write_entries -= earlier.write_entries;
+        out.write_groups -= earlier.write_groups;
         out.wal_appends -= earlier.wal_appends;
         out.wal_bytes -= earlier.wal_bytes;
         out.wal_syncs -= earlier.wal_syncs;
@@ -344,6 +351,7 @@ impl std::ops::AddAssign for StatsSnapshot {
             memtable_hits,
             write_batches,
             write_entries,
+            write_groups,
             wal_appends,
             wal_bytes,
             wal_syncs,

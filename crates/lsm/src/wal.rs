@@ -101,11 +101,46 @@ const CRC32_TABLE: [u32; 256] = {
     table
 };
 
-/// CRC-32 (IEEE) over `data`, table-driven — this frames every record on
-/// the write hot path, so it must not pay the bitwise 8-steps-per-byte loop.
+/// Slicing-by-8 tables: `CRC32_TABLES[k][b]` is the CRC contribution of
+/// byte `b` seen `k` positions before the end of an 8-byte window, so one
+/// loop iteration digests 8 bytes with 8 independent table loads.
+/// `CRC32_TABLES[0]` is the classic per-byte table above.
+const CRC32_TABLES: [[u32; 256]; 8] = {
+    let mut tables = [[0u32; 256]; 8];
+    tables[0] = CRC32_TABLE;
+    let mut k = 1;
+    while k < 8 {
+        let mut i = 0;
+        while i < 256 {
+            let prev = tables[k - 1][i];
+            tables[k][i] = (prev >> 8) ^ CRC32_TABLE[(prev & 0xFF) as usize];
+            i += 1;
+        }
+        k += 1;
+    }
+    tables
+};
+
+/// CRC-32 (IEEE) over `data`, slicing-by-8 — this frames every record in
+/// the commit leader's serial section (and re-checks them on replay), so
+/// it digests 8 bytes per step instead of paying a per-byte dependency
+/// chain. The tail shorter than 8 bytes falls back to the per-byte table.
 pub fn crc32(data: &[u8]) -> u32 {
     let mut crc: u32 = !0;
-    for &b in data {
+    let mut chunks = data.chunks_exact(8);
+    for chunk in &mut chunks {
+        let lo = u32::from_le_bytes(chunk[0..4].try_into().unwrap()) ^ crc;
+        let hi = u32::from_le_bytes(chunk[4..8].try_into().unwrap());
+        crc = CRC32_TABLES[7][(lo & 0xFF) as usize]
+            ^ CRC32_TABLES[6][((lo >> 8) & 0xFF) as usize]
+            ^ CRC32_TABLES[5][((lo >> 16) & 0xFF) as usize]
+            ^ CRC32_TABLES[4][(lo >> 24) as usize]
+            ^ CRC32_TABLES[3][(hi & 0xFF) as usize]
+            ^ CRC32_TABLES[2][((hi >> 8) & 0xFF) as usize]
+            ^ CRC32_TABLES[1][((hi >> 16) & 0xFF) as usize]
+            ^ CRC32_TABLES[0][(hi >> 24) as usize];
+    }
+    for &b in chunks.remainder() {
         crc = (crc >> 8) ^ CRC32_TABLE[((crc ^ b as u32) & 0xFF) as usize];
     }
     !crc
@@ -120,6 +155,30 @@ pub(crate) fn frame(payload: &[u8]) -> Vec<u8> {
     out.extend_from_slice(&crc32(payload).to_le_bytes());
     out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
     out.extend_from_slice(payload);
+    out
+}
+
+/// Encode a batch's per-op region — `[kind u8][key u64][value_len u32]
+/// [value]` per op, byte-identical to what [`WalWriter::append_batch`]
+/// produces after the record header (ops carry no sequence numbers; replay
+/// derives them from the header's `first_seq`). Writers pre-encode their
+/// own batches with this *before* queueing, so the commit leader's serial
+/// section only concatenates regions and CRC-frames
+/// ([`WalWriter::append_encoded_group`]). An op whose value overflows the
+/// u32 length prefix yields an oversized region the append's payload check
+/// rejects before anything reaches the log.
+pub(crate) fn encode_ops(ops: &[BatchOp]) -> Vec<u8> {
+    let cap = ops
+        .iter()
+        .map(|op| OP_HEADER + op.value.len())
+        .fold(0usize, usize::saturating_add);
+    let mut out = Vec::with_capacity(cap.min(u32::MAX as usize));
+    for op in ops {
+        out.push(op.kind.tag());
+        out.extend_from_slice(&op.key.to_le_bytes());
+        out.extend_from_slice(&(op.value.len() as u32).to_le_bytes());
+        out.extend_from_slice(&op.value);
+    }
     out
 }
 
@@ -201,11 +260,76 @@ impl WalWriter {
         ops: &[BatchOp],
         cross: Option<&CrossBatchTag>,
     ) -> Result<u64> {
-        debug_assert!(!ops.is_empty(), "empty batches are not logged");
-        if ops.len() > u32::MAX as usize {
+        self.append_slices(first_seq, &[ops], cross)
+    }
+
+    /// Append a whole **commit group** — several member batches — as one
+    /// fused framed record (format 1). The pipelined group commit
+    /// ([`crate::db`]) claims one contiguous sequence range for the queue
+    /// and logs it with one frame, one CRC pass, one storage append; replay
+    /// cannot tell a fused record from a single large batch, so recovery
+    /// stays all-or-nothing per *group* — which is safe precisely because
+    /// the visible ceiling is only published once the whole group applied.
+    pub fn append_batch_group(&mut self, first_seq: SeqNo, groups: &[&[BatchOp]]) -> Result<u64> {
+        self.append_slices(first_seq, groups, None)
+    }
+
+    /// [`WalWriter::append_batch_group`] over **pre-encoded** member
+    /// regions (`encode_ops`): the commit leader only concatenates and
+    /// CRC-frames here, because each writer encoded its own ops outside
+    /// the lock — the per-op byte shuffling leaves the pipeline's serial
+    /// section. `count` is the total op count across `parts` (the caller
+    /// tracks it; encoded bytes don't carry it).
+    pub fn append_encoded_group(
+        &mut self,
+        first_seq: SeqNo,
+        count: usize,
+        parts: &[&[u8]],
+    ) -> Result<u64> {
+        debug_assert!(count > 0, "empty batches are not logged");
+        if count > u32::MAX as usize {
             return Err(Error::Corruption(format!(
-                "wal batch of {} ops exceeds the record format",
-                ops.len()
+                "wal batch of {count} ops exceeds the record format"
+            )));
+        }
+        let payload: usize = BATCH_HEADER
+            + parts
+                .iter()
+                .map(|p| p.len())
+                .fold(0usize, usize::saturating_add);
+        if payload > u32::MAX as usize {
+            return Err(Error::Corruption(format!(
+                "wal batch payload of {payload} bytes exceeds the record format"
+            )));
+        }
+        self.buf.clear();
+        self.buf.push(BATCH_FORMAT);
+        self.buf.extend_from_slice(&first_seq.to_le_bytes());
+        self.buf.extend_from_slice(&(count as u32).to_le_bytes());
+        for p in parts {
+            self.buf.extend_from_slice(p);
+        }
+        let framed = frame(&self.buf);
+        self.file.append(&framed)?;
+        Ok(framed.len() as u64)
+    }
+
+    /// Shared encoder: `slices` are concatenated in order, op `i` of the
+    /// concatenation logged at `first_seq + i`.
+    fn append_slices(
+        &mut self,
+        first_seq: SeqNo,
+        slices: &[&[BatchOp]],
+        cross: Option<&CrossBatchTag>,
+    ) -> Result<u64> {
+        let count: usize = slices
+            .iter()
+            .map(|s| s.len())
+            .fold(0usize, usize::saturating_add);
+        debug_assert!(count > 0, "empty batches are not logged");
+        if count > u32::MAX as usize {
+            return Err(Error::Corruption(format!(
+                "wal batch of {count} ops exceeds the record format"
             )));
         }
         if cross.is_some_and(|t| t.participants.len() > u16::MAX as usize) {
@@ -215,8 +339,9 @@ impl WalWriter {
         }
         let header = BATCH_HEADER + cross.map_or(0, |t| CROSS_HEADER + 2 * t.participants.len());
         let payload: usize = header
-            + ops
+            + slices
                 .iter()
+                .flat_map(|s| s.iter())
                 .map(|op| {
                     if op.value.len() > u32::MAX as usize {
                         usize::MAX
@@ -237,8 +362,7 @@ impl WalWriter {
             BATCH_FORMAT
         });
         self.buf.extend_from_slice(&first_seq.to_le_bytes());
-        self.buf
-            .extend_from_slice(&(ops.len() as u32).to_le_bytes());
+        self.buf.extend_from_slice(&(count as u32).to_le_bytes());
         if let Some(tag) = cross {
             self.buf.extend_from_slice(&tag.global_first.to_le_bytes());
             self.buf.extend_from_slice(&tag.global_last.to_le_bytes());
@@ -248,7 +372,7 @@ impl WalWriter {
                 self.buf.extend_from_slice(&shard.to_le_bytes());
             }
         }
-        for op in ops {
+        for op in slices.iter().flat_map(|s| s.iter()) {
             self.buf.push(op.kind.tag());
             self.buf.extend_from_slice(&op.key.to_le_bytes());
             self.buf
@@ -505,6 +629,39 @@ mod tests {
         let seqs: Vec<u64> = entries.iter().map(|e| e.key.seq).collect();
         assert_eq!(seqs, vec![40, 41, 42]);
         assert_eq!(entries[1].key.kind, EntryKind::Delete);
+    }
+
+    #[test]
+    fn fused_group_record_is_one_frame_one_contiguous_range() {
+        let storage = MemStorage::new();
+        let mut w = WalWriter::create(&storage, "wal").unwrap();
+        let a = vec![
+            BatchOp {
+                kind: EntryKind::Put,
+                key: 1,
+                value: b"a1".to_vec(),
+            },
+            BatchOp {
+                kind: EntryKind::Delete,
+                key: 2,
+                value: vec![],
+            },
+        ];
+        let b = vec![BatchOp {
+            kind: EntryKind::Put,
+            key: 3,
+            value: b"b1".to_vec(),
+        }];
+        w.append_batch_group(20, &[&a, &b]).unwrap();
+        drop(w);
+        // One frame holding every member's ops, seqs contiguous across the
+        // member boundary.
+        let records = replay_records(&storage, "wal").unwrap();
+        assert_eq!(records.len(), 1, "the group is one record");
+        let seqs: Vec<u64> = records[0].entries.iter().map(|e| e.key.seq).collect();
+        assert_eq!(seqs, vec![20, 21, 22]);
+        assert_eq!(records[0].entries[2].key.user_key, 3);
+        assert_eq!(records[0].cross, None, "fused groups are plain format 1");
     }
 
     #[test]

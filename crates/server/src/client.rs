@@ -70,6 +70,38 @@ struct ReadHalf {
 /// A pipelined connection to an `lsm-server`. All methods take `&self`;
 /// the writer and reader halves are independently locked, so one thread
 /// can submit while another collects.
+///
+/// ```rust
+/// use lsm_server::{Client, MemTransport, Server, ServerOptions};
+/// use lsm_server::protocol::{Request, Response};
+/// use lsm_tree::sharding::ShardedDb;
+/// use lsm_tree::{Options, ShardedOptions};
+/// use std::sync::Arc;
+///
+/// let db = ShardedDb::open_memory(ShardedOptions::hash(2, Options::small_for_tests()))
+///     .expect("open");
+/// let (connector, listener) = MemTransport::endpoint();
+/// let server = Server::start(db, Arc::new(listener), ServerOptions::default());
+/// let client = Client::new(connector.connect().expect("dial"));
+///
+/// // Pipelining: several requests in flight on one connection, collected
+/// // later by id — the server may complete them out of order.
+/// let ids: Vec<u64> = (0..4)
+///     .map(|k| {
+///         client
+///             .submit(&Request::Put { key: k, value: vec![b'v'], durable: false })
+///             .expect("submit")
+///     })
+///     .collect();
+/// for id in ids {
+///     assert!(matches!(client.wait(id).expect("wait"), Response::Committed { .. }));
+/// }
+///
+/// // The typed conveniences are plain submit-then-wait.
+/// assert_eq!(client.get(2).expect("get"), Some(vec![b'v']));
+///
+/// server.close().expect("graceful close");
+/// ```
 pub struct Client {
     writer: Mutex<Box<dyn Write + Send>>,
     read_half: Mutex<ReadHalf>,
