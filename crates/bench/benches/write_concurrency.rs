@@ -41,7 +41,7 @@ enum Config {
     Durable,
 }
 
-fn bench_opts() -> Options {
+fn bench_opts(observability: bool) -> Options {
     let mut o = Options::default();
     o.index.kind = IndexKind::Pgm;
     o.value_width = VALUE_WIDTH;
@@ -53,6 +53,7 @@ fn bench_opts() -> Options {
         flush_threads: 1,
         compaction_threads: 1,
     };
+    o.observability = observability;
     o
 }
 
@@ -60,11 +61,17 @@ fn bench_opts() -> Options {
 /// returns `(wall_ns, wal_syncs, write_groups)` once every batch is
 /// acknowledged (and therefore visible).
 fn run_load(config: Config, threads: usize) -> (u64, u64, u64) {
+    run_load_with(config, threads, false)
+}
+
+fn run_load_with(config: Config, threads: usize, observability: bool) -> (u64, u64, u64) {
     let db = Arc::new(match config {
-        Config::Mem => Db::open_memory(bench_opts()).expect("open"),
-        Config::Durable => {
-            Db::open_sim(bench_opts(), CostModel::with_sync_latency(SYNC_NS)).expect("open")
-        }
+        Config::Mem => Db::open_memory(bench_opts(observability)).expect("open"),
+        Config::Durable => Db::open_sim(
+            bench_opts(observability),
+            CostModel::with_sync_latency(SYNC_NS),
+        )
+        .expect("open"),
     });
     let per_thread = TOTAL_BATCHES / threads;
     let started = std::time::Instant::now();
@@ -104,6 +111,12 @@ fn bench_config(c: &mut Criterion, name: &str, config: Config) {
             b.iter(|| std::hint::black_box(run_load(config, t)))
         });
     }
+    // Observability overhead at the most contended point (tracked in
+    // BENCH_PR8.json): 4 writers racing the commit pipeline with event
+    // emission and histograms on must stay within 5% of the plain path.
+    g.bench_with_input(BenchmarkId::new("writers_obs", 4usize), &4usize, |b, &t| {
+        b.iter(|| std::hint::black_box(run_load_with(config, t, true)))
+    });
     g.finish();
 }
 

@@ -14,25 +14,26 @@ use lsm_workloads::{value_for_key, Dataset};
 const KEYS: usize = 20_000;
 const VALUE_WIDTH: usize = 64;
 
-fn bench_opts() -> Options {
+fn bench_opts(observability: bool) -> Options {
     let mut o = Options::default();
     o.index.kind = IndexKind::Pgm;
     o.value_width = VALUE_WIDTH;
     o.write_buffer_bytes = 512 << 10;
     o.sstable_target_bytes = 512 << 10;
+    o.observability = observability;
     o
 }
 
 fn load_per_key(keys: &[u64]) -> Db {
-    let db = Db::open_sim(bench_opts(), lsm_io::CostModel::default()).expect("open");
+    let db = Db::open_sim(bench_opts(false), lsm_io::CostModel::default()).expect("open");
     for &k in keys {
         db.put(k, &value_for_key(k, VALUE_WIDTH)).expect("put");
     }
     db
 }
 
-fn load_batched(keys: &[u64], batch_size: usize) -> Db {
-    let db = Db::open_sim(bench_opts(), lsm_io::CostModel::default()).expect("open");
+fn load_batched_with(keys: &[u64], batch_size: usize, observability: bool) -> Db {
+    let db = Db::open_sim(bench_opts(observability), lsm_io::CostModel::default()).expect("open");
     let wopts = WriteOptions::default();
     for chunk in keys.chunks(batch_size) {
         let mut batch = WriteBatch::with_capacity(chunk.len());
@@ -42,6 +43,10 @@ fn load_batched(keys: &[u64], batch_size: usize) -> Db {
         db.write(batch, &wopts).expect("write");
     }
     db
+}
+
+fn load_batched(keys: &[u64], batch_size: usize) -> Db {
+    load_batched_with(keys, batch_size, false)
 }
 
 /// Wall time + modeled sim I/O time of one full load, in nanoseconds — the
@@ -70,6 +75,12 @@ fn bench_write_path(c: &mut Criterion) {
             |b, &bs| b.iter(|| std::hint::black_box(headline_ns(|| load_batched(&keys, bs)))),
         );
     }
+    // The observability overhead bar (tracked in BENCH_PR8.json): the
+    // same batched load with event emission and latency histograms on
+    // must stay within 5% of the plain path.
+    g.bench_function("batched_obs/1024", |b| {
+        b.iter(|| std::hint::black_box(headline_ns(|| load_batched_with(&keys, 1024, true))))
+    });
     g.finish();
 
     // Print the headline ratio once so `cargo bench --bench write_path`

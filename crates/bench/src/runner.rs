@@ -570,19 +570,51 @@ pub fn ycsb_server(
     seed: u64,
     rate: Option<f64>,
 ) -> Result<(Vec<ServerYcsbRecord>, String)> {
+    let (records, stats, _) = ycsb_server_inner(scale, dataset, shards, kind, seed, rate, false)?;
+    Ok((records, stats))
+}
+
+/// [`ycsb_server`] with the engine's observability layer on: alongside
+/// the stats JSON, scrape the full [`lsm_server::MetricsSnapshot`] (folded
+/// per-shard latency histograms plus the event timeline) through the
+/// `METRICS` opcode after the last mix.
+pub fn ycsb_server_with_metrics(
+    scale: &Scale,
+    dataset: Dataset,
+    shards: usize,
+    kind: IndexKind,
+    seed: u64,
+    rate: Option<f64>,
+) -> Result<(Vec<ServerYcsbRecord>, String, lsm_server::MetricsSnapshot)> {
+    let (records, stats, snap) = ycsb_server_inner(scale, dataset, shards, kind, seed, rate, true)?;
+    Ok((records, stats, snap.expect("observability was on")))
+}
+
+fn ycsb_server_inner(
+    scale: &Scale,
+    dataset: Dataset,
+    shards: usize,
+    kind: IndexKind,
+    seed: u64,
+    rate: Option<f64>,
+    observability: bool,
+) -> Result<(
+    Vec<ServerYcsbRecord>,
+    String,
+    Option<lsm_server::MetricsSnapshot>,
+)> {
     use lsm_server::{Client, MemTransport, Server, ServerOptions};
     use std::sync::Arc;
 
     let mut out = Vec::new();
     let mut stats_json = String::new();
+    let mut metrics = None;
     let keys = dataset.generate(scale.keys, seed);
     for spec in YcsbSpec::ALL {
         let mut workload = YcsbWorkload::new(spec, keys.clone(), seed ^ 0xc5);
-        let opts = ShardedOptions::learned(
-            shards,
-            workload.router_sample(16),
-            sharded_ycsb_opts(scale, kind),
-        );
+        let mut base = sharded_ycsb_opts(scale, kind);
+        base.observability = observability;
+        let opts = ShardedOptions::learned(shards, workload.router_sample(16), base);
         let db = ShardedDb::open_sim(opts, lsm_io::CostModel::default())?;
 
         // YCSB load phase: batched writes straight into the engine (setup,
@@ -631,6 +663,12 @@ pub fn ycsb_server(
             lsm_server::run_open_loop(&client, target_rate, reqs.len(), |i| reqs[i].clone())
                 .map_err(client_err)?;
         stats_json = client.stats_json().map_err(client_err)?;
+        if observability {
+            // Scrape after the measured run so the histograms fold the
+            // whole mix; draining the ring here also keeps it from
+            // overflowing across mixes.
+            metrics = Some(client.metrics().map_err(client_err)?);
+        }
 
         out.push(ServerYcsbRecord {
             workload: spec.name().to_string(),
@@ -649,7 +687,7 @@ pub fn ycsb_server(
         });
         server.close()?;
     }
-    Ok((out, stats_json))
+    Ok((out, stats_json, metrics))
 }
 
 // ------------------------------------------------------- live rebalancing

@@ -26,6 +26,7 @@ use crate::types::{EntryKind, InternalKey};
 use crate::version::{TableHandle, Version};
 use crate::Result;
 use lsm_io::Storage;
+use lsm_obs::{EngineObs, EventKind};
 
 /// Version-retention state machine for merges (flushes and compactions).
 ///
@@ -257,7 +258,9 @@ pub struct CompactionResult {
 /// Execute `task`: merge inputs, write ≤-target-size output tables, record
 /// the stage breakdown into `stats`. `next_file_no` supplies output names —
 /// an atomic, so background workers can name outputs without holding the
-/// tree lock for the duration of the merge.
+/// tree lock for the duration of the merge. When observability is on,
+/// `obs` brackets the run in a `compaction_begin` / `compaction_end` span
+/// (begin carries the source level, end the input/output byte totals).
 pub fn run_compaction(
     storage: &dyn Storage,
     task: &CompactionTask,
@@ -265,8 +268,14 @@ pub fn run_compaction(
     stats: &DbStats,
     next_file_no: &AtomicU64,
     cache: Option<Arc<BlockCache>>,
+    obs: Option<&EngineObs>,
 ) -> Result<CompactionResult> {
     let total_start = Instant::now();
+    let span = obs.map(|o| {
+        let span = o.span();
+        o.emit(EventKind::CompactionBegin, span, task.level as u64, 0);
+        span
+    });
 
     let sources: Vec<MergeSource> = task
         .inputs
@@ -379,6 +388,10 @@ pub fn run_compaction(
         .compact_bytes_written
         .fetch_add(bytes_written, Ordering::Relaxed);
 
+    if let (Some(obs), Some(span)) = (obs, span) {
+        obs.emit(EventKind::CompactionEnd, span, bytes_read, bytes_written);
+    }
+
     Ok(CompactionResult {
         outputs,
         bytes_read,
@@ -445,7 +458,7 @@ mod tests {
             is_bottom: true,
         };
         let fno = AtomicU64::new(100);
-        let result = run_compaction(&storage, &task, &opts, &stats, &fno, None).unwrap();
+        let result = run_compaction(&storage, &task, &opts, &stats, &fno, None, None).unwrap();
         assert_eq!(result.outputs.len(), 1);
         let out = &result.outputs[0];
         assert_eq!(out.meta.n, 10, "one survivor per key");
@@ -472,7 +485,7 @@ mod tests {
             is_bottom: true,
         };
         let fno = AtomicU64::new(200);
-        let result = run_compaction(&storage, &task, &opts, &stats, &fno, None).unwrap();
+        let result = run_compaction(&storage, &task, &opts, &stats, &fno, None, None).unwrap();
         let out = &result.outputs[0];
         assert_eq!(out.meta.n, 4, "tombstone dropped at bottom");
         let got = out.reader.get(2, u64::MAX >> 8, &stats).unwrap();
@@ -492,7 +505,7 @@ mod tests {
             is_bottom: false,
         };
         let fno = AtomicU64::new(300);
-        let result = run_compaction(&storage, &task, &opts, &stats, &fno, None).unwrap();
+        let result = run_compaction(&storage, &task, &opts, &stats, &fno, None, None).unwrap();
         assert_eq!(result.outputs[0].meta.n, 1, "tombstone must survive");
     }
 
@@ -511,7 +524,7 @@ mod tests {
             is_bottom: true,
         };
         let fno = AtomicU64::new(400);
-        let result = run_compaction(&storage, &task, &opts, &stats, &fno, None).unwrap();
+        let result = run_compaction(&storage, &task, &opts, &stats, &fno, None, None).unwrap();
         assert!(result.outputs.len() > 1, "must split into multiple tables");
         let total: u64 = result.outputs.iter().map(|t| t.meta.n).sum();
         assert_eq!(total, 200);
@@ -534,7 +547,7 @@ mod tests {
             is_bottom: true,
         };
         let fno = AtomicU64::new(500);
-        run_compaction(&storage, &task, &opts, &stats, &fno, None).unwrap();
+        run_compaction(&storage, &task, &opts, &stats, &fno, None, None).unwrap();
         let snap = stats.snapshot();
         assert_eq!(snap.compactions, 1);
         assert!(snap.compact_total_ns > 0);

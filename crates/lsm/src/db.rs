@@ -88,6 +88,7 @@ use crate::version::{TableHandle, Version};
 use crate::wal::{self, WalWriter};
 use crate::{Error, Result};
 use lsm_io::{CostModel, MemStorage, SimStorage, Storage};
+use lsm_obs::{EngineObs, EventKind, MetricsSnapshot, GLOBAL_SHARD};
 
 /// Legacy manifest file name (pre-epoch layouts; still readable).
 const LEGACY_MANIFEST: &str = "MANIFEST";
@@ -248,6 +249,11 @@ pub(crate) struct DbCore {
     /// public flushes serialize against (and respect the poison state of)
     /// the owner's cross-shard commits.
     coordination: Option<Arc<CommitCoordination>>,
+    /// Observability handle (`Options::observability`): the shared event
+    /// ring plus this instance's per-op latency histograms. `None` when
+    /// observability is off — every emit site is a single branch on this
+    /// option, so the disabled hot path is unchanged.
+    obs: Option<Arc<EngineObs>>,
 }
 
 /// An open LSM-tree database.
@@ -446,7 +452,7 @@ impl Db {
     /// [`crate::sharding::ShardedDb::open`], whose coordinator resolves
     /// prepares to committed/aborted before the fence resumes.
     pub fn open(storage: Arc<dyn Storage>, opts: Options) -> Result<Db> {
-        Self::open_internal(storage, opts, None, None, None)
+        Self::open_internal(storage, opts, None, None, None, None)
     }
 
     pub(crate) fn open_internal(
@@ -455,7 +461,11 @@ impl Db {
         pool: Option<ExternalPool>,
         resolver: Option<BatchResolver<'_>>,
         coordination: Option<Arc<CommitCoordination>>,
+        obs: Option<Arc<EngineObs>>,
     ) -> Result<Db> {
+        // A standalone open with observability on builds its own handle;
+        // the sharding layer passes per-shard handles sharing one ring.
+        let obs = obs.or_else(|| opts.observability.then(|| Arc::new(EngineObs::solo(0))));
         let cache =
             (opts.block_cache_bytes > 0).then(|| Arc::new(BlockCache::new(opts.block_cache_bytes)));
         let sorted_levels = matches!(opts.compaction, CompactionPolicy::Leveling);
@@ -568,6 +578,7 @@ impl Db {
             compaction_paused: AtomicBool::new(false),
             last_bg_error: Mutex::new(None),
             coordination,
+            obs,
         });
         {
             // Persist the fresh log's name so a reopen knows where to look.
@@ -736,6 +747,9 @@ impl Db {
             return Ok(self.core.visible.load(Ordering::Acquire));
         }
         let core = &self.core;
+        // Observability: the write histogram measures enqueue → fence
+        // publish, so the clock starts before admission control.
+        let started = core.obs.as_ref().map(|_| Instant::now());
         core.writers_in_flight.fetch_add(1, Ordering::Relaxed);
         let _in_flight = InFlightGuard(&core.writers_in_flight);
         let background = core.opts.maintenance.is_background();
@@ -798,7 +812,7 @@ impl Db {
                 match result {
                     Ok(mut claims) => {
                         let claim = claims.pop().expect("solo group has one claim");
-                        return self.finish_write(&req, claim, background, cross);
+                        return self.finish_write(&req, claim, background, cross, started);
                     }
                     Err(e) => return Err(e),
                 }
@@ -830,7 +844,7 @@ impl Db {
                 q = core.write_queue_cv.wait(q).unwrap();
             }
         };
-        self.finish_write(&req, claim, background, cross)
+        self.finish_write(&req, claim, background, cross, started)
     }
 
     /// The member half of a commit: apply the claimed ops, publish when the
@@ -842,6 +856,7 @@ impl Db {
         claim: ClaimedWrite,
         background: bool,
         cross: Option<&wal::CrossBatchTag>,
+        started: Option<Instant>,
     ) -> Result<SeqNo> {
         let core = &self.core;
         // Apply outside every lock: group members insert into the shared
@@ -857,6 +872,9 @@ impl Db {
         // immediately visible to the writer, and the ceiling must never
         // expose another member's half-applied batch.
         core.wait_visible(claim.group.last_seq);
+        if let (Some(obs), Some(started)) = (core.obs.as_deref(), started) {
+            obs.ops.write.record(started.elapsed().as_nanos() as u64);
+        }
         let last_seq = claim.first_seq + req.ops.len() as SeqNo - 1;
         if background {
             // The overlap witness: this write completed while a background
@@ -996,6 +1014,15 @@ impl Db {
     /// Point lookup honouring [`ReadOptions`]: snapshot / sequence ceiling
     /// and block-cache fill policy.
     pub fn get_with(&self, key: u64, ropts: &ReadOptions<'_>) -> Result<Option<Vec<u8>>> {
+        let started = self.core.obs.as_ref().map(|_| Instant::now());
+        let out = self.get_with_impl(key, ropts);
+        if let (Some(obs), Some(started)) = (self.core.obs.as_deref(), started) {
+            obs.ops.get.record(started.elapsed().as_nanos() as u64);
+        }
+        out
+    }
+
+    fn get_with_impl(&self, key: u64, ropts: &ReadOptions<'_>) -> Result<Option<Vec<u8>>> {
         let stats = &self.core.stats;
         stats.lookups.fetch_add(1, Ordering::Relaxed);
         if let Some(snap) = ropts.snapshot {
@@ -1037,6 +1064,7 @@ impl Db {
 
     /// Range lookup: up to `limit` live pairs with key ≥ `start`.
     pub fn scan(&self, start: u64, limit: usize) -> Result<Vec<(u64, Vec<u8>)>> {
+        let started = self.core.obs.as_ref().map(|_| Instant::now());
         let mut it = self.iter()?;
         it.seek(start)?;
         let out = it.collect_up_to(limit)?;
@@ -1045,6 +1073,9 @@ impl Db {
             .stats
             .scan_entries
             .fetch_add(out.len() as u64, Ordering::Relaxed);
+        if let (Some(obs), Some(started)) = (self.core.obs.as_deref(), started) {
+            obs.ops.scan.record(started.elapsed().as_nanos() as u64);
+        }
         Ok(out)
     }
 
@@ -1318,6 +1349,30 @@ impl Db {
     /// Engine counters.
     pub fn stats(&self) -> &DbStats {
         &self.core.stats
+    }
+
+    /// The observability handle, when [`Options::observability`] is on
+    /// (or the sharding layer injected one).
+    pub fn observability(&self) -> Option<&Arc<EngineObs>> {
+        self.core.obs.as_ref()
+    }
+
+    /// Assemble a scrapeable [`MetricsSnapshot`]: `DbStats` counters
+    /// always; latency quantiles and the drained event timeline only when
+    /// observability is on. Draining consumes the ring — each event
+    /// appears in exactly one scrape.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        let mut snap = MetricsSnapshot::disabled();
+        snap.counters = self.stats().snapshot().counter_pairs();
+        if let Some(obs) = self.core.obs.as_deref() {
+            let set = obs.ops.snapshot();
+            snap.enabled = true;
+            snap.total = set.summarize(GLOBAL_SHARD);
+            snap.shards = vec![set.summarize(obs.shard())];
+            snap.events = obs.observer().drain();
+            snap.dropped_events = obs.observer().dropped();
+        }
+        snap
     }
 
     /// The shared core (sharding layer: worker-pool step closures hold one
@@ -1660,6 +1715,7 @@ impl DbCore {
             inner.wal.is_some() || !self.opts.wal,
             "wal enabled but no writer — a rotation lost it"
         );
+        let mut wal_framed = 0u64;
         if !head.disable_wal {
             if let Some(w) = &mut inner.wal {
                 // One fused, CRC-framed record for the whole group; replay
@@ -1676,11 +1732,26 @@ impl DbCore {
                 };
                 self.stats.wal_appends.fetch_add(1, Ordering::Relaxed);
                 self.stats.wal_bytes.fetch_add(framed, Ordering::Relaxed);
+                wal_framed = framed;
                 if members.iter().any(|m| m.sync) {
+                    let sync_started = self.obs.as_ref().map(|_| Instant::now());
                     w.sync()?;
                     self.stats.wal_syncs.fetch_add(1, Ordering::Relaxed);
+                    if let (Some(obs), Some(started)) = (self.obs.as_deref(), sync_started) {
+                        let ns = started.elapsed().as_nanos() as u64;
+                        obs.ops.sync_wait.record(ns);
+                        obs.emit(EventKind::WalSync, 0, ns, 0);
+                    }
                 }
             }
+        }
+        if let Some(obs) = self.obs.as_deref() {
+            obs.emit(
+                EventKind::WriteGroupCommit,
+                0,
+                members.len() as u64,
+                wal_framed,
+            );
         }
         inner.seq = inner.seq.max(last_seq);
         self.stats.write_groups.fetch_add(1, Ordering::Relaxed);
@@ -1769,6 +1840,13 @@ impl DbCore {
         // no *new* appliers can appear). The flushed table must contain
         // every sequence its WAL says it does.
         inner.mem.wait_quiescent();
+        let flush_started = Instant::now();
+        let entries = inner.mem.len() as u64;
+        let flush_span = self.obs.as_deref().map(|obs| {
+            let span = obs.span();
+            obs.emit(EventKind::FlushBegin, span, entries, 0);
+            span
+        });
         let handle = self.build_l0_table(inner.mem.iter_all())?;
         inner.version = Arc::new(inner.version.with_l0_table(handle));
         inner.mem = MemTable::new();
@@ -1778,6 +1856,14 @@ impl DbCore {
         // writes would be lost.
         let old_wal = self.rotate_wal(inner)?;
         self.stats.flushes.fetch_add(1, Ordering::Relaxed);
+        if let (Some(obs), Some(span)) = (self.obs.as_deref(), flush_span) {
+            obs.emit(
+                EventKind::FlushEnd,
+                span,
+                entries,
+                flush_started.elapsed().as_nanos() as u64,
+            );
+        }
         let retired_tables = self.compact_until_stable(inner)?;
         self.write_manifest(inner)?;
         // Only now is the sealed manifest free of the merged inputs and
@@ -1845,6 +1931,7 @@ impl DbCore {
                 &self.stats,
                 &self.next_file_no,
                 self.cache.clone(),
+                self.obs.as_deref(),
             )?;
             let removed = task.input_names();
             if let Some(cache) = &self.cache {
@@ -1870,6 +1957,7 @@ impl DbCore {
     fn make_room(&self) -> Result<()> {
         let mut slowed = false;
         let mut stop_started: Option<Instant> = None;
+        let mut stop_span: Option<u64> = None;
         let outcome = loop {
             let epoch = self.signal.epoch();
             let mut inner = self.inner.write();
@@ -1881,9 +1969,17 @@ impl DbCore {
             if !slowed && l0 >= self.opts.l0_slowdown_trigger {
                 drop(inner);
                 let started = Instant::now();
+                let span = self.obs.as_deref().map(|obs| {
+                    let span = obs.span();
+                    obs.emit(EventKind::StallBegin, span, 0, 0);
+                    span
+                });
                 std::thread::sleep(SLOWDOWN_DELAY);
-                self.stats
-                    .record_stall(false, started.elapsed().as_nanos() as u64);
+                let ns = started.elapsed().as_nanos() as u64;
+                self.stats.record_stall(false, ns);
+                if let (Some(obs), Some(span)) = (self.obs.as_deref(), span) {
+                    obs.emit(EventKind::StallEnd, span, 0, ns);
+                }
                 slowed = true;
                 continue;
             }
@@ -1900,6 +1996,11 @@ impl DbCore {
                 if stop_started.is_none() {
                     stop_started = Some(Instant::now());
                     self.stats.stalled_now.fetch_add(1, Ordering::Relaxed);
+                    stop_span = self.obs.as_deref().map(|obs| {
+                        let span = obs.span();
+                        obs.emit(EventKind::StallBegin, span, 1, 0);
+                        span
+                    });
                 }
                 self.signal.wait_past(epoch);
                 continue;
@@ -1908,8 +2009,11 @@ impl DbCore {
         };
         if let Some(started) = stop_started {
             self.stats.stalled_now.fetch_sub(1, Ordering::Relaxed);
-            self.stats
-                .record_stall(true, started.elapsed().as_nanos() as u64);
+            let ns = started.elapsed().as_nanos() as u64;
+            self.stats.record_stall(true, ns);
+            if let (Some(obs), Some(span)) = (self.obs.as_deref(), stop_span) {
+                obs.emit(EventKind::StallEnd, span, 1, ns);
+            }
         }
         outcome
     }
@@ -1956,6 +2060,9 @@ impl DbCore {
         ));
         inner.imms.push_back(imm);
         self.stats.record_rotation(inner.imms.len());
+        if let Some(obs) = self.obs.as_deref() {
+            obs.emit(EventKind::MemtableRotation, 0, inner.imms.len() as u64, 0);
+        }
         self.write_manifest(inner)?;
         self.signal.bump();
         Ok(())
@@ -1985,6 +2092,12 @@ impl DbCore {
         };
         let started = Instant::now();
         self.stats.bg_active.fetch_add(1, Ordering::Relaxed);
+        let entries = imm.entries().len() as u64;
+        let flush_span = self.obs.as_deref().map(|obs| {
+            let span = obs.span();
+            obs.emit(EventKind::FlushBegin, span, entries, 0);
+            span
+        });
         let result = (|| -> Result<()> {
             let handle = self.build_l0_table(imm.entries().iter().cloned())?;
             let mut inner = self.inner.write();
@@ -2004,6 +2117,16 @@ impl DbCore {
         self.stats
             .bg_flush_ns
             .fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        if let (Some(obs), Some(span)) = (self.obs.as_deref(), flush_span) {
+            // Emitted on error too: an end with the elapsed time still
+            // closes the span; the paired begin makes the outcome legible.
+            obs.emit(
+                EventKind::FlushEnd,
+                span,
+                entries,
+                started.elapsed().as_nanos() as u64,
+            );
+        }
         match result {
             Ok(()) => {
                 self.clear_bg_error();
@@ -2053,6 +2176,7 @@ impl DbCore {
                 &self.stats,
                 &self.next_file_no,
                 self.cache.clone(),
+                self.obs.as_deref(),
             )?;
             if let Some(cache) = &self.cache {
                 for t in task.inputs.iter().chain(task.next_inputs.iter()) {

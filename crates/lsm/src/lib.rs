@@ -90,6 +90,9 @@ pub use sharding::{
 };
 pub use snapshot::Snapshot;
 pub use stats::{CompactionBreakdown, DbStats, LookupBreakdown, StatsSnapshot};
+// Observability vocabulary (spans, histograms, the scrapeable snapshot)
+// lives in `lsm-obs`; re-exported so engine users need no extra dep.
+pub use lsm_obs::{Event, EventKind, MetricsSnapshot, Observer, GLOBAL_SHARD};
 pub use types::{Entry, EntryKind, InternalKey, SeqNo};
 
 use std::fmt;

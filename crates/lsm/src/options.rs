@@ -384,6 +384,12 @@ pub struct Options {
     /// a writer that fills the active memtable while the queue is full
     /// blocks until a flush drains a slot.
     pub max_immutable_memtables: usize,
+    /// Engine observability (`lsm-obs`): tracing events into a lock-free
+    /// ring plus per-op latency histograms, scraped via
+    /// `Db::metrics` / `ShardedDb::metrics` and the server's `METRICS`
+    /// opcode. Off by default: the paper experiments run unperturbed and
+    /// `DbStats` behaves byte-identically to previous releases.
+    pub observability: bool,
 }
 
 impl Default for Options {
@@ -407,6 +413,7 @@ impl Default for Options {
             l0_slowdown_trigger: 8,
             l0_stop_trigger: 12,
             max_immutable_memtables: 2,
+            observability: false,
         }
     }
 }
@@ -434,6 +441,7 @@ impl Options {
             l0_slowdown_trigger: 8,
             l0_stop_trigger: 12,
             max_immutable_memtables: 2,
+            observability: false,
         }
     }
 

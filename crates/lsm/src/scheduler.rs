@@ -41,6 +41,12 @@
 //! claiming new ones, and every thread is joined before the database
 //! counts as closed. Compaction *debt* may survive a shutdown; nothing is
 //! lost — the next open simply resumes merging where the tree left off.
+//!
+//! With [`crate::Options::observability`] on, the step functions this
+//! pool drives bracket their work in tracing spans — `flush_begin` /
+//! `flush_end` and `compaction_begin` / `compaction_end` events with a
+//! shared span id (see `lsm_obs::EventKind`) — so a drained timeline
+//! shows exactly which worker activity overlapped which writer stall.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};

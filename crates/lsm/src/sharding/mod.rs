@@ -164,6 +164,7 @@ pub use topology::Topology;
 
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 use parking_lot::{Mutex, RwLock};
 
@@ -177,6 +178,9 @@ use crate::types::SeqNo;
 use crate::wal::CrossBatchTag;
 use crate::{Error, Result};
 use lsm_io::{CostModel, MemStorage, PrefixedStorage, SimStorage, Storage};
+use lsm_obs::{
+    EngineObs, EventKind, MetricsSnapshot, Observer, DEFAULT_RING_CAPACITY, GLOBAL_SHARD,
+};
 
 /// Epoch-change retries a bare [`ShardedDb::get`] absorbs before giving
 /// up with [`Error::Unavailable`]. A retry only happens when a split's
@@ -318,6 +322,9 @@ struct PendingSplit {
     /// explicit abort): the drain stops, the cutover refuses, and the
     /// children are discarded.
     cancelled: AtomicBool,
+    /// Observability span id tying this split's begin / dual-write /
+    /// cutover events together (0 when observability is off).
+    span: u64,
 }
 
 /// Residency + balance report of one [`ShardedDb`] — the observability
@@ -385,6 +392,11 @@ struct ShardedCore {
     /// The sharding layer's own counters (splits, checkpoints), merged
     /// into [`ShardedDb::stats`] alongside the per-shard blocks.
     own_stats: DbStats,
+    /// The shared event sink when `opts.base.observability` is on. Every
+    /// shard's [`EngineObs`] emits into this one ring; the sharding
+    /// layer's own lifecycle events (splits, checkpoints) are tagged
+    /// [`GLOBAL_SHARD`].
+    observer: Option<Arc<Observer>>,
     /// Stable-id allocator (persisted via the topology at each cutover;
     /// ids burned by an aborted split are not reused in-process).
     next_shard_id: AtomicU32,
@@ -467,6 +479,13 @@ impl ShardedDb {
         let signal = Arc::new(MaintSignal::default());
         let shutdown = Arc::new(AtomicBool::new(false));
         let coordination = Arc::new(CommitCoordination::default());
+        // One shared observer for the whole engine: every shard emits into
+        // the same ring, so the drained timeline interleaves shards in
+        // true order and span ids are unique engine-wide.
+        let observer = opts
+            .base
+            .observability
+            .then(|| Arc::new(Observer::new(DEFAULT_RING_CAPACITY)));
 
         // Recovery coordination: read the commit-marker log once (union
         // of all generations), then recover every shard with a resolver
@@ -519,12 +538,16 @@ impl ShardedDb {
                 counter.fetch_add(1, Ordering::Relaxed);
                 Ok(sealed)
             };
+            let obs = observer
+                .as_ref()
+                .map(|o| Arc::new(EngineObs::new(Arc::clone(o), id)));
             shards.push(Arc::new(Db::open_internal(
                 dir,
                 opts.base.clone(),
                 pool,
                 Some(&resolver),
                 Some(Arc::clone(&coordination)),
+                obs,
             )?));
         }
 
@@ -581,6 +604,7 @@ impl ShardedDb {
             pending: Mutex::new(None),
             sampler: Mutex::new(TrafficSampler::default()),
             own_stats: DbStats::new(),
+            observer,
             next_shard_id,
             worker_cores: RwLock::new(Arc::new(worker_cores)),
             write_ticks: AtomicU64::new(0),
@@ -792,20 +816,22 @@ impl ShardedDb {
     /// Range lookup: up to `limit` live pairs with key ≥ `start`, merged
     /// across shards in global key order.
     pub fn scan(&self, start: u64, limit: usize) -> Result<Vec<(u64, Vec<u8>)>> {
+        let started = self.core.observer.as_ref().map(|_| Instant::now());
         let snapshot = self.snapshot();
         let mut it = self.iter_at(&snapshot)?;
         it.seek(start)?;
         let out = it.collect_up_to(limit)?;
         // Attribute the scan to the shard owning its start key, so the
         // merged stats still count it exactly once.
-        let stats = snapshot
-            .state
-            .shard(snapshot.state.router.shard_of(start))
-            .stats();
+        let owner = snapshot.state.shard(snapshot.state.router.shard_of(start));
+        let stats = owner.stats();
         stats.scans.fetch_add(1, Ordering::Relaxed);
         stats
             .scan_entries
             .fetch_add(out.len() as u64, Ordering::Relaxed);
+        if let (Some(obs), Some(started)) = (owner.observability(), started) {
+            obs.ops.scan.record(started.elapsed().as_nanos() as u64);
+        }
         Ok(out)
     }
 
@@ -1050,6 +1076,42 @@ impl ShardedDb {
                 .as_ref()
                 .map_or(0, |l| l.lock().live_markers()),
         }
+    }
+
+    /// The shared event observer when `opts.base.observability` is on —
+    /// front ends emit their own events (admission sheds) into it so the
+    /// drained timeline covers the whole stack.
+    pub fn observer(&self) -> Option<&Arc<Observer>> {
+        self.core.observer.as_ref()
+    }
+
+    /// Assemble the scrapeable [`MetricsSnapshot`]: merged `DbStats`
+    /// counters always; with observability on, per-shard latency
+    /// summaries plus the cross-shard **histogram fold** (bucket-wise
+    /// merge — quantiles of the union, never averages of per-shard
+    /// quantiles) and the drained event timeline. Draining consumes the
+    /// ring: each event appears in exactly one scrape.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        let mut snap = MetricsSnapshot::disabled();
+        snap.counters = self.stats().counter_pairs();
+        let Some(observer) = self.core.observer.as_deref() else {
+            return snap;
+        };
+        snap.enabled = true;
+        let state = self.core.current_state();
+        let mut fold = lsm_obs::OpHistSet::default();
+        for (pos, db) in state.shards.iter().enumerate() {
+            let Some(obs) = db.observability() else {
+                continue;
+            };
+            let set = obs.ops.snapshot();
+            fold.merge(&set);
+            snap.shards.push(set.summarize(state.ids[pos]));
+        }
+        snap.total = fold.summarize(GLOBAL_SHARD);
+        snap.events = observer.drain();
+        snap.dropped_events = observer.dropped();
+        snap
     }
 
     /// The worst [`WritePressure`](crate::WritePressure) across the
@@ -1470,6 +1532,7 @@ impl ShardedCore {
             let right_id = self.alloc_shard_id()?;
             let left = self.open_child(left_id)?;
             let right = self.open_child(right_id)?;
+            let span = self.observer.as_deref().map_or(0, |o| o.next_span());
             let p = Arc::new(PendingSplit {
                 parent_pos: pos,
                 parent_id: state.ids[pos],
@@ -1480,9 +1543,19 @@ impl ShardedCore {
                 right,
                 drained: AtomicBool::new(false),
                 cancelled: AtomicBool::new(false),
+                span,
             });
             self.add_worker_cores(&[p.left.core(), p.right.core()]);
             *self.pending.lock() = Some(Arc::clone(&p));
+            if let Some(o) = self.observer.as_deref() {
+                o.emit(
+                    EventKind::SplitBegin,
+                    GLOBAL_SHARD,
+                    span,
+                    p.parent_id as u64,
+                    cut,
+                );
+            }
             // Pin the drain image at the published fence — everything at
             // or below it comes from the drain, everything above arrives
             // through the dual-write window.
@@ -1497,6 +1570,15 @@ impl ShardedCore {
                 // pending split) must refuse — publishing half-drained
                 // children would lose every key not yet copied.
                 p.drained.store(true, Ordering::Release);
+                if let Some(o) = self.observer.as_deref() {
+                    o.emit(
+                        EventKind::SplitDualWrite,
+                        GLOBAL_SHARD,
+                        p.span,
+                        p.parent_id as u64,
+                        0,
+                    );
+                }
                 Ok(true)
             }
             Err(e) => {
@@ -1671,6 +1753,15 @@ impl ShardedCore {
         let parent = Arc::clone(state.shard(p.parent_pos));
         self.remove_worker_core(parent.core());
         self.own_stats.shard_splits.fetch_add(1, Ordering::Relaxed);
+        if let Some(o) = self.observer.as_deref() {
+            o.emit(
+                EventKind::SplitCutover,
+                GLOBAL_SHARD,
+                p.span,
+                p.parent_id as u64,
+                self.current_state().epoch,
+            );
+        }
         self.signal.bump();
         // Retire the parent directory (best-effort — the sealed topology
         // no longer names it, and the next open sweeps leftovers).
@@ -1718,12 +1809,17 @@ impl ShardedCore {
                 signal: Arc::clone(&self.signal),
                 shutdown: Arc::clone(&self.shutdown),
             });
+        let obs = self
+            .observer
+            .as_ref()
+            .map(|o| Arc::new(EngineObs::new(Arc::clone(o), id)));
         Ok(Arc::new(Db::open_internal(
             dir,
             self.opts.base.clone(),
             pool,
             None,
             Some(Arc::clone(&self.coordination)),
+            obs,
         )?))
     }
 
@@ -1829,10 +1925,20 @@ impl ShardedCore {
         // are carried over.
         let _commit = self.coordination.enter()?;
         let log = self.commit_log.as_ref().expect("checked above");
-        log.lock().checkpoint(self.storage.as_ref(), watermark)?;
+        let mut log = log.lock();
+        log.checkpoint(self.storage.as_ref(), watermark)?;
         self.own_stats
             .commit_checkpoints
             .fetch_add(1, Ordering::Relaxed);
+        if let Some(o) = self.observer.as_deref() {
+            o.emit(
+                EventKind::CommitCheckpoint,
+                GLOBAL_SHARD,
+                0,
+                log.live_markers() as u64,
+                0,
+            );
+        }
         Ok(true)
     }
 }

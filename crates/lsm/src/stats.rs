@@ -309,6 +309,63 @@ impl StatsSnapshot {
             .fold(StatsSnapshot::default(), |acc, s| acc + *s)
     }
 
+    /// Flatten into `(name, value)` pairs for the metrics surface
+    /// (`MetricsSnapshot::counters`). Scalar counters keep their field
+    /// names; the per-level arrays flatten to `level{N}_reads` /
+    /// `level{N}_read_ns`, emitted only for levels that saw traffic so a
+    /// scrape of a small tree is not 24 lines of zeros.
+    pub fn counter_pairs(&self) -> Vec<(String, u64)> {
+        macro_rules! pairs {
+            ($($f:ident),* $(,)?) => {
+                vec![ $( (stringify!($f).to_string(), self.$f) ),* ]
+            }
+        }
+        let mut out = pairs!(
+            lookups,
+            table_locate_ns,
+            predict_ns,
+            io_cpu_ns,
+            search_ns,
+            bloom_checks,
+            bloom_negatives,
+            memtable_hits,
+            write_batches,
+            write_entries,
+            write_groups,
+            wal_appends,
+            wal_bytes,
+            wal_syncs,
+            flushes,
+            compactions,
+            compact_total_ns,
+            compact_kv_io_ns,
+            compact_train_ns,
+            compact_model_write_ns,
+            compact_bytes_read,
+            compact_bytes_written,
+            scans,
+            scan_entries,
+            stall_slowdowns,
+            stall_stops,
+            stall_ns,
+            imm_rotations,
+            imm_queue_peak,
+            bg_flush_ns,
+            bg_compact_ns,
+            bg_errors,
+            writes_during_maintenance,
+            shard_splits,
+            commit_checkpoints,
+        );
+        for (i, (&n, &ns)) in self.level_reads.iter().zip(&self.level_read_ns).enumerate() {
+            if n > 0 || ns > 0 {
+                out.push((format!("level{i}_reads"), n));
+                out.push((format!("level{i}_read_ns"), ns));
+            }
+        }
+        out
+    }
+
     /// The lookup breakdown of Table 1, averaged per lookup (ns).
     pub fn lookup_breakdown(&self) -> LookupBreakdown {
         let n = self.lookups.max(1);
@@ -516,6 +573,19 @@ mod tests {
             StatsSnapshot::default(),
             "empty merge is the zero snapshot"
         );
+    }
+
+    #[test]
+    fn counter_pairs_flatten_scalars_and_busy_levels() {
+        let s = DbStats::new();
+        s.lookups.fetch_add(9, Ordering::Relaxed);
+        s.record_level_read(2, 42);
+        let pairs = s.snapshot().counter_pairs();
+        let get = |name: &str| pairs.iter().find(|(n, _)| n == name).map(|(_, v)| *v);
+        assert_eq!(get("lookups"), Some(9));
+        assert_eq!(get("level2_reads"), Some(1));
+        assert_eq!(get("level2_read_ns"), Some(42));
+        assert_eq!(get("level0_reads"), None, "idle levels stay off the wire");
     }
 
     #[test]

@@ -1,0 +1,151 @@
+//! Integration tests for the engine-wide observability layer: the split
+//! lifecycle must appear in the event timeline as an ordered, span-linked
+//! `SplitBegin` → `SplitDualWrite` → `SplitCutover` triple, and turning
+//! observability *off* must leave the engine's `DbStats` counters exactly
+//! as they were — the disabled hot path is a single untaken branch.
+
+use std::sync::Arc;
+
+use lsm_io::{MemStorage, Storage};
+use lsm_tree::{Event, EventKind, Options, ShardedDb, ShardedOptions, WriteBatch, WriteOptions};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn obs_opts() -> Options {
+    let mut o = Options::small_for_tests();
+    o.observability = true;
+    o
+}
+
+/// A zipfian-skewed insert stream against uniform-trained boundaries
+/// forces live splits; the drained timeline must carry each split as a
+/// `SplitBegin` → `SplitDualWrite` → `SplitCutover` triple in that order,
+/// all three sharing one span id.
+#[test]
+fn live_split_emits_ordered_span_linked_lifecycle_events() {
+    // Boundaries trained for a uniform key space, then a stream dense
+    // near zero: shard 0 fattens until the resident-bytes trigger fires.
+    let uniform_sample: Vec<u64> = (0..4096u64).map(|i| i << 32).collect();
+    let opts = ShardedOptions::learned(2, uniform_sample, obs_opts())
+        .with_max_shards(8)
+        .with_split_trigger(0.10, 32 << 10);
+    let storage: Arc<dyn Storage> = Arc::new(MemStorage::new());
+    let db = ShardedDb::open(Arc::clone(&storage), opts).unwrap();
+    let observer = Arc::clone(db.observer().expect("observability is on"));
+
+    // Drain as we go: the ring keeps the *oldest* events on overflow, so
+    // a long stream could otherwise crowd out late-arriving split events.
+    let mut timeline: Vec<Event> = Vec::new();
+    let mut rng = StdRng::seed_from_u64(0x0b5);
+    let mut batch = WriteBatch::new();
+    let value = vec![9u8; 32];
+    for i in 0..40_000u64 {
+        // Dense low keys with a thin uniform tail, every key fresh.
+        let k = if i % 16 == 0 {
+            rng.gen::<u64>()
+        } else {
+            rng.gen_range(0..1u64 << 20)
+        };
+        batch.put(k, &value);
+        if batch.len() >= 8 {
+            db.write(std::mem::take(&mut batch), &WriteOptions::default())
+                .unwrap();
+            timeline.extend(observer.drain());
+        }
+        if db.sharded_stats().merged.shard_splits >= 2 {
+            break;
+        }
+    }
+    db.write(batch, &WriteOptions::default()).unwrap();
+    while db.rebalance().unwrap() {}
+    timeline.extend(observer.drain());
+
+    let splits = db.sharded_stats().merged.shard_splits;
+    assert!(splits >= 1, "stream never triggered a live split");
+    assert_eq!(observer.dropped(), 0, "drain cadence must outrun the ring");
+
+    let begins: Vec<&Event> = timeline
+        .iter()
+        .filter(|e| e.kind == EventKind::SplitBegin)
+        .collect();
+    assert_eq!(begins.len() as u64, splits, "one SplitBegin per split");
+    for begin in begins {
+        assert_ne!(begin.span, 0, "live spans are non-zero");
+        let phases: Vec<(usize, EventKind)> = timeline
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.span == begin.span)
+            .map(|(i, e)| (i, e.kind))
+            .collect();
+        assert_eq!(
+            phases.iter().map(|(_, k)| *k).collect::<Vec<_>>(),
+            vec![
+                EventKind::SplitBegin,
+                EventKind::SplitDualWrite,
+                EventKind::SplitCutover
+            ],
+            "split span {} must run begin → dual-write → cutover",
+            begin.span
+        );
+        // Ordered by timeline position *and* by timestamp.
+        assert!(phases.windows(2).all(|w| w[0].0 < w[1].0));
+        let ts: Vec<u64> = timeline
+            .iter()
+            .filter(|e| e.span == begin.span)
+            .map(|e| e.ts_ns)
+            .collect();
+        assert!(ts.windows(2).all(|w| w[0] <= w[1]));
+        // Begin and dual-write name the same parent shard.
+        let parents: Vec<u64> = timeline
+            .iter()
+            .filter(|e| e.span == begin.span && e.kind != EventKind::SplitCutover)
+            .map(|e| e.a)
+            .collect();
+        assert!(parents.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    // Each split's cutover publishes a fresh topology epoch; the last
+    // cutover must carry the current one.
+    let last_epoch = timeline
+        .iter()
+        .rev()
+        .find(|e| e.kind == EventKind::SplitCutover)
+        .map(|e| e.b)
+        .unwrap();
+    assert_eq!(last_epoch, db.topology_epoch());
+}
+
+/// The same deterministic workload, observability off vs on: every
+/// non-temporal `DbStats` counter must match exactly. (Wall-clock `_ns`
+/// aggregates differ run to run regardless of observability, so they are
+/// excluded; everything countable must be untouched by the layer.)
+#[test]
+fn disabling_observability_leaves_counters_byte_identical() {
+    fn run(observability: bool) -> Vec<(String, u64)> {
+        let mut base = Options::small_for_tests();
+        base.observability = observability;
+        let db = ShardedDb::open_memory(ShardedOptions::hash(2, base)).unwrap();
+        let wopts = WriteOptions::default();
+        for i in 0..400u64 {
+            let mut batch = WriteBatch::new();
+            for j in 0..4u64 {
+                batch.put(i * 4 + j, &(i * 4 + j).to_le_bytes());
+            }
+            db.write(batch, &wopts).unwrap();
+        }
+        for k in (0..1600u64).step_by(3) {
+            assert!(db.get(k).unwrap().is_some());
+        }
+        db.scan(100, 50).unwrap();
+        db.flush().unwrap();
+        db.stats()
+            .counter_pairs()
+            .into_iter()
+            .filter(|(name, _)| !name.ends_with("_ns"))
+            .collect()
+    }
+
+    let off = run(false);
+    let on = run(true);
+    assert_eq!(off, on, "observability changed an engine counter");
+}

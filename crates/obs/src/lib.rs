@@ -1,0 +1,37 @@
+//! `lsm-obs`: engine-wide observability primitives.
+//!
+//! Production systems are debugged through traces, histograms, and
+//! scrapeable metrics; flat counters alone cannot say *which* flush
+//! stalled a writer or *when* a split's dual-write window opened. This
+//! crate is the engine's shared observability substrate — deliberately
+//! free of engine dependencies so every layer (engine, sharding,
+//! server, benches) can record into it:
+//!
+//! * [`EventRing`] — a lock-free, fixed-capacity MPSC ring of
+//!   structured [`Event`]s. Emitting never locks or allocates; a full
+//!   ring drops the new event and counts the drop. Begin/end pairs
+//!   share a span id for duration stitching.
+//! * [`LatencyHistogram`] / [`AtomicHistogram`] — HDR-style
+//!   log-bucketed distributions (exact below 128 ns, 64 sub-buckets per
+//!   octave, ≤1/64 relative quantile error). The atomic variant is the
+//!   multi-writer recorder the engine's hot paths use; snapshots lower
+//!   into the single-writer form for folding and quantiles.
+//! * [`MetricsSnapshot`] — counters + folded histogram quantiles +
+//!   recent events, with a bounds-checked wire codec (the `METRICS`
+//!   opcode payload) and a Prometheus-style [`MetricsSnapshot::render_text`].
+//!
+//! Cross-shard aggregation folds **histograms**, never averages of
+//! per-shard quantiles — see [`OpHistSet::merge`].
+
+pub mod event;
+pub mod hist;
+pub mod metrics;
+pub mod ring;
+
+pub use event::{now_ns, Event, EventKind, GLOBAL_SHARD};
+pub use hist::{AtomicHistogram, LatencyHistogram};
+pub use metrics::{
+    EngineObs, HistSummary, MetricsSnapshot, Observer, OpHistSet, OpHistograms, OpLatencies,
+    DEFAULT_RING_CAPACITY,
+};
+pub use ring::EventRing;

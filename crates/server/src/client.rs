@@ -21,6 +21,7 @@ use crate::protocol::{
     ServerError, DEFAULT_MAX_FRAME,
 };
 use crate::transport::Connection;
+use lsm_obs::MetricsSnapshot;
 
 /// Client-side failure.
 #[derive(Debug)]
@@ -260,6 +261,16 @@ impl Client {
         match self.call(&Request::Stats)? {
             Response::Stats { json } => Ok(json),
             other => Self::unexpected("STATS", other),
+        }
+    }
+
+    /// Scrape the server's metrics surface: counters, per-shard latency
+    /// quantiles and the recent event timeline. Render with
+    /// [`MetricsSnapshot::render_text`] for a Prometheus-style exposition.
+    pub fn metrics(&self) -> Result<MetricsSnapshot> {
+        match self.call(&Request::Metrics)? {
+            Response::Metrics(snap) => Ok(*snap),
+            other => Self::unexpected("METRICS", other),
         }
     }
 

@@ -6,9 +6,9 @@
 //! pushes back? It adds, in order of appearance on a request's path:
 //!
 //! * [`protocol`] — a length-prefixed binary frame format (GET / PUT /
-//!   DELETE / WRITE_BATCH / SCAN / SNAPSHOT_SCAN / STATS), request ids
-//!   chosen by the client and echoed by the server, responses free to
-//!   arrive out of order — per-connection pipelining.
+//!   DELETE / WRITE_BATCH / SCAN / SNAPSHOT_SCAN / STATS / METRICS),
+//!   request ids chosen by the client and echoed by the server,
+//!   responses free to arrive out of order — per-connection pipelining.
 //! * [`transport`] — pluggable byte transports: real TCP, and an
 //!   in-memory duplex pair so every test and benchmark exercises the
 //!   full request path without sockets or network.
@@ -55,6 +55,7 @@ pub mod transport;
 
 pub use client::{Client, ClientError};
 pub use hist::LatencyHistogram;
+pub use lsm_obs::MetricsSnapshot;
 pub use openloop::{run_open_loop, OpenLoopSummary};
 pub use protocol::{BatchEntry, FrameError, Request, Response, ServerError};
 pub use server::{Server, ServerOptions, MAX_SCAN_LIMIT};

@@ -26,6 +26,7 @@
 //! | `SCAN` (0x05)       | `start u64, limit u32`                            |
 //! | `SNAPSHOT_SCAN`(0x06)| `start u64, limit u32`                           |
 //! | `STATS` (0x07)      | (empty)                                           |
+//! | `METRICS` (0x08)    | (empty)                                           |
 //!
 //! A batch `entry` is `kind u8` (0 = put, 1 = delete), `key u64`, and for
 //! puts `vlen u32, value`. `flags` bit 0 requests a durable (synced)
@@ -39,6 +40,7 @@
 //! | `OK_COMMITTED` (0x01)     | `seq u64`                                 |
 //! | `OK_ENTRIES` (0x02)       | `has_snap u8, [snap_seq u64], count u32, count × (key u64, vlen u32, value)` |
 //! | `OK_STATS` (0x03)         | `jlen u32, json`                          |
+//! | `OK_METRICS` (0x04)       | `mlen u32, snapshot` — a [`MetricsSnapshot`] in its own binary codec |
 //! | `ERR_RETRY_AFTER` (0x10)  | `retry_ms u32` — shed by admission control: back off and resend |
 //! | `ERR_POISONED` (0x11)     | `mlen u32, msg` — a cross-shard commit failed mid-way; the engine refuses writes until reopened |
 //! | `ERR_BAD_REQUEST` (0x12)  | `mlen u32, msg` — unknown opcode or malformed payload |
@@ -50,6 +52,8 @@
 //! longer be trusted — so the peer disconnects instead of responding.
 
 use std::io::{self, Read, Write};
+
+use lsm_obs::MetricsSnapshot;
 
 /// Smallest legal frame body: id (8) + tag (1).
 pub const MIN_FRAME: usize = 9;
@@ -71,11 +75,13 @@ pub const OP_WRITE_BATCH: u8 = 0x04;
 pub const OP_SCAN: u8 = 0x05;
 pub const OP_SNAPSHOT_SCAN: u8 = 0x06;
 pub const OP_STATS: u8 = 0x07;
+pub const OP_METRICS: u8 = 0x08;
 
 pub const ST_OK_VALUE: u8 = 0x00;
 pub const ST_OK_COMMITTED: u8 = 0x01;
 pub const ST_OK_ENTRIES: u8 = 0x02;
 pub const ST_OK_STATS: u8 = 0x03;
+pub const ST_OK_METRICS: u8 = 0x04;
 pub const ST_ERR_RETRY_AFTER: u8 = 0x10;
 pub const ST_ERR_POISONED: u8 = 0x11;
 pub const ST_ERR_BAD_REQUEST: u8 = 0x12;
@@ -119,6 +125,7 @@ pub enum Request {
         limit: u32,
     },
     Stats,
+    Metrics,
 }
 
 impl Request {
@@ -175,6 +182,9 @@ pub enum Response {
     },
     /// `STATS` result: the engine's sharded stats as a JSON document.
     Stats { json: String },
+    /// `METRICS` result: counters, latency quantiles and the recent
+    /// event timeline (see [`MetricsSnapshot`]).
+    Metrics(Box<MetricsSnapshot>),
     /// Any error status.
     Error(ServerError),
 }
@@ -290,6 +300,7 @@ pub fn encode_request(out: &mut Vec<u8>, id: u64, req: &Request) {
             OP_SNAPSHOT_SCAN
         }
         Request::Stats => OP_STATS,
+        Request::Metrics => OP_METRICS,
     };
     encode_frame(out, id, tag, &p);
 }
@@ -333,6 +344,12 @@ pub fn encode_response(out: &mut Vec<u8>, id: u64, resp: &Response) {
         Response::Stats { json } => {
             put_bytes(&mut p, json.as_bytes());
             ST_OK_STATS
+        }
+        Response::Metrics(snap) => {
+            let mut body = Vec::new();
+            snap.encode(&mut body);
+            put_bytes(&mut p, &body);
+            ST_OK_METRICS
         }
         Response::Error(e) => match e {
             ServerError::RetryAfter { ms } => {
@@ -467,6 +484,7 @@ pub fn decode_request(opcode: u8, payload: &[u8]) -> Result<Request, String> {
             limit: c.u32()?,
         },
         OP_STATS => Request::Stats,
+        OP_METRICS => Request::Metrics,
         op => return Err(format!("unknown opcode 0x{op:02x}")),
     };
     c.finish()?;
@@ -504,6 +522,7 @@ pub fn decode_response(status: u8, payload: &[u8]) -> Result<Response, String> {
         ST_OK_STATS => Response::Stats {
             json: String::from_utf8(c.bytes()?).map_err(|_| "stats json is not UTF-8")?,
         },
+        ST_OK_METRICS => Response::Metrics(Box::new(MetricsSnapshot::decode(&c.bytes()?)?)),
         ST_ERR_RETRY_AFTER => Response::Error(ServerError::RetryAfter { ms: c.u32()? }),
         ST_ERR_POISONED => Response::Error(ServerError::Poisoned(msg(&mut c)?)),
         ST_ERR_BAD_REQUEST => Response::Error(ServerError::BadRequest(msg(&mut c)?)),
@@ -621,6 +640,7 @@ mod tests {
         });
         roundtrip_req(Request::SnapshotScan { start: 9, limit: 0 });
         roundtrip_req(Request::Stats);
+        roundtrip_req(Request::Metrics);
     }
 
     #[test]
@@ -639,6 +659,12 @@ mod tests {
         roundtrip_resp(Response::Stats {
             json: "{\"x\":1}".into(),
         });
+        roundtrip_resp(Response::Metrics(Box::new(MetricsSnapshot::disabled())));
+        let mut snap = MetricsSnapshot::disabled();
+        snap.enabled = true;
+        snap.counters.push(("flushes".into(), 3));
+        snap.dropped_events = 9;
+        roundtrip_resp(Response::Metrics(Box::new(snap)));
         roundtrip_resp(Response::Error(ServerError::RetryAfter { ms: 20 }));
         roundtrip_resp(Response::Error(ServerError::Poisoned("p".into())));
         roundtrip_resp(Response::Error(ServerError::BadRequest("b".into())));
@@ -708,5 +734,14 @@ mod tests {
         let mut p = vec![0u8];
         p.extend_from_slice(&u32::MAX.to_le_bytes());
         assert!(decode_request(OP_WRITE_BATCH, &p).is_err());
+        // METRICS takes no payload: junk is trailing bytes, not a panic.
+        assert!(decode_request(OP_METRICS, &[1, 2, 3]).is_err());
+        // A metrics response whose inner snapshot is corrupt is a typed
+        // error (the snapshot codec's own message), never a panic.
+        let mut p = Vec::new();
+        put_bytes(&mut p, &[0xff; 5]);
+        assert!(decode_response(ST_OK_METRICS, &p).is_err());
+        // Truncated inner length prefix.
+        assert!(decode_response(ST_OK_METRICS, &[9, 0, 0, 0]).is_err());
     }
 }

@@ -47,6 +47,7 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
+use lsm_obs::{EventKind, GLOBAL_SHARD};
 use lsm_tree::sharding::{ShardedDb, ShardedStats};
 use lsm_tree::{Error as LsmError, WriteBatch, WriteOptions, WritePressure};
 use std::sync::{Condvar, Mutex};
@@ -331,6 +332,15 @@ fn reader_loop(shared: &Arc<Shared>, conn_id: u64, conn: Connection) {
                 if matches!(err, ServerError::RetryAfter { .. }) {
                     shared.shed.fetch_add(1, Ordering::Relaxed);
                 }
+                if let Some(observer) = shared.db.observer() {
+                    observer.emit(
+                        EventKind::ServerShed,
+                        GLOBAL_SHARD,
+                        0,
+                        req.is_write() as u64,
+                        0,
+                    );
+                }
                 state.send(id, &Response::Error(err));
             }
         }
@@ -465,6 +475,7 @@ fn execute(db: &ShardedDb, opts: &ServerOptions, req: Request) -> Response {
         Request::Stats => Response::Stats {
             json: stats_json(&db.sharded_stats()),
         },
+        Request::Metrics => Response::Metrics(Box::new(db.metrics())),
     }
 }
 

@@ -14,12 +14,21 @@ use lsm_server::{
     ServerError, ServerOptions, TcpTransport,
 };
 use lsm_tree::sharding::ShardedDb;
-use lsm_tree::{Maintenance, Options, ShardedOptions};
+use lsm_tree::{EventKind, Maintenance, Options, ShardedOptions};
 use rand::{RngCore, SeedableRng, StdRng};
 
 fn mem_server(shards: usize) -> (Server, lsm_server::MemConnector) {
     let db = ShardedDb::open_memory(ShardedOptions::hash(shards, Options::small_for_tests()))
         .expect("open");
+    let (connector, listener) = MemTransport::endpoint();
+    let server = Server::start(db, Arc::new(listener), ServerOptions::default());
+    (server, connector)
+}
+
+fn mem_server_with_obs(shards: usize) -> (Server, lsm_server::MemConnector) {
+    let mut base = Options::small_for_tests();
+    base.observability = true;
+    let db = ShardedDb::open_memory(ShardedOptions::hash(shards, base)).expect("open");
     let (connector, listener) = MemTransport::endpoint();
     let server = Server::start(db, Arc::new(listener), ServerOptions::default());
     (server, connector)
@@ -70,6 +79,159 @@ fn every_opcode_roundtrips() {
         "stats JSON should carry sharded fields: {stats}"
     );
 
+    server.close().expect("close");
+}
+
+#[test]
+fn metrics_opcode_scrapes_histograms_and_events() {
+    let (server, connector) = mem_server_with_obs(2);
+    let client = Client::new(connector.connect().expect("dial"));
+
+    for k in 0..500u64 {
+        client.put(k, &[0xAB; 32], false).expect("put");
+    }
+    for k in (0..500u64).step_by(7) {
+        client.get(k).expect("get");
+    }
+    client.scan(0, 64).expect("scan");
+
+    let snap = client.metrics().expect("metrics");
+    assert!(snap.enabled, "observability was requested at open");
+    let counter = |name: &str| {
+        snap.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+            .unwrap_or_else(|| panic!("counter {name} missing"))
+    };
+    assert_eq!(counter("write_batches"), 500);
+    assert!(counter("lookups") >= 72);
+    // Per-op histograms recorded per shard and folded across shards:
+    // the fold's count is the sum of the shard counts, and quantiles
+    // are populated (merge of distributions, not averages).
+    assert_eq!(snap.shards.len(), 2);
+    let shard_writes: u64 = snap.shards.iter().map(|s| s.write.count).sum();
+    assert_eq!(snap.total.write.count, shard_writes);
+    assert_eq!(snap.total.write.count, 500);
+    assert!(snap.total.write.p99_ns >= snap.total.write.p50_ns);
+    assert!(snap.total.get.count >= 72);
+    assert_eq!(snap.total.scan.count, 1);
+    // The 500 writes crossed several flushes under small_for_tests, so
+    // the event timeline must carry at least one paired flush span.
+    let begins: Vec<_> = snap
+        .events
+        .iter()
+        .filter(|e| e.kind == EventKind::FlushBegin)
+        .collect();
+    assert!(!begins.is_empty(), "expected flush events in the timeline");
+    for b in &begins {
+        assert!(
+            snap.events
+                .iter()
+                .any(|e| e.kind == EventKind::FlushEnd && e.span == b.span),
+            "flush span {} must close",
+            b.span
+        );
+    }
+    let text = snap.render_text();
+    assert!(text.contains("lsm_op_latency_ns{op=\"write\",shard=\"all\",quantile=\"0.99\"}"));
+    assert!(text.contains("kind=flush_begin"));
+
+    // A second scrape sees a drained ring: events go to exactly one
+    // consumer, while histograms and counters persist.
+    let again = client.metrics().expect("metrics again");
+    assert_eq!(again.total.write.count, 500);
+    assert!(
+        again
+            .events
+            .iter()
+            .all(|e| !begins.iter().any(|b| b.span == e.span)),
+        "drained events must not reappear"
+    );
+
+    server.close().expect("close");
+}
+
+#[test]
+fn metrics_with_observability_off_reports_counters_only() {
+    let (server, connector) = mem_server(1);
+    let client = Client::new(connector.connect().expect("dial"));
+    client.put(1, b"x", false).expect("put");
+    let snap = client.metrics().expect("metrics");
+    assert!(!snap.enabled);
+    assert!(snap
+        .counters
+        .iter()
+        .any(|(n, v)| n == "write_batches" && *v == 1));
+    assert_eq!(snap.total.write.count, 0);
+    assert!(snap.events.is_empty());
+    let text = snap.render_text();
+    assert!(text.contains("lsm_observability_enabled 0"));
+    assert!(
+        !text.contains("lsm_op_latency_ns{"),
+        "no quantiles when off"
+    );
+    server.close().expect("close");
+}
+
+#[test]
+fn stats_and_metrics_interleave_consistently_under_pipelining() {
+    let (server, connector) = mem_server_with_obs(2);
+    let client = Client::new(connector.connect().expect("dial"));
+
+    // Alternate writes with pipelined STATS and METRICS submissions; the
+    // two surfaces must answer out of order without cross-talk, and each
+    // snapshot's write counter must be consistent with the writes
+    // acknowledged before it was submitted (monotone, bounded by total).
+    let mut probes: Vec<(u64, bool, u64)> = Vec::new(); // (id, is_metrics, acked_before)
+    let mut acked = 0u64;
+    for round in 0..20u64 {
+        for k in 0..10u64 {
+            client.put(round * 10 + k, b"v", false).expect("put");
+            acked += 1;
+        }
+        probes.push((
+            client.submit(&Request::Stats).expect("submit stats"),
+            false,
+            acked,
+        ));
+        probes.push((
+            client.submit(&Request::Metrics).expect("submit metrics"),
+            true,
+            acked,
+        ));
+    }
+    let total = acked;
+    let mut last_stats = 0u64;
+    let mut last_metrics = 0u64;
+    for (id, is_metrics, floor) in probes.into_iter().rev() {
+        match (is_metrics, client.wait(id).expect("wait")) {
+            (true, Response::Metrics(snap)) => {
+                assert!(snap.enabled);
+                let batches = snap
+                    .counters
+                    .iter()
+                    .find(|(n, _)| n == "write_batches")
+                    .map(|(_, v)| *v)
+                    .expect("write_batches");
+                assert!(
+                    batches >= floor && batches <= total,
+                    "metrics saw {batches}, acked floor {floor}, total {total}"
+                );
+                last_metrics = last_metrics.max(batches);
+            }
+            (false, Response::Stats { json }) => {
+                assert!(json.contains("\"topology_epoch\""));
+                last_stats += 1;
+            }
+            (_, other) => panic!("probe answered {other:?}"),
+        }
+    }
+    assert_eq!(last_stats, 20, "every STATS probe answered as stats");
+    assert_eq!(
+        last_metrics, total,
+        "the final metrics scrape saw every write"
+    );
     server.close().expect("close");
 }
 

@@ -8,7 +8,7 @@
 //!
 //! ```sh
 //! cargo run --release --example ycsb [index-abbrev] [ops] [--shards N] \
-//!     [--max-shards M] [--split-threshold F] [--server] [--rate R]
+//!     [--max-shards M] [--split-threshold F] [--server] [--rate R] [--metrics]
 //! ```
 //!
 //! With `--shards N` (N > 1) the six mixes instead run against the
@@ -26,6 +26,10 @@
 //! shows coordinated-omission-free p50/p99/p99.9 and the sheds the
 //! server's backpressure mapping answered with `RETRY_AFTER`, then dumps
 //! the engine's sharded-stats JSON fetched through the `STATS` opcode.
+//! Adding `--metrics` turns the engine's observability layer on and ends
+//! the run with a `METRICS` scrape: per-shard write/get latency quantiles
+//! folded across shards plus the recent event timeline, rendered in the
+//! Prometheus text exposition.
 
 use learned_lsm_repro::index::IndexKind;
 use learned_lsm_repro::testbed::{Granularity, Testbed, TestbedConfig};
@@ -37,6 +41,7 @@ fn main() {
     let mut split_threshold = 0.2f64;
     let mut server = false;
     let mut rate = None;
+    let mut metrics = false;
     let mut positional = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -60,6 +65,7 @@ fn main() {
                     .expect("--split-threshold needs a number");
             }
             "--server" => server = true,
+            "--metrics" => metrics = true,
             "--rate" => {
                 let r: f64 = args
                     .next()
@@ -81,8 +87,12 @@ fn main() {
         .unwrap_or(20_000);
 
     if server {
-        run_server(kind, shards, ops, rate);
+        run_server(kind, shards, ops, rate, metrics);
         return;
+    }
+    if metrics {
+        eprintln!("--metrics requires --server (the scrape goes through the METRICS opcode)");
+        std::process::exit(2);
     }
     if shards > 1 {
         run_sharded(kind, shards, ops, max_shards, split_threshold);
@@ -124,7 +134,7 @@ fn main() {
 /// The `--server` path: all six mixes through the `lsm-server` front end
 /// at an open-loop arrival rate, ending with the engine's sharded-stats
 /// report fetched through the wire (the `STATS` opcode).
-fn run_server(kind: IndexKind, shards: usize, ops: usize, rate: Option<f64>) {
+fn run_server(kind: IndexKind, shards: usize, ops: usize, rate: Option<f64>, metrics: bool) {
     use learned_lsm_repro::bench::{runner, Scale};
 
     let mut scale = Scale::quick();
@@ -148,8 +158,17 @@ fn run_server(kind: IndexKind, shards: usize, ops: usize, rate: Option<f64>) {
         "shed",
         "errors"
     );
-    let (records, stats) = runner::ycsb_server(&scale, Dataset::Random, shards, kind, 0xfeed, rate)
-        .expect("server ycsb");
+    let (records, stats, snap) = if metrics {
+        let (records, stats, snap) =
+            runner::ycsb_server_with_metrics(&scale, Dataset::Random, shards, kind, 0xfeed, rate)
+                .expect("server ycsb");
+        (records, stats, Some(snap))
+    } else {
+        let (records, stats) =
+            runner::ycsb_server(&scale, Dataset::Random, shards, kind, 0xfeed, rate)
+                .expect("server ycsb");
+        (records, stats, None)
+    };
     for r in records {
         println!(
             "{:>9} {:>11.0} {:>11.0} {:>10.1} {:>10.1} {:>10.1} {:>7} {:>7}",
@@ -164,6 +183,9 @@ fn run_server(kind: IndexKind, shards: usize, ops: usize, rate: Option<f64>) {
         );
     }
     println!("\nsharded stats (last mix, via STATS):\n{stats}");
+    if let Some(snap) = snap {
+        println!("\nmetrics (last mix, via METRICS):\n{}", snap.render_text());
+    }
 }
 
 /// The `--shards N` path: all six mixes against a `ShardedDb` via the
