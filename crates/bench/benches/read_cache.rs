@@ -1,0 +1,61 @@
+//! Criterion micro-bench: zipfian point-read cost as the engine-wide cache
+//! budget grows — 0 (uncached baseline) through a budget large enough to
+//! hold the skewed working set. Read charges on the simulated device are
+//! counted on a virtual clock, not slept, so each sample is wall time
+//! *plus* the modeled device time the iteration incurred (`iter_custom`);
+//! the spread between parameters is the device time the cache absorbed.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use learned_index::IndexKind;
+use learned_lsm::{Granularity, Testbed, TestbedConfig};
+use lsm_workloads::{Dataset, RequestDistribution};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_read_cache(c: &mut Criterion) {
+    let mut g = c.benchmark_group("read_cache_40k_zipfian_b64");
+    g.sample_size(20);
+    for cache_kib in [0usize, 256, 1024, 4096] {
+        let mut config = TestbedConfig::quick(IndexKind::Pgm, 64, Dataset::Random);
+        config.num_keys = 40_000;
+        config.value_width = 64;
+        config.granularity = Granularity::SstBytes(256 << 10);
+        config.write_buffer_bytes = 256 << 10;
+        config.block_cache_bytes = cache_kib << 10;
+        let mut tb = Testbed::new(config).expect("open");
+        tb.load().expect("load");
+        let keys: Vec<u64> = tb.keys().to_vec();
+        // YCSB-C shape: rank 0 is hottest and ranks map onto sorted key
+        // positions, so the head of the distribution is a dense key range.
+        let chooser = RequestDistribution::Zipfian { theta: 0.99 }.chooser(keys.len());
+        let mut rng = StdRng::seed_from_u64(17);
+        let probes: Vec<u64> = (0..4096).map(|_| keys[chooser.next(&mut rng)]).collect();
+        // Warm the cache so steady-state hit rates are what gets measured.
+        for &k in &probes {
+            tb.get(k).expect("warm");
+        }
+        let label = if cache_kib == 0 {
+            "uncached".to_string()
+        } else {
+            format!("{cache_kib}kib")
+        };
+        g.bench_with_input(BenchmarkId::from_parameter(label), &tb, |b, tb| {
+            let mut i = 0usize;
+            b.iter_custom(|iters| {
+                let io_before = tb.db().storage().stats().snapshot();
+                let start = std::time::Instant::now();
+                for _ in 0..iters {
+                    i = (i + 1) & 4095;
+                    std::hint::black_box(tb.get(probes[i]).expect("get"));
+                }
+                let wall = start.elapsed();
+                let modeled = tb.db().storage().stats().snapshot().since(&io_before);
+                wall + std::time::Duration::from_nanos(modeled.sim_read_ns)
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_read_cache);
+criterion_main!(benches);

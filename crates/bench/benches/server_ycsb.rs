@@ -34,6 +34,7 @@ fn bench_server_ycsb(c: &mut Criterion) {
                         IndexKind::Pgm,
                         SEED,
                         None,
+                        0,
                     )
                     .expect("server ycsb");
                     std::hint::black_box(out)
@@ -46,7 +47,7 @@ fn bench_server_ycsb(c: &mut Criterion) {
     // One summary pass: the six mixes at 4 shards through the wire.
     println!("\nserver YCSB summary (4 shards, smoke scale, open-loop):");
     let (records, stats) =
-        runner::ycsb_server(&scale, Dataset::Random, 4, IndexKind::Pgm, SEED, None)
+        runner::ycsb_server(&scale, Dataset::Random, 4, IndexKind::Pgm, SEED, None, 0)
             .expect("server ycsb summary");
     for r in records {
         println!(

@@ -32,6 +32,7 @@ fn bench_sharded_ycsb(c: &mut Criterion) {
                         IndexKind::Pgm,
                         SEED,
                         None,
+                        0,
                     )
                     .expect("ycsb");
                     std::hint::black_box(records)
@@ -43,7 +44,7 @@ fn bench_sharded_ycsb(c: &mut Criterion) {
 
     // One summary pass: the six mixes at 4 shards, with router balance.
     println!("\nsharded YCSB summary (4 shards, smoke scale):");
-    for r in runner::ycsb_sharded(&scale, Dataset::Random, 4, IndexKind::Pgm, SEED, None)
+    for r in runner::ycsb_sharded(&scale, Dataset::Random, 4, IndexKind::Pgm, SEED, None, 0)
         .expect("ycsb summary")
     {
         println!(

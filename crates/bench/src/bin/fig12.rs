@@ -7,6 +7,10 @@
 //! Add `--max-shards M` (and optionally `--split-threshold F`) to let
 //! the topology split hot shards live during the runs.
 //!
+//! `--cache-mb N` gives every configuration an engine-wide cache budget
+//! (shared across shards); the default 0 keeps the historical uncached
+//! read path.
+//!
 //! With `--server` the six mixes are driven through the `lsm-server`
 //! network front end at a fixed open-loop arrival rate (`--rate R`;
 //! default auto-calibrates), reporting coordinated-omission-free latency
@@ -24,6 +28,7 @@ fn main() {
             learned_index::IndexKind::Pgm,
             0x5eed,
             cli.rate,
+            cli.cache_mb,
         )
         .expect("server ycsb experiment");
         println!(
@@ -56,6 +61,7 @@ fn main() {
             learned_index::IndexKind::Pgm,
             0x5eed,
             runner::Rebalance::from_flags(cli.max_shards, cli.split_threshold),
+            cli.cache_mb,
         )
         .expect("sharded ycsb experiment");
         println!("# YCSB A–F on a {}-shard ShardedDb", cli.shards);
@@ -76,7 +82,8 @@ fn main() {
         return;
     }
     let boundaries = [128usize, 32, 8];
-    let records = runner::fig12(&cli.scale, cli.dataset, &boundaries).expect("fig12 experiment");
+    let records = runner::fig12(&cli.scale, cli.dataset, &boundaries, cli.cache_mb)
+        .expect("fig12 experiment");
 
     println!("# Figure 12 — YCSB A–F (latency vs memory)");
     let mut last = String::new();

@@ -83,6 +83,9 @@ pub struct Cli {
     /// runs. `None` (the default) calibrates per mix from a closed-loop
     /// burst.
     pub rate: Option<f64>,
+    /// `--cache-mb N`: engine-wide cache budget in MiB (blocks + table
+    /// handles, shared across every shard). 0 (the default) runs uncached.
+    pub cache_mb: usize,
 }
 
 impl Cli {
@@ -102,6 +105,7 @@ impl Cli {
         let mut split_threshold = 0.2f64;
         let mut server = false;
         let mut rate = None;
+        let mut cache_mb = 0usize;
         let mut it = args.into_iter();
         while let Some(arg) = it.next() {
             let mut next_usize = |what: &str| -> usize {
@@ -123,6 +127,7 @@ impl Cli {
                         .unwrap_or_else(|| die("--split-threshold needs a number"));
                 }
                 "--server" => server = true,
+                "--cache-mb" => cache_mb = next_usize("--cache-mb"),
                 "--rate" => {
                     let r: f64 = it
                         .next()
@@ -140,7 +145,7 @@ impl Cli {
                 "--out" => out = Some(it.next().unwrap_or_else(|| die("--out needs a path"))),
                 "--help" | "-h" => {
                     eprintln!(
-                        "flags: --full | --smoke | --keys N | --ops N | --shards N | --max-shards N | --split-threshold F | --server | --rate R | --dataset NAME | --all-datasets | --out PATH"
+                        "flags: --full | --smoke | --keys N | --ops N | --shards N | --max-shards N | --split-threshold F | --server | --rate R | --cache-mb N | --dataset NAME | --all-datasets | --out PATH"
                     );
                     std::process::exit(0);
                 }
@@ -157,6 +162,7 @@ impl Cli {
             split_threshold,
             server,
             rate,
+            cache_mb,
         }
     }
 
@@ -218,6 +224,7 @@ mod tests {
         assert_eq!(c.scale.ops, 7);
         assert_eq!(c.dataset, Dataset::Wiki);
         assert_eq!(c.out.as_deref(), Some("/tmp/x.json"));
+        assert_eq!(c.cache_mb, 0, "uncached by default");
     }
 
     #[test]

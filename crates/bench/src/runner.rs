@@ -397,13 +397,15 @@ impl Rebalance {
 }
 
 /// Engine options for the sharded YCSB runs: background maintenance with
-/// a small shared worker pool, sized from the scale profile.
-fn sharded_ycsb_opts(scale: &Scale, kind: IndexKind) -> Options {
+/// a small shared worker pool, sized from the scale profile. `cache_mb`
+/// is the engine-wide cache budget (0 = uncached), shared by every shard.
+fn sharded_ycsb_opts(scale: &Scale, kind: IndexKind, cache_mb: usize) -> Options {
     let mut o = Options::default();
     o.index.kind = kind;
     o.value_width = scale.value_width;
     o.write_buffer_bytes = scale.write_buffer_bytes;
     o.sstable_target_bytes = scale.sst_bytes;
+    o.block_cache_bytes = cache_mb << 20;
     o.maintenance = Maintenance::Background {
         flush_threads: 2,
         compaction_threads: 2,
@@ -422,6 +424,7 @@ pub fn ycsb_sharded(
     kind: IndexKind,
     seed: u64,
     rebalance: Option<Rebalance>,
+    cache_mb: usize,
 ) -> Result<Vec<ShardedYcsbRecord>> {
     let mut out = Vec::new();
     let keys = dataset.generate(scale.keys, seed);
@@ -432,7 +435,7 @@ pub fn ycsb_sharded(
             ShardedOptions::learned(
                 shards,
                 workload.router_sample(16),
-                sharded_ycsb_opts(scale, kind),
+                sharded_ycsb_opts(scale, kind, cache_mb),
             ),
         );
         let db = ShardedDb::open_sim(opts, lsm_io::CostModel::default())?;
@@ -569,8 +572,10 @@ pub fn ycsb_server(
     kind: IndexKind,
     seed: u64,
     rate: Option<f64>,
+    cache_mb: usize,
 ) -> Result<(Vec<ServerYcsbRecord>, String)> {
-    let (records, stats, _) = ycsb_server_inner(scale, dataset, shards, kind, seed, rate, false)?;
+    let (records, stats, _) =
+        ycsb_server_inner(scale, dataset, shards, kind, seed, rate, cache_mb, false)?;
     Ok((records, stats))
 }
 
@@ -585,11 +590,14 @@ pub fn ycsb_server_with_metrics(
     kind: IndexKind,
     seed: u64,
     rate: Option<f64>,
+    cache_mb: usize,
 ) -> Result<(Vec<ServerYcsbRecord>, String, lsm_server::MetricsSnapshot)> {
-    let (records, stats, snap) = ycsb_server_inner(scale, dataset, shards, kind, seed, rate, true)?;
+    let (records, stats, snap) =
+        ycsb_server_inner(scale, dataset, shards, kind, seed, rate, cache_mb, true)?;
     Ok((records, stats, snap.expect("observability was on")))
 }
 
+#[allow(clippy::too_many_arguments)]
 fn ycsb_server_inner(
     scale: &Scale,
     dataset: Dataset,
@@ -597,6 +605,7 @@ fn ycsb_server_inner(
     kind: IndexKind,
     seed: u64,
     rate: Option<f64>,
+    cache_mb: usize,
     observability: bool,
 ) -> Result<(
     Vec<ServerYcsbRecord>,
@@ -612,7 +621,7 @@ fn ycsb_server_inner(
     let keys = dataset.generate(scale.keys, seed);
     for spec in YcsbSpec::ALL {
         let mut workload = YcsbWorkload::new(spec, keys.clone(), seed ^ 0xc5);
-        let mut base = sharded_ycsb_opts(scale, kind);
+        let mut base = sharded_ycsb_opts(scale, kind, cache_mb);
         base.observability = observability;
         let opts = ShardedOptions::learned(shards, workload.router_sample(16), base);
         let db = ShardedDb::open_sim(opts, lsm_io::CostModel::default())?;
@@ -723,8 +732,11 @@ pub fn rebalance_stream(scale: &Scale, splits_on: bool, seed: u64) -> Result<Reb
     use rand::{Rng, SeedableRng};
 
     let uniform_sample: Vec<u64> = (0..4096u64).map(|i| i << 32).collect();
-    let mut opts =
-        ShardedOptions::learned(2, uniform_sample, sharded_ycsb_opts(scale, IndexKind::Pgm));
+    let mut opts = ShardedOptions::learned(
+        2,
+        uniform_sample,
+        sharded_ycsb_opts(scale, IndexKind::Pgm, 0),
+    );
     if splits_on {
         opts = opts
             .with_max_shards(16)
@@ -769,19 +781,28 @@ pub fn rebalance_stream(scale: &Scale, splits_on: bool, seed: u64) -> Result<Reb
 }
 
 /// Figure 12: six YCSB workloads, each index at several memory budgets
-/// (obtained by sweeping the position boundary).
-pub fn fig12(scale: &Scale, dataset: Dataset, boundaries: &[usize]) -> Result<Vec<YcsbRecord>> {
+/// (obtained by sweeping the position boundary). `cache_mb` sets the
+/// engine cache budget (0 = uncached, the historical behaviour).
+pub fn fig12(
+    scale: &Scale,
+    dataset: Dataset,
+    boundaries: &[usize],
+    cache_mb: usize,
+) -> Result<Vec<YcsbRecord>> {
     let mut out = Vec::new();
     for spec in YcsbSpec::ALL {
         for kind in IndexKind::ALL {
             for &b in boundaries {
-                let mut tb = loaded_testbed(
+                let mut config = config_for(
                     scale,
                     kind,
                     b,
                     dataset,
                     Granularity::SstBytes(scale.sst_bytes),
-                )?;
+                );
+                config.block_cache_bytes = cache_mb << 20;
+                let mut tb = Testbed::new(config)?;
+                tb.load()?;
                 let ops = if matches!(spec, YcsbSpec::E) {
                     scale.ops / 10
                 } else {

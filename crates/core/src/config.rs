@@ -70,6 +70,9 @@ pub struct TestbedConfig {
     /// `lsm_tree::Options::per_level_epsilon`); produced by the
     /// [`crate::BoundaryAllocator`].
     pub per_level_epsilon: Option<Vec<usize>>,
+    /// Engine cache budget in bytes (blocks + table handles; 0 = uncached,
+    /// the paper's default read path).
+    pub block_cache_bytes: usize,
 }
 
 impl TestbedConfig {
@@ -86,6 +89,7 @@ impl TestbedConfig {
             bloom_bits_per_key: 10,
             seed: DEFAULT_SEED,
             per_level_epsilon: None,
+            block_cache_bytes: 0,
         }
     }
 
@@ -104,6 +108,7 @@ impl TestbedConfig {
             bloom_bits_per_key: 10,
             seed: DEFAULT_SEED,
             per_level_epsilon: None,
+            block_cache_bytes: 0,
         }
     }
 
@@ -119,6 +124,7 @@ impl TestbedConfig {
             index: IndexChoice::with_boundary(self.index_kind, self.position_boundary),
             max_levels: 8,
             per_level_epsilon: self.per_level_epsilon.clone(),
+            block_cache_bytes: self.block_cache_bytes,
             ..Options::default()
         }
     }

@@ -17,7 +17,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
-use crate::cache::BlockCache;
+use crate::cache::EngineCache;
 use crate::iter::{MergeIter, MergeSource};
 use crate::options::{CompactionPolicy, Options};
 use crate::sstable::{TableBuilder, TableReader};
@@ -267,7 +267,7 @@ pub fn run_compaction(
     opts: &Options,
     stats: &DbStats,
     next_file_no: &AtomicU64,
-    cache: Option<Arc<BlockCache>>,
+    cache: Option<Arc<EngineCache>>,
     obs: Option<&EngineObs>,
 ) -> Result<CompactionResult> {
     let total_start = Instant::now();
@@ -281,7 +281,10 @@ pub fn run_compaction(
         .inputs
         .iter()
         .chain(task.next_inputs.iter())
-        .map(|t| MergeSource::table(Arc::clone(&t.reader)))
+        // No-fill: a compaction sweep reads every input block exactly once;
+        // letting it populate the cache would evict the hot read set in
+        // favor of blocks whose tables are deleted when the merge commits.
+        .map(|t| MergeSource::table_with(Arc::clone(&t.reader), false))
         .collect();
     let mut merge = MergeIter::new(sources);
     merge.seek_to_first();

@@ -74,8 +74,10 @@ use std::time::{Duration, Instant};
 use parking_lot::{Mutex, RwLock};
 
 use crate::batch::{BatchOp, WriteBatch};
-use crate::cache::BlockCache;
-use crate::compaction::{advance_cursor, pick_compaction_excluding, run_compaction, KeyRetention};
+use crate::cache::EngineCache;
+use crate::compaction::{
+    advance_cursor, pick_compaction_excluding, run_compaction, CompactionTask, KeyRetention,
+};
 use crate::iter::{db_iter_over, DbIterator};
 use crate::memtable::{ImmutableMemTable, MemRun, MemTable, ENTRY_OVERHEAD};
 use crate::options::{CompactionPolicy, Maintenance, Options, ReadOptions, WriteOptions};
@@ -221,7 +223,11 @@ pub(crate) struct DbCore {
     publish: StdMutex<PublishQueue>,
     publish_cv: Condvar,
     stats: Arc<DbStats>,
-    cache: Option<Arc<BlockCache>>,
+    cache: Option<Arc<EngineCache>>,
+    /// This instance's namespace in the shared table-handle cache — shard
+    /// directories reuse file names (`000001.sst` exists in every shard),
+    /// so handles are keyed `(scope, name)`.
+    cache_scope: u64,
     snapshots: Arc<SnapshotList>,
     /// Monotonic file-number allocator — atomic so background merges can
     /// name outputs without holding the tree lock.
@@ -452,7 +458,7 @@ impl Db {
     /// [`crate::sharding::ShardedDb::open`], whose coordinator resolves
     /// prepares to committed/aborted before the fence resumes.
     pub fn open(storage: Arc<dyn Storage>, opts: Options) -> Result<Db> {
-        Self::open_internal(storage, opts, None, None, None, None)
+        Self::open_internal(storage, opts, None, None, None, None, None)
     }
 
     pub(crate) fn open_internal(
@@ -462,12 +468,16 @@ impl Db {
         resolver: Option<BatchResolver<'_>>,
         coordination: Option<Arc<CommitCoordination>>,
         obs: Option<Arc<EngineObs>>,
+        shared_cache: Option<Arc<EngineCache>>,
     ) -> Result<Db> {
         // A standalone open with observability on builds its own handle;
         // the sharding layer passes per-shard handles sharing one ring.
         let obs = obs.or_else(|| opts.observability.then(|| Arc::new(EngineObs::solo(0))));
-        let cache =
-            (opts.block_cache_bytes > 0).then(|| Arc::new(BlockCache::new(opts.block_cache_bytes)));
+        // The sharding layer passes one cache shared by every shard (its
+        // byte budget is global); a standalone open builds its own from
+        // `Options::block_cache_bytes`.
+        let cache = shared_cache.or_else(|| EngineCache::from_options(&opts));
+        let cache_scope = cache.as_ref().map_or(0, |c| c.next_scope());
         let sorted_levels = matches!(opts.compaction, CompactionPolicy::Leveling);
         let mut inner = Inner {
             mem: MemTable::new(),
@@ -568,6 +578,7 @@ impl Db {
             publish_cv: Condvar::new(),
             stats: Arc::new(DbStats::new()),
             cache,
+            cache_scope,
             snapshots: SnapshotList::new(),
             next_file_no: AtomicU64::new(next_file_no),
             manifest_epoch: AtomicU64::new(manifest_epoch),
@@ -584,6 +595,11 @@ impl Db {
             // Persist the fresh log's name so a reopen knows where to look.
             let inner = core.inner.read();
             core.write_manifest(&inner)?;
+            // Seed the table-handle cache with the recovered tree so the
+            // shared budget charges every open handle from the start.
+            for level in inner.version.levels.iter() {
+                core.register_tables(level);
+            }
         }
         // The previous generation's logs are fully superseded (their
         // surviving contents were re-logged above and the manifest no
@@ -1094,11 +1110,17 @@ impl Db {
                 snap.mems().to_vec(),
                 snap.version(),
                 snap.seq(),
+                ropts.fill_cache,
             ));
         }
         let inner = self.core.inner.read();
         let seq = ropts.effective_seq(self.core.visible.load(Ordering::Acquire));
-        Ok(db_iter_over(Self::mem_stack(&inner), &inner.version, seq))
+        Ok(db_iter_over(
+            Self::mem_stack(&inner),
+            &inner.version,
+            seq,
+            ropts.fill_cache,
+        ))
     }
 
     // ------------------------------------------------- flush / maintenance
@@ -1363,7 +1385,11 @@ impl Db {
     /// appears in exactly one scrape.
     pub fn metrics(&self) -> MetricsSnapshot {
         let mut snap = MetricsSnapshot::disabled();
-        snap.counters = self.stats().snapshot().counter_pairs();
+        let mut stats = self.stats().snapshot();
+        if let Some(cache) = &self.core.cache {
+            stats.absorb_cache(&cache.stats());
+        }
+        snap.counters = stats.counter_pairs();
         if let Some(obs) = self.core.obs.as_deref() {
             let set = obs.ops.snapshot();
             snap.enabled = true;
@@ -1391,8 +1417,8 @@ impl Db {
         &self.core.opts
     }
 
-    /// The block cache, when enabled.
-    pub fn block_cache(&self) -> Option<&Arc<BlockCache>> {
+    /// The engine cache (block + table-handle budget), when enabled.
+    pub fn block_cache(&self) -> Option<&Arc<EngineCache>> {
         self.core.cache.as_ref()
     }
 
@@ -1459,6 +1485,7 @@ impl Db {
             );
             tables.push(Arc::new(TableHandle { meta, reader }));
         }
+        core.register_tables(&tables);
         let sorted = matches!(core.opts.compaction, CompactionPolicy::Leveling);
         let mut version = Version::with_layout(core.opts.max_levels, sorted);
         version.levels[level] = tables;
@@ -1473,6 +1500,11 @@ impl Db {
 impl Drop for Db {
     fn drop(&mut self) {
         self.shutdown_workers();
+        // Release this instance's handles from the shared table cache —
+        // a retired split parent must not keep charging the global budget.
+        if let Some(cache) = &self.core.cache {
+            cache.tables().evict_scope(self.core.cache_scope);
+        }
     }
 }
 
@@ -1481,7 +1513,7 @@ impl DbCore {
         text: &str,
         storage: &dyn Storage,
         opts: &Options,
-        cache: Option<&Arc<BlockCache>>,
+        cache: Option<&Arc<EngineCache>>,
     ) -> Result<(Version, u64, SeqNo, Vec<String>)> {
         let sorted_levels = matches!(opts.compaction, CompactionPolicy::Leveling);
         let mut version = Version::with_layout(opts.max_levels, sorted_levels);
@@ -1907,7 +1939,33 @@ impl DbCore {
             TableReader::open_with(self.storage.as_ref(), &name, self.cache.clone())?
                 .with_search_strategy(self.opts.search),
         );
-        Ok(Arc::new(TableHandle { meta, reader }))
+        let handle = Arc::new(TableHandle { meta, reader });
+        self.register_tables(std::slice::from_ref(&handle));
+        Ok(handle)
+    }
+
+    /// Drop a finished compaction's inputs from both cache components:
+    /// their blocks (dead weight — the tables are about to be unlinked)
+    /// and their handles in the table cache.
+    fn retire_cached_tables(&self, task: &CompactionTask) {
+        if let Some(cache) = &self.cache {
+            for t in task.inputs.iter().chain(task.next_inputs.iter()) {
+                cache.blocks().evict_table(t.reader.table_id());
+                cache.tables().evict(self.cache_scope, &t.meta.name);
+            }
+        }
+    }
+
+    /// Publish freshly opened readers into the shared table-handle cache
+    /// under this instance's scope.
+    fn register_tables(&self, tables: &[Arc<TableHandle>]) {
+        if let Some(cache) = &self.cache {
+            for t in tables {
+                cache
+                    .tables()
+                    .insert(self.cache_scope, &t.meta.name, Arc::clone(&t.reader));
+            }
+        }
     }
 
     /// Run compactions until the tree satisfies its shape invariants,
@@ -1934,11 +1992,8 @@ impl DbCore {
                 self.obs.as_deref(),
             )?;
             let removed = task.input_names();
-            if let Some(cache) = &self.cache {
-                for t in task.inputs.iter().chain(task.next_inputs.iter()) {
-                    cache.evict_table(t.reader.table_id());
-                }
-            }
+            self.retire_cached_tables(&task);
+            self.register_tables(&result.outputs);
             inner.version = Arc::new(inner.version.with_compaction_applied(
                 task.level,
                 &removed,
@@ -2178,11 +2233,8 @@ impl DbCore {
                 self.cache.clone(),
                 self.obs.as_deref(),
             )?;
-            if let Some(cache) = &self.cache {
-                for t in task.inputs.iter().chain(task.next_inputs.iter()) {
-                    cache.evict_table(t.reader.table_id());
-                }
-            }
+            self.retire_cached_tables(&task);
+            self.register_tables(&run.outputs);
             let mut inner = self.inner.write();
             inner.version = Arc::new(inner.version.with_compaction_applied(
                 task.level,

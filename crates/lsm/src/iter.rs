@@ -25,7 +25,14 @@ use crate::Result;
 /// `version`. Newer sources come first so same-key ties resolve newest.
 /// Entries the live buffer receives after this call carry sequence numbers
 /// above `seq` and are filtered by the iterator's visibility rule.
-pub(crate) fn db_iter_over(mems: Vec<MemRun>, version: &Version, seq: SeqNo) -> DbIterator {
+/// `fill_cache` is the scan's block-cache fill policy
+/// (`ReadOptions::fill_cache`), threaded into every table cursor.
+pub(crate) fn db_iter_over(
+    mems: Vec<MemRun>,
+    version: &Version,
+    seq: SeqNo,
+    fill_cache: bool,
+) -> DbIterator {
     let mut sources = Vec::with_capacity(mems.len() + 1 + version.levels.len());
     for mem in mems {
         sources.push(match mem {
@@ -34,20 +41,21 @@ pub(crate) fn db_iter_over(mems: Vec<MemRun>, version: &Version, seq: SeqNo) -> 
         });
     }
     for t in &version.levels[0] {
-        sources.push(MergeSource::table(Arc::clone(&t.reader)));
+        sources.push(MergeSource::table_with(Arc::clone(&t.reader), fill_cache));
     }
     if version.sorted_levels {
         for level in version.levels.iter().skip(1) {
             if !level.is_empty() {
-                sources.push(MergeSource::level(
+                sources.push(MergeSource::level_with(
                     level.iter().map(|t| Arc::clone(&t.reader)).collect(),
+                    fill_cache,
                 ));
             }
         }
     } else {
         // Tiering: runs overlap, so every table merges independently.
         for t in version.levels.iter().skip(1).flatten() {
-            sources.push(MergeSource::table(Arc::clone(&t.reader)));
+            sources.push(MergeSource::table_with(Arc::clone(&t.reader), fill_cache));
         }
     }
     DbIterator::new(MergeIter::new(sources), seq)
@@ -59,16 +67,24 @@ pub struct LevelIter {
     tables: Vec<Arc<TableReader>>,
     idx: usize,
     cur: Option<TableIter>,
+    fill_cache: bool,
 }
 
 impl LevelIter {
-    /// Over `tables`, which must be sorted by min key and non-overlapping.
+    /// Over `tables`, which must be sorted by min key and non-overlapping
+    /// (cache-filling).
     pub fn new(tables: Vec<Arc<TableReader>>) -> Self {
+        Self::with_fill(tables, true)
+    }
+
+    /// [`LevelIter::new`] with an explicit block-cache fill policy.
+    pub fn with_fill(tables: Vec<Arc<TableReader>>, fill_cache: bool) -> Self {
         debug_assert!(tables.windows(2).all(|w| w[0].max_key() < w[1].min_key()));
         Self {
             tables,
             idx: 0,
             cur: None,
+            fill_cache,
         }
     }
 
@@ -76,7 +92,7 @@ impl LevelIter {
         self.cur = self
             .tables
             .get(self.idx)
-            .map(|t| TableIter::new(Arc::clone(t)));
+            .map(|t| TableIter::with_fill(Arc::clone(t), self.fill_cache));
     }
 
     fn seek(&mut self, key: u64) -> Result<()> {
@@ -147,14 +163,24 @@ pub enum MergeSource {
 }
 
 impl MergeSource {
-    /// Wrap a table.
+    /// Wrap a table (cache-filling).
     pub fn table(reader: Arc<TableReader>) -> Self {
-        MergeSource::Table(TableIter::new(reader))
+        Self::table_with(reader, true)
     }
 
-    /// Wrap a sorted level.
+    /// Wrap a table with an explicit block-cache fill policy.
+    pub fn table_with(reader: Arc<TableReader>, fill_cache: bool) -> Self {
+        MergeSource::Table(TableIter::with_fill(reader, fill_cache))
+    }
+
+    /// Wrap a sorted level (cache-filling).
     pub fn level(tables: Vec<Arc<TableReader>>) -> Self {
-        MergeSource::Level(LevelIter::new(tables))
+        Self::level_with(tables, true)
+    }
+
+    /// Wrap a sorted level with an explicit block-cache fill policy.
+    pub fn level_with(tables: Vec<Arc<TableReader>>, fill_cache: bool) -> Self {
+        MergeSource::Level(LevelIter::with_fill(tables, fill_cache))
     }
 
     /// Wrap an already-sorted entry run.

@@ -77,7 +77,7 @@ pub mod version;
 pub mod wal;
 
 pub use batch::{BatchOp, WriteBatch};
-pub use cache::{BlockCache, BlockKey};
+pub use cache::{BlockCache, BlockKey, CacheStats, EngineCache, TableCache};
 pub use db::{Db, WritePressure};
 pub use iter::DbIterator;
 pub use options::{

@@ -264,6 +264,12 @@ pub struct ShardedOptions {
     /// watermark are dropped, bounding the log without a reopen. `0`
     /// disables runtime checkpointing (reopen still truncates).
     pub commit_log_checkpoint_bytes: u64,
+    /// Split `base.block_cache_bytes` into per-shard private caches of
+    /// `budget / shards` each instead of one shared engine-wide budget.
+    /// The default (`false`, one shared cache) lets a hot shard's working
+    /// set displace a cold shard's blocks; this flag exists as the
+    /// baseline for that experiment and for strict per-shard isolation.
+    pub split_cache_budget: bool,
     /// Engine options applied to every shard.
     pub base: Options,
 }
@@ -278,6 +284,7 @@ impl ShardedOptions {
             split_imbalance: 0.2,
             min_split_bytes: 4 * base.write_buffer_bytes as u64,
             commit_log_checkpoint_bytes: 1 << 20,
+            split_cache_budget: false,
             base,
         }
     }
@@ -310,6 +317,19 @@ impl ShardedOptions {
     pub fn with_split_trigger(mut self, imbalance: f64, min_bytes: u64) -> Self {
         self.split_imbalance = imbalance;
         self.min_split_bytes = min_bytes;
+        self
+    }
+
+    /// Set the engine-wide cache budget (bytes; 0 disables caching).
+    pub fn with_cache_bytes(mut self, bytes: usize) -> Self {
+        self.base.block_cache_bytes = bytes;
+        self
+    }
+
+    /// Use per-shard private caches of `budget / shards` each instead of
+    /// the shared engine-wide budget (the experiment baseline).
+    pub fn with_split_cache_budget(mut self) -> Self {
+        self.split_cache_budget = true;
         self
     }
 }
@@ -354,9 +374,18 @@ pub struct Options {
     /// Write every update to a write-ahead log before the memtable, so an
     /// unflushed buffer survives a crash (LevelDB default behaviour).
     pub wal: bool,
-    /// Block cache capacity in bytes; 0 disables caching (the paper's read
-    /// sweeps run uncached so every lookup pays its I/O).
+    /// Cache budget in bytes shared by every charging component — cached
+    /// blocks, open table handles, filters and index models all draw from
+    /// this one ceiling (under a `ShardedDb` it is the budget of the
+    /// *whole engine*, not per shard). 0 disables caching (the paper's
+    /// read sweeps run uncached so every lookup pays its I/O).
     pub block_cache_bytes: usize,
+    /// Lock stripes of the block cache (rounded up to a power of two);
+    /// 0 picks one per core, clamped to `[4, 64]`.
+    pub cache_segments: usize,
+    /// Maximum open table handles kept resident by the table-handle
+    /// cache.
+    pub table_cache_handles: usize,
     /// In-segment search strategy.
     pub search: SearchStrategy,
     /// Optional per-level error bounds: level `L` uses
@@ -405,6 +434,8 @@ impl Default for Options {
             max_levels: 8,
             wal: true,
             block_cache_bytes: 0,
+            cache_segments: 0,
+            table_cache_handles: 1024,
             search: SearchStrategy::Binary,
             per_level_epsilon: None,
             compaction: CompactionPolicy::Leveling,
@@ -433,6 +464,8 @@ impl Options {
             max_levels: 8,
             wal: true,
             block_cache_bytes: 0,
+            cache_segments: 0,
+            table_cache_handles: 1024,
             search: SearchStrategy::Binary,
             per_level_epsilon: None,
             compaction: CompactionPolicy::Leveling,

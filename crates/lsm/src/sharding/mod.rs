@@ -169,6 +169,7 @@ use std::time::Instant;
 use parking_lot::{Mutex, RwLock};
 
 use crate::batch::WriteBatch;
+use crate::cache::EngineCache;
 use crate::db::{CommitCoordination, Db, DbCore, ExternalPool};
 use crate::options::{Maintenance, ReadOptions, ShardedOptions, WriteOptions};
 use crate::scheduler::{MaintSignal, Scheduler, Step};
@@ -404,6 +405,11 @@ struct ShardedCore {
     /// worker pass, so split children join the rotation at begin and the
     /// retired parent leaves it at cutover.
     worker_cores: RwLock<Arc<Vec<Arc<DbCore>>>>,
+    /// The engine cache shared by every shard — one byte budget for the
+    /// whole topology; split children open against it too. `None` when
+    /// caching is off *or* when `opts.split_cache_budget` gave each shard
+    /// a private cache (the experiment baseline).
+    cache: Option<Arc<EngineCache>>,
     /// Write-batch counter driving the synchronous-mode split check.
     write_ticks: AtomicU64,
     /// Most recent sharding-layer background error (failed split or
@@ -502,6 +508,20 @@ impl ShardedDb {
         let committed_fragments = AtomicU64::new(0);
         let aborted_fragments = AtomicU64::new(0);
 
+        // One cache, one budget, every shard — unless the caller asked for
+        // the split-budget baseline, in which case each shard gets a
+        // private cache of `block_cache_bytes / shards` via its own
+        // options and no cache is shared.
+        let shared_cache = if opts.split_cache_budget {
+            None
+        } else {
+            EngineCache::from_options(&opts.base)
+        };
+        let mut shard_base = opts.base.clone();
+        if opts.split_cache_budget {
+            shard_base.block_cache_bytes = opts.base.block_cache_bytes / topo.shards().max(1);
+        }
+
         let mut shards = Vec::with_capacity(topo.shards());
         for &id in &topo.ids {
             let dir: Arc<dyn Storage> = Arc::new(PrefixedStorage::new(
@@ -543,11 +563,12 @@ impl ShardedDb {
                 .map(|o| Arc::new(EngineObs::new(Arc::clone(o), id)));
             shards.push(Arc::new(Db::open_internal(
                 dir,
-                opts.base.clone(),
+                shard_base.clone(),
                 pool,
                 Some(&resolver),
                 Some(Arc::clone(&coordination)),
                 obs,
+                shared_cache.clone(),
             )?));
         }
 
@@ -607,6 +628,7 @@ impl ShardedDb {
             observer,
             next_shard_id,
             worker_cores: RwLock::new(Arc::new(worker_cores)),
+            cache: shared_cache,
             write_ticks: AtomicU64::new(0),
             last_bg_error: Mutex::new(None),
         });
@@ -1033,13 +1055,26 @@ impl ShardedDb {
     /// per-shard blocks.
     pub fn stats(&self) -> StatsSnapshot {
         let state = self.core.current_state();
-        DbStats::merged(
+        let mut snap = DbStats::merged(
             state
                 .shards
                 .iter()
                 .map(|d| d.stats())
                 .chain(std::iter::once(&self.core.own_stats)),
-        )
+        );
+        // Cache counters live in the cache itself, not in any `DbStats`
+        // block: absorb the shared cache once, or each shard's private
+        // cache under the split-budget baseline.
+        if let Some(cache) = &self.core.cache {
+            snap.absorb_cache(&cache.stats());
+        } else {
+            for db in state.shards.iter() {
+                if let Some(cache) = db.block_cache() {
+                    snap.absorb_cache(&cache.stats());
+                }
+            }
+        }
+        snap
     }
 
     /// Residency and balance report: per-shard resident bytes/entries,
@@ -1076,6 +1111,12 @@ impl ShardedDb {
                 .as_ref()
                 .map_or(0, |l| l.lock().live_markers()),
         }
+    }
+
+    /// The engine cache shared by every shard, when caching is on and the
+    /// budget is not split (`ShardedOptions::split_cache_budget`).
+    pub fn cache(&self) -> Option<&Arc<EngineCache>> {
+        self.core.cache.as_ref()
     }
 
     /// The shared event observer when `opts.base.observability` is on —
@@ -1813,13 +1854,21 @@ impl ShardedCore {
             .observer
             .as_ref()
             .map(|o| Arc::new(EngineObs::new(Arc::clone(o), id)));
+        // Children join the shared budget; under the split-budget
+        // baseline they get a private cache sized like their siblings'.
+        let mut base = self.opts.base.clone();
+        if self.cache.is_none() && self.opts.split_cache_budget {
+            let n = self.state.read().shards.len().max(1);
+            base.block_cache_bytes = self.opts.base.block_cache_bytes / n;
+        }
         Ok(Arc::new(Db::open_internal(
             dir,
-            self.opts.base.clone(),
+            base,
             pool,
             None,
             Some(Arc::clone(&self.coordination)),
             obs,
+            self.cache.clone(),
         )?))
     }
 

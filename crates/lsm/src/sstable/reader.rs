@@ -11,7 +11,7 @@ use std::time::Instant;
 use learned_index::{IndexKind, SearchBound, SegmentIndex};
 
 use crate::bloom::BloomFilter;
-use crate::cache::{BlockCache, BlockKey};
+use crate::cache::{BlockKey, EngineCache, TABLE_HANDLE_OVERHEAD};
 use crate::options::SearchStrategy;
 use crate::sstable::format::{self, Footer};
 use crate::stats::DbStats;
@@ -33,7 +33,10 @@ pub struct TableReader {
     max_key: u64,
     index: Box<dyn SegmentIndex>,
     bloom: BloomFilter,
-    cache: Option<Arc<BlockCache>>,
+    cache: Option<Arc<EngineCache>>,
+    /// Bytes charged against the cache budget while this handle is open
+    /// (index model + bloom + fixed overhead); released on drop.
+    pinned_bytes: usize,
     table_id: u64,
     search: SearchStrategy,
 }
@@ -63,11 +66,14 @@ impl TableReader {
         Self::open_with(storage, name, None)
     }
 
-    /// Open with an optional shared block cache.
+    /// Open with an optional shared engine cache. Block reads go through
+    /// the cache's block half; the handle's resident bytes (index model +
+    /// bloom filter + fixed overhead) are charged against the shared
+    /// budget as *pinned* for as long as the reader lives.
     pub fn open_with(
         storage: &dyn Storage,
         name: &str,
-        cache: Option<Arc<BlockCache>>,
+        cache: Option<Arc<EngineCache>>,
     ) -> Result<Self> {
         let file = storage.open_read(name)?;
         let len = file.len();
@@ -94,6 +100,14 @@ impl TableReader {
         let bloom = BloomFilter::decode(&bbuf)
             .ok_or_else(|| Error::Corruption(format!("{name}: bad bloom payload")))?;
 
+        let pinned_bytes = match &cache {
+            Some(c) => {
+                let bytes = index.size_bytes() + bloom.size_bytes() + TABLE_HANDLE_OVERHEAD;
+                c.charge_table(bytes);
+                bytes
+            }
+            None => 0,
+        };
         Ok(Self {
             file,
             name: name.to_string(),
@@ -105,6 +119,7 @@ impl TableReader {
             index,
             bloom,
             cache,
+            pinned_bytes,
             table_id: next_table_id(),
             search: SearchStrategy::Binary,
         })
@@ -249,7 +264,7 @@ impl TableReader {
             return Ok(None);
         }
         let t = Instant::now();
-        let buf = self.read_positions(bound)?;
+        let buf = self.read_positions_opts(bound, true)?;
         stats.add_io_cpu_ns(t.elapsed().as_nanos() as u64);
         let t = Instant::now();
         let result = self.search_buffer(&buf, bound, key, snapshot)?;
@@ -258,12 +273,10 @@ impl TableReader {
     }
 
     /// Read entries `[bound.lo, bound.hi)` in one positional read, through
-    /// the block cache when one is attached.
-    fn read_positions(&self, bound: SearchBound) -> Result<Vec<u8>> {
-        self.read_positions_opts(bound, true)
-    }
-
-    /// [`TableReader::read_positions`] with an explicit cache fill policy.
+    /// the block cache when one is attached, honouring `fill_cache`: a
+    /// no-fill read is served from the cache when the blocks are resident
+    /// but never inserts, so scans and compactions cannot evict the
+    /// point-lookup working set.
     fn read_positions_opts(&self, bound: SearchBound, fill_cache: bool) -> Result<Vec<u8>> {
         let lo_byte = (bound.lo * self.entry_width) as u64;
         let len = (bound.hi - bound.lo) * self.entry_width;
@@ -281,7 +294,7 @@ impl TableReader {
     /// from the device (inserted into the cache only when `fill_cache`).
     fn read_span_cached(
         &self,
-        cache: &Arc<BlockCache>,
+        cache: &Arc<EngineCache>,
         off: u64,
         len: usize,
         fill_cache: bool,
@@ -298,7 +311,7 @@ impl TableReader {
                 table_id: self.table_id,
                 block_no: b,
             };
-            let block = match cache.get(key) {
+            let block = match cache.blocks().get(key) {
                 Some(block) => block,
                 None => {
                     let start = b * CACHE_BLOCK;
@@ -307,7 +320,7 @@ impl TableReader {
                     self.file.read_exact_at(start, &mut buf)?;
                     let block = Arc::new(buf);
                     if fill_cache {
-                        cache.insert(key, Arc::clone(&block));
+                        cache.blocks().insert(key, Arc::clone(&block));
                     }
                     block
                 }
@@ -413,6 +426,11 @@ impl TableReader {
     /// Position of the first entry with user key ≥ `key` (= `n` if none),
     /// resolved with one index prediction + one bounded read.
     pub fn seek_position(&self, key: u64) -> Result<usize> {
+        self.seek_position_opts(key, true)
+    }
+
+    /// [`TableReader::seek_position`] with an explicit cache fill policy.
+    pub fn seek_position_opts(&self, key: u64, fill_cache: bool) -> Result<usize> {
         if self.n == 0 || key <= self.min_key {
             return Ok(0);
         }
@@ -420,7 +438,7 @@ impl TableReader {
             return Ok(self.n);
         }
         let bound = self.index.predict(key);
-        let buf = self.read_positions(bound)?;
+        let buf = self.read_positions_opts(bound, fill_cache)?;
         let count = bound.hi - bound.lo;
         let lo = self.lower_bound_in(buf.as_slice(), count, key);
         let mut pos = bound.lo + lo;
@@ -453,11 +471,17 @@ impl TableReader {
 
     /// Read entries `[lo, hi)` with one pread (compaction / range scans).
     pub fn entries_in(&self, lo: usize, hi: usize) -> Result<Vec<Entry>> {
+        self.entries_in_opts(lo, hi, true)
+    }
+
+    /// [`TableReader::entries_in`] with an explicit cache fill policy —
+    /// compaction inputs and opt-out scans read with `fill_cache = false`.
+    pub fn entries_in_opts(&self, lo: usize, hi: usize, fill_cache: bool) -> Result<Vec<Entry>> {
         let hi = hi.min(self.n);
         if lo >= hi {
             return Ok(Vec::new());
         }
-        let buf = self.read_positions(SearchBound { lo, hi })?;
+        let buf = self.read_positions_opts(SearchBound { lo, hi }, fill_cache)?;
         let mut out = Vec::with_capacity(hi - lo);
         for i in 0..hi - lo {
             out.push(format::decode_entry(
@@ -468,20 +492,30 @@ impl TableReader {
         Ok(out)
     }
 
-    /// All user keys, read sequentially (used to train level-grained models).
+    /// All user keys, read sequentially (used to train level-grained
+    /// models). A one-shot full-table sweep: it never fills the block
+    /// cache — training a model must not evict the read working set.
     pub fn read_all_keys(&self) -> Result<Vec<u64>> {
         let mut keys = Vec::with_capacity(self.n);
         const CHUNK_ENTRIES: usize = 4096;
         let mut pos = 0usize;
         while pos < self.n {
             let hi = (pos + CHUNK_ENTRIES).min(self.n);
-            let buf = self.read_positions(SearchBound { lo: pos, hi })?;
+            let buf = self.read_positions_opts(SearchBound { lo: pos, hi }, false)?;
             for i in 0..hi - pos {
                 keys.push(format::decode_entry_key(&buf[i * self.entry_width..]));
             }
             pos = hi;
         }
         Ok(keys)
+    }
+}
+
+impl Drop for TableReader {
+    fn drop(&mut self) {
+        if let Some(cache) = &self.cache {
+            cache.release_table(self.pinned_bytes);
+        }
     }
 }
 
@@ -495,11 +529,19 @@ pub struct TableIter {
     chunk_start: usize,
     /// Entries fetched per refill.
     chunk_entries: usize,
+    /// Whether this cursor's reads may populate the block cache
+    /// (`ReadOptions::fill_cache`; compaction inputs always read no-fill).
+    fill_cache: bool,
 }
 
 impl TableIter {
-    /// New iterator positioned before the first entry.
+    /// New iterator positioned before the first entry (cache-filling).
     pub fn new(reader: Arc<TableReader>) -> Self {
+        Self::with_fill(reader, true)
+    }
+
+    /// New iterator with an explicit cache fill policy.
+    pub fn with_fill(reader: Arc<TableReader>, fill_cache: bool) -> Self {
         let chunk_entries = (4096 / reader.entry_width).max(1);
         Self {
             reader,
@@ -507,12 +549,13 @@ impl TableIter {
             chunk: Vec::new(),
             chunk_start: 0,
             chunk_entries,
+            fill_cache,
         }
     }
 
     /// Position at the first entry with user key ≥ `key`.
     pub fn seek(&mut self, key: u64) -> Result<()> {
-        self.pos = self.reader.seek_position(key)?;
+        self.pos = self.reader.seek_position_opts(key, self.fill_cache)?;
         self.chunk.clear();
         Ok(())
     }
@@ -531,7 +574,7 @@ impl TableIter {
         let in_chunk = self.pos.wrapping_sub(self.chunk_start);
         if self.chunk.is_empty() || in_chunk >= self.chunk.len() {
             let hi = (self.pos + self.chunk_entries).min(self.reader.len());
-            self.chunk = self.reader.entries_in(self.pos, hi)?;
+            self.chunk = self.reader.entries_in_opts(self.pos, hi, self.fill_cache)?;
             self.chunk_start = self.pos;
         }
         Ok(self.chunk.get(self.pos - self.chunk_start))

@@ -206,6 +206,9 @@ impl DbStats {
             writes_during_maintenance: self.writes_during_maintenance.load(Ordering::Relaxed),
             shard_splits: self.shard_splits.load(Ordering::Relaxed),
             commit_checkpoints: self.commit_checkpoints.load(Ordering::Relaxed),
+            // The engine cache keeps its own atomics; callers fold them in
+            // with `StatsSnapshot::absorb_cache`.
+            ..StatsSnapshot::default()
         }
     }
 }
@@ -252,6 +255,21 @@ pub struct StatsSnapshot {
     pub writes_during_maintenance: u64,
     pub shard_splits: u64,
     pub commit_checkpoints: u64,
+    // --- engine-cache counters, absorbed from the shared cache via
+    // [`StatsSnapshot::absorb_cache`] (the cache keeps its own atomics;
+    // `DbStats` never sees them, so `snapshot()` leaves these zero).
+    pub cache_block_hits: u64,
+    pub cache_block_misses: u64,
+    pub cache_block_evictions: u64,
+    pub cache_table_hits: u64,
+    pub cache_table_misses: u64,
+    /// Gauge (bytes currently charged) — [`StatsSnapshot::since`] keeps
+    /// the later value; summing snapshots adds (private per-shard caches
+    /// combine into the fleet's total footprint).
+    pub cache_used_bytes: u64,
+    /// Gauge (the byte ceiling) — same diff/merge rules as
+    /// `cache_used_bytes`.
+    pub cache_capacity_bytes: u64,
 }
 
 impl StatsSnapshot {
@@ -298,7 +316,28 @@ impl StatsSnapshot {
         out.writes_during_maintenance -= earlier.writes_during_maintenance;
         out.shard_splits -= earlier.shard_splits;
         out.commit_checkpoints -= earlier.commit_checkpoints;
+        out.cache_block_hits -= earlier.cache_block_hits;
+        out.cache_block_misses -= earlier.cache_block_misses;
+        out.cache_block_evictions -= earlier.cache_block_evictions;
+        out.cache_table_hits -= earlier.cache_table_hits;
+        out.cache_table_misses -= earlier.cache_table_misses;
+        // Gauges, not counters: report the later reading.
+        out.cache_used_bytes = self.cache_used_bytes;
+        out.cache_capacity_bytes = self.cache_capacity_bytes;
         out
+    }
+
+    /// Fold the engine cache's counters into this snapshot. Callable more
+    /// than once (a split-budget fleet absorbs one [`CacheStats`] per
+    /// shard): counters and byte gauges accumulate.
+    pub fn absorb_cache(&mut self, cache: &crate::cache::CacheStats) {
+        self.cache_block_hits += cache.block_hits;
+        self.cache_block_misses += cache.block_misses;
+        self.cache_block_evictions += cache.block_evictions;
+        self.cache_table_hits += cache.table_hits;
+        self.cache_table_misses += cache.table_misses;
+        self.cache_used_bytes += cache.used_bytes;
+        self.cache_capacity_bytes += cache.capacity_bytes;
     }
 
     /// Sum a set of snapshots (e.g. one per shard) into one report.
@@ -356,6 +395,13 @@ impl StatsSnapshot {
             writes_during_maintenance,
             shard_splits,
             commit_checkpoints,
+            cache_block_hits,
+            cache_block_misses,
+            cache_block_evictions,
+            cache_table_hits,
+            cache_table_misses,
+            cache_used_bytes,
+            cache_capacity_bytes,
         );
         for (i, (&n, &ns)) in self.level_reads.iter().zip(&self.level_read_ns).enumerate() {
             if n > 0 || ns > 0 {
@@ -432,6 +478,13 @@ impl std::ops::AddAssign for StatsSnapshot {
             writes_during_maintenance,
             shard_splits,
             commit_checkpoints,
+            cache_block_hits,
+            cache_block_misses,
+            cache_block_evictions,
+            cache_table_hits,
+            cache_table_misses,
+            cache_used_bytes,
+            cache_capacity_bytes,
         );
         for i in 0..MAX_LEVELS {
             self.level_reads[i] += rhs.level_reads[i];

@@ -8,7 +8,8 @@
 //!
 //! ```sh
 //! cargo run --release --example ycsb [index-abbrev] [ops] [--shards N] \
-//!     [--max-shards M] [--split-threshold F] [--server] [--rate R] [--metrics]
+//!     [--max-shards M] [--split-threshold F] [--cache-mb C] [--server] \
+//!     [--rate R] [--metrics]
 //! ```
 //!
 //! With `--shards N` (N > 1) the six mixes instead run against the
@@ -18,6 +19,10 @@
 //! `--max-shards M` lets the topology split hot shards live during the
 //! runs (`--split-threshold F` tunes the resident-bytes overshoot that
 //! triggers a split; default 0.2).
+//!
+//! `--cache-mb C` gives the engine a C-MiB shared block/table cache —
+//! one budget across every shard in the `--shards`/`--server` paths, and
+//! the single tree's budget otherwise (default 0: uncached).
 //!
 //! With `--server` the six mixes are driven through the `lsm-server`
 //! network front end instead: frame protocol, pipelined client, admission
@@ -39,6 +44,7 @@ fn main() {
     let mut shards = 1usize;
     let mut max_shards = 0usize;
     let mut split_threshold = 0.2f64;
+    let mut cache_mb = 0usize;
     let mut server = false;
     let mut rate = None;
     let mut metrics = false;
@@ -64,6 +70,12 @@ fn main() {
                     .and_then(|v| v.parse().ok())
                     .expect("--split-threshold needs a number");
             }
+            "--cache-mb" => {
+                cache_mb = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--cache-mb needs a number");
+            }
             "--server" => server = true,
             "--metrics" => metrics = true,
             "--rate" => {
@@ -87,7 +99,7 @@ fn main() {
         .unwrap_or(20_000);
 
     if server {
-        run_server(kind, shards, ops, rate, metrics);
+        run_server(kind, shards, ops, rate, metrics, cache_mb);
         return;
     }
     if metrics {
@@ -95,7 +107,7 @@ fn main() {
         std::process::exit(2);
     }
     if shards > 1 {
-        run_sharded(kind, shards, ops, max_shards, split_threshold);
+        run_sharded(kind, shards, ops, max_shards, split_threshold, cache_mb);
         return;
     }
     println!("index={} ops-per-workload={ops}\n", kind.abbrev());
@@ -117,6 +129,7 @@ fn main() {
         c.value_width = 64;
         c.granularity = Granularity::SstBytes(512 << 10);
         c.write_buffer_bytes = 512 << 10;
+        c.block_cache_bytes = cache_mb << 20;
         let mut tb = Testbed::new(c).expect("open testbed");
         // YCSB load phase: batched writes through the normal write path.
         tb.load_via_writes().expect("batched load");
@@ -134,7 +147,14 @@ fn main() {
 /// The `--server` path: all six mixes through the `lsm-server` front end
 /// at an open-loop arrival rate, ending with the engine's sharded-stats
 /// report fetched through the wire (the `STATS` opcode).
-fn run_server(kind: IndexKind, shards: usize, ops: usize, rate: Option<f64>, metrics: bool) {
+fn run_server(
+    kind: IndexKind,
+    shards: usize,
+    ops: usize,
+    rate: Option<f64>,
+    metrics: bool,
+    cache_mb: usize,
+) {
     use learned_lsm_repro::bench::{runner, Scale};
 
     let mut scale = Scale::quick();
@@ -159,14 +179,28 @@ fn run_server(kind: IndexKind, shards: usize, ops: usize, rate: Option<f64>, met
         "errors"
     );
     let (records, stats, snap) = if metrics {
-        let (records, stats, snap) =
-            runner::ycsb_server_with_metrics(&scale, Dataset::Random, shards, kind, 0xfeed, rate)
-                .expect("server ycsb");
+        let (records, stats, snap) = runner::ycsb_server_with_metrics(
+            &scale,
+            Dataset::Random,
+            shards,
+            kind,
+            0xfeed,
+            rate,
+            cache_mb,
+        )
+        .expect("server ycsb");
         (records, stats, Some(snap))
     } else {
-        let (records, stats) =
-            runner::ycsb_server(&scale, Dataset::Random, shards, kind, 0xfeed, rate)
-                .expect("server ycsb");
+        let (records, stats) = runner::ycsb_server(
+            &scale,
+            Dataset::Random,
+            shards,
+            kind,
+            0xfeed,
+            rate,
+            cache_mb,
+        )
+        .expect("server ycsb");
         (records, stats, None)
     };
     for r in records {
@@ -197,6 +231,7 @@ fn run_sharded(
     ops: usize,
     max_shards: usize,
     split_threshold: f64,
+    cache_mb: usize,
 ) {
     use learned_lsm_repro::bench::{runner, Scale};
 
@@ -222,6 +257,7 @@ fn run_sharded(
         kind,
         0xfeed,
         runner::Rebalance::from_flags(max_shards, split_threshold),
+        cache_mb,
     )
     .expect("sharded ycsb");
     for r in records {

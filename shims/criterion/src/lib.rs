@@ -85,6 +85,21 @@ impl Bencher {
         }
     }
 
+    /// Run `f` with an iteration count and record the `Duration` it
+    /// reports — criterion's escape hatch for workloads whose real cost is
+    /// not wall time alone (here: modeled device time on simulated
+    /// storage, which the engine counts on a virtual clock).
+    pub fn iter_custom<F: FnMut(u64) -> std::time::Duration>(&mut self, mut f: F) {
+        if self.warmup {
+            black_box(f(1));
+        }
+        for _ in 0..self.target_samples {
+            let d = f(self.iters_per_sample);
+            self.samples
+                .push(d.as_nanos() as u64 / self.iters_per_sample.max(1));
+        }
+    }
+
     fn median_ns(&mut self) -> u64 {
         if self.samples.is_empty() {
             return 0;

@@ -259,7 +259,7 @@ fn fig11_learned_advantage_shrinks_with_range_length() {
 /// point-lookup experiments carries over to mixed workloads.
 #[test]
 fn fig12_ycsb_preserves_tradeoff_ordering() {
-    let records = runner::fig12(&smoke(), Dataset::Random, &[32]).unwrap();
+    let records = runner::fig12(&smoke(), Dataset::Random, &[32], 0).unwrap();
     // Every workload ran for every index.
     for wl in ["A", "B", "C", "D", "E", "F"] {
         let per_wl: Vec<_> = records.iter().filter(|r| r.workload == wl).collect();

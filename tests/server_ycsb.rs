@@ -10,7 +10,7 @@ use learned_lsm_repro::workloads::Dataset;
 fn all_six_ycsb_mixes_run_through_the_server_path() {
     let scale = Scale::smoke();
     let (records, stats) =
-        runner::ycsb_server(&scale, Dataset::Random, 2, IndexKind::Pgm, 0xacce, None)
+        runner::ycsb_server(&scale, Dataset::Random, 2, IndexKind::Pgm, 0xacce, None, 0)
             .expect("server ycsb at smoke scale");
 
     let names: Vec<&str> = records.iter().map(|r| r.workload.as_str()).collect();
@@ -59,6 +59,7 @@ fn explicit_rate_is_honored_as_the_schedule() {
         IndexKind::Pgm,
         0xbee5,
         Some(20_000.0),
+        0,
     )
     .expect("fixed-rate server ycsb");
     for r in &records {
