@@ -50,7 +50,7 @@ pub const TABLE_HANDLE_OVERHEAD: usize = 256;
 /// [`EngineCache`], by every shard of a `ShardedDb`).
 ///
 /// Two charge classes:
-/// * *block* bytes are *reserved* — [`CacheBudget::try_reserve_block`]
+/// * *block* bytes are *reserved* — `CacheBudget::try_reserve_block`
 ///   refuses to overshoot, and the block cache evicts until a reservation
 ///   succeeds, so `used <= capacity` holds at every instant;
 /// * *pinned* bytes (table handles, filters, index models) are charged
@@ -446,7 +446,7 @@ struct TableMap {
 ///
 /// The handles themselves charge the shared budget as pinned bytes for as
 /// long as *any* strong reference exists (see
-/// [`TableReader::open_shared`]); this cache's job is (a) deduplicating
+/// `TableReader::open_shared`); this cache's job is (a) deduplicating
 /// opens of the same file within one scope and (b) bounding how many
 /// handles stay resident after the tree stopped referencing them — evicting
 /// an entry drops the cache's reference, and the charge disappears with the

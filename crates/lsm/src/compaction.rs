@@ -11,6 +11,19 @@
 //! rotate at the SSTable granularity target. Index training and model
 //! serialization inside [`TableBuilder::finish`] are timed separately so
 //! Figure 9's breakdown falls out directly.
+//!
+//! **Subcompactions** ([`Options::max_subcompactions`] > 1, leveling
+//! only): one logical compaction is range-partitioned into disjoint
+//! user-key sub-ranges ([`plan_subcompactions`] cuts at byte-weighted
+//! input-table boundaries so each sub-range carries ≈even work) and each
+//! sub-range merges on its own scoped thread. Correctness at the seams
+//! rests on cuts being *user-key* boundaries: every version of a user
+//! key lands in exactly one sub-range, so the per-subcompaction
+//! [`KeyRetention`] state machine sees complete version chains and
+//! tombstone elision is identical to the single-threaded merge. The
+//! caller installs all sub-outputs through **one** version edit and one
+//! manifest seal — a partial compaction is never visible, and a crash
+//! leaves only orphan output files (swept on the next open).
 
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -247,7 +260,9 @@ fn is_bottom_output(version: &Version, output_level: usize) -> bool {
 /// Outcome of a compaction run.
 #[derive(Debug)]
 pub struct CompactionResult {
-    /// Newly written tables (for `task.level + 1`).
+    /// Newly written tables (for `task.level + 1`), ascending and disjoint
+    /// in key space across the whole job regardless of how many
+    /// subcompactions produced them.
     pub outputs: Vec<Arc<TableHandle>>,
     /// Bytes read from inputs.
     pub bytes_read: u64,
@@ -255,28 +270,132 @@ pub struct CompactionResult {
     pub bytes_written: u64,
 }
 
-/// Execute `task`: merge inputs, write ≤-target-size output tables, record
-/// the stage breakdown into `stats`. `next_file_no` supplies output names —
-/// an atomic, so background workers can name outputs without holding the
-/// tree lock for the duration of the merge. When observability is on,
-/// `obs` brackets the run in a `compaction_begin` / `compaction_end` span
-/// (begin carries the source level, end the input/output byte totals).
-pub fn run_compaction(
+/// One disjoint slice of a compaction job's user-key space: the entries
+/// with `lo ≤ user_key < hi` (either bound `None` = unbounded on that
+/// side). Cuts are user-key boundaries, so every version of a key belongs
+/// to exactly one sub-range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SubRange {
+    /// Inclusive lower bound on user keys (`None` = from the start).
+    pub lo: Option<u64>,
+    /// Exclusive upper bound on user keys (`None` = to the end).
+    pub hi: Option<u64>,
+}
+
+impl SubRange {
+    /// The whole key space — the single-threaded merge's one "partition".
+    pub fn unbounded() -> SubRange {
+        SubRange { lo: None, hi: None }
+    }
+}
+
+/// Boundary keys sampled per input table when planning sub-range cuts.
+/// More samples → finer-grained (more even) cuts at the cost of a few
+/// extra point reads per table before the merge starts.
+const BOUNDARY_SAMPLES_PER_TABLE: usize = 16;
+
+/// Partition `task`'s key space into at most `max_subcompactions` disjoint
+/// sub-ranges of roughly equal input **bytes**.
+///
+/// Each input table is sampled at `BOUNDARY_SAMPLES_PER_TABLE` evenly
+/// spaced entry positions; entries are fixed-width, so position intervals
+/// are byte intervals, and an anchor `(key, weight)` means "`weight` input
+/// bytes lie at user keys ≤ `key` since this table's previous anchor".
+/// Sorting all anchors by key yields a byte-weighted CDF of the whole
+/// job's input, and cuts fall wherever it crosses the next `k/n` fraction.
+/// Fewer than `max_subcompactions` ranges come back when the key space is
+/// too narrow to cut evenly (tiny inputs, heavy duplication across runs).
+pub fn plan_subcompactions(
+    task: &CompactionTask,
+    max_subcompactions: usize,
+) -> Result<Vec<SubRange>> {
+    if max_subcompactions <= 1 {
+        return Ok(vec![SubRange::unbounded()]);
+    }
+    let mut anchors: Vec<(u64, u64)> = Vec::new();
+    for t in task.inputs.iter().chain(task.next_inputs.iter()) {
+        let len = t.reader.len();
+        if len == 0 {
+            continue;
+        }
+        let width = t.reader.entry_width() as u64;
+        let samples = BOUNDARY_SAMPLES_PER_TABLE.min(len);
+        let mut prev = 0usize;
+        for j in 1..=samples {
+            let pos = len * j / samples;
+            if pos <= prev {
+                continue;
+            }
+            anchors.push((t.reader.key_at(pos - 1)?, (pos - prev) as u64 * width));
+            prev = pos;
+        }
+    }
+    anchors.sort_unstable();
+    let total: u64 = anchors.iter().map(|&(_, w)| w).sum();
+    if total == 0 {
+        return Ok(vec![SubRange::unbounded()]);
+    }
+    // A cut is placed *after* the anchor that crosses the k/n weight
+    // fraction (`hi = anchor_key + 1`, exclusive): the anchor key — and
+    // with it every version of that user key — stays left of the seam.
+    let n = max_subcompactions as u64;
+    let mut cuts: Vec<u64> = Vec::new();
+    let mut acc = 0u64;
+    let mut k = 1u64;
+    for &(key, w) in &anchors {
+        acc += w;
+        if k < n && acc.saturating_mul(n) >= total.saturating_mul(k) {
+            cuts.push(key.saturating_add(1));
+            while k < n && acc.saturating_mul(n) >= total.saturating_mul(k) {
+                k += 1;
+            }
+        }
+    }
+    cuts.dedup();
+    // A cut past the global max key would only add an empty tail range.
+    let max_key = task
+        .inputs
+        .iter()
+        .chain(task.next_inputs.iter())
+        .map(|t| t.meta.max_key)
+        .max()
+        .unwrap_or(0);
+    cuts.retain(|&c| c <= max_key);
+    let mut ranges = Vec::with_capacity(cuts.len() + 1);
+    let mut lo = None;
+    for c in cuts {
+        ranges.push(SubRange { lo, hi: Some(c) });
+        lo = Some(c);
+    }
+    ranges.push(SubRange { lo, hi: None });
+    Ok(ranges)
+}
+
+/// What one sub-range merge produced; [`run_compaction`] aggregates these
+/// across subcompactions before the caller installs a single version edit.
+struct SubOutcome {
+    outputs: Vec<Arc<TableHandle>>,
+    /// Input bytes this sub-range consumed (entries popped from the merge
+    /// before retention × input entry width).
+    bytes_in: u64,
+    bytes_written: u64,
+    train_ns: u64,
+    model_write_ns: u64,
+}
+
+/// Merge `task`'s inputs restricted to `range`, writing ≤-target-size
+/// output tables. This is the body of the classic single-threaded
+/// compaction: with an unbounded range it is byte-for-byte the old merge
+/// loop. `KeyRetention` state lives entirely inside one call — safe under
+/// parallelism because sub-ranges are disjoint in user-key space.
+fn merge_sub_range(
     storage: &dyn Storage,
     task: &CompactionTask,
     opts: &Options,
-    stats: &DbStats,
     next_file_no: &AtomicU64,
     cache: Option<Arc<EngineCache>>,
-    obs: Option<&EngineObs>,
-) -> Result<CompactionResult> {
-    let total_start = Instant::now();
-    let span = obs.map(|o| {
-        let span = o.span();
-        o.emit(EventKind::CompactionBegin, span, task.level as u64, 0);
-        span
-    });
-
+    range: SubRange,
+) -> Result<SubOutcome> {
     let sources: Vec<MergeSource> = task
         .inputs
         .iter()
@@ -287,37 +406,43 @@ pub fn run_compaction(
         .map(|t| MergeSource::table_with(Arc::clone(&t.reader), false))
         .collect();
     let mut merge = MergeIter::new(sources);
-    merge.seek_to_first();
+    match range.lo {
+        Some(lo) => merge.seek(lo)?,
+        None => merge.seek_to_first(),
+    }
 
-    let mut outputs = Vec::new();
+    let in_width = crate::sstable::format::entry_width(opts.value_width) as u64;
+    let mut out = SubOutcome {
+        outputs: Vec::new(),
+        bytes_in: 0,
+        bytes_written: 0,
+        train_ns: 0,
+        model_write_ns: 0,
+    };
     let mut builder: Option<TableBuilder> = None;
     let mut retention = KeyRetention::new(task.is_bottom);
-    let mut bytes_written = 0u64;
-    let mut train_ns = 0u64;
-    let mut model_write_ns = 0u64;
 
-    let finish_builder = |b: TableBuilder,
-                          outputs: &mut Vec<Arc<TableHandle>>,
-                          bytes_written: &mut u64,
-                          train_ns: &mut u64,
-                          model_write_ns: &mut u64|
-     -> Result<()> {
+    let finish_builder = |b: TableBuilder, out: &mut SubOutcome| -> Result<()> {
         if b.is_empty() {
             return Ok(());
         }
         let meta = b.finish()?;
-        *bytes_written += meta.file_bytes;
-        *train_ns += meta.train_ns;
-        *model_write_ns += meta.model_write_ns;
+        out.bytes_written += meta.file_bytes;
+        out.train_ns += meta.train_ns;
+        out.model_write_ns += meta.model_write_ns;
         let reader = Arc::new(
             TableReader::open_with(storage, &meta.name, cache.clone())?
                 .with_search_strategy(opts.search),
         );
-        outputs.push(Arc::new(TableHandle { meta, reader }));
+        out.outputs.push(Arc::new(TableHandle { meta, reader }));
         Ok(())
     };
 
     while let Some(entry) = merge.next_entry()? {
+        if range.hi.is_some_and(|hi| entry.key.user_key >= hi) {
+            break; // seam: the next sub-range owns this key onward
+        }
+        out.bytes_in += in_width;
         // Dedup: internal-key order puts the newest version of a user key
         // first; all later versions of the same key are obsolete here
         // (live snapshots read through their own pinned `Version`).
@@ -335,13 +460,7 @@ pub fn run_compaction(
                 .is_some_and(|b| b.data_bytes() >= opts.sstable_target_bytes);
         if rotate {
             let full = builder.take().expect("non-empty builder");
-            finish_builder(
-                full,
-                &mut outputs,
-                &mut bytes_written,
-                &mut train_ns,
-                &mut model_write_ns,
-            )?;
+            finish_builder(full, &mut out)?;
         }
 
         if builder.is_none() {
@@ -359,18 +478,172 @@ pub fn run_compaction(
         b.add(&entry)?;
     }
     if let Some(b) = builder.take() {
-        finish_builder(
-            b,
-            &mut outputs,
-            &mut bytes_written,
-            &mut train_ns,
-            &mut model_write_ns,
-        )?;
+        finish_builder(b, &mut out)?;
+    }
+    Ok(out)
+}
+
+/// Execute `task`: merge inputs, write ≤-target-size output tables, record
+/// the stage breakdown into `stats`. `next_file_no` supplies output names —
+/// an atomic, so background workers (and parallel subcompaction threads)
+/// can name outputs without holding the tree lock for the duration of the
+/// merge.
+///
+/// When [`Options::max_subcompactions`] > 1 under leveling, the job's key
+/// space is range-partitioned by [`plan_subcompactions`] and each
+/// sub-range merges on its own scoped thread; `max_subcompactions = 1`
+/// (the default) runs the exact single-threaded merge. Outputs come back
+/// in key order either way, and the caller commits them through **one**
+/// version edit + manifest seal — a failed or crashed job leaves only
+/// orphan output files, never a partial compaction.
+///
+/// Freshly built outputs are registered eagerly in the table-handle cache
+/// under `cache_scope` (when `cache` is present), so the first
+/// post-compaction read does not pay a cold-handle miss.
+///
+/// When observability is on, `obs` brackets the run in a
+/// `compaction_begin` / `compaction_end` span (begin carries the source
+/// level, end the input/output byte totals); a partitioned run nests one
+/// `subcompaction_begin` / `subcompaction_end` sub-span per sub-range,
+/// whose begin event carries the parent span id in `a`.
+#[allow(clippy::too_many_arguments)] // one call site family; a config struct would just rename these
+pub fn run_compaction(
+    storage: &dyn Storage,
+    task: &CompactionTask,
+    opts: &Options,
+    stats: &DbStats,
+    next_file_no: &AtomicU64,
+    cache: Option<Arc<EngineCache>>,
+    cache_scope: u64,
+    obs: Option<&EngineObs>,
+) -> Result<CompactionResult> {
+    let total_start = Instant::now();
+    let span = obs.map(|o| {
+        let span = o.span();
+        o.emit(EventKind::CompactionBegin, span, task.level as u64, 0);
+        span
+    });
+
+    // Range-partition only under leveling: a tiering merge must emit one
+    // sorted run, which a partitioned job would split into several.
+    let ranges =
+        if matches!(opts.compaction, CompactionPolicy::Leveling) && opts.max_subcompactions > 1 {
+            plan_subcompactions(task, opts.max_subcompactions)?
+        } else {
+            vec![SubRange::unbounded()]
+        };
+    let partitioned = ranges.len() > 1;
+
+    let run_one = |idx: usize, range: SubRange| -> Result<SubOutcome> {
+        let sub_span = if partitioned {
+            obs.zip(span).map(|(o, parent)| {
+                let s = o.span();
+                o.emit(EventKind::SubcompactionBegin, s, parent, idx as u64);
+                s
+            })
+        } else {
+            None // unpartitioned: keep the default obs timeline unchanged
+        };
+        let outcome = merge_sub_range(storage, task, opts, next_file_no, cache.clone(), range)?;
+        if let (Some(o), Some(s)) = (obs, sub_span) {
+            o.emit(
+                EventKind::SubcompactionEnd,
+                s,
+                outcome.bytes_in,
+                outcome.bytes_written,
+            );
+        }
+        Ok(outcome)
+    };
+
+    let outcomes: Vec<Result<SubOutcome>> = if partitioned {
+        // Borrow extra threads from the process-wide maintenance budget;
+        // this job's own thread counts as one, so a lease of k runs the
+        // ranges on k+1 scoped threads. Contiguous chunks keep partition
+        // order, and a short lease just folds more ranges per thread.
+        let lease = crate::scheduler::borrow_subcompaction_threads(ranges.len() - 1);
+        let threads = lease.extra() + 1;
+        let per_thread = ranges.len().div_ceil(threads);
+        let run_one = &run_one;
+        std::thread::scope(|s| {
+            let handles: Vec<_> = ranges
+                .chunks(per_thread)
+                .enumerate()
+                .map(|(chunk_no, chunk)| {
+                    s.spawn(move || -> Vec<Result<SubOutcome>> {
+                        chunk
+                            .iter()
+                            .enumerate()
+                            .map(|(i, &range)| run_one(chunk_no * per_thread + i, range))
+                            .collect()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("subcompaction thread panicked"))
+                .collect()
+        })
+    } else {
+        vec![run_one(0, ranges[0])]
+    };
+
+    // Aggregate in partition order (ranges ascend, outputs within a range
+    // ascend, so the concatenation is globally sorted and disjoint). On
+    // any sub-range error nothing was installed — drop the sibling
+    // outputs' handles and best-effort unlink their files so an in-process
+    // failure leaks nothing (a crash instead leaves orphans for the
+    // open-time sweep).
+    let mut ok = Vec::with_capacity(outcomes.len());
+    let mut first_err = None;
+    for r in outcomes {
+        match r {
+            Ok(o) => ok.push(o),
+            Err(e) => {
+                if first_err.is_none() {
+                    first_err = Some(e);
+                }
+            }
+        }
+    }
+    if let Some(e) = first_err {
+        for o in ok {
+            for t in o.outputs {
+                let name = t.meta.name.clone();
+                drop(t);
+                let _ = storage.remove(&name);
+            }
+        }
+        return Err(e);
+    }
+
+    let mut outputs = Vec::new();
+    let mut bytes_written = 0u64;
+    let mut train_ns = 0u64;
+    let mut model_write_ns = 0u64;
+    for o in ok {
+        outputs.extend(o.outputs);
+        bytes_written += o.bytes_written;
+        train_ns += o.train_ns;
+        model_write_ns += o.model_write_ns;
+    }
+
+    // Eager registration: the outputs' readers are already open — publish
+    // them so the first post-compaction read doesn't re-open the table.
+    if let Some(cache) = &cache {
+        for t in &outputs {
+            cache
+                .tables()
+                .insert(cache_scope, &t.meta.name, Arc::clone(&t.reader));
+        }
     }
 
     let total_ns = total_start.elapsed().as_nanos() as u64;
     let bytes_read = task.input_bytes();
     stats.compactions.fetch_add(1, Ordering::Relaxed);
+    stats
+        .subcompactions
+        .fetch_add(ranges.len() as u64, Ordering::Relaxed);
     stats
         .compact_total_ns
         .fetch_add(total_ns, Ordering::Relaxed);
@@ -390,6 +663,13 @@ pub fn run_compaction(
     stats
         .compact_bytes_written
         .fetch_add(bytes_written, Ordering::Relaxed);
+    // Per-level write-amp attribution: inputs are read from their source
+    // levels, every output byte lands on `level + 1`.
+    let level_in: u64 = task.inputs.iter().map(|t| t.meta.file_bytes).sum();
+    let next_in: u64 = task.next_inputs.iter().map(|t| t.meta.file_bytes).sum();
+    stats.record_compact_read(task.level, level_in);
+    stats.record_compact_read(task.level + 1, next_in);
+    stats.record_compact_write(task.level + 1, bytes_written);
 
     if let (Some(obs), Some(span)) = (obs, span) {
         obs.emit(EventKind::CompactionEnd, span, bytes_read, bytes_written);
@@ -461,7 +741,7 @@ mod tests {
             is_bottom: true,
         };
         let fno = AtomicU64::new(100);
-        let result = run_compaction(&storage, &task, &opts, &stats, &fno, None, None).unwrap();
+        let result = run_compaction(&storage, &task, &opts, &stats, &fno, None, 0, None).unwrap();
         assert_eq!(result.outputs.len(), 1);
         let out = &result.outputs[0];
         assert_eq!(out.meta.n, 10, "one survivor per key");
@@ -488,7 +768,7 @@ mod tests {
             is_bottom: true,
         };
         let fno = AtomicU64::new(200);
-        let result = run_compaction(&storage, &task, &opts, &stats, &fno, None, None).unwrap();
+        let result = run_compaction(&storage, &task, &opts, &stats, &fno, None, 0, None).unwrap();
         let out = &result.outputs[0];
         assert_eq!(out.meta.n, 4, "tombstone dropped at bottom");
         let got = out.reader.get(2, u64::MAX >> 8, &stats).unwrap();
@@ -508,7 +788,7 @@ mod tests {
             is_bottom: false,
         };
         let fno = AtomicU64::new(300);
-        let result = run_compaction(&storage, &task, &opts, &stats, &fno, None, None).unwrap();
+        let result = run_compaction(&storage, &task, &opts, &stats, &fno, None, 0, None).unwrap();
         assert_eq!(result.outputs[0].meta.n, 1, "tombstone must survive");
     }
 
@@ -527,7 +807,7 @@ mod tests {
             is_bottom: true,
         };
         let fno = AtomicU64::new(400);
-        let result = run_compaction(&storage, &task, &opts, &stats, &fno, None, None).unwrap();
+        let result = run_compaction(&storage, &task, &opts, &stats, &fno, None, 0, None).unwrap();
         assert!(result.outputs.len() > 1, "must split into multiple tables");
         let total: u64 = result.outputs.iter().map(|t| t.meta.n).sum();
         assert_eq!(total, 200);
@@ -535,6 +815,175 @@ mod tests {
         for w in result.outputs.windows(2) {
             assert!(w[0].meta.max_key < w[1].meta.min_key);
         }
+    }
+
+    /// Read every entry of every output, in output order (outputs are
+    /// globally sorted, so this is the merged sequence).
+    fn dump(outputs: &[Arc<TableHandle>]) -> Vec<(u64, u64, EntryKind, Vec<u8>)> {
+        let mut all = Vec::new();
+        for t in outputs {
+            let mut m = MergeIter::new(vec![MergeSource::table_with(Arc::clone(&t.reader), false)]);
+            m.seek_to_first();
+            while let Some(e) = m.next_entry().unwrap() {
+                all.push((e.key.user_key, e.key.seq, e.key.kind, e.value));
+            }
+        }
+        all
+    }
+
+    /// Two overlapping L0 runs plus an overlapping L1 table — a job with
+    /// real cross-run version shadowing for the partitioned merge to get
+    /// right at every seam.
+    fn overlapping_task(storage: &MemStorage) -> CompactionTask {
+        let a = handle_with(storage, "a", puts(0..600, 9));
+        let b = handle_with(
+            storage,
+            "b",
+            (300..900).map(|k| Entry::put(k, 5, vec![7; 4])).collect(),
+        );
+        let c = handle_with(storage, "c", puts(100..800, 1));
+        CompactionTask {
+            level: 0,
+            inputs: vec![a, b],
+            next_inputs: vec![c],
+            is_bottom: true,
+        }
+    }
+
+    #[test]
+    fn plan_cuts_tile_the_key_space() {
+        let storage = MemStorage::new();
+        let task = overlapping_task(&storage);
+        let ranges = plan_subcompactions(&task, 4).unwrap();
+        assert!(
+            ranges.len() > 1 && ranges.len() <= 4,
+            "900 distinct keys must admit cuts: {ranges:?}"
+        );
+        assert_eq!(ranges.first().unwrap().lo, None);
+        assert_eq!(ranges.last().unwrap().hi, None);
+        for w in ranges.windows(2) {
+            assert_eq!(w[0].hi, w[1].lo, "contiguous, disjoint tiling");
+            assert!(w[0].hi.is_some());
+        }
+        assert_eq!(
+            plan_subcompactions(&task, 1).unwrap(),
+            vec![SubRange::unbounded()],
+            "knob = 1 never partitions"
+        );
+    }
+
+    #[test]
+    fn partitioned_merge_matches_single_threaded() {
+        let storage = MemStorage::new();
+        let task = overlapping_task(&storage);
+        let mut opts = Options::small_for_tests();
+        opts.sstable_target_bytes = 4096;
+
+        let fno = AtomicU64::new(100);
+        let stats = DbStats::new();
+        let single = run_compaction(&storage, &task, &opts, &stats, &fno, None, 0, None).unwrap();
+        let expected = dump(&single.outputs);
+
+        for n in [2, 4, 8] {
+            opts.max_subcompactions = n;
+            let stats = DbStats::new();
+            let parallel =
+                run_compaction(&storage, &task, &opts, &stats, &fno, None, 0, None).unwrap();
+            assert_eq!(
+                dump(&parallel.outputs),
+                expected,
+                "n={n}: same survivors in the same order"
+            );
+            for w in parallel.outputs.windows(2) {
+                assert!(
+                    w[0].meta.max_key < w[1].meta.min_key,
+                    "n={n}: outputs sorted and disjoint across sub-ranges"
+                );
+            }
+            let snap = stats.snapshot();
+            assert_eq!(snap.compactions, 1);
+            assert!(
+                snap.subcompactions >= 2,
+                "n={n}: the job must actually have partitioned"
+            );
+        }
+    }
+
+    #[test]
+    fn tombstone_elision_survives_partition_seams() {
+        let storage = MemStorage::new();
+        // Newer run tombstones every 3rd key; older run has every key.
+        let dels: Vec<Entry> = (0..900)
+            .step_by(3)
+            .map(|k| Entry::tombstone(k, 9))
+            .collect();
+        let newer = handle_with(&storage, "del", dels);
+        let older = handle_with(&storage, "old", puts(0..900, 1));
+        let task = CompactionTask {
+            level: 0,
+            inputs: vec![newer],
+            next_inputs: vec![older],
+            is_bottom: true,
+        };
+        let mut opts = Options::small_for_tests();
+        opts.max_subcompactions = 4;
+        let stats = DbStats::new();
+        let fno = AtomicU64::new(0);
+        let result = run_compaction(&storage, &task, &opts, &stats, &fno, None, 0, None).unwrap();
+        let total: u64 = result.outputs.iter().map(|t| t.meta.n).sum();
+        assert_eq!(total, 600, "300 tombstoned keys fully elided at the bottom");
+        for (key, _, kind, _) in dump(&result.outputs) {
+            assert_ne!(kind, EntryKind::Delete, "no tombstone escapes");
+            assert_ne!(key % 3, 0, "no deleted key resurrects at a seam");
+        }
+    }
+
+    #[test]
+    fn outputs_register_eagerly_in_table_cache() {
+        let storage = MemStorage::new();
+        let task = overlapping_task(&storage);
+        let mut opts = Options::small_for_tests();
+        opts.max_subcompactions = 2;
+        let stats = DbStats::new();
+        let fno = AtomicU64::new(0);
+        let cache = Arc::new(EngineCache::new(1 << 20, 0, 64));
+        let scope = cache.next_scope();
+        let result = run_compaction(
+            &storage,
+            &task,
+            &opts,
+            &stats,
+            &fno,
+            Some(Arc::clone(&cache)),
+            scope,
+            None,
+        )
+        .unwrap();
+        assert!(!result.outputs.is_empty());
+        for t in &result.outputs {
+            assert!(
+                cache.tables().get(scope, &t.meta.name).is_some(),
+                "output {} must be resident before the first read",
+                t.meta.name
+            );
+        }
+    }
+
+    #[test]
+    fn write_amp_counters_attribute_bytes_per_level() {
+        let storage = MemStorage::new();
+        let task = overlapping_task(&storage);
+        let l0_bytes: u64 = task.inputs.iter().map(|t| t.meta.file_bytes).sum();
+        let l1_bytes: u64 = task.next_inputs.iter().map(|t| t.meta.file_bytes).sum();
+        let opts = Options::small_for_tests();
+        let stats = DbStats::new();
+        let fno = AtomicU64::new(0);
+        let result = run_compaction(&storage, &task, &opts, &stats, &fno, None, 0, None).unwrap();
+        let snap = stats.snapshot();
+        assert_eq!(snap.compact_level_bytes_read[0], l0_bytes);
+        assert_eq!(snap.compact_level_bytes_read[1], l1_bytes);
+        assert_eq!(snap.compact_level_bytes_written[1], result.bytes_written);
+        assert_eq!(snap.compact_bytes_written, result.bytes_written);
     }
 
     #[test]
@@ -550,7 +999,7 @@ mod tests {
             is_bottom: true,
         };
         let fno = AtomicU64::new(500);
-        run_compaction(&storage, &task, &opts, &stats, &fno, None, None).unwrap();
+        run_compaction(&storage, &task, &opts, &stats, &fno, None, 0, None).unwrap();
         let snap = stats.snapshot();
         assert_eq!(snap.compactions, 1);
         assert!(snap.compact_total_ns > 0);

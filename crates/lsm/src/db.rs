@@ -611,14 +611,29 @@ impl Db {
         }
         // Sweep manifests stranded by earlier crashes (an unsealed newer
         // epoch, predecessors whose retirement never ran, the legacy
-        // unsealed file): the sealed manifest written above is now the
-        // single source of truth. Best-effort — a crash mid-sweep just
-        // leaves the next open to finish it.
+        // unsealed file) *and* orphan tables — outputs of a flush or
+        // (sub)compaction that crashed before its manifest seal. A parallel
+        // compaction can strand several such outputs at once; none is
+        // named by any sealed manifest, so the recovered version is the
+        // single source of truth for which `.sst` files are live.
+        // Best-effort — a crash mid-sweep just leaves the next open to
+        // finish it.
         let current = manifest_name(core.manifest_epoch.load(Ordering::Relaxed));
+        let live: HashSet<String> = {
+            let inner = core.inner.read();
+            inner
+                .version
+                .levels
+                .iter()
+                .flatten()
+                .map(|t| t.meta.name.clone())
+                .collect()
+        };
         for name in core.storage.list()? {
             let stale =
                 name != current && (name.starts_with(MANIFEST_PREFIX) || name == LEGACY_MANIFEST);
-            if stale {
+            let orphan = name.ends_with(".sst") && !live.contains(&name);
+            if stale || orphan {
                 let _ = core.storage.remove(&name);
             }
         }
@@ -1935,6 +1950,9 @@ impl DbCore {
             builder.add(&e)?;
         }
         let meta = builder.finish()?;
+        self.stats
+            .flush_bytes_written
+            .fetch_add(meta.file_bytes, Ordering::Relaxed);
         let reader = Arc::new(
             TableReader::open_with(self.storage.as_ref(), &name, self.cache.clone())?
                 .with_search_strategy(self.opts.search),
@@ -1989,11 +2007,13 @@ impl DbCore {
                 &self.stats,
                 &self.next_file_no,
                 self.cache.clone(),
+                self.cache_scope,
                 self.obs.as_deref(),
             )?;
             let removed = task.input_names();
+            // `run_compaction` registered the outputs eagerly; only the
+            // inputs' cache residue is left to retire here.
             self.retire_cached_tables(&task);
-            self.register_tables(&result.outputs);
             inner.version = Arc::new(inner.version.with_compaction_applied(
                 task.level,
                 &removed,
@@ -2231,10 +2251,12 @@ impl DbCore {
                 &self.stats,
                 &self.next_file_no,
                 self.cache.clone(),
+                self.cache_scope,
                 self.obs.as_deref(),
             )?;
+            // `run_compaction` registered the outputs eagerly; only the
+            // inputs' cache residue is left to retire here.
             self.retire_cached_tables(&task);
-            self.register_tables(&run.outputs);
             let mut inner = self.inner.write();
             inner.version = Arc::new(inner.version.with_compaction_applied(
                 task.level,

@@ -413,6 +413,17 @@ pub struct Options {
     /// a writer that fills the active memtable while the queue is full
     /// blocks until a flush drains a slot.
     pub max_immutable_memtables: usize,
+    /// Maximum parallel **subcompactions** per compaction job (leveling
+    /// only). Above 1, one logical compaction is range-partitioned into
+    /// disjoint user-key sub-ranges (cut at byte-weighted input-table
+    /// boundaries so sub-ranges carry ≈even work) and merged on that many
+    /// scoped threads, then installed through **one** manifest seal — a
+    /// partial compaction is never visible, whichever thread finishes
+    /// first or crashes. `1` (the default) is byte-for-byte today's
+    /// single-threaded merge. Under a [`crate::sharding::ShardedDb`] every
+    /// shard — including split children — inherits this knob from
+    /// `ShardedOptions::base`.
+    pub max_subcompactions: usize,
     /// Engine observability (`lsm-obs`): tracing events into a lock-free
     /// ring plus per-op latency histograms, scraped via
     /// `Db::metrics` / `ShardedDb::metrics` and the server's `METRICS`
@@ -444,6 +455,7 @@ impl Default for Options {
             l0_slowdown_trigger: 8,
             l0_stop_trigger: 12,
             max_immutable_memtables: 2,
+            max_subcompactions: 1,
             observability: false,
         }
     }
@@ -474,6 +486,7 @@ impl Options {
             l0_slowdown_trigger: 8,
             l0_stop_trigger: 12,
             max_immutable_memtables: 2,
+            max_subcompactions: 1,
             observability: false,
         }
     }

@@ -48,10 +48,85 @@
 //! shared span id (see `lsm_obs::EventKind`) — so a drained timeline
 //! shows exactly which worker activity overlapped which writer stall.
 
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread::JoinHandle;
 use std::time::Duration;
+
+/// Process-wide pool of *extra* threads that range-partitioned compactions
+/// ([`crate::compaction::run_compaction`] with
+/// [`crate::Options::max_subcompactions`] > 1) may borrow.
+///
+/// Every compaction job already owns the thread it runs on (a pool worker
+/// or the writer itself under synchronous maintenance); a partitioned job
+/// borrows up to `ranges - 1` more for the duration of one merge. The
+/// budget is shared across every `Db` in the process — under a sharded
+/// database many compaction workers run at once, and without a common cap
+/// the thread count would multiply (workers × subcompactions). Sized to
+/// the machine's parallelism; acquisition is best-effort and never blocks:
+/// a job that gets fewer permits than it wanted folds several sub-ranges
+/// onto each thread it did get (same outputs, just less overlap).
+#[derive(Debug)]
+struct SubcompactionBudget {
+    free: AtomicUsize,
+}
+
+static SUBCOMPACTION_BUDGET: OnceLock<SubcompactionBudget> = OnceLock::new();
+
+fn subcompaction_budget() -> &'static SubcompactionBudget {
+    SUBCOMPACTION_BUDGET.get_or_init(|| SubcompactionBudget {
+        free: AtomicUsize::new(
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
+        ),
+    })
+}
+
+/// Take up to `want` extra-thread permits without blocking; the lease
+/// returns them on drop. `extra() == 0` means "run on the calling thread
+/// alone" — always a valid outcome.
+pub(crate) fn borrow_subcompaction_threads(want: usize) -> SubcompactionLease {
+    let budget = subcompaction_budget();
+    let mut cur = budget.free.load(Ordering::Relaxed);
+    loop {
+        let take = want.min(cur);
+        if take == 0 {
+            return SubcompactionLease { extra: 0 };
+        }
+        match budget.free.compare_exchange_weak(
+            cur,
+            cur - take,
+            Ordering::Relaxed,
+            Ordering::Relaxed,
+        ) {
+            Ok(_) => return SubcompactionLease { extra: take },
+            Err(seen) => cur = seen,
+        }
+    }
+}
+
+/// Permits held by one compaction job; returned to the budget on drop.
+pub(crate) struct SubcompactionLease {
+    extra: usize,
+}
+
+impl SubcompactionLease {
+    /// How many extra threads this job may spawn (0 = caller's thread only).
+    pub fn extra(&self) -> usize {
+        self.extra
+    }
+}
+
+impl Drop for SubcompactionLease {
+    fn drop(&mut self) {
+        if self.extra > 0 {
+            subcompaction_budget()
+                .free
+                .fetch_add(self.extra, Ordering::Relaxed);
+        }
+    }
+}
 
 /// A shared epoch counter + condvar: the single wakeup channel for
 /// background workers and stalled writers.
@@ -189,6 +264,17 @@ impl Scheduler {
 mod tests {
     use super::*;
     use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn subcompaction_budget_lease_roundtrip() {
+        let lease = borrow_subcompaction_threads(0);
+        assert_eq!(lease.extra(), 0, "asking for nothing gets nothing");
+        let lease = borrow_subcompaction_threads(2);
+        assert!(lease.extra() <= 2, "never over-grants");
+        drop(lease); // returning permits must not underflow
+        let again = borrow_subcompaction_threads(1);
+        assert!(again.extra() <= 1);
+    }
 
     #[test]
     fn signal_wakes_waiter_past_epoch() {

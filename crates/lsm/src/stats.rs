@@ -48,6 +48,17 @@ pub struct DbStats {
     pub compact_model_write_ns: AtomicU64,
     pub compact_bytes_read: AtomicU64,
     pub compact_bytes_written: AtomicU64,
+    // Write-amplification accounting: where maintenance traffic lands.
+    /// Sub-range merge units executed (a single-threaded compaction
+    /// counts one).
+    pub subcompactions: AtomicU64,
+    /// Bytes flushes wrote into L0 (the denominator of
+    /// [`StatsSnapshot::write_amplification`]).
+    pub flush_bytes_written: AtomicU64,
+    /// Compaction input bytes by the level they were read from.
+    pub compact_level_bytes_read: [AtomicU64; MAX_LEVELS],
+    /// Compaction output bytes by the level they were written to.
+    pub compact_level_bytes_written: [AtomicU64; MAX_LEVELS],
     // Range scans (Figure 11).
     pub scans: AtomicU64,
     pub scan_entries: AtomicU64,
@@ -116,6 +127,20 @@ impl DbStats {
         if level < MAX_LEVELS {
             self.level_reads[level].fetch_add(1, Ordering::Relaxed);
             self.level_read_ns[level].fetch_add(ns, Ordering::Relaxed);
+        }
+    }
+
+    /// Attribute compaction input bytes to the level they were read from.
+    pub(crate) fn record_compact_read(&self, level: usize, bytes: u64) {
+        if level < MAX_LEVELS {
+            self.compact_level_bytes_read[level].fetch_add(bytes, Ordering::Relaxed);
+        }
+    }
+
+    /// Attribute compaction output bytes to the level they were written to.
+    pub(crate) fn record_compact_write(&self, level: usize, bytes: u64) {
+        if level < MAX_LEVELS {
+            self.compact_level_bytes_written[level].fetch_add(bytes, Ordering::Relaxed);
         }
     }
 
@@ -193,6 +218,10 @@ impl DbStats {
             compact_model_write_ns: self.compact_model_write_ns.load(Ordering::Relaxed),
             compact_bytes_read: self.compact_bytes_read.load(Ordering::Relaxed),
             compact_bytes_written: self.compact_bytes_written.load(Ordering::Relaxed),
+            subcompactions: self.subcompactions.load(Ordering::Relaxed),
+            flush_bytes_written: self.flush_bytes_written.load(Ordering::Relaxed),
+            compact_level_bytes_read: lv(&self.compact_level_bytes_read),
+            compact_level_bytes_written: lv(&self.compact_level_bytes_written),
             scans: self.scans.load(Ordering::Relaxed),
             scan_entries: self.scan_entries.load(Ordering::Relaxed),
             stall_slowdowns: self.stall_slowdowns.load(Ordering::Relaxed),
@@ -240,6 +269,15 @@ pub struct StatsSnapshot {
     pub compact_model_write_ns: u64,
     pub compact_bytes_read: u64,
     pub compact_bytes_written: u64,
+    /// Sub-range merge units executed (one per compaction at
+    /// `max_subcompactions = 1`).
+    pub subcompactions: u64,
+    /// Bytes flushes wrote into L0.
+    pub flush_bytes_written: u64,
+    /// Compaction input bytes by source level.
+    pub compact_level_bytes_read: [u64; MAX_LEVELS],
+    /// Compaction output bytes by destination level.
+    pub compact_level_bytes_written: [u64; MAX_LEVELS],
     pub scans: u64,
     pub scan_entries: u64,
     pub stall_slowdowns: u64,
@@ -302,6 +340,12 @@ impl StatsSnapshot {
         out.compact_model_write_ns -= earlier.compact_model_write_ns;
         out.compact_bytes_read -= earlier.compact_bytes_read;
         out.compact_bytes_written -= earlier.compact_bytes_written;
+        out.subcompactions -= earlier.subcompactions;
+        out.flush_bytes_written -= earlier.flush_bytes_written;
+        for i in 0..MAX_LEVELS {
+            out.compact_level_bytes_read[i] -= earlier.compact_level_bytes_read[i];
+            out.compact_level_bytes_written[i] -= earlier.compact_level_bytes_written[i];
+        }
         out.scans -= earlier.scans;
         out.scan_entries -= earlier.scan_entries;
         out.stall_slowdowns -= earlier.stall_slowdowns;
@@ -328,7 +372,7 @@ impl StatsSnapshot {
     }
 
     /// Fold the engine cache's counters into this snapshot. Callable more
-    /// than once (a split-budget fleet absorbs one [`CacheStats`] per
+    /// than once (a split-budget fleet absorbs one [`CacheStats`](crate::cache::CacheStats) per
     /// shard): counters and byte gauges accumulate.
     pub fn absorb_cache(&mut self, cache: &crate::cache::CacheStats) {
         self.cache_block_hits += cache.block_hits;
@@ -375,7 +419,9 @@ impl StatsSnapshot {
             wal_bytes,
             wal_syncs,
             flushes,
+            flush_bytes_written,
             compactions,
+            subcompactions,
             compact_total_ns,
             compact_kv_io_ns,
             compact_train_ns,
@@ -409,7 +455,30 @@ impl StatsSnapshot {
                 out.push((format!("level{i}_read_ns"), ns));
             }
         }
+        // Per-level write-amp attribution, same nonzero-only flattening.
+        for (i, (&r, &w)) in self
+            .compact_level_bytes_read
+            .iter()
+            .zip(&self.compact_level_bytes_written)
+            .enumerate()
+        {
+            if r > 0 || w > 0 {
+                out.push((format!("level{i}_compact_bytes_read"), r));
+                out.push((format!("level{i}_compact_bytes_written"), w));
+            }
+        }
         out
+    }
+
+    /// Device write amplification of the maintenance pipeline: every byte
+    /// written by flushes and compactions, per byte of user data flushed.
+    /// `1.0` means no compaction traffic yet; `0.0` means nothing flushed.
+    pub fn write_amplification(&self) -> f64 {
+        if self.flush_bytes_written == 0 {
+            return 0.0;
+        }
+        (self.flush_bytes_written + self.compact_bytes_written) as f64
+            / self.flush_bytes_written as f64
     }
 
     /// The lookup breakdown of Table 1, averaged per lookup (ns).
@@ -466,6 +535,8 @@ impl std::ops::AddAssign for StatsSnapshot {
             compact_model_write_ns,
             compact_bytes_read,
             compact_bytes_written,
+            subcompactions,
+            flush_bytes_written,
             scans,
             scan_entries,
             stall_slowdowns,
@@ -489,6 +560,8 @@ impl std::ops::AddAssign for StatsSnapshot {
         for i in 0..MAX_LEVELS {
             self.level_reads[i] += rhs.level_reads[i];
             self.level_read_ns[i] += rhs.level_read_ns[i];
+            self.compact_level_bytes_read[i] += rhs.compact_level_bytes_read[i];
+            self.compact_level_bytes_written[i] += rhs.compact_level_bytes_written[i];
         }
         self.imm_queue_peak = self.imm_queue_peak.max(rhs.imm_queue_peak);
     }

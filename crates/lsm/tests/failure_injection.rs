@@ -197,8 +197,12 @@ fn flush_fault_walk_is_clean_at_every_op() {
 /// Deterministic durable state whose next `flush` must also run a
 /// compaction (one table parked in L0, trigger at 2).
 fn compacting_state() -> (Arc<lsm_io::CrashStorage>, Arc<lsm_io::CrashControl>, Db) {
+    compacting_state_with(opts())
+}
+
+fn compacting_state_with(o: Options) -> (Arc<lsm_io::CrashStorage>, Arc<lsm_io::CrashControl>, Db) {
     let (storage, ctl) = CrashStorage::new();
-    let db = Db::open(Arc::clone(&storage) as Arc<dyn Storage>, opts()).unwrap();
+    let db = Db::open(Arc::clone(&storage) as Arc<dyn Storage>, o).unwrap();
     for k in 0..1_000u64 {
         db.put(k, b"base").unwrap();
     }
@@ -268,6 +272,83 @@ fn flush_compaction_crash_matrix_image_always_opens() {
                 Some(b"pending".to_vec()),
                 "crash at {n}/{total}: lost WAL-covered key {k}"
             );
+        }
+    }
+}
+
+/// The same rebuild-per-index crash matrix over a **range-partitioned**
+/// compaction (`max_subcompactions = 4`): parallel subcompaction threads
+/// interleave their output writes, so a crash can strand several
+/// half-built sub-range outputs at once — yet every fault-point image
+/// must reopen with all acknowledged data (the single manifest seal means
+/// old-version-or-new, never partial), and the open-time sweep must
+/// unlink every output table the crashed job stranded.
+#[test]
+fn parallel_compaction_crash_matrix_opens_and_sweeps_orphans() {
+    fn popts() -> Options {
+        let mut o = opts();
+        o.max_subcompactions = 4;
+        o
+    }
+    let total = {
+        let (_s, ctl, db) = compacting_state_with(popts());
+        let snap = db.stats().snapshot();
+        let start = ctl.ops();
+        db.flush().unwrap();
+        let after = db.stats().snapshot();
+        assert!(
+            after.compactions > snap.compactions,
+            "measured flush must compact"
+        );
+        assert!(
+            after.subcompactions - snap.subcompactions >= 2,
+            "the measured compaction must actually partition"
+        );
+        ctl.ops() - start
+    };
+    assert!(total > 10, "pipeline should span many ops: {total}");
+
+    for n in 0..=total {
+        let (storage, ctl, db) = compacting_state_with(popts());
+        ctl.crash_after(n);
+        let outcome = db.flush();
+        if n >= total {
+            assert!(outcome.is_ok(), "full budget must flush: {n}/{total}");
+        }
+        drop(db);
+        let img_storage = Arc::new(storage.image());
+        let img = Db::open(Arc::clone(&img_storage) as Arc<dyn Storage>, popts())
+            .unwrap_or_else(|e| panic!("image at op {n}/{total} unopenable: {e}"));
+        for k in (0..1_000u64).step_by(97) {
+            assert_eq!(
+                img.get(k).unwrap(),
+                Some(b"base".to_vec()),
+                "crash at {n}/{total}: lost flushed key {k}"
+            );
+        }
+        for k in (1_000..1_200u64).step_by(13) {
+            assert_eq!(
+                img.get(k).unwrap(),
+                Some(b"pending".to_vec()),
+                "crash at {n}/{total}: lost WAL-covered key {k}"
+            );
+        }
+        // No orphans survive the reopen: every `.sst` in storage is named
+        // by the recovered version (stranded subcompaction outputs swept).
+        let live: std::collections::HashSet<String> = img
+            .version()
+            .levels
+            .iter()
+            .flatten()
+            .map(|t| t.meta.name.clone())
+            .collect();
+        for name in img_storage.list().unwrap() {
+            if name.ends_with(".sst") {
+                assert!(
+                    live.contains(&name),
+                    "crash at {n}/{total}: orphan table {name} survived the reopen sweep"
+                );
+            }
         }
     }
 }

@@ -7,7 +7,9 @@
 use std::sync::Arc;
 
 use lsm_io::{MemStorage, Storage};
-use lsm_tree::{Event, EventKind, Options, ShardedDb, ShardedOptions, WriteBatch, WriteOptions};
+use lsm_tree::{
+    Db, Event, EventKind, Options, ShardedDb, ShardedOptions, WriteBatch, WriteOptions,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -113,6 +115,98 @@ fn live_split_emits_ordered_span_linked_lifecycle_events() {
         .map(|e| e.b)
         .unwrap();
     assert_eq!(last_epoch, db.topology_epoch());
+}
+
+/// A range-partitioned compaction must appear in the timeline as
+/// `subcompaction_begin` / `subcompaction_end` sub-spans nested inside
+/// their parent `compaction_begin` / `compaction_end` span: each sub-span
+/// begin carries the parent's span id in `a`, sits between the parent's
+/// begin and end, and the sub-spans' output bytes sum to the parent's.
+#[test]
+fn parallel_compaction_emits_parent_linked_sub_spans() {
+    let mut opts = obs_opts();
+    opts.max_subcompactions = 4;
+    let db = Db::open_memory(opts).unwrap();
+    let observer = Arc::clone(db.observability().expect("observability is on").observer());
+
+    // Drain as we go so the ring never overflows mid-stream.
+    let mut timeline: Vec<Event> = Vec::new();
+    for k in 0..30_000u64 {
+        db.put(k, &k.to_le_bytes()).unwrap();
+        if k % 512 == 0 {
+            timeline.extend(observer.drain());
+        }
+    }
+    timeline.extend(observer.drain());
+    assert_eq!(observer.dropped(), 0, "drain cadence must outrun the ring");
+
+    let sub_begins: Vec<(usize, &Event)> = timeline
+        .iter()
+        .enumerate()
+        .filter(|(_, e)| e.kind == EventKind::SubcompactionBegin)
+        .collect();
+    assert!(
+        !sub_begins.is_empty(),
+        "the stream must partition at least one compaction"
+    );
+
+    for (begin_idx, begin) in &sub_begins {
+        assert_ne!(begin.span, 0, "sub-spans carry live span ids");
+        let parent_span = begin.a;
+        // The parent compaction span exists and brackets the sub-span.
+        let parent_begin = timeline
+            .iter()
+            .position(|e| e.kind == EventKind::CompactionBegin && e.span == parent_span)
+            .expect("sub-span's `a` names a compaction_begin span");
+        let parent_end = timeline
+            .iter()
+            .position(|e| e.kind == EventKind::CompactionEnd && e.span == parent_span)
+            .expect("parent compaction must end");
+        let sub_end = timeline
+            .iter()
+            .position(|e| e.kind == EventKind::SubcompactionEnd && e.span == begin.span)
+            .expect("every sub-span ends");
+        assert!(parent_begin < *begin_idx, "sub-span begins after parent");
+        assert!(*begin_idx < sub_end, "sub-span ends after it begins");
+        assert!(sub_end < parent_end, "sub-span ends before parent");
+    }
+
+    // Per parent: sub-range output bytes sum to the parent's output bytes,
+    // and sub-range indexes (begin.b) are 0..n without gaps.
+    let parents: std::collections::BTreeSet<u64> = sub_begins.iter().map(|(_, e)| e.a).collect();
+    for parent_span in parents {
+        let subs: Vec<&Event> = sub_begins
+            .iter()
+            .filter(|(_, e)| e.a == parent_span)
+            .map(|(_, e)| *e)
+            .collect();
+        let mut indexes: Vec<u64> = subs.iter().map(|e| e.b).collect();
+        indexes.sort_unstable();
+        assert_eq!(
+            indexes,
+            (0..subs.len() as u64).collect::<Vec<_>>(),
+            "sub-range indexes are dense"
+        );
+        let sub_out: u64 = subs
+            .iter()
+            .map(|b| {
+                timeline
+                    .iter()
+                    .find(|e| e.kind == EventKind::SubcompactionEnd && e.span == b.span)
+                    .expect("matched above")
+                    .b
+            })
+            .sum();
+        let parent_out = timeline
+            .iter()
+            .find(|e| e.kind == EventKind::CompactionEnd && e.span == parent_span)
+            .expect("matched above")
+            .b;
+        assert_eq!(
+            sub_out, parent_out,
+            "sub-span output bytes must sum to the parent's"
+        );
+    }
 }
 
 /// The same deterministic workload, observability off vs on: every

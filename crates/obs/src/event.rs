@@ -59,6 +59,15 @@ pub enum EventKind {
     /// The server shed a request with `RETRY_AFTER` at admission.
     /// `a` = 1 if the shed request was a write.
     ServerShed = 14,
+    /// One sub-range merge of a range-partitioned compaction started
+    /// (spanned; its own span id pairs it with
+    /// [`EventKind::SubcompactionEnd`]). `a` = the **parent** compaction's
+    /// span id, `b` = sub-range index within the job — the linkage that
+    /// stitches sub-spans back under their parent.
+    SubcompactionBegin = 15,
+    /// The sub-range merge finished. `a` = input bytes consumed by this
+    /// sub-range, `b` = output bytes it wrote.
+    SubcompactionEnd = 16,
 }
 
 impl EventKind {
@@ -79,6 +88,8 @@ impl EventKind {
             EventKind::SplitCutover => "split_cutover",
             EventKind::CommitCheckpoint => "commit_checkpoint",
             EventKind::ServerShed => "server_shed",
+            EventKind::SubcompactionBegin => "subcompaction_begin",
+            EventKind::SubcompactionEnd => "subcompaction_end",
         }
     }
 
@@ -99,6 +110,8 @@ impl EventKind {
             12 => EventKind::SplitCutover,
             13 => EventKind::CommitCheckpoint,
             14 => EventKind::ServerShed,
+            15 => EventKind::SubcompactionBegin,
+            16 => EventKind::SubcompactionEnd,
             _ => return None,
         })
     }
@@ -167,7 +180,7 @@ mod tests {
             }
         }
         assert_eq!(EventKind::from_u8(0), None);
-        assert_eq!(EventKind::from_u8(15), None);
+        assert_eq!(EventKind::from_u8(17), None);
     }
 
     #[test]

@@ -530,7 +530,10 @@ pub(crate) fn stats_json(s: &ShardedStats) -> String {
             "\"observed_imbalance\":{:.6},\"observed_keys\":{},",
             "\"live_commit_markers\":{},\"lookups\":{},\"write_batches\":{},",
             "\"write_entries\":{},\"wal_syncs\":{},\"flushes\":{},",
-            "\"compactions\":{},\"scans\":{},\"stall_slowdowns\":{},",
+            "\"compactions\":{},\"subcompactions\":{},",
+            "\"flush_bytes_written\":{},\"compact_bytes_read\":{},",
+            "\"compact_bytes_written\":{},\"write_amplification\":{:.3},",
+            "\"scans\":{},\"stall_slowdowns\":{},",
             "\"stall_stops\":{},\"shard_splits\":{}}}"
         ),
         s.topology_epoch,
@@ -547,6 +550,11 @@ pub(crate) fn stats_json(s: &ShardedStats) -> String {
         m.wal_syncs,
         m.flushes,
         m.compactions,
+        m.subcompactions,
+        m.flush_bytes_written,
+        m.compact_bytes_read,
+        m.compact_bytes_written,
+        m.write_amplification(),
         m.scans,
         m.stall_slowdowns,
         m.stall_stops,
